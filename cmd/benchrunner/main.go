@@ -1,0 +1,82 @@
+// Command benchrunner regenerates the paper's evaluation figures and tables
+// on the discrete-event harness and prints them as text tables.
+//
+// Usage:
+//
+//	benchrunner -exp all            # every experiment, quick scale
+//	benchrunner -exp fig6i -full    # one experiment at publication scale
+//	benchrunner -list
+//
+// Experiments: fig1, fig5, fig6i, fig6ii, fig6iv, fig6vi, fig7, fig8, fig9.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"flexitrust/internal/harness"
+)
+
+// experiment couples a name with its runner.
+type experiment struct {
+	name, desc string
+	run        func(scale harness.Scale) string
+}
+
+// experiments lists every reproducible figure/table.
+func experiments() []experiment {
+	return []experiment{
+		{"fig1", "qualitative protocol comparison matrix",
+			func(harness.Scale) string { return harness.Fig1Matrix() }},
+		{"fig5", "trusted counter + signature attestation costs on Pbft (1 worker)",
+			func(s harness.Scale) string { return harness.Fig5(s).String() }},
+		{"fig6i", "throughput vs latency, 4k-80k clients, f=8",
+			func(s harness.Scale) string { return harness.Fig6Throughput(nil, s).String() }},
+		{"fig6ii", "scalability, f=4..32",
+			func(s harness.Scale) string { return harness.Fig6Scalability(nil, s).String() }},
+		{"fig6iv", "batch size sweep 10..5000, f=8",
+			func(s harness.Scale) string { return harness.Fig6Batching(nil, s).String() }},
+		{"fig6vi", "wide-area replication across 1..6 regions, f=20",
+			func(s harness.Scale) string { return harness.Fig6WAN(nil, s).String() }},
+		{"fig7", "single non-primary replica failure",
+			func(s harness.Scale) string { return harness.Fig7Failure(nil, s).String() }},
+		{"fig8", "trusted-counter access cost sweep at 97 replicas",
+			func(s harness.Scale) string { return harness.Fig8TCSweep(nil, s).String() }},
+		{"fig9", "throughput-per-machine, Flexi-ZZ vs MinZZ",
+			func(s harness.Scale) string { return harness.Fig9PerMachine(nil, s).String() }},
+	}
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (see -list) or 'all'")
+	full := flag.Bool("full", false, "publication-scale windows (slower)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments() {
+			fmt.Printf("%-8s %s\n", e.name, e.desc)
+		}
+		return
+	}
+	scale := harness.Scale(4)
+	if *full {
+		scale = 1
+	}
+	ran := false
+	for _, e := range experiments() {
+		if *exp != "all" && *exp != e.name {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		fmt.Println(e.run(scale))
+		fmt.Printf("(%s completed in %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,116 @@
+// Command replica runs one consensus replica over TCP.
+//
+// A 4-replica Flexi-BFT cluster on one machine:
+//
+//	replica -id 0 -protocol flexi-bft -f 1 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 &
+//	replica -id 1 ... &  replica -id 2 ... &  replica -id 3 ... &
+//
+// Then drive it with cmd/client. All nodes must share -seed (it derives the
+// deterministic keyring and attestation authority, standing in for the key
+// distribution ceremony a production deployment would run).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"flexitrust/internal/crypto"
+	"flexitrust/internal/engine"
+	"flexitrust/internal/harness"
+	"flexitrust/internal/runtime"
+	"flexitrust/internal/transport"
+	"flexitrust/internal/trusted"
+	"flexitrust/internal/types"
+)
+
+func main() {
+	id := flag.Int("id", 0, "this replica's id (0..n-1)")
+	proto := flag.String("protocol", "Flexi-BFT", "protocol: Pbft, Zyzzyva, Pbft-EA, MinBFT, MinZZ, Flexi-BFT, Flexi-ZZ")
+	f := flag.Int("f", 1, "fault threshold")
+	peersArg := flag.String("peers", "", "comma-separated host:port of every replica, in id order")
+	batch := flag.Int("batch", 100, "requests per consensus batch")
+	clients := flag.Int("clients", 1024, "client ids to provision keys for (1..clients)")
+	seed := flag.Int64("seed", 42, "shared key-derivation seed")
+	verbose := flag.Bool("v", false, "verbose protocol logging")
+	flag.Parse()
+
+	spec, err := harness.ByName(canonical(*proto))
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := spec.N(*f)
+	peerList := strings.Split(*peersArg, ",")
+	if len(peerList) != n {
+		log.Fatalf("protocol %s with f=%d needs %d peers, got %d", spec.Name, *f, n, len(peerList))
+	}
+	book := make(map[int32]string, n)
+	for i, hp := range peerList {
+		book[int32(i)] = strings.TrimSpace(hp)
+	}
+
+	clientIDs := make([]types.ClientID, *clients)
+	for i := range clientIDs {
+		clientIDs[i] = types.ClientID(i + 1)
+	}
+	ring, err := crypto.NewKeyring(*seed, n, clientIDs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	auth := trusted.NewHMACAuthority(*seed+1, n)
+
+	tp, err := transport.NewTCP(transport.ReplicaAddr(int32(*id)), book[int32(*id)], book)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tp.Close()
+
+	ecfg := engine.DefaultConfig(n, *f)
+	ecfg.BatchSize = *batch
+	ecfg.Parallel = spec.Parallel
+	node := runtime.NewNode(runtime.NodeConfig{
+		ID:             types.ReplicaID(*id),
+		Engine:         ecfg,
+		NewProtocol:    spec.New,
+		Transport:      tp,
+		Keyring:        ring,
+		Authority:      auth,
+		TrustedProfile: trusted.ProfileSGXEnclave,
+		KeepLog:        spec.KeepLog,
+		Verbose:        *verbose,
+	})
+	fmt.Printf("replica %d/%d (%s, f=%d) listening on %s\n", *id, n, spec.Name, *f, tp.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	node.Stop()
+}
+
+// canonical maps friendly spellings onto harness spec names.
+func canonical(name string) string {
+	switch strings.ToLower(name) {
+	case "pbft":
+		return "Pbft"
+	case "zyzzyva":
+		return "Zyzzyva"
+	case "pbft-ea", "pbftea":
+		return "Pbft-EA"
+	case "opbft-ea", "opbftea":
+		return "Opbft-ea"
+	case "minbft":
+		return "MinBFT"
+	case "minzz":
+		return "MinZZ"
+	case "flexi-bft", "flexibft":
+		return "Flexi-BFT"
+	case "flexi-zz", "flexizz":
+		return "Flexi-ZZ"
+	default:
+		return name
+	}
+}

@@ -1,0 +1,27 @@
+// Protocol comparison: runs all ten protocol variants on the same YCSB
+// workload in the discrete-event simulator (the paper's f=8 LAN setup,
+// scaled down) and prints a side-by-side table — a miniature Figure 6(i).
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"flexitrust/internal/harness"
+)
+
+func main() {
+	fmt.Println("protocol comparison: f=8, batch 100, LAN, 12k closed-loop clients")
+	fmt.Printf("%-12s %6s %9s %14s %12s %12s\n", "protocol", "n", "phases", "tput (txn/s)", "mean lat", "p99 lat")
+	for _, spec := range harness.Specs() {
+		opts := harness.DefaultOptions()
+		opts.Clients = 12000
+		opts.Warmup = 250 * time.Millisecond
+		opts.Measure = 500 * time.Millisecond
+		res := harness.Run(spec, opts)
+		fmt.Printf("%-12s %6d %9d %14.0f %12v %12v\n",
+			spec.Name, spec.N(opts.F), spec.Meta.Phases, res.Throughput,
+			res.MeanLat.Round(10*time.Microsecond), res.P99Lat.Round(10*time.Microsecond))
+	}
+	fmt.Println("\n(see cmd/benchrunner for the full evaluation sweeps)")
+}

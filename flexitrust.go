@@ -1,0 +1,222 @@
+// Package flexitrust is a from-scratch Go reproduction of "Dissecting BFT
+// Consensus: In Trusted Components we Trust!" (EuroSys 2023): the FlexiTrust
+// protocol suite (Flexi-BFT, Flexi-ZZ), every baseline the paper evaluates
+// (PBFT, Zyzzyva, PBFT-EA/OPBFT-EA, MinBFT, MinZZ), the trusted-component
+// substrate they rely on, a real runtime with in-process and TCP transports,
+// and a discrete-event simulation harness that regenerates every figure and
+// table in the paper's evaluation.
+//
+// # Quick start
+//
+//	cluster, _ := flexitrust.NewCluster(flexitrust.ClusterOptions{
+//	    Protocol: flexitrust.FlexiBFT,
+//	    F:        1,
+//	    Clients:  []flexitrust.ClientID{1},
+//	})
+//	defer cluster.Stop()
+//	client := cluster.NewClient(1)
+//	res, _ := client.Submit(ctx, flexitrust.Update(42, []byte("hello")))
+//
+// # Picking a protocol
+//
+//   - FlexiBFT: two phases, n = 3f+1, one trusted-counter access per
+//     consensus at the primary, parallel instances — the paper's headline
+//     general-purpose protocol.
+//   - FlexiZZ: one phase, speculative, always fast-path with n−f replies —
+//     the paper's highest-throughput protocol.
+//   - PBFT / Zyzzyva: classic 3f+1 baselines without trusted components.
+//   - PBFTEA / MinBFT / MinZZ: 2f+1 trust-bft protocols, provided for
+//     comparison; see the paper's Sections 5–7 for why their responsiveness,
+//     rollback-safety and sequential-throughput caveats matter.
+//
+// The measurement side lives under internal/harness and is exposed through
+// cmd/benchrunner and the repository-root benchmarks.
+package flexitrust
+
+import (
+	"time"
+
+	"flexitrust/internal/engine"
+	"flexitrust/internal/kvstore"
+	"flexitrust/internal/runtime"
+	"flexitrust/internal/trusted"
+	"flexitrust/internal/types"
+)
+
+// Re-exported identifier types.
+type (
+	// ReplicaID identifies a replica (0..n-1).
+	ReplicaID = types.ReplicaID
+	// ClientID identifies a client of the replicated service.
+	ClientID = types.ClientID
+	// Digest is a SHA-256 digest.
+	Digest = types.Digest
+	// Client is the RSM client library.
+	Client = runtime.Client
+)
+
+// Protocol selects a consensus protocol.
+type Protocol int
+
+// The protocols this library implements.
+const (
+	// FlexiBFT is the paper's two-phase FlexiTrust protocol (Section 8.2).
+	FlexiBFT Protocol = iota
+	// FlexiZZ is the paper's single-phase speculative FlexiTrust protocol
+	// (Section 8.3).
+	FlexiZZ
+	// PBFT is Castro & Liskov's protocol, the 3f+1 baseline.
+	PBFT
+	// Zyzzyva is the speculative 3f+1 baseline.
+	Zyzzyva
+	// PBFTEA is the trusted-log trust-bft baseline (2f+1).
+	PBFTEA
+	// MinBFT is the two-phase trusted-counter trust-bft protocol (2f+1).
+	MinBFT
+	// MinZZ is the single-phase speculative trust-bft protocol (2f+1).
+	MinZZ
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case FlexiBFT:
+		return "Flexi-BFT"
+	case FlexiZZ:
+		return "Flexi-ZZ"
+	case PBFT:
+		return "Pbft"
+	case Zyzzyva:
+		return "Zyzzyva"
+	case PBFTEA:
+		return "Pbft-EA"
+	case MinBFT:
+		return "MinBFT"
+	case MinZZ:
+		return "MinZZ"
+	default:
+		return "Protocol?"
+	}
+}
+
+// N returns the replication factor this protocol needs for fault threshold
+// f: 3f+1 for BFT and FlexiTrust protocols, 2f+1 for trust-bft.
+func (p Protocol) N(f int) int {
+	switch p {
+	case PBFTEA, MinBFT, MinZZ:
+		return 2*f + 1
+	default:
+		return 3*f + 1
+	}
+}
+
+// Replies returns the client's matching-response quorum on the fast path.
+func (p Protocol) Replies(n, f int) int {
+	switch p {
+	case FlexiZZ:
+		return 2*f + 1
+	case Zyzzyva, MinZZ:
+		return n
+	default:
+		return f + 1
+	}
+}
+
+// ClusterOptions configures an in-process cluster (NewCluster).
+type ClusterOptions struct {
+	// Protocol picks the consensus protocol (default FlexiBFT).
+	Protocol Protocol
+	// F is the fault threshold (default 1); the cluster runs Protocol.N(F)
+	// replicas.
+	F int
+	// Clients lists the client identities to provision keys for.
+	Clients []ClientID
+	// BatchSize is requests per consensus batch (default 100).
+	BatchSize int
+	// BatchTimeout flushes partial batches (default 2ms).
+	BatchTimeout time.Duration
+	// Records sizes the key-value store (default 600k).
+	Records int
+	// EmulateTrustedLatency sleeps the trusted component's hardware access
+	// cost (hardware-faithful demos; off by default).
+	EmulateTrustedLatency bool
+	// Verbose enables replica logging.
+	Verbose bool
+}
+
+// Cluster is a running in-process replicated service.
+type Cluster struct {
+	inner *runtime.Cluster
+	opts  ClusterOptions
+}
+
+// NewCluster boots an in-process cluster of real replica nodes (goroutines,
+// Ed25519 signatures, HMAC-attested trusted components) connected by an
+// in-memory transport.
+func NewCluster(opts ClusterOptions) (*Cluster, error) {
+	if opts.F <= 0 {
+		opts.F = 1
+	}
+	n := opts.Protocol.N(opts.F)
+	ecfg := engine.DefaultConfig(n, opts.F)
+	if opts.BatchSize > 0 {
+		ecfg.BatchSize = opts.BatchSize
+	}
+	if opts.BatchTimeout > 0 {
+		ecfg.BatchTimeout = opts.BatchTimeout
+	}
+	inner, err := runtime.NewCluster(runtime.ClusterConfig{
+		N: n, F: opts.F,
+		Engine:           ecfg,
+		NewProtocol:      constructor(opts.Protocol),
+		Replies:          opts.Protocol.Replies(n, opts.F),
+		Clients:          opts.Clients,
+		TrustedProfile:   trusted.ProfileSGXEnclave,
+		KeepLog:          opts.Protocol == PBFTEA,
+		EmulateTCLatency: opts.EmulateTrustedLatency,
+		Records:          opts.Records,
+		Verbose:          opts.Verbose,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{inner: inner, opts: opts}, nil
+}
+
+// NewClient attaches a client library for one of the provisioned ids.
+func (c *Cluster) NewClient(id ClientID) *Client { return c.inner.NewClient(id) }
+
+// Stop halts every replica.
+func (c *Cluster) Stop() { c.inner.Stop() }
+
+// StateDigest returns replica r's state-machine digest.
+func (c *Cluster) StateDigest(r ReplicaID) Digest {
+	return c.inner.Nodes[r].Store().StateDigest()
+}
+
+// CrashReplica fail-stops one replica (failure demos; the protocols keep
+// committing as long as at most F replicas are down).
+func (c *Cluster) CrashReplica(r ReplicaID) { c.inner.Nodes[r].Stop() }
+
+// Key-value operation helpers: the replicated state machine is a YCSB-style
+// key-value store; these build its operation payloads.
+
+// Read builds a read of key.
+func Read(key uint64) []byte {
+	return (&kvstore.Op{Code: kvstore.OpRead, Key: key}).Encode()
+}
+
+// Update builds an overwrite of key with value.
+func Update(key uint64, value []byte) []byte {
+	return (&kvstore.Op{Code: kvstore.OpUpdate, Key: key, Value: value}).Encode()
+}
+
+// Insert builds an insert of a fresh key.
+func Insert(key uint64, value []byte) []byte {
+	return (&kvstore.Op{Code: kvstore.OpInsert, Key: key, Value: value}).Encode()
+}
+
+// Scan builds a short range scan of count keys starting at key.
+func Scan(key uint64, count uint16) []byte {
+	return (&kvstore.Op{Code: kvstore.OpScan, Key: key, Count: count}).Encode()
+}

@@ -1,0 +1,155 @@
+// Package byz implements the byzantine behaviors the paper's analysis
+// sections turn on:
+//
+//   - Section 5 (restricted responsiveness): a byzantine primary plus
+//     message delays that leave a single honest replica replying to the
+//     client — fewer than the f+1 matching responses it needs.
+//   - Section 6 (loss of safety under rollback): a byzantine primary that
+//     rolls its trusted component back and equivocates, driving two honest
+//     groups to execute different transactions at the same sequence number.
+//   - Fail-stop crashes and selective withholding used across experiments.
+//
+// Attack protocols implement engine.Protocol and are installed in place of
+// a replica's real protocol when building a simulated cluster.
+package byz
+
+import (
+	"flexitrust/internal/crypto"
+	"flexitrust/internal/engine"
+	"flexitrust/internal/trusted"
+	"flexitrust/internal/types"
+)
+
+// CounterMode selects which trusted-counter primitive the rollback primary
+// drives: Append for trust-bft protocols (MinBFT/MinZZ), AppendF for
+// FlexiTrust.
+type CounterMode int
+
+// Counter modes.
+const (
+	ModeAppend CounterMode = iota
+	ModeAppendF
+)
+
+// RollbackPrimary is a byzantine primary mounting the Section 6 attack:
+//
+//  1. bind transaction T to sequence 1 through its trusted component and
+//     Preprepare it to group A only (plus reply to the client itself, so the
+//     client reaches f+1 matching responses and completes T);
+//  2. roll the trusted component back to its pre-T state;
+//  3. bind a conflicting transaction T' to the same sequence 1 and
+//     Preprepare it to group B.
+//
+// On rollback-vulnerable hardware both attestations verify, so groups A and
+// B execute different transactions at sequence 1 — a safety violation. On
+// rollback-protected hardware (or with FlexiTrust's 2f+1 quorums) the attack
+// fails; tests assert both outcomes.
+type RollbackPrimary struct {
+	Mode   CounterMode
+	OpT    []byte
+	OpTalt []byte
+	GroupA []types.ReplicaID
+	GroupB []types.ReplicaID
+	// ReplyToClient makes the byzantine primary send the client a matching
+	// response for T (it is allowed to: byzantine ≠ silent).
+	ReplyToClient bool
+
+	env       engine.Env
+	fired     bool
+	RollbackErr error // recorded result of the Restore call
+}
+
+// Init implements engine.Protocol.
+func (r *RollbackPrimary) Init(env engine.Env) { r.env = env }
+
+// OnRequest implements engine.Protocol: the first client request triggers
+// the scripted attack.
+func (r *RollbackPrimary) OnRequest(req *types.ClientRequest) {
+	if r.fired {
+		return
+	}
+	r.fired = true
+	tc := r.env.Trusted()
+
+	snap := tc.Snapshot() // pre-attack state to roll back to
+
+	reqT := &types.ClientRequest{Client: req.Client, ReqNo: req.ReqNo, Op: r.OpT}
+	batchT := &types.Batch{Requests: []*types.ClientRequest{reqT}}
+	batchT.Digest = crypto.BatchDigest(batchT.Requests)
+	attT := r.append(tc, batchT.Digest)
+	ppT := &types.Preprepare{View: 0, Seq: types.SeqNum(attT.Value), Batch: batchT, Attest: attT}
+	for _, to := range r.GroupA {
+		r.env.Send(to, ppT)
+	}
+	if r.ReplyToClient {
+		results := r.env.Execute(types.SeqNum(attT.Value), batchT)
+		r.env.Respond(&types.Response{
+			Replica: r.env.ID(), View: 0, Seq: types.SeqNum(attT.Value),
+			Digest: batchT.Digest, Results: results,
+		})
+	}
+
+	// The rollback: rewind the trusted component and equivocate.
+	r.RollbackErr = tc.Restore(snap)
+	if r.RollbackErr != nil {
+		return // rollback-protected hardware defeats the attack
+	}
+	reqAlt := &types.ClientRequest{Client: req.Client, ReqNo: req.ReqNo + 1000, Op: r.OpTalt}
+	batchAlt := &types.Batch{Requests: []*types.ClientRequest{reqAlt}}
+	batchAlt.Digest = crypto.BatchDigest(batchAlt.Requests)
+	attAlt := r.append(tc, batchAlt.Digest)
+	ppAlt := &types.Preprepare{View: 0, Seq: types.SeqNum(attAlt.Value), Batch: batchAlt, Attest: attAlt}
+	for _, to := range r.GroupB {
+		r.env.Send(to, ppAlt)
+	}
+}
+
+// append drives the configured counter primitive.
+func (r *RollbackPrimary) append(tc trusted.Component, d types.Digest) *types.Attestation {
+	var att *types.Attestation
+	var err error
+	if r.Mode == ModeAppendF {
+		att, err = tc.AppendF(0, d)
+	} else {
+		att, err = tc.Append(0, 0, d)
+	}
+	if err != nil {
+		panic("byz: counter append failed: " + err.Error())
+	}
+	return att
+}
+
+// OnMessage implements engine.Protocol: the attacker ignores the protocol.
+func (r *RollbackPrimary) OnMessage(types.ReplicaID, types.Message) {}
+
+// OnTimer implements engine.Protocol.
+func (r *RollbackPrimary) OnTimer(types.TimerID) {}
+
+// SilentReplica is a byzantine replica that participates in nothing —
+// fail-stop behavior expressed as a protocol (useful where a crash is
+// installed from construction time rather than scheduled).
+type SilentReplica struct{}
+
+// Init implements engine.Protocol.
+func (SilentReplica) Init(engine.Env) {}
+
+// OnRequest implements engine.Protocol.
+func (SilentReplica) OnRequest(*types.ClientRequest) {}
+
+// OnMessage implements engine.Protocol.
+func (SilentReplica) OnMessage(types.ReplicaID, types.Message) {}
+
+// OnTimer implements engine.Protocol.
+func (SilentReplica) OnTimer(types.TimerID) {}
+
+// WithholdFrom returns a send filter that silently drops every message from
+// the byzantine replica to the listed victims (Section 5's "replicas in F
+// intentionally fail to send replicas in D any messages"). Node indexes are
+// simulator node ids; pass pool=false victims only.
+func WithholdFrom(victims ...int) func(to int, m types.Message) bool {
+	drop := make(map[int]bool, len(victims))
+	for _, v := range victims {
+		drop[v] = true
+	}
+	return func(to int, _ types.Message) bool { return !drop[to] }
+}

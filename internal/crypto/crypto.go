@@ -1,0 +1,223 @@
+// Package crypto provides the cryptographic substrate the protocols rely on:
+// SHA-256 digests, Ed25519 digital signatures, and HMAC-SHA256 message
+// authentication (standing in for the CMAC construction used by ResilientDB,
+// which is not in the Go standard library; both are fixed-key symmetric MACs
+// with comparable cost and identical protocol role).
+//
+// Two implementations of the Provider interface exist:
+//
+//   - Suite: real cryptography, used by the runtime, the TCP transport and
+//     the integration tests.
+//   - Nop (in the sim package): accounting-only cryptography for the
+//     discrete-event simulator, where per-operation CPU cost is modeled in
+//     virtual time instead of being burned for real.
+package crypto
+
+import (
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"flexitrust/internal/types"
+)
+
+// HashBytes returns the SHA-256 digest of data.
+func HashBytes(data []byte) types.Digest {
+	return sha256.Sum256(data)
+}
+
+// HashConcat hashes the concatenation of the given byte slices.
+func HashConcat(parts ...[]byte) types.Digest {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	var d types.Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// RequestDigest computes the canonical digest of a client request
+// (client id, request number, operation bytes).
+func RequestDigest(r *types.ClientRequest) types.Digest {
+	h := sha256.New()
+	var hdr [16]byte
+	binary.BigEndian.PutUint64(hdr[0:8], uint64(r.Client))
+	binary.BigEndian.PutUint64(hdr[8:16], r.ReqNo)
+	h.Write(hdr[:])
+	h.Write(r.Op)
+	var d types.Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// BatchDigest computes the digest of a request batch: the hash of the
+// concatenated request digests, which commits to both content and order.
+func BatchDigest(reqs []*types.ClientRequest) types.Digest {
+	h := sha256.New()
+	for _, r := range reqs {
+		d := RequestDigest(r)
+		h.Write(d[:])
+	}
+	var d types.Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// HistoryDigest chains a batch digest onto a running history digest, as in
+// Zyzzyva's cumulative execution history: h_k = H(h_{k-1} || d_k).
+func HistoryDigest(prev types.Digest, batch types.Digest) types.Digest {
+	return HashConcat(prev[:], batch[:])
+}
+
+// Provider is the cryptographic interface protocols consume. Implementations
+// must be safe for concurrent use.
+type Provider interface {
+	// Sign produces this node's signature over payload.
+	Sign(payload []byte) []byte
+	// Verify checks signer's signature over payload.
+	Verify(signer types.ReplicaID, payload, sig []byte) bool
+	// VerifyClient checks a client's signature over payload.
+	VerifyClient(client types.ClientID, payload, sig []byte) bool
+	// MAC computes an authenticator for the channel to peer.
+	MAC(peer types.ReplicaID, payload []byte) []byte
+	// CheckMAC verifies an authenticator received from peer.
+	CheckMAC(peer types.ReplicaID, payload, mac []byte) bool
+}
+
+// Keyring holds the long-term keys of every replica and client in a cluster.
+// It is generated deterministically from a seed so that tests and the
+// simulator can reconstruct identical keyrings on every node without a key
+// distribution protocol.
+type Keyring struct {
+	n        int
+	pubs     []ed25519.PublicKey
+	privs    []ed25519.PrivateKey
+	clientPub  map[types.ClientID]ed25519.PublicKey
+	clientPriv map[types.ClientID]ed25519.PrivateKey
+	macKeys  [][]byte // pairwise symmetric keys, indexed i*n+j (i<=j)
+}
+
+// NewKeyring deterministically derives keys for n replicas and the given
+// client ids from seed.
+func NewKeyring(seed int64, n int, clients []types.ClientID) (*Keyring, error) {
+	rng := rand.New(rand.NewSource(seed))
+	k := &Keyring{
+		n:          n,
+		pubs:       make([]ed25519.PublicKey, n),
+		privs:      make([]ed25519.PrivateKey, n),
+		clientPub:  make(map[types.ClientID]ed25519.PublicKey, len(clients)),
+		clientPriv: make(map[types.ClientID]ed25519.PrivateKey, len(clients)),
+		macKeys:    make([][]byte, n*n),
+	}
+	for i := 0; i < n; i++ {
+		pub, priv, err := ed25519.GenerateKey(rngReader{rng})
+		if err != nil {
+			return nil, fmt.Errorf("generating replica %d key: %w", i, err)
+		}
+		k.pubs[i], k.privs[i] = pub, priv
+	}
+	for _, c := range clients {
+		pub, priv, err := ed25519.GenerateKey(rngReader{rng})
+		if err != nil {
+			return nil, fmt.Errorf("generating client %d key: %w", c, err)
+		}
+		k.clientPub[c], k.clientPriv[c] = pub, priv
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			key := make([]byte, 32)
+			rng.Read(key)
+			k.macKeys[i*n+j] = key
+		}
+	}
+	return k, nil
+}
+
+// rngReader adapts math/rand to io.Reader for deterministic key generation.
+type rngReader struct{ r *rand.Rand }
+
+func (r rngReader) Read(p []byte) (int, error) {
+	r.r.Read(p)
+	return len(p), nil
+}
+
+var _ io.Reader = rngReader{}
+
+// N returns the number of replicas in the keyring.
+func (k *Keyring) N() int { return k.n }
+
+// macKey returns the pairwise key between replicas a and b.
+func (k *Keyring) macKey(a, b types.ReplicaID) []byte {
+	i, j := int(a), int(b)
+	if i > j {
+		i, j = j, i
+	}
+	return k.macKeys[i*k.n+j]
+}
+
+// PublicKey returns replica r's public key.
+func (k *Keyring) PublicKey(r types.ReplicaID) ed25519.PublicKey { return k.pubs[r] }
+
+// ClientPrivate returns client c's private key (nil if unknown).
+func (k *Keyring) ClientPrivate(c types.ClientID) ed25519.PrivateKey { return k.clientPriv[c] }
+
+// SignAsClient signs payload with client c's key.
+func (k *Keyring) SignAsClient(c types.ClientID, payload []byte) ([]byte, error) {
+	priv, ok := k.clientPriv[c]
+	if !ok {
+		return nil, fmt.Errorf("no key for client %d", c)
+	}
+	return ed25519.Sign(priv, payload), nil
+}
+
+// Suite is a real-cryptography Provider bound to one replica's identity.
+type Suite struct {
+	self types.ReplicaID
+	ring *Keyring
+}
+
+// NewSuite returns the Provider for replica self over ring.
+func NewSuite(ring *Keyring, self types.ReplicaID) *Suite {
+	return &Suite{self: self, ring: ring}
+}
+
+// Sign implements Provider.
+func (s *Suite) Sign(payload []byte) []byte {
+	return ed25519.Sign(s.ring.privs[s.self], payload)
+}
+
+// Verify implements Provider.
+func (s *Suite) Verify(signer types.ReplicaID, payload, sig []byte) bool {
+	if int(signer) < 0 || int(signer) >= s.ring.n {
+		return false
+	}
+	return ed25519.Verify(s.ring.pubs[signer], payload, sig)
+}
+
+// VerifyClient implements Provider.
+func (s *Suite) VerifyClient(client types.ClientID, payload, sig []byte) bool {
+	pub, ok := s.ring.clientPub[client]
+	if !ok {
+		return false
+	}
+	return ed25519.Verify(pub, payload, sig)
+}
+
+// MAC implements Provider.
+func (s *Suite) MAC(peer types.ReplicaID, payload []byte) []byte {
+	m := hmac.New(sha256.New, s.ring.macKey(s.self, peer))
+	m.Write(payload)
+	return m.Sum(nil)
+}
+
+// CheckMAC implements Provider.
+func (s *Suite) CheckMAC(peer types.ReplicaID, payload, mac []byte) bool {
+	m := hmac.New(sha256.New, s.ring.macKey(s.self, peer))
+	m.Write(payload)
+	return hmac.Equal(m.Sum(nil), mac)
+}

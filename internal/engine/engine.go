@@ -1,0 +1,178 @@
+// Package engine defines the environment interface every consensus protocol
+// runs against, plus the machinery all protocols share: batching, in-order
+// execution, quorum tracking, checkpointing and client response caching.
+//
+// Protocols are written once as deterministic event handlers (Protocol) and
+// run unmodified on two substrates: the discrete-event simulator
+// (internal/sim), which models CPU and trusted-hardware costs in virtual
+// time, and the real goroutine runtime (internal/runtime) over in-memory or
+// TCP transports.
+package engine
+
+import (
+	"time"
+
+	"flexitrust/internal/crypto"
+	"flexitrust/internal/trusted"
+	"flexitrust/internal/types"
+)
+
+// Env is everything a replica's protocol logic may do to the outside world.
+// Handlers are invoked single-threaded per replica; Env methods must only be
+// called from within a handler.
+type Env interface {
+	// ID returns this replica's identity.
+	ID() types.ReplicaID
+	// Send transmits m to one replica. Sending to self is delivered like
+	// any other message.
+	Send(to types.ReplicaID, m types.Message)
+	// Broadcast transmits m to every replica except self.
+	Broadcast(m types.Message)
+	// Respond delivers an execution response toward the clients whose
+	// requests it covers.
+	Respond(r *types.Response)
+	// SendClient sends an arbitrary message to one client.
+	SendClient(c types.ClientID, m types.Message)
+
+	// SetTimer (re)arms timer id to fire after d; CancelTimer disarms it.
+	SetTimer(id types.TimerID, d time.Duration)
+	CancelTimer(id types.TimerID)
+	// Now is the elapsed time since the run started (virtual in the
+	// simulator, wall-clock in the runtime).
+	Now() time.Duration
+
+	// Trusted returns this replica's trusted component. Every call on the
+	// returned component is charged its access latency by the simulator.
+	Trusted() trusted.Component
+	// VerifyAttestation checks an attestation produced by any replica's
+	// trusted component (and charges one signature verification).
+	VerifyAttestation(a *types.Attestation) bool
+	// Crypto returns the signing/verification provider for this replica.
+	Crypto() crypto.Provider
+
+	// Execute applies a committed batch to the state machine, charging
+	// per-transaction execution cost, and returns per-request results.
+	Execute(seq types.SeqNum, b *types.Batch) []types.Result
+	// StateDigest returns the state machine's history digest.
+	StateDigest() types.Digest
+	// SnapshotState and RestoreState support speculative-execution rollback.
+	SnapshotState() any
+	RestoreState(snap any)
+
+	// Defer schedules fn as a separate event on this replica: it runs
+	// after the current handler, potentially on another worker thread.
+	// Speculative primaries use it to decouple their own execution/reply
+	// work from proposal emission, as pipelined implementations do.
+	Defer(fn func())
+
+	// Logf emits a debug log line attributed to this replica.
+	Logf(format string, args ...any)
+}
+
+// Protocol is a consensus protocol's event interface. Implementations must
+// be deterministic: all nondeterminism comes from the environment.
+type Protocol interface {
+	// Init is called once before any event is delivered.
+	Init(env Env)
+	// OnRequest delivers a client request that arrived at this replica.
+	OnRequest(req *types.ClientRequest)
+	// OnMessage delivers a protocol message. The transport authenticates
+	// `from`; handlers may trust it (byzantine peers can lie in message
+	// *bodies* but cannot impersonate other replicas).
+	OnMessage(from types.ReplicaID, m types.Message)
+	// OnTimer delivers an expired timer.
+	OnTimer(id types.TimerID)
+}
+
+// Config carries the cluster- and protocol-level parameters shared by all
+// protocols.
+type Config struct {
+	N int // number of replicas
+	F int // fault threshold
+
+	// BatchSize is the number of client requests per consensus instance;
+	// BatchTimeout flushes partial batches.
+	BatchSize    int
+	BatchTimeout time.Duration
+
+	// Parallel permits multiple in-flight consensus instances (bounded by
+	// Window). trust-bft protocols are inherently sequential (Section 7);
+	// the o-variants of FlexiTrust disable parallelism for the ablation.
+	Parallel bool
+	// Window caps in-flight instances when Parallel.
+	Window int
+
+	// CheckpointEvery is the checkpoint interval in sequence numbers.
+	CheckpointEvery uint64
+
+	// ViewChangeTimeout is how long a replica waits on a stalled request
+	// before suspecting the primary.
+	ViewChangeTimeout time.Duration
+
+	// ClientSigs enables client request signature verification cost.
+	ClientSigs bool
+
+	// CaptureSnapshots retains a state snapshot at each stable checkpoint
+	// so speculative protocols can roll back during view changes. The
+	// benchmark harness disables it (no view changes occur there) to avoid
+	// paying snapshot copies in host time.
+	CaptureSnapshots bool
+
+	// SkipBatchDigestCheck trusts the digest field on received batches.
+	// The simulator sets it (digest costs are modeled, not recomputed);
+	// the real runtime verifies digests.
+	SkipBatchDigestCheck bool
+}
+
+// DefaultConfig returns the paper's standard setup for a given f: batch size
+// 100, parallel window 128, checkpoint every 100 instances.
+func DefaultConfig(n, f int) Config {
+	return Config{
+		N:                 n,
+		F:                 f,
+		BatchSize:         100,
+		BatchTimeout:      2 * time.Millisecond,
+		Parallel:          true,
+		Window:            128,
+		CheckpointEvery:   100,
+		ViewChangeTimeout: 500 * time.Millisecond,
+		CaptureSnapshots:  true,
+	}
+}
+
+// Quorum helpers.
+
+// VoteQuorum2f1 returns 2f+1, the vote quorum of 3f+1 protocols.
+func (c Config) VoteQuorum2f1() int { return 2*c.F + 1 }
+
+// VoteQuorumF1 returns f+1, the vote quorum of 2f+1 trust-bft protocols.
+func (c Config) VoteQuorumF1() int { return c.F + 1 }
+
+// Meta describes a protocol for the Figure 1 comparison matrix and the
+// harness.
+type Meta struct {
+	Name string
+	// Replicas is the replication factor as a function of f.
+	Replicas func(f int) int
+	// Phases is the number of consensus phases on the failure-free path.
+	Phases int
+	// TrustedAbstraction is "none", "counter", "log", or "counter+log".
+	TrustedAbstraction string
+	// BFTLiveness reports whether the protocol offers the same client
+	// (RSM) liveness as 3f+1 BFT protocols — Figure 1 column 2.
+	BFTLiveness bool
+	// OutOfOrder reports support for parallel consensus invocations —
+	// Figure 1 column 3.
+	OutOfOrder bool
+	// TrustedMemory is "none", "low", "order of log-size", or "high" —
+	// Figure 1 column 4.
+	TrustedMemory string
+	// PrimaryOnlyTC reports whether only the primary needs an active
+	// trusted component — Figure 1 column 5.
+	PrimaryOnlyTC bool
+	// ClientReplies is the fast-path client reply quorum as a function
+	// of n and f.
+	ClientReplies func(n, f int) int
+	// Speculative marks single-phase speculative-execution protocols.
+	Speculative bool
+}

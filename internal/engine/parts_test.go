@@ -1,0 +1,278 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"flexitrust/internal/crypto"
+	"flexitrust/internal/kvstore"
+	"flexitrust/internal/trusted"
+	"flexitrust/internal/types"
+)
+
+// stubEnv is a minimal Env for exercising the engine parts in isolation.
+type stubEnv struct {
+	id       types.ReplicaID
+	store    *kvstore.Store
+	timers   map[types.TimerID]time.Duration
+	executed []types.SeqNum
+}
+
+func newStubEnv() *stubEnv {
+	return &stubEnv{store: kvstore.New(100), timers: make(map[types.TimerID]time.Duration)}
+}
+
+func (s *stubEnv) ID() types.ReplicaID                             { return s.id }
+func (s *stubEnv) Send(types.ReplicaID, types.Message)             {}
+func (s *stubEnv) Broadcast(types.Message)                         {}
+func (s *stubEnv) Respond(*types.Response)                         {}
+func (s *stubEnv) SendClient(types.ClientID, types.Message)        {}
+func (s *stubEnv) SetTimer(id types.TimerID, d time.Duration)      { s.timers[id] = d }
+func (s *stubEnv) CancelTimer(id types.TimerID)                    { delete(s.timers, id) }
+func (s *stubEnv) Now() time.Duration                              { return 0 }
+func (s *stubEnv) Trusted() trusted.Component                      { return nil }
+func (s *stubEnv) VerifyAttestation(*types.Attestation) bool       { return true }
+func (s *stubEnv) Crypto() crypto.Provider                         { return nil }
+func (s *stubEnv) StateDigest() types.Digest                       { return s.store.StateDigest() }
+func (s *stubEnv) SnapshotState() any                              { return s.store.Snapshot() }
+func (s *stubEnv) RestoreState(v any)                              { s.store.Restore(v.(*kvstore.Snapshot)) }
+func (s *stubEnv) Defer(fn func())                                 { fn() }
+func (s *stubEnv) Logf(string, ...any)                             {}
+func (s *stubEnv) Execute(seq types.SeqNum, b *types.Batch) []types.Result {
+	s.executed = append(s.executed, seq)
+	return s.store.ApplyBatch(b)
+}
+
+// req builds a test request.
+func req(client types.ClientID, n uint64) *types.ClientRequest {
+	return &types.ClientRequest{Client: client, ReqNo: n, Op: []byte(fmt.Sprintf("%d/%d", client, n))}
+}
+
+func TestBatcherFullBatches(t *testing.T) {
+	env := newStubEnv()
+	var got []*types.Batch
+	b := NewBatcher(env, 3, time.Millisecond, func(batch *types.Batch) { got = append(got, batch) })
+	for i := uint64(1); i <= 7; i++ {
+		b.Add(req(1, i))
+	}
+	if len(got) != 2 {
+		t.Fatalf("emitted %d batches, want 2 full ones", len(got))
+	}
+	for _, batch := range got {
+		if batch.Len() != 3 {
+			t.Fatalf("batch size %d, want 3", batch.Len())
+		}
+		if batch.Digest != crypto.BatchDigest(batch.Requests) {
+			t.Fatal("batch digest not computed over its requests")
+		}
+	}
+	if b.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", b.Pending())
+	}
+	// The flush timer was armed for the partial batch.
+	if _, ok := env.timers[types.TimerID{Kind: types.TimerBatch}]; !ok {
+		t.Fatal("no flush timer armed for the partial batch")
+	}
+	b.OnTimer()
+	if len(got) != 3 || got[2].Len() != 1 {
+		t.Fatalf("flush did not emit the partial batch: %d batches", len(got))
+	}
+}
+
+func TestBatcherGateHoldsAndKicks(t *testing.T) {
+	env := newStubEnv()
+	var got []*types.Batch
+	open := false
+	b := NewBatcher(env, 2, 0, func(batch *types.Batch) { got = append(got, batch) })
+	b.SetGate(func() bool { return open })
+	b.Add(req(1, 1))
+	b.Add(req(1, 2))
+	b.Add(req(1, 3))
+	if len(got) != 0 {
+		t.Fatal("gate closed but batches emitted")
+	}
+	open = true
+	b.Kick()
+	if len(got) != 1 {
+		t.Fatalf("after opening gate got %d batches, want 1 full", len(got))
+	}
+}
+
+func TestQuorumSetDedupAndGC(t *testing.T) {
+	q := NewQuorumSet()
+	d := types.Digest{1}
+	if got := q.Add(0, 5, d, 1); got != 1 {
+		t.Fatalf("first vote count = %d", got)
+	}
+	if got := q.Add(0, 5, d, 1); got != 1 {
+		t.Fatalf("duplicate vote counted: %d", got)
+	}
+	q.Add(0, 5, d, 2)
+	if got := q.Count(0, 5, d); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+	// Different digest and view tally separately.
+	if got := q.Add(0, 5, types.Digest{2}, 3); got != 1 {
+		t.Fatalf("conflicting digest shares tally: %d", got)
+	}
+	if got := q.Add(1, 5, d, 1); got != 1 {
+		t.Fatalf("different view shares tally: %d", got)
+	}
+	q.GC(5)
+	if got := q.Count(0, 5, d); got != 0 {
+		t.Fatalf("GC left %d votes", got)
+	}
+}
+
+func TestExecutorInOrder(t *testing.T) {
+	env := newStubEnv()
+	var responded []types.SeqNum
+	ex := NewExecutor(env, func(seq types.SeqNum, _ *types.Batch, _ []types.Result) {
+		responded = append(responded, seq)
+	})
+	mk := func(n uint64) *types.Batch {
+		reqs := []*types.ClientRequest{req(1, n)}
+		return &types.Batch{Requests: reqs, Digest: crypto.BatchDigest(reqs)}
+	}
+	ex.Commit(3, mk(3))
+	ex.Commit(2, mk(2))
+	if len(env.executed) != 0 {
+		t.Fatal("executed despite the gap at seq 1")
+	}
+	ex.Commit(1, mk(1))
+	want := []types.SeqNum{1, 2, 3}
+	if len(env.executed) != 3 {
+		t.Fatalf("executed %v, want %v", env.executed, want)
+	}
+	for i, s := range env.executed {
+		if s != want[i] {
+			t.Fatalf("executed %v, want %v", env.executed, want)
+		}
+	}
+	// Duplicates and old slots are ignored.
+	ex.Commit(2, mk(2))
+	if len(env.executed) != 3 {
+		t.Fatal("re-executed an old slot")
+	}
+	if ex.LastExecuted() != 3 || ex.Pending() != 0 {
+		t.Fatalf("cursor = %d pending = %d", ex.LastExecuted(), ex.Pending())
+	}
+}
+
+func TestExecutorDuplicateFilter(t *testing.T) {
+	env := newStubEnv()
+	executedReqs := 0
+	ex := NewExecutor(env, func(_ types.SeqNum, b *types.Batch, _ []types.Result) {
+		executedReqs += len(b.Requests)
+	})
+	seen := make(map[types.RequestKey]bool)
+	ex.SetFilter(func(r *types.ClientRequest) bool {
+		if seen[r.Key()] {
+			return false
+		}
+		seen[r.Key()] = true
+		return true
+	})
+	r := req(1, 1)
+	b1 := &types.Batch{Requests: []*types.ClientRequest{r}, Digest: types.Digest{1}}
+	b2 := &types.Batch{Requests: []*types.ClientRequest{r}, Digest: types.Digest{2}} // re-proposal
+	ex.Commit(1, b1)
+	ex.Commit(2, b2)
+	if executedReqs != 1 {
+		t.Fatalf("executed the same request %d times, want 1", executedReqs)
+	}
+}
+
+// Property: however commits arrive (any permutation), execution is the
+// contiguous ascending prefix — the RSM safety backbone.
+func TestExecutorOrderProperty(t *testing.T) {
+	prop := func(perm []uint8) bool {
+		env := newStubEnv()
+		ex := NewExecutor(env, nil)
+		delivered := make(map[types.SeqNum]bool)
+		for _, p := range perm {
+			seq := types.SeqNum(p%20) + 1
+			if delivered[seq] {
+				continue
+			}
+			delivered[seq] = true
+			reqs := []*types.ClientRequest{req(1, uint64(seq))}
+			ex.Commit(seq, &types.Batch{Requests: reqs, Digest: crypto.BatchDigest(reqs)})
+		}
+		// Check executed = 1..k contiguous and sorted.
+		for i, s := range env.executed {
+			if s != types.SeqNum(i+1) {
+				return false
+			}
+		}
+		// Everything up to the first gap must have executed.
+		next := types.SeqNum(1)
+		for delivered[next] {
+			next++
+		}
+		return ex.LastExecuted() == next-1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointTrackerStability(t *testing.T) {
+	var stable []types.SeqNum
+	ct := NewCheckpointTracker(3, func(s types.SeqNum) { stable = append(stable, s) })
+	d := types.Digest{7}
+	ct.Add(&types.Checkpoint{Replica: 0, Seq: 10, StateDigest: d})
+	ct.Add(&types.Checkpoint{Replica: 1, Seq: 10, StateDigest: d})
+	if len(stable) != 0 {
+		t.Fatal("stable below quorum")
+	}
+	// A mismatched digest does not count toward the quorum.
+	ct.Add(&types.Checkpoint{Replica: 2, Seq: 10, StateDigest: types.Digest{9}})
+	if len(stable) != 0 {
+		t.Fatal("conflicting digest counted")
+	}
+	ct.Add(&types.Checkpoint{Replica: 3, Seq: 10, StateDigest: d})
+	if len(stable) != 1 || stable[0] != 10 || ct.StableSeq() != 10 {
+		t.Fatalf("stable = %v", stable)
+	}
+	// Older checkpoints can no longer regress stability.
+	ct.Add(&types.Checkpoint{Replica: 0, Seq: 5, StateDigest: d})
+	ct.Add(&types.Checkpoint{Replica: 1, Seq: 5, StateDigest: d})
+	ct.Add(&types.Checkpoint{Replica: 2, Seq: 5, StateDigest: d})
+	if ct.StableSeq() != 10 {
+		t.Fatalf("stability regressed to %d", ct.StableSeq())
+	}
+}
+
+func TestResponseCache(t *testing.T) {
+	rc := NewResponseCache()
+	resp := &types.Response{Seq: 4, Results: []types.Result{
+		{Client: 1, ReqNo: 2, Value: []byte("a")},
+		{Client: 2, ReqNo: 7, Value: []byte("b")},
+	}}
+	rc.Put(resp)
+	if !rc.Executed(1, 2) || !rc.Executed(2, 7) {
+		t.Fatal("cached requests not reported executed")
+	}
+	if !rc.Executed(1, 1) {
+		t.Fatal("older request should count as executed (monotonic reqNos)")
+	}
+	if rc.Executed(1, 3) {
+		t.Fatal("future request reported executed")
+	}
+	if rc.Get(1, 2) != resp || rc.Get(2, 7) != resp {
+		t.Fatal("cached response not returned")
+	}
+	if rc.Get(1, 1) != nil {
+		t.Fatal("stale response returned for older reqNo")
+	}
+}
+
+func TestConfigQuorums(t *testing.T) {
+	cfg := DefaultConfig(25, 8)
+	if cfg.VoteQuorum2f1() != 17 || cfg.VoteQuorumF1() != 9 {
+		t.Fatalf("quorums = %d/%d", cfg.VoteQuorum2f1(), cfg.VoteQuorumF1())
+	}
+}

@@ -1,0 +1,214 @@
+// Package harness assembles simulated clusters for each protocol and runs
+// the paper's experiments. Every figure and table in the evaluation section
+// has a corresponding function here; cmd/benchrunner and the root-level
+// benchmarks call these.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"flexitrust/internal/engine"
+	"flexitrust/internal/protocols/flexibft"
+	"flexitrust/internal/protocols/flexizz"
+	"flexitrust/internal/protocols/minbft"
+	"flexitrust/internal/protocols/minzz"
+	"flexitrust/internal/protocols/pbft"
+	"flexitrust/internal/protocols/pbftea"
+	"flexitrust/internal/protocols/zyzzyva"
+	"flexitrust/internal/sim"
+	"flexitrust/internal/trusted"
+	"flexitrust/internal/types"
+	"flexitrust/internal/workload"
+)
+
+// Spec describes one protocol variant the evaluation compares.
+type Spec struct {
+	Name string
+	Meta engine.Meta
+	// New constructs a replica instance.
+	New func(cfg engine.Config) engine.Protocol
+	// Parallel is the variant's concurrency mode (the o-variants and
+	// trust-bft protocols are sequential).
+	Parallel bool
+	// KeepLog provisions trusted components with attested logs.
+	KeepLog bool
+	// Policy yields the client reply rule.
+	Policy func(n, f int) sim.ReplyPolicy
+}
+
+// N returns the replication factor for fault threshold f.
+func (s Spec) N(f int) int { return s.Meta.Replicas(f) }
+
+// certTimeout is the client-side wait before falling back to the
+// commit-certificate path (speculative protocols).
+const certTimeout = 10 * time.Millisecond
+
+// fastOnly is the f+1-matching-responses rule.
+func fastOnly(fast int) func(n, f int) sim.ReplyPolicy {
+	return func(n, f int) sim.ReplyPolicy {
+		_ = n
+		return sim.ReplyPolicy{Fast: fast, RetryTimeout: 2 * time.Second}
+	}
+}
+
+// Specs returns every protocol variant in the paper's evaluation
+// (Section 9.2): three trust-bft, two bft, the Opbft-ea variant, the two
+// FlexiTrust protocols and their sequential o-ablations.
+func Specs() []Spec {
+	return []Spec{
+		{
+			Name: "Pbft", Meta: pbft.Meta, Parallel: true,
+			New:    func(cfg engine.Config) engine.Protocol { return pbft.New(cfg) },
+			Policy: func(n, f int) sim.ReplyPolicy { return sim.ReplyPolicy{Fast: f + 1, RetryTimeout: 2 * time.Second} },
+		},
+		{
+			Name: "Zyzzyva", Meta: zyzzyva.Meta, Parallel: true,
+			New: func(cfg engine.Config) engine.Protocol { return zyzzyva.New(cfg) },
+			Policy: func(n, f int) sim.ReplyPolicy {
+				return sim.ReplyPolicy{Fast: n, Slow: 2*f + 1, CertAck: 2*f + 1,
+					CertTimeout: certTimeout, RetryTimeout: 2 * time.Second}
+			},
+		},
+		{
+			Name: "Pbft-EA", Meta: pbftea.Meta, Parallel: false, KeepLog: true,
+			New:    func(cfg engine.Config) engine.Protocol { return pbftea.New(cfg) },
+			Policy: func(n, f int) sim.ReplyPolicy { return sim.ReplyPolicy{Fast: f + 1, RetryTimeout: 2 * time.Second} },
+		},
+		{
+			Name: "Opbft-ea", Meta: pbftea.MetaParallel, Parallel: true, KeepLog: true,
+			New:    func(cfg engine.Config) engine.Protocol { return pbftea.New(cfg) },
+			Policy: func(n, f int) sim.ReplyPolicy { return sim.ReplyPolicy{Fast: f + 1, RetryTimeout: 2 * time.Second} },
+		},
+		{
+			Name: "MinBFT", Meta: minbft.Meta, Parallel: false,
+			New:    func(cfg engine.Config) engine.Protocol { return minbft.New(cfg) },
+			Policy: func(n, f int) sim.ReplyPolicy { return sim.ReplyPolicy{Fast: f + 1, RetryTimeout: 2 * time.Second} },
+		},
+		{
+			Name: "MinZZ", Meta: minzz.Meta, Parallel: false,
+			New: func(cfg engine.Config) engine.Protocol { return minzz.New(cfg) },
+			Policy: func(n, f int) sim.ReplyPolicy {
+				return sim.ReplyPolicy{Fast: n, Slow: f + 1, CertAck: f + 1,
+					CertTimeout: certTimeout, RetryTimeout: 2 * time.Second}
+			},
+		},
+		{
+			Name: "Flexi-BFT", Meta: flexibft.Meta, Parallel: true,
+			New:    func(cfg engine.Config) engine.Protocol { return flexibft.New(cfg) },
+			Policy: func(n, f int) sim.ReplyPolicy { return sim.ReplyPolicy{Fast: f + 1, RetryTimeout: 2 * time.Second} },
+		},
+		{
+			Name: "Flexi-ZZ", Meta: flexizz.Meta, Parallel: true,
+			New:    func(cfg engine.Config) engine.Protocol { return flexizz.New(cfg) },
+			Policy: func(n, f int) sim.ReplyPolicy { return sim.ReplyPolicy{Fast: 2*f + 1, RetryTimeout: 2 * time.Second} },
+		},
+		{
+			Name: "oFlexi-BFT", Meta: named(flexibft.Meta, "oFlexi-BFT", false), Parallel: false,
+			New:    func(cfg engine.Config) engine.Protocol { return flexibft.New(cfg) },
+			Policy: func(n, f int) sim.ReplyPolicy { return sim.ReplyPolicy{Fast: f + 1, RetryTimeout: 2 * time.Second} },
+		},
+		{
+			Name: "oFlexi-ZZ", Meta: named(flexizz.Meta, "oFlexi-ZZ", false), Parallel: false,
+			New:    func(cfg engine.Config) engine.Protocol { return flexizz.New(cfg) },
+			Policy: func(n, f int) sim.ReplyPolicy { return sim.ReplyPolicy{Fast: 2*f + 1, RetryTimeout: 2 * time.Second} },
+		},
+	}
+}
+
+// named copies a Meta with a new name and out-of-order flag.
+func named(m engine.Meta, name string, outOfOrder bool) engine.Meta {
+	m.Name = name
+	m.OutOfOrder = outOfOrder
+	return m
+}
+
+// ByName finds a spec.
+func ByName(name string) (Spec, error) {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("harness: unknown protocol %q", name)
+}
+
+// Options parameterizes one experiment run.
+type Options struct {
+	F         int
+	Clients   int
+	BatchSize int
+	Warmup    time.Duration
+	Measure   time.Duration
+	Topo      *sim.Topology
+	Cost      sim.CostModel
+	TCProfile trusted.Profile
+	Seed      int64
+	// Mutate tweaks the cluster before it runs (failure/attack injection).
+	Mutate func(c *sim.Cluster)
+	// EngineTweak adjusts the engine config after defaults are applied.
+	EngineTweak func(cfg *engine.Config)
+}
+
+// DefaultOptions is the paper's standard setup: f=8, 20k clients, batch 100,
+// LAN, SGX-enclave counters. Warmup/measure are scaled down from the paper's
+// 180s runs — the simulator reaches steady state in well under a second.
+func DefaultOptions() Options {
+	return Options{
+		F:         8,
+		Clients:   20000,
+		BatchSize: 100,
+		Warmup:    500 * time.Millisecond,
+		Measure:   1500 * time.Millisecond,
+		Cost:      sim.DefaultCostModel(),
+		TCProfile: trusted.ProfileSGXEnclave,
+		Seed:      1,
+	}
+}
+
+// Build constructs the simulated cluster for spec under opts.
+func Build(spec Spec, opts Options) *sim.Cluster {
+	n := spec.N(opts.F)
+	ecfg := engine.DefaultConfig(n, opts.F)
+	ecfg.BatchSize = opts.BatchSize
+	ecfg.Parallel = spec.Parallel
+	ecfg.CaptureSnapshots = false // no view changes in measured runs
+	ecfg.SkipBatchDigestCheck = true
+	if opts.EngineTweak != nil {
+		opts.EngineTweak(&ecfg)
+	}
+	topo := opts.Topo
+	if topo == nil {
+		topo = sim.LANTopology(n)
+	}
+	cost := opts.Cost
+	if cost.Workers == 0 {
+		cost = sim.DefaultCostModel()
+	}
+	wl := workload.DefaultConfig()
+	wl.Seed = opts.Seed
+	cl := sim.NewCluster(sim.Config{
+		N:              n,
+		F:              opts.F,
+		Engine:         ecfg,
+		NewProtocol:    func(_ types.ReplicaID, c engine.Config) engine.Protocol { return spec.New(c) },
+		Policy:         spec.Policy(n, opts.F),
+		Cost:           cost,
+		Topo:           topo,
+		TrustedProfile: opts.TCProfile,
+		KeepLog:        spec.KeepLog,
+		Clients:        opts.Clients,
+		Workload:       wl,
+		Seed:           opts.Seed,
+	})
+	if opts.Mutate != nil {
+		opts.Mutate(cl)
+	}
+	return cl
+}
+
+// Run builds and runs one experiment.
+func Run(spec Spec, opts Options) sim.Results {
+	cl := Build(spec, opts)
+	return cl.Run(opts.Warmup, opts.Measure)
+}

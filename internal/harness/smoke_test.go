@@ -1,0 +1,30 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAllProtocolsCommitUnderLoad is the smoke test: every protocol variant
+// must commit transactions at a sane rate in a small failure-free cluster.
+func TestAllProtocolsCommitUnderLoad(t *testing.T) {
+	for _, spec := range Specs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			opts := DefaultOptions()
+			opts.F = 1
+			opts.Clients = 500
+			opts.BatchSize = 50
+			opts.Warmup = 200 * time.Millisecond
+			opts.Measure = 400 * time.Millisecond
+			res := Run(spec, opts)
+			if res.Completed == 0 {
+				t.Fatalf("%s committed nothing: %+v", spec.Name, res)
+			}
+			if res.Throughput < 100 {
+				t.Fatalf("%s throughput %v too low", spec.Name, res.Throughput)
+			}
+			t.Logf("%-12s %v", spec.Name, res)
+		})
+	}
+}

@@ -1,0 +1,104 @@
+// Package metrics collects throughput and latency measurements for the
+// experiment harness: completion counters with measurement windows (to skip
+// warmup/cooldown as the paper does) and latency histograms with percentile
+// queries.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Collector accumulates per-transaction completions. Not safe for concurrent
+// use; the simulator is single-threaded and the runtime wraps it in the
+// client library's mutex.
+type Collector struct {
+	windowStart time.Duration
+	windowEnd   time.Duration // 0 = open
+	completed   uint64        // completions inside the measurement window
+	totalDone   uint64        // completions overall
+	latencies   []time.Duration
+	maxSamples  int
+}
+
+// NewCollector creates a collector that records latency samples up to
+// maxSamples (reservoir-free cap; beyond it only counters advance).
+func NewCollector(maxSamples int) *Collector {
+	if maxSamples <= 0 {
+		maxSamples = 1 << 20
+	}
+	return &Collector{maxSamples: maxSamples, windowEnd: 0}
+}
+
+// SetWindow restricts counting to completions in [start, end) of
+// experiment time; end == 0 leaves the window open.
+func (c *Collector) SetWindow(start, end time.Duration) {
+	c.windowStart, c.windowEnd = start, end
+}
+
+// Record notes a transaction that completed at time now with the given
+// client-observed latency.
+func (c *Collector) Record(now, latency time.Duration) {
+	c.totalDone++
+	if now < c.windowStart || (c.windowEnd != 0 && now >= c.windowEnd) {
+		return
+	}
+	c.completed++
+	if len(c.latencies) < c.maxSamples {
+		c.latencies = append(c.latencies, latency)
+	}
+}
+
+// Completed returns the number of in-window completions.
+func (c *Collector) Completed() uint64 { return c.completed }
+
+// TotalDone returns all completions regardless of window.
+func (c *Collector) TotalDone() uint64 { return c.totalDone }
+
+// Throughput returns in-window completions per second given the window
+// length actually observed.
+func (c *Collector) Throughput(windowLen time.Duration) float64 {
+	if windowLen <= 0 {
+		return 0
+	}
+	return float64(c.completed) / windowLen.Seconds()
+}
+
+// MeanLatency returns the average recorded latency.
+func (c *Collector) MeanLatency() time.Duration {
+	if len(c.latencies) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, l := range c.latencies {
+		sum += l
+	}
+	return sum / time.Duration(len(c.latencies))
+}
+
+// Percentile returns the p-th latency percentile (0 < p <= 100).
+func (c *Collector) Percentile(p float64) time.Duration {
+	if len(c.latencies) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), c.latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Summary is a human-readable result row.
+func (c *Collector) Summary(windowLen time.Duration) string {
+	return fmt.Sprintf("throughput=%.0f txn/s mean_lat=%s p50=%s p99=%s n=%d",
+		c.Throughput(windowLen), c.MeanLatency().Round(time.Microsecond),
+		c.Percentile(50).Round(time.Microsecond), c.Percentile(99).Round(time.Microsecond),
+		c.completed)
+}

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWindowedCounting(t *testing.T) {
+	c := NewCollector(0)
+	c.SetWindow(time.Second, 3*time.Second)
+	c.Record(500*time.Millisecond, 10*time.Millisecond)  // before window
+	c.Record(1500*time.Millisecond, 20*time.Millisecond) // inside
+	c.Record(2500*time.Millisecond, 30*time.Millisecond) // inside
+	c.Record(3500*time.Millisecond, 40*time.Millisecond) // after
+	if c.Completed() != 2 {
+		t.Fatalf("windowed completions = %d, want 2", c.Completed())
+	}
+	if c.TotalDone() != 4 {
+		t.Fatalf("total = %d, want 4", c.TotalDone())
+	}
+	if got := c.Throughput(2 * time.Second); got != 1.0 {
+		t.Fatalf("throughput = %v, want 1.0", got)
+	}
+	if got := c.MeanLatency(); got != 25*time.Millisecond {
+		t.Fatalf("mean latency = %v, want 25ms", got)
+	}
+}
+
+func TestOpenWindow(t *testing.T) {
+	c := NewCollector(0)
+	c.SetWindow(0, 0) // open-ended
+	for i := 0; i < 5; i++ {
+		c.Record(time.Duration(i)*time.Hour, time.Millisecond)
+	}
+	if c.Completed() != 5 {
+		t.Fatalf("open window counted %d, want 5", c.Completed())
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	c := NewCollector(0)
+	for i := 1; i <= 100; i++ {
+		c.Record(0, time.Duration(i)*time.Millisecond)
+	}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, 50 * time.Millisecond},
+		{99, 99 * time.Millisecond},
+		{100, 100 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := c.Percentile(tc.p); got != tc.want {
+			t.Fatalf("p%.0f = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestEmptyCollectorSafe(t *testing.T) {
+	c := NewCollector(0)
+	if c.MeanLatency() != 0 || c.Percentile(99) != 0 || c.Throughput(time.Second) != 0 {
+		t.Fatal("empty collector should report zeros")
+	}
+	if c.Throughput(0) != 0 {
+		t.Fatal("zero window must not divide by zero")
+	}
+}
+
+func TestSampleCap(t *testing.T) {
+	c := NewCollector(10)
+	for i := 0; i < 100; i++ {
+		c.Record(0, time.Millisecond)
+	}
+	if c.Completed() != 100 {
+		t.Fatalf("counter stopped at cap: %d", c.Completed())
+	}
+	if len(c.latencies) != 10 {
+		t.Fatalf("stored %d samples, cap was 10", len(c.latencies))
+	}
+}
+
+func TestSummaryRendering(t *testing.T) {
+	c := NewCollector(0)
+	c.Record(0, 3*time.Millisecond)
+	s := c.Summary(time.Second)
+	if s == "" {
+		t.Fatal("empty summary")
+	}
+}

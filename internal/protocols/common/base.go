@@ -1,0 +1,446 @@
+// Package common provides the scaffolding shared by every protocol
+// implementation: view and primary tracking, the batcher/executor wiring,
+// checkpointing, client-request routing (forwarding, resends, response
+// caching) and a PBFT-style view-change state machine with protocol-specific
+// hooks.
+package common
+
+import (
+	"encoding/binary"
+	"time"
+
+	"flexitrust/internal/engine"
+	"flexitrust/internal/types"
+)
+
+// Hooks are the protocol-specific callbacks the Base invokes.
+type Hooks interface {
+	// ProposeBatch is called at the primary for each new consensus batch.
+	ProposeBatch(b *types.Batch)
+	// BuildViewChange assembles this replica's ViewChange for target view v.
+	BuildViewChange(v types.View) *types.ViewChange
+	// ValidateViewChange checks another replica's ViewChange message.
+	ValidateViewChange(vc *types.ViewChange) bool
+	// BuildNewView assembles the NewView from a quorum of ViewChanges; it
+	// is called at the incoming primary and may access the trusted
+	// component (Create / AppendF for re-proposals).
+	BuildNewView(v types.View, vcs []*types.ViewChange) *types.NewView
+	// ProcessNewView validates and installs a NewView at a backup,
+	// returning false to reject it. On success the Base enters the view.
+	ProcessNewView(nv *types.NewView) bool
+	// OnStableCheckpoint lets the protocol GC per-slot state.
+	OnStableCheckpoint(seq types.SeqNum)
+	// CheckpointAttestation optionally attaches a trusted attestation to
+	// checkpoint messages (trust-bft protocols); may return nil.
+	CheckpointAttestation(seq types.SeqNum, state types.Digest) *types.Attestation
+}
+
+// Base is embedded by every protocol implementation.
+type Base struct {
+	Env   engine.Env
+	Cfg   engine.Config
+	Hooks Hooks
+
+	View         types.View
+	InViewChange bool
+
+	Exec    *engine.Executor
+	Batcher *engine.Batcher
+	Ckpt    *engine.CheckpointTracker
+	Cache   *engine.ResponseCache
+
+	// VCQuorum is the view-change vote quorum (2f+1 for 3f+1 protocols,
+	// f+1 for trust-bft).
+	VCQuorum int
+	// CkptQuorum is the checkpoint stability quorum.
+	CkptQuorum int
+
+	// LastProposed is the highest sequence number this replica proposed as
+	// primary (gates sequential protocols).
+	LastProposed types.SeqNum
+
+	// SeqReady, when non-nil, replaces the default sequential-readiness
+	// test (LastProposed executed). Speculative sequential protocols use it
+	// to gate the next instance on replica acknowledgements, since their
+	// primary executes at propose time.
+	SeqReady func() bool
+
+	// StableWindowAnchor makes the parallel in-flight window count from the
+	// last stable checkpoint instead of local execution. Speculative
+	// protocols need it: their primary executes at propose time, so the
+	// local-execution anchor would never bind and an unpaced primary lets
+	// closed-loop bursts synchronize into throughput-destroying waves.
+	StableWindowAnchor bool
+
+	// inProgress dedups requests between arrival and execution.
+	inProgress map[types.RequestKey]bool
+	// forwarded counts requests sent to the primary that have not executed.
+	forwarded int
+	lastExecAt time.Duration
+	vcVotes    map[types.View]map[types.ReplicaID]*types.ViewChange
+	nvSent     map[types.View]bool
+
+	// stableSnapshot supports speculative rollback: the state snapshot at
+	// the last stable checkpoint (only kept when CaptureSnapshots).
+	CaptureSnapshots bool
+	stableSnapshot   any
+	snapshotSeq      types.SeqNum
+	pendingSnapshots map[types.SeqNum]any
+}
+
+// InitBase wires the shared machinery. respond is the protocol's response
+// constructor invoked after each in-order execution.
+func (b *Base) InitBase(env engine.Env, cfg engine.Config, hooks Hooks,
+	respond func(seq types.SeqNum, batch *types.Batch, results []types.Result)) {
+	b.Env = env
+	b.Cfg = cfg
+	b.Hooks = hooks
+	b.inProgress = make(map[types.RequestKey]bool)
+	b.vcVotes = make(map[types.View]map[types.ReplicaID]*types.ViewChange)
+	b.nvSent = make(map[types.View]bool)
+	b.pendingSnapshots = make(map[types.SeqNum]any)
+	b.Cache = engine.NewResponseCache()
+	b.Exec = engine.NewExecutor(env, func(seq types.SeqNum, batch *types.Batch, results []types.Result) {
+		for _, r := range batch.Requests {
+			delete(b.inProgress, r.Key())
+		}
+		if b.forwarded > 0 {
+			b.forwarded = 0 // progress happened; stop suspecting
+			b.Env.CancelTimer(types.TimerID{Kind: types.TimerViewChange})
+		}
+		b.lastExecAt = env.Now()
+		respond(seq, batch, results)
+	})
+	b.Exec.SetOnExec(b.maybeCheckpoint)
+	// At-most-once execution: a request re-proposed after a view change
+	// (the client resent it, or the new primary both re-proposed the old
+	// slot and batched the resend) is skipped the second time.
+	b.Exec.SetFilter(func(r *types.ClientRequest) bool {
+		return !b.Cache.Executed(r.Client, r.ReqNo)
+	})
+	b.Batcher = engine.NewBatcher(env, cfg.BatchSize, cfg.BatchTimeout, func(batch *types.Batch) {
+		hooks.ProposeBatch(batch)
+	})
+	b.Batcher.SetGate(b.proposeGate)
+	b.Ckpt = engine.NewCheckpointTracker(b.ckptQuorum(), func(seq types.SeqNum) {
+		b.promoteSnapshot(seq)
+		hooks.OnStableCheckpoint(seq)
+	})
+}
+
+// ckptQuorum returns the checkpoint quorum (configured or VCQuorum).
+func (b *Base) ckptQuorum() int {
+	if b.CkptQuorum > 0 {
+		return b.CkptQuorum
+	}
+	return b.Cfg.F + 1
+}
+
+// proposeGate bounds in-flight instances: sequential protocols allow one,
+// parallel protocols allow Window.
+func (b *Base) proposeGate() bool {
+	if b.InViewChange {
+		return false
+	}
+	anchor := int(b.Exec.LastExecuted())
+	window := b.Cfg.Window
+	if window <= 0 {
+		window = 128
+	}
+	if b.StableWindowAnchor {
+		anchor = int(b.Ckpt.StableSeq())
+		// Checkpoint granularity bounds how fresh the anchor can be; widen
+		// the window so steady state is never throttled by it.
+		window += int(b.Cfg.CheckpointEvery)
+	}
+	inflight := int(b.LastProposed) - anchor
+	if inflight < 0 {
+		inflight = 0
+	}
+	if !b.Cfg.Parallel {
+		if b.SeqReady != nil {
+			return b.SeqReady()
+		}
+		return inflight == 0
+	}
+	return inflight < window
+}
+
+// PrimaryID returns the primary of the current view.
+func (b *Base) PrimaryID() types.ReplicaID { return types.Primary(b.View, b.Cfg.N) }
+
+// IsPrimary reports whether this replica leads the current view.
+func (b *Base) IsPrimary() bool { return b.Env.ID() == b.PrimaryID() }
+
+// HandleRequest routes a client request: the primary batches it, backups
+// forward it to the primary and arm the progress timer that triggers view
+// changes when the primary stalls.
+func (b *Base) HandleRequest(req *types.ClientRequest) {
+	key := req.Key()
+	if b.Cache.Executed(req.Client, req.ReqNo) || b.inProgress[key] {
+		return
+	}
+	b.inProgress[key] = true
+	if b.IsPrimary() {
+		b.Batcher.Add(req)
+		return
+	}
+	b.Env.Send(b.PrimaryID(), &types.Forward{Replica: b.Env.ID(), Request: req})
+	b.armProgressTimer()
+}
+
+// armProgressTimer starts the stall detector if not already pending.
+func (b *Base) armProgressTimer() {
+	b.forwarded++
+	if b.forwarded == 1 {
+		b.Env.SetTimer(types.TimerID{Kind: types.TimerViewChange}, b.Cfg.ViewChangeTimeout)
+	}
+}
+
+// HandleResend serves a client's re-broadcast request: answer from the
+// response cache if executed, otherwise route toward the primary.
+func (b *Base) HandleResend(req *types.ClientRequest) {
+	if resp := b.Cache.Get(req.Client, req.ReqNo); resp != nil {
+		b.Env.Respond(resp)
+		return
+	}
+	b.HandleRequest(req)
+}
+
+// HandleForward delivers a forwarded request at the primary.
+func (b *Base) HandleForward(f *types.Forward) {
+	if !b.IsPrimary() {
+		return
+	}
+	key := f.Request.Key()
+	if b.Cache.Executed(f.Request.Client, f.Request.ReqNo) || b.inProgress[key] {
+		return
+	}
+	b.inProgress[key] = true
+	b.Batcher.Add(f.Request)
+}
+
+// RespondAndCache sends a response toward the clients and caches it for
+// resends.
+func (b *Base) RespondAndCache(resp *types.Response) {
+	b.Cache.Put(resp)
+	b.Env.Respond(resp)
+}
+
+// maybeCheckpoint broadcasts a checkpoint at every interval boundary and
+// records a local state snapshot candidate for speculative rollback.
+func (b *Base) maybeCheckpoint(seq types.SeqNum, _ *types.Batch) {
+	every := b.Cfg.CheckpointEvery
+	if every == 0 || uint64(seq)%every != 0 {
+		return
+	}
+	if b.CaptureSnapshots {
+		b.pendingSnapshots[seq] = b.Env.SnapshotState()
+	}
+	ck := &types.Checkpoint{
+		Replica:     b.Env.ID(),
+		Seq:         seq,
+		StateDigest: b.Env.StateDigest(),
+		Attest:      b.Hooks.CheckpointAttestation(seq, b.Env.StateDigest()),
+	}
+	b.Ckpt.Add(ck) // own vote
+	b.Env.Broadcast(ck)
+}
+
+// HandleCheckpoint folds in a peer's checkpoint vote.
+func (b *Base) HandleCheckpoint(ck *types.Checkpoint) {
+	if ck.Attest != nil && !b.Env.VerifyAttestation(ck.Attest) {
+		return
+	}
+	b.Ckpt.Add(ck)
+}
+
+// promoteSnapshot retains the snapshot matching the new stable checkpoint
+// and drops older candidates.
+func (b *Base) promoteSnapshot(seq types.SeqNum) {
+	if !b.CaptureSnapshots {
+		return
+	}
+	if snap, ok := b.pendingSnapshots[seq]; ok {
+		b.stableSnapshot = snap
+		b.snapshotSeq = seq
+	}
+	for s := range b.pendingSnapshots {
+		if s <= seq {
+			delete(b.pendingSnapshots, s)
+		}
+	}
+}
+
+// RollbackToStable rewinds speculative execution to the last stable
+// checkpoint (Flexi-ZZ/Zyzzyva view-change path). It returns the sequence
+// number execution resumes after.
+func (b *Base) RollbackToStable() types.SeqNum {
+	if b.stableSnapshot != nil {
+		b.Env.RestoreState(b.stableSnapshot)
+		b.Exec.SetLastExecuted(b.snapshotSeq)
+		return b.snapshotSeq
+	}
+	// No snapshot yet: roll back to genesis only if nothing executed is
+	// being contradicted; callers ensure this.
+	return b.Exec.LastExecuted()
+}
+
+// --- View changes ---
+
+// SuspectPrimary initiates a view change toward View+1.
+func (b *Base) SuspectPrimary() {
+	if b.InViewChange {
+		return
+	}
+	b.StartViewChange(b.View + 1)
+}
+
+// StartViewChange broadcasts this replica's ViewChange for view v.
+func (b *Base) StartViewChange(v types.View) {
+	if v <= b.View {
+		return
+	}
+	b.InViewChange = true
+	vc := b.Hooks.BuildViewChange(v)
+	vc.Replica = b.Env.ID()
+	vc.NewView = v
+	vc.Sig = b.Env.Crypto().Sign(viewChangePayload(vc))
+	b.recordViewChange(vc)
+	b.Env.Broadcast(vc)
+	// If the new primary never installs the view, escalate.
+	b.Env.SetTimer(types.TimerID{Kind: types.TimerViewChange, View: v}, 2*b.Cfg.ViewChangeTimeout)
+}
+
+// viewChangePayload is the signed content of a ViewChange.
+func viewChangePayload(vc *types.ViewChange) []byte {
+	buf := make([]byte, 0, 12+32)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(vc.Replica))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(vc.NewView))
+	if vc.Checkpoint != nil {
+		buf = append(buf, vc.Checkpoint.StateDigest[:]...)
+	}
+	return buf
+}
+
+// HandleViewChange records a peer's view-change vote and, at the incoming
+// primary, installs the new view once a quorum forms. Backups join a view
+// change once f+1 distinct replicas demand it (they cannot all be faulty).
+func (b *Base) HandleViewChange(vc *types.ViewChange) {
+	if vc.NewView <= b.View {
+		return
+	}
+	if !b.Env.Crypto().Verify(vc.Replica, viewChangePayload(vc), vc.Sig) {
+		return
+	}
+	if !b.Hooks.ValidateViewChange(vc) {
+		return
+	}
+	b.recordViewChange(vc)
+	votes := b.vcVotes[vc.NewView]
+	// Join the view change once f+1 replicas demand it.
+	if len(votes) >= b.Cfg.F+1 && !b.InViewChange {
+		b.StartViewChange(vc.NewView)
+	}
+	if len(votes) >= b.VCQuorum &&
+		types.Primary(vc.NewView, b.Cfg.N) == b.Env.ID() && !b.nvSent[vc.NewView] {
+		b.nvSent[vc.NewView] = true
+		vcs := make([]*types.ViewChange, 0, len(votes))
+		for _, v := range votes {
+			vcs = append(vcs, v)
+		}
+		nv := b.Hooks.BuildNewView(vc.NewView, vcs)
+		nv.Sig = b.Env.Crypto().Sign([]byte{byte(nv.View)})
+		b.Env.Broadcast(nv)
+		// Install locally.
+		b.EnterView(nv.View)
+	}
+}
+
+// recordViewChange stores a vote.
+func (b *Base) recordViewChange(vc *types.ViewChange) {
+	votes := b.vcVotes[vc.NewView]
+	if votes == nil {
+		votes = make(map[types.ReplicaID]*types.ViewChange)
+		b.vcVotes[vc.NewView] = votes
+	}
+	votes[vc.Replica] = vc
+}
+
+// HandleNewView validates and installs a NewView at a backup.
+func (b *Base) HandleNewView(from types.ReplicaID, nv *types.NewView) {
+	if nv.View <= b.View {
+		return
+	}
+	if types.Primary(nv.View, b.Cfg.N) != from {
+		return
+	}
+	if len(nv.ViewChanges) < b.VCQuorum {
+		return
+	}
+	seen := make(map[types.ReplicaID]bool)
+	for _, vc := range nv.ViewChanges {
+		if vc.NewView != nv.View || seen[vc.Replica] {
+			return
+		}
+		if !b.Env.Crypto().Verify(vc.Replica, viewChangePayload(vc), vc.Sig) {
+			return
+		}
+		seen[vc.Replica] = true
+	}
+	if !b.Hooks.ProcessNewView(nv) {
+		return
+	}
+	b.EnterView(nv.View)
+}
+
+// EnterView installs view v and resets view-change state. Requests that
+// were in flight toward the old primary are forgotten so client resends can
+// be routed (and proposed) afresh in the new view; at-most-once execution is
+// preserved by the executor's duplicate filter.
+func (b *Base) EnterView(v types.View) {
+	if v <= b.View && v != 0 {
+		return
+	}
+	b.View = v
+	b.InViewChange = false
+	b.Env.CancelTimer(types.TimerID{Kind: types.TimerViewChange, View: v})
+	b.Env.CancelTimer(types.TimerID{Kind: types.TimerViewChange})
+	b.forwarded = 0
+	b.lastExecAt = b.Env.Now()
+	b.inProgress = make(map[types.RequestKey]bool)
+	for view := range b.vcVotes {
+		if view <= v {
+			delete(b.vcVotes, view)
+		}
+	}
+	b.Batcher.Kick()
+}
+
+// HandleBaseTimer processes the timers the Base owns; it returns true when
+// the timer was consumed.
+func (b *Base) HandleBaseTimer(id types.TimerID) bool {
+	switch id.Kind {
+	case types.TimerBatch:
+		if b.IsPrimary() && !b.InViewChange {
+			b.Batcher.OnTimer()
+		}
+		return true
+	case types.TimerViewChange:
+		if id.View > b.View {
+			// New view never installed; escalate to the next one.
+			b.StartViewChange(id.View + 1)
+			return true
+		}
+		if b.forwarded > 0 && b.Env.Now()-b.lastExecAt >= b.Cfg.ViewChangeTimeout {
+			b.SuspectPrimary()
+		}
+		return true
+	}
+	return false
+}
+
+// NoopBatch builds the gap-filling no-op batch used during view changes.
+func NoopBatch() *types.Batch {
+	return &types.Batch{Requests: nil, Digest: types.ZeroDigest}
+}

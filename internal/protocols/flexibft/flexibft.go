@@ -1,0 +1,331 @@
+// Package flexibft implements Flexi-BFT (paper Section 8.2, Figure 3): a
+// two-phase FlexiTrust protocol derived from MinBFT/PBFT that runs on
+// n = 3f+1 replicas with 2f+1 vote quorums and touches the trusted counter
+// exactly once per consensus instance, at the primary only.
+//
+// Failure-free path:
+//
+//	client → primary: ⟨T⟩c
+//	primary: {k, σ} := AppendF(q, Δ);  broadcast Preprepare(⟨T⟩c, Δ, k, v, σ)
+//	replica: verify σ; broadcast Prepare(Δ, k, v, σ)
+//	replica: on 2f+1 matching Prepares → commit; execute in k order; respond
+//	client: f+1 matching responses
+//
+// Because the trusted component increments the counter internally
+// (AppendF), the primary cannot equivocate, a Preprepare alone marks a
+// transaction prepared, and instances may run fully in parallel: ordering is
+// enforced at execution time only. The o-variant (sequential, the paper's
+// ablation) is the same code with Config.Parallel=false.
+package flexibft
+
+import (
+	"flexitrust/internal/engine"
+	"flexitrust/internal/protocols/common"
+	"flexitrust/internal/types"
+)
+
+// counterID is the trusted counter the primary allocates sequence numbers
+// from (the paper's q).
+const counterID = 0
+
+// Meta describes Flexi-BFT for the Figure 1 matrix.
+var Meta = engine.Meta{
+	Name:               "Flexi-BFT",
+	Replicas:           func(f int) int { return 3*f + 1 },
+	Phases:             2,
+	TrustedAbstraction: "counter",
+	BFTLiveness:        true,
+	OutOfOrder:         true,
+	TrustedMemory:      "low",
+	PrimaryOnlyTC:      true,
+	ClientReplies:      func(n, f int) int { return f + 1 },
+}
+
+// Protocol is one replica's Flexi-BFT instance.
+type Protocol struct {
+	common.Base
+
+	preprepares map[types.SeqNum]*types.Preprepare
+	prepares    *engine.QuorumSet
+	committed   map[types.SeqNum]bool
+	// curEpoch is the expected counter incarnation; it advances when a new
+	// primary Create()s a fresh counter after a view change.
+	curEpoch uint32
+}
+
+// New constructs a Flexi-BFT replica for cfg.
+func New(cfg engine.Config) *Protocol {
+	p := &Protocol{
+		preprepares: make(map[types.SeqNum]*types.Preprepare),
+		prepares:    engine.NewQuorumSet(),
+		committed:   make(map[types.SeqNum]bool),
+	}
+	p.Cfg = cfg
+	p.VCQuorum = cfg.VoteQuorum2f1()
+	p.CkptQuorum = cfg.VoteQuorum2f1()
+	return p
+}
+
+// Init implements engine.Protocol.
+func (p *Protocol) Init(env engine.Env) {
+	p.InitBase(env, p.Cfg, p, p.respond)
+}
+
+// OnRequest implements engine.Protocol.
+func (p *Protocol) OnRequest(req *types.ClientRequest) { p.HandleRequest(req) }
+
+// OnMessage implements engine.Protocol.
+func (p *Protocol) OnMessage(from types.ReplicaID, m types.Message) {
+	switch msg := m.(type) {
+	case *types.Preprepare:
+		p.onPreprepare(from, msg)
+	case *types.Prepare:
+		p.onPrepare(from, msg)
+	case *types.Checkpoint:
+		p.HandleCheckpoint(msg)
+	case *types.ViewChange:
+		p.HandleViewChange(msg)
+	case *types.NewView:
+		p.HandleNewView(from, msg)
+	case *types.Forward:
+		p.HandleForward(msg)
+	case *types.ClientResend:
+		p.HandleResend(msg.Request)
+	}
+}
+
+// OnTimer implements engine.Protocol.
+func (p *Protocol) OnTimer(id types.TimerID) { p.HandleBaseTimer(id) }
+
+// ProposeBatch implements common.Hooks: the single trusted-component access
+// of the instance binds the batch digest to the next counter value.
+func (p *Protocol) ProposeBatch(b *types.Batch) {
+	att, err := p.Env.Trusted().AppendF(counterID, b.Digest)
+	if err != nil {
+		p.Env.Logf("flexibft: AppendF failed: %v", err)
+		return
+	}
+	seq := types.SeqNum(att.Value)
+	p.LastProposed = seq
+	pp := &types.Preprepare{View: p.View, Seq: seq, Batch: b, Attest: att}
+	p.accept(pp)
+	p.Env.Broadcast(pp)
+	// The primary's Preprepare doubles as its Prepare vote.
+	p.addPrepare(&types.Prepare{View: p.View, Seq: seq, Digest: b.Digest, Replica: p.Env.ID()})
+}
+
+// validAttest checks a Preprepare's attestation binding.
+func (p *Protocol) validAttest(from types.ReplicaID, pp *types.Preprepare) bool {
+	a := pp.Attest
+	if a == nil || a.Replica != from || a.Counter != counterID || a.Epoch != p.curEpoch {
+		return false
+	}
+	if types.SeqNum(a.Value) != pp.Seq || a.Digest != pp.Batch.Digest {
+		return false
+	}
+	return p.Env.VerifyAttestation(a)
+}
+
+// onPreprepare handles the primary's proposal at a backup.
+func (p *Protocol) onPreprepare(from types.ReplicaID, pp *types.Preprepare) {
+	if p.InViewChange || pp.View != p.View || from != p.PrimaryID() {
+		return
+	}
+	if existing, ok := p.preprepares[pp.Seq]; ok {
+		_ = existing // duplicate (the attested counter makes conflicts impossible)
+		return
+	}
+	if pp.Seq <= p.Ckpt.StableSeq() || p.committed[pp.Seq] {
+		return
+	}
+	if !p.validAttest(from, pp) {
+		return
+	}
+	p.accept(pp)
+	// Count the primary's proposal as its vote, then add ours.
+	p.addPrepare(&types.Prepare{View: pp.View, Seq: pp.Seq, Digest: pp.Batch.Digest, Replica: from})
+	prep := &types.Prepare{View: pp.View, Seq: pp.Seq, Digest: pp.Batch.Digest, Replica: p.Env.ID()}
+	p.Env.Broadcast(prep)
+	p.addPrepare(prep)
+}
+
+// accept records a preprepare.
+func (p *Protocol) accept(pp *types.Preprepare) {
+	p.preprepares[pp.Seq] = pp
+}
+
+// onPrepare handles a backup's vote.
+func (p *Protocol) onPrepare(from types.ReplicaID, m *types.Prepare) {
+	if m.View != p.View || m.Replica != from {
+		return
+	}
+	p.addPrepare(m)
+}
+
+// addPrepare tallies a vote and commits on a 2f+1 quorum.
+func (p *Protocol) addPrepare(m *types.Prepare) {
+	n := p.prepares.Add(m.View, m.Seq, m.Digest, m.Replica)
+	if n < p.Cfg.VoteQuorum2f1() || p.committed[m.Seq] {
+		return
+	}
+	pp, ok := p.preprepares[m.Seq]
+	if !ok || pp.Batch.Digest != m.Digest {
+		return
+	}
+	p.committed[m.Seq] = true
+	p.Exec.Commit(m.Seq, pp.Batch)
+	p.Batcher.Kick() // sequential variant: next instance may proceed
+}
+
+// respond builds the post-execution client response.
+func (p *Protocol) respond(seq types.SeqNum, batch *types.Batch, results []types.Result) {
+	if len(results) == 0 {
+		return // no-op gap filler
+	}
+	p.RespondAndCache(&types.Response{
+		Replica: p.Env.ID(),
+		View:    p.View,
+		Seq:     seq,
+		Digest:  batch.Digest,
+		Results: results,
+	})
+}
+
+// --- common.Hooks: view changes, checkpoints ---
+
+// BuildViewChange implements common.Hooks: the message carries every
+// attested Preprepare above the stable checkpoint (the attestation itself
+// proves the binding, so no Prepare certificates are needed for slots that
+// merely prepared; committed slots survive because f+1 honest replicas hold
+// their Preprepare).
+func (p *Protocol) BuildViewChange(v types.View) *types.ViewChange {
+	vc := &types.ViewChange{StableSeq: p.Ckpt.StableSeq()}
+	for seq, pp := range p.preprepares {
+		if seq > vc.StableSeq {
+			vc.Prepared = append(vc.Prepared, &types.PreparedProof{Preprepare: pp})
+		}
+	}
+	return vc
+}
+
+// ValidateViewChange implements common.Hooks.
+func (p *Protocol) ValidateViewChange(vc *types.ViewChange) bool {
+	for _, pr := range vc.Prepared {
+		pp := pr.Preprepare
+		if pp == nil || pp.Attest == nil || !p.Env.VerifyAttestation(pp.Attest) {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildNewView implements common.Hooks: the incoming primary creates a fresh
+// counter incarnation seeded below the first slot to re-propose, then
+// re-proposes every attested slot it learned (no-ops fill gaps).
+func (p *Protocol) BuildNewView(v types.View, vcs []*types.ViewChange) *types.NewView {
+	stable, slots := collectSlots(vcs)
+	maxSeq := stable
+	for seq := range slots {
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	createAtt, err := p.Env.Trusted().Create(counterID, uint64(stable))
+	if err != nil {
+		p.Env.Logf("flexibft: Create failed: %v", err)
+		return &types.NewView{View: v, ViewChanges: vcs}
+	}
+	p.curEpoch = createAtt.Epoch
+	nv := &types.NewView{View: v, ViewChanges: vcs, CounterInit: createAtt}
+	for seq := stable + 1; seq <= maxSeq; seq++ {
+		batch := common.NoopBatch()
+		if pp, ok := slots[seq]; ok {
+			batch = pp.Batch
+		}
+		att, err := p.Env.Trusted().AppendF(counterID, batch.Digest)
+		if err != nil {
+			p.Env.Logf("flexibft: re-propose AppendF failed: %v", err)
+			return nv
+		}
+		nv.Proposals = append(nv.Proposals, &types.Preprepare{
+			View: v, Seq: types.SeqNum(att.Value), Batch: batch, Attest: att,
+		})
+	}
+	p.LastProposed = maxSeq
+	p.installProposals(nv)
+	return nv
+}
+
+// collectSlots merges the slots reported across a view-change quorum.
+// Attested counters make conflicting reports for one slot impossible within
+// an epoch, so any valid Preprepare is authoritative for its slot.
+func collectSlots(vcs []*types.ViewChange) (stable types.SeqNum, slots map[types.SeqNum]*types.Preprepare) {
+	slots = make(map[types.SeqNum]*types.Preprepare)
+	for _, vc := range vcs {
+		if vc.StableSeq > stable {
+			stable = vc.StableSeq
+		}
+		for _, pr := range vc.Prepared {
+			if pr.Preprepare != nil {
+				slots[pr.Preprepare.Seq] = pr.Preprepare
+			}
+		}
+	}
+	return stable, slots
+}
+
+// ProcessNewView implements common.Hooks (backup side).
+func (p *Protocol) ProcessNewView(nv *types.NewView) bool {
+	if nv.CounterInit == nil || !p.Env.VerifyAttestation(nv.CounterInit) {
+		return false
+	}
+	primary := types.Primary(nv.View, p.Cfg.N)
+	p.curEpoch = nv.CounterInit.Epoch
+	for _, pp := range nv.Proposals {
+		a := pp.Attest
+		if a == nil || a.Replica != primary || a.Epoch != p.curEpoch ||
+			types.SeqNum(a.Value) != pp.Seq || a.Digest != pp.Batch.Digest ||
+			!p.Env.VerifyAttestation(a) {
+			return false
+		}
+	}
+	p.installProposals(nv)
+	// Vote for every re-proposed slot in the new view.
+	for _, pp := range nv.Proposals {
+		if pp.Seq <= p.Exec.LastExecuted() {
+			continue
+		}
+		p.addPrepare(&types.Prepare{View: nv.View, Seq: pp.Seq, Digest: pp.Batch.Digest, Replica: primary})
+		prep := &types.Prepare{View: nv.View, Seq: pp.Seq, Digest: pp.Batch.Digest, Replica: p.Env.ID()}
+		p.Env.Broadcast(prep)
+		p.addPrepare(prep)
+	}
+	return true
+}
+
+// installProposals replaces per-slot state with the new view's proposals.
+func (p *Protocol) installProposals(nv *types.NewView) {
+	for _, pp := range nv.Proposals {
+		p.preprepares[pp.Seq] = pp
+		delete(p.committed, pp.Seq)
+	}
+}
+
+// OnStableCheckpoint implements common.Hooks.
+func (p *Protocol) OnStableCheckpoint(seq types.SeqNum) {
+	p.prepares.GC(seq)
+	for s := range p.preprepares {
+		if s <= seq {
+			delete(p.preprepares, s)
+		}
+	}
+	for s := range p.committed {
+		if s <= seq {
+			delete(p.committed, s)
+		}
+	}
+}
+
+// CheckpointAttestation implements common.Hooks: FlexiTrust checkpoints need
+// no trusted-component access.
+func (p *Protocol) CheckpointAttestation(types.SeqNum, types.Digest) *types.Attestation { return nil }

@@ -1,0 +1,379 @@
+// Package pbftea implements PBFT-EA (Chun et al., "Attested Append-Only
+// Memory"), the paper's three-phase trust-bft baseline on n = 2f+1 replicas.
+// Every consensus message a replica sends is first appended to one of its
+// trusted component's per-phase attested logs; receivers verify the
+// attestation on every message. Quorums shrink to f+1, but the protocol is
+// inherently sequential and every message costs a trusted-component access
+// plus a signature verification — the combination the paper's Section 9.4
+// shows erases the benefit of the smaller replication factor.
+//
+// The Parallel configuration bit yields OPBFT-EA, the paper's "Opbft-ea"
+// variant (Section 9.2 baseline (vi)): consensus instances may overlap, with
+// replicas using internally incremented counters so out-of-order appends
+// succeed; throughput then bottlenecks on the trusted component instead.
+package pbftea
+
+import (
+	"flexitrust/internal/engine"
+	"flexitrust/internal/protocols/common"
+	"flexitrust/internal/types"
+)
+
+// Per-phase trusted log identifiers.
+const (
+	logPreprepare = 0
+	logPrepare    = 1
+	logCommit     = 2
+	logCheckpoint = 3
+)
+
+// Meta describes PBFT-EA for the Figure 1 matrix.
+var Meta = engine.Meta{
+	Name:               "Pbft-EA",
+	Replicas:           func(f int) int { return 2*f + 1 },
+	Phases:             3,
+	TrustedAbstraction: "log",
+	BFTLiveness:        false,
+	OutOfOrder:         false,
+	TrustedMemory:      "high",
+	PrimaryOnlyTC:      false,
+	ClientReplies:      func(n, f int) int { return f + 1 },
+}
+
+// MetaParallel describes the OPBFT-EA variant.
+var MetaParallel = engine.Meta{
+	Name:               "Opbft-ea",
+	Replicas:           func(f int) int { return 2*f + 1 },
+	Phases:             3,
+	TrustedAbstraction: "log",
+	BFTLiveness:        false,
+	OutOfOrder:         true,
+	TrustedMemory:      "high",
+	PrimaryOnlyTC:      false,
+	ClientReplies:      func(n, f int) int { return f + 1 },
+}
+
+// Protocol is one replica's PBFT-EA (or OPBFT-EA) instance.
+type Protocol struct {
+	common.Base
+
+	preprepares map[types.SeqNum]*types.Preprepare
+	prepares    *engine.QuorumSet
+	commits     *engine.QuorumSet
+	prepared    map[types.SeqNum]bool
+	committed   map[types.SeqNum]bool
+	curEpoch    uint32
+}
+
+// New constructs a PBFT-EA replica. cfg.Parallel=false is classic PBFT-EA;
+// true is OPBFT-EA.
+func New(cfg engine.Config) *Protocol {
+	p := &Protocol{
+		preprepares: make(map[types.SeqNum]*types.Preprepare),
+		prepares:    engine.NewQuorumSet(),
+		commits:     engine.NewQuorumSet(),
+		prepared:    make(map[types.SeqNum]bool),
+		committed:   make(map[types.SeqNum]bool),
+	}
+	p.Cfg = cfg
+	p.VCQuorum = cfg.VoteQuorumF1()
+	p.CkptQuorum = cfg.VoteQuorumF1()
+	return p
+}
+
+// Init implements engine.Protocol.
+func (p *Protocol) Init(env engine.Env) { p.InitBase(env, p.Cfg, p, p.respond) }
+
+// OnRequest implements engine.Protocol.
+func (p *Protocol) OnRequest(req *types.ClientRequest) { p.HandleRequest(req) }
+
+// OnMessage implements engine.Protocol.
+func (p *Protocol) OnMessage(from types.ReplicaID, m types.Message) {
+	switch msg := m.(type) {
+	case *types.Preprepare:
+		p.onPreprepare(from, msg)
+	case *types.Prepare:
+		p.onPrepare(from, msg)
+	case *types.Commit:
+		p.onCommit(from, msg)
+	case *types.Checkpoint:
+		p.HandleCheckpoint(msg)
+	case *types.ViewChange:
+		p.HandleViewChange(msg)
+	case *types.NewView:
+		p.HandleNewView(from, msg)
+	case *types.Forward:
+		p.HandleForward(msg)
+	case *types.ClientResend:
+		p.HandleResend(msg.Request)
+	}
+}
+
+// OnTimer implements engine.Protocol.
+func (p *Protocol) OnTimer(id types.TimerID) { p.HandleBaseTimer(id) }
+
+// logAppend appends a message digest to the next slot of a trusted
+// per-phase log. Attestations bind the digest to the slot; receivers check
+// the digest binding and issuer. OPBFT-EA uses the internally incremented
+// AppendF so appends from overlapping instances interleave freely;
+// sequential PBFT-EA appends in consensus order by construction.
+func (p *Protocol) logAppend(q uint32, _ types.SeqNum, d types.Digest) (*types.Attestation, error) {
+	if p.Cfg.Parallel {
+		return p.Env.Trusted().AppendF(q, d)
+	}
+	return p.Env.Trusted().Append(q, 0, d)
+}
+
+// validAttest checks an incoming message's attestation.
+func (p *Protocol) validAttest(from types.ReplicaID, a *types.Attestation, q uint32, d types.Digest) bool {
+	if a == nil || a.Replica != from || a.Counter != q || a.Digest != d {
+		return false
+	}
+	return p.Env.VerifyAttestation(a)
+}
+
+// ProposeBatch implements common.Hooks.
+func (p *Protocol) ProposeBatch(b *types.Batch) {
+	seq := p.LastProposed + 1
+	att, err := p.logAppend(logPreprepare, seq, b.Digest)
+	if err != nil {
+		p.Env.Logf("pbftea: preprepare log append failed: %v", err)
+		return
+	}
+	p.LastProposed = seq
+	pp := &types.Preprepare{View: p.View, Seq: seq, Batch: b, Attest: att}
+	p.preprepares[seq] = pp
+	p.Env.Broadcast(pp)
+	p.addPrepare(&types.Prepare{View: p.View, Seq: seq, Digest: b.Digest, Replica: p.Env.ID()})
+}
+
+// onPreprepare logs and broadcasts a Prepare.
+func (p *Protocol) onPreprepare(from types.ReplicaID, pp *types.Preprepare) {
+	if p.InViewChange || pp.View != p.View || from != p.PrimaryID() {
+		return
+	}
+	if _, dup := p.preprepares[pp.Seq]; dup || pp.Seq <= p.Ckpt.StableSeq() {
+		return
+	}
+	if !p.validAttest(from, pp.Attest, logPreprepare, pp.Batch.Digest) {
+		return
+	}
+	p.preprepares[pp.Seq] = pp
+	myAtt, err := p.logAppend(logPrepare, pp.Seq, pp.Batch.Digest)
+	if err != nil {
+		p.Env.Logf("pbftea: prepare log append failed: %v", err)
+		return
+	}
+	p.addPrepare(&types.Prepare{View: pp.View, Seq: pp.Seq, Digest: pp.Batch.Digest, Replica: from})
+	prep := &types.Prepare{View: pp.View, Seq: pp.Seq, Digest: pp.Batch.Digest,
+		Replica: p.Env.ID(), Attest: myAtt}
+	p.Env.Broadcast(prep)
+	p.addPrepare(prep)
+}
+
+// onPrepare verifies the attestation and tallies.
+func (p *Protocol) onPrepare(from types.ReplicaID, m *types.Prepare) {
+	if m.View != p.View || m.Replica != from {
+		return
+	}
+	if !p.validAttest(from, m.Attest, logPrepare, m.Digest) {
+		return
+	}
+	p.addPrepare(m)
+}
+
+// addPrepare marks prepared on f+1 votes and enters the Commit phase.
+func (p *Protocol) addPrepare(m *types.Prepare) {
+	n := p.prepares.Add(m.View, m.Seq, m.Digest, m.Replica)
+	if n < p.Cfg.VoteQuorumF1() || p.prepared[m.Seq] {
+		return
+	}
+	pp, ok := p.preprepares[m.Seq]
+	if !ok || pp.Batch.Digest != m.Digest {
+		return
+	}
+	p.prepared[m.Seq] = true
+	myAtt, err := p.logAppend(logCommit, m.Seq, m.Digest)
+	if err != nil {
+		p.Env.Logf("pbftea: commit log append failed: %v", err)
+		return
+	}
+	c := &types.Commit{View: m.View, Seq: m.Seq, Digest: m.Digest, Replica: p.Env.ID(), Attest: myAtt}
+	p.Env.Broadcast(c)
+	p.addCommit(c)
+}
+
+// onCommit verifies and tallies.
+func (p *Protocol) onCommit(from types.ReplicaID, m *types.Commit) {
+	if m.View != p.View || m.Replica != from {
+		return
+	}
+	if !p.validAttest(from, m.Attest, logCommit, m.Digest) {
+		return
+	}
+	p.addCommit(m)
+}
+
+// addCommit commits on f+1 votes.
+func (p *Protocol) addCommit(m *types.Commit) {
+	n := p.commits.Add(m.View, m.Seq, m.Digest, m.Replica)
+	if n < p.Cfg.VoteQuorumF1() || p.committed[m.Seq] {
+		return
+	}
+	pp, ok := p.preprepares[m.Seq]
+	if !ok || pp.Batch.Digest != m.Digest {
+		return
+	}
+	p.committed[m.Seq] = true
+	p.Exec.Commit(m.Seq, pp.Batch)
+	p.Batcher.Kick()
+}
+
+// respond sends the execution result.
+func (p *Protocol) respond(seq types.SeqNum, batch *types.Batch, results []types.Result) {
+	if len(results) == 0 {
+		return
+	}
+	p.RespondAndCache(&types.Response{
+		Replica: p.Env.ID(),
+		View:    p.View,
+		Seq:     seq,
+		Digest:  batch.Digest,
+		Results: results,
+	})
+}
+
+// --- common.Hooks (view change mirrors MinBFT's attested-Preprepare form) ---
+
+// BuildViewChange implements common.Hooks.
+func (p *Protocol) BuildViewChange(v types.View) *types.ViewChange {
+	vc := &types.ViewChange{StableSeq: p.Ckpt.StableSeq()}
+	for seq, pp := range p.preprepares {
+		if seq > vc.StableSeq {
+			vc.Prepared = append(vc.Prepared, &types.PreparedProof{Preprepare: pp})
+		}
+	}
+	return vc
+}
+
+// ValidateViewChange implements common.Hooks.
+func (p *Protocol) ValidateViewChange(vc *types.ViewChange) bool {
+	for _, pr := range vc.Prepared {
+		if pr.Preprepare == nil || pr.Preprepare.Attest == nil ||
+			!p.Env.VerifyAttestation(pr.Preprepare.Attest) {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildNewView implements common.Hooks.
+func (p *Protocol) BuildNewView(v types.View, vcs []*types.ViewChange) *types.NewView {
+	stable := types.SeqNum(0)
+	slots := make(map[types.SeqNum]*types.Preprepare)
+	for _, vc := range vcs {
+		if vc.StableSeq > stable {
+			stable = vc.StableSeq
+		}
+		for _, pr := range vc.Prepared {
+			if pr.Preprepare != nil {
+				slots[pr.Preprepare.Seq] = pr.Preprepare
+			}
+		}
+	}
+	maxSeq := stable
+	for seq := range slots {
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	createAtt, err := p.Env.Trusted().Create(logPreprepare, uint64(stable))
+	if err != nil {
+		return &types.NewView{View: v, ViewChanges: vcs}
+	}
+	p.curEpoch = createAtt.Epoch
+	nv := &types.NewView{View: v, ViewChanges: vcs, CounterInit: createAtt}
+	for seq := stable + 1; seq <= maxSeq; seq++ {
+		batch := common.NoopBatch()
+		if pp, ok := slots[seq]; ok {
+			batch = pp.Batch
+		}
+		att, err := p.logAppend(logPreprepare, seq, batch.Digest)
+		if err != nil {
+			return nv
+		}
+		nv.Proposals = append(nv.Proposals, &types.Preprepare{
+			View: v, Seq: seq, Batch: batch, Attest: att,
+		})
+	}
+	p.LastProposed = maxSeq
+	p.installProposals(nv)
+	return nv
+}
+
+// ProcessNewView implements common.Hooks.
+func (p *Protocol) ProcessNewView(nv *types.NewView) bool {
+	if nv.CounterInit == nil || !p.Env.VerifyAttestation(nv.CounterInit) {
+		return false
+	}
+	primary := types.Primary(nv.View, p.Cfg.N)
+	for _, pp := range nv.Proposals {
+		if pp.Attest == nil || pp.Attest.Replica != primary ||
+			pp.Attest.Digest != pp.Batch.Digest || !p.Env.VerifyAttestation(pp.Attest) {
+			return false
+		}
+	}
+	p.curEpoch = nv.CounterInit.Epoch
+	p.installProposals(nv)
+	for _, pp := range nv.Proposals {
+		if pp.Seq <= p.Exec.LastExecuted() {
+			continue
+		}
+		myAtt, err := p.logAppend(logPrepare, pp.Seq, pp.Batch.Digest)
+		if err != nil {
+			continue
+		}
+		p.addPrepare(&types.Prepare{View: nv.View, Seq: pp.Seq, Digest: pp.Batch.Digest,
+			Replica: primary})
+		prep := &types.Prepare{View: nv.View, Seq: pp.Seq, Digest: pp.Batch.Digest,
+			Replica: p.Env.ID(), Attest: myAtt}
+		p.Env.Broadcast(prep)
+		p.addPrepare(prep)
+	}
+	return true
+}
+
+// installProposals adopts the new view's slots.
+func (p *Protocol) installProposals(nv *types.NewView) {
+	for _, pp := range nv.Proposals {
+		p.preprepares[pp.Seq] = pp
+		delete(p.prepared, pp.Seq)
+		delete(p.committed, pp.Seq)
+	}
+}
+
+// OnStableCheckpoint implements common.Hooks: besides vote GC, trusted logs
+// truncate — checkpointing is what bounds the "high" trusted memory column
+// of Figure 1.
+func (p *Protocol) OnStableCheckpoint(seq types.SeqNum) {
+	p.prepares.GC(seq)
+	p.commits.GC(seq)
+	for s := range p.preprepares {
+		if s <= seq {
+			delete(p.preprepares, s)
+			delete(p.prepared, s)
+			delete(p.committed, s)
+		}
+	}
+}
+
+// CheckpointAttestation implements common.Hooks: the checkpoint carries an
+// attestation from a dedicated checkpoint log so the per-phase logs keep
+// their slot alignment.
+func (p *Protocol) CheckpointAttestation(seq types.SeqNum, state types.Digest) *types.Attestation {
+	att, err := p.Env.Trusted().Append(logCheckpoint, 0, state)
+	if err != nil {
+		return nil
+	}
+	return att
+}

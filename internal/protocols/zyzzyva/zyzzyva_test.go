@@ -1,0 +1,105 @@
+package zyzzyva
+
+import (
+	"fmt"
+	"testing"
+
+	"flexitrust/internal/crypto"
+	"flexitrust/internal/engine"
+	"flexitrust/internal/protocols/ptest"
+	"flexitrust/internal/types"
+)
+
+// cfg4 is the n=3f+1, f=1 configuration.
+func cfg4() engine.Config {
+	c := engine.DefaultConfig(4, 1)
+	c.BatchSize = 1
+	return c
+}
+
+// request builds a client request.
+func request(reqNo uint64) *types.ClientRequest {
+	return &types.ClientRequest{Client: 1, ReqNo: reqNo, Op: []byte(fmt.Sprintf("op-%d", reqNo))}
+}
+
+func TestSpeculativeResponsesCarryChainedHistory(t *testing.T) {
+	c := ptest.NewCluster(t, cfg4(), func(cfg engine.Config) engine.Protocol { return New(cfg) })
+	c.SubmitTo(0, request(1))
+	c.SubmitTo(0, request(2))
+	// Histories must chain identically on every replica.
+	var want [2]types.Digest
+	for i, s := range c.Responses(0) {
+		want[i] = s.History
+	}
+	if want[0].IsZero() || want[0] == want[1] {
+		t.Fatalf("primary histories look wrong: %v", want)
+	}
+	for r := types.ReplicaID(1); r < 4; r++ {
+		got := c.Responses(r)
+		if len(got) != 2 {
+			t.Fatalf("replica %d sent %d responses", r, len(got))
+		}
+		for i := range got {
+			if got[i].History != want[i] {
+				t.Fatalf("replica %d history[%d] diverged", r, i)
+			}
+			if !got[i].Speculative {
+				t.Fatal("zyzzyva responses must be speculative")
+			}
+		}
+	}
+	// Verify the chain really is H(h_{k-1}, d_k).
+	d1 := c.Responses(0)[0].Digest
+	d2 := c.Responses(0)[1].Digest
+	h1 := crypto.HistoryDigest(types.ZeroDigest, d1)
+	if want[0] != h1 || want[1] != crypto.HistoryDigest(h1, d2) {
+		t.Fatal("history digests do not follow the hash chain")
+	}
+}
+
+func TestCommitCertAcknowledged(t *testing.T) {
+	c := ptest.NewCluster(t, cfg4(), func(cfg engine.Config) engine.Protocol { return New(cfg) })
+	c.SubmitTo(0, request(1))
+	resp := c.Responses(1)[0]
+	c.Protos[2].OnMessage(-1, &types.CommitCert{Client: 9, View: 0, Seq: 1, Digest: resp.Digest})
+	acks := c.Envs[2].SentOfType(types.MsgLocalCommit)
+	if len(acks) != 1 || acks[0].Client != 9 {
+		t.Fatalf("local commits = %+v, want one to client 9", acks)
+	}
+}
+
+func TestNoTrustedComponentUse(t *testing.T) {
+	c := ptest.NewCluster(t, cfg4(), func(cfg engine.Config) engine.Protocol { return New(cfg) })
+	for i := uint64(1); i <= 3; i++ {
+		c.SubmitTo(0, request(i))
+	}
+	for r := 0; r < 4; r++ {
+		if got := c.Envs[r].TC.Accesses(); got != 0 {
+			t.Fatalf("replica %d accessed a trusted component %d times; Zyzzyva uses none", r, got)
+		}
+	}
+}
+
+func TestViewChangeConvergesSpeculativeState(t *testing.T) {
+	cfg := cfg4()
+	cfg.ViewChangeTimeout = 0
+	c := ptest.NewCluster(t, cfg, func(cfg engine.Config) engine.Protocol { return New(cfg) })
+	c.SubmitTo(0, request(1))
+	d := c.Envs[2].Store.StateDigest()
+	for _, r := range []int{3, 2} {
+		c.Protos[r].(*Protocol).SuspectPrimary()
+	}
+	p1 := c.Protos[1].(*Protocol)
+	if p1.View != 1 {
+		t.Fatalf("view = %d, want 1", p1.View)
+	}
+	for _, r := range []int{1, 2, 3} {
+		if c.Envs[r].Store.StateDigest() != d {
+			t.Fatalf("replica %d state changed across view change", r)
+		}
+	}
+	c.SubmitTo(1, request(2))
+	if got := c.Envs[3].Executed; len(got) != 2 {
+		t.Fatalf("no progress in view 1: %v", got)
+	}
+}

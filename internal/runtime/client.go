@@ -1,0 +1,158 @@
+package runtime
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"flexitrust/internal/crypto"
+	"flexitrust/internal/transport"
+	"flexitrust/internal/types"
+	"flexitrust/internal/wire"
+)
+
+// ClientConfig parameterizes the client library.
+type ClientConfig struct {
+	ID        types.ClientID
+	N, F      int
+	Transport transport.Transport
+	Keyring   *crypto.Keyring
+	// Replies is the matching-response quorum the protocol requires (f+1
+	// for PBFT/MinBFT/Flexi-BFT, 2f+1 for Flexi-ZZ, n for Zyzzyva/MinZZ
+	// fast paths).
+	Replies int
+	// RetryEvery re-broadcasts an unresolved request to all replicas — the
+	// paper's client complaint path.
+	RetryEvery time.Duration
+}
+
+// Client is the Rsm client library: it signs and submits transactions to
+// the primary, collects matching responses, and re-broadcasts on timeout.
+type Client struct {
+	cfg     ClientConfig
+	mu      sync.Mutex
+	nextReq uint64
+	primary types.ReplicaID
+	pending map[uint64]*pendingReq
+}
+
+// pendingReq tracks one outstanding transaction.
+type pendingReq struct {
+	req     *types.ClientRequest
+	tallies map[string]map[types.ReplicaID]bool
+	done    chan []byte
+}
+
+// NewClient builds a client on its transport endpoint.
+func NewClient(cfg ClientConfig) *Client {
+	if cfg.Replies <= 0 {
+		cfg.Replies = cfg.F + 1
+	}
+	if cfg.RetryEvery <= 0 {
+		cfg.RetryEvery = time.Second
+	}
+	c := &Client{cfg: cfg, pending: make(map[uint64]*pendingReq)}
+	cfg.Transport.SetHandler(c.onEnvelope)
+	return c
+}
+
+// Submit executes op through the replicated service and returns its result.
+func (c *Client) Submit(ctx context.Context, op []byte) ([]byte, error) {
+	c.mu.Lock()
+	c.nextReq++
+	req := &types.ClientRequest{
+		Client:    c.cfg.ID,
+		ReqNo:     c.nextReq,
+		Op:        op,
+		Timestamp: time.Now().UnixNano(),
+	}
+	d := crypto.RequestDigest(req)
+	if sig, err := c.cfg.Keyring.SignAsClient(c.cfg.ID, d[:]); err == nil {
+		req.Sig = sig
+	}
+	p := &pendingReq{
+		req:     req,
+		tallies: make(map[string]map[types.ReplicaID]bool),
+		done:    make(chan []byte, 1),
+	}
+	c.pending[req.ReqNo] = p
+	primary := c.primary
+	c.mu.Unlock()
+
+	env := &wire.Envelope{Client: c.cfg.ID, IsClient: true, Msg: req}
+	c.cfg.Transport.Send(transport.ReplicaAddr(int32(primary)), env)
+
+	retry := time.NewTicker(c.cfg.RetryEvery)
+	defer retry.Stop()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, req.ReqNo)
+		c.mu.Unlock()
+	}()
+	for {
+		select {
+		case res := <-p.done:
+			return res, nil
+		case <-retry.C:
+			// Complain to everyone; replicas answer from their caches or
+			// forward to the primary (and may trigger a view change).
+			resend := &wire.Envelope{Client: c.cfg.ID, IsClient: true,
+				Msg: &types.ClientResend{Request: req}}
+			for i := 0; i < c.cfg.N; i++ {
+				c.cfg.Transport.Send(transport.ReplicaAddr(int32(i)), resend)
+			}
+		case <-ctx.Done():
+			return nil, fmt.Errorf("client %d request %d: %w", c.cfg.ID, req.ReqNo, ctx.Err())
+		}
+	}
+}
+
+// onEnvelope tallies responses.
+func (c *Client) onEnvelope(env *wire.Envelope) {
+	resp, ok := env.Msg.(*types.Response)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range resp.Results {
+		res := &resp.Results[i]
+		if res.Client != c.cfg.ID {
+			continue
+		}
+		p, outstanding := c.pending[res.ReqNo]
+		if !outstanding {
+			continue
+		}
+		key := matchKey(resp, res)
+		set := p.tallies[key]
+		if set == nil {
+			set = make(map[types.ReplicaID]bool)
+			p.tallies[key] = set
+		}
+		if set[resp.Replica] {
+			continue
+		}
+		set[resp.Replica] = true
+		if len(set) >= c.cfg.Replies {
+			if resp.View > 0 {
+				c.primary = types.Primary(resp.View, c.cfg.N)
+			}
+			select {
+			case p.done <- append([]byte(nil), res.Value...):
+			default:
+			}
+		}
+	}
+}
+
+// matchKey captures what must be identical for responses to match: view,
+// sequence number and the result value.
+func matchKey(resp *types.Response, res *types.Result) string {
+	var hdr [16]byte
+	binary.BigEndian.PutUint64(hdr[0:8], uint64(resp.View))
+	binary.BigEndian.PutUint64(hdr[8:16], uint64(resp.Seq))
+	return string(hdr[:]) + string(res.Value)
+}

@@ -1,0 +1,81 @@
+package runtime
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"flexitrust/internal/engine"
+	"flexitrust/internal/kvstore"
+	"flexitrust/internal/protocols/flexibft"
+	"flexitrust/internal/protocols/flexizz"
+	"flexitrust/internal/types"
+)
+
+// TestPrimaryFailoverUnderRealRuntime kills the primary of a live cluster
+// and verifies the client rides through the view change — the real-time
+// (goroutines, wall-clock timers, Ed25519) counterpart of the simulator's
+// view-change tests.
+func TestPrimaryFailoverUnderRealRuntime(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func(cfg engine.Config) engine.Protocol
+	}{
+		{"flexibft", func(cfg engine.Config) engine.Protocol { return flexibft.New(cfg) }},
+		{"flexizz", func(cfg engine.Config) engine.Protocol { return flexizz.New(cfg) }},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ecfg := engine.DefaultConfig(4, 1)
+			ecfg.BatchSize = 1
+			ecfg.ViewChangeTimeout = 200 * time.Millisecond
+			replies := 2
+			if tc.name == "flexizz" {
+				replies = 3
+			}
+			cl, err := NewCluster(ClusterConfig{
+				N: 4, F: 1,
+				Engine:      ecfg,
+				NewProtocol: tc.mk,
+				Replies:     replies,
+				Clients:     []types.ClientID{1},
+				Records:     1000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Stop()
+			client := cl.NewClient(1)
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+
+			submit := func(i uint64) {
+				t.Helper()
+				op := &kvstore.Op{Code: kvstore.OpUpdate, Key: i % 10, Value: []byte("v")}
+				if _, err := client.Submit(ctx, op.Encode()); err != nil {
+					t.Fatalf("submit %d: %v", i, err)
+				}
+			}
+			for i := uint64(0); i < 5; i++ {
+				submit(i)
+			}
+			cl.Nodes[0].Stop() // kill the primary
+			for i := uint64(5); i < 10; i++ {
+				submit(i)
+			}
+			// Survivors converge.
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				d1 := cl.Nodes[1].Store().StateDigest()
+				if d1 == cl.Nodes[2].Store().StateDigest() &&
+					d1 == cl.Nodes[3].Store().StateDigest() {
+					return
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("survivors never converged after failover")
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+		})
+	}
+}

@@ -1,0 +1,303 @@
+// Package runtime hosts protocol replicas on real goroutines, wall-clock
+// timers and pluggable transports (in-process hub or TCP), with real Ed25519
+// signatures and HMAC attestations. The examples and the cmd/replica and
+// cmd/client binaries run on it; the discrete-event simulator remains the
+// measurement substrate.
+//
+// Each node serializes all protocol events (messages, timers) onto a single
+// event goroutine, preserving the deterministic single-threaded handler
+// model the protocols are written against.
+package runtime
+
+import (
+	"log"
+	"sync"
+	"time"
+
+	"flexitrust/internal/crypto"
+	"flexitrust/internal/engine"
+	"flexitrust/internal/kvstore"
+	"flexitrust/internal/transport"
+	"flexitrust/internal/trusted"
+	"flexitrust/internal/types"
+	"flexitrust/internal/wire"
+)
+
+// NodeConfig assembles one replica.
+type NodeConfig struct {
+	ID     types.ReplicaID
+	Engine engine.Config
+	// NewProtocol constructs the consensus protocol.
+	NewProtocol func(engine.Config) engine.Protocol
+	// Transport is the node's message fabric (hub endpoint or TCP).
+	Transport transport.Transport
+	// Keyring provides signing keys; Authority verifies attestations.
+	Keyring   *crypto.Keyring
+	Authority *trusted.HMACAuthority
+	// TrustedProfile selects the trusted hardware class; EmulateTCLatency
+	// sleeps the profile's access cost for hardware-faithful runs.
+	TrustedProfile   trusted.Profile
+	KeepLog          bool
+	EmulateTCLatency bool
+	// Records sizes the key-value store (default 600k).
+	Records int
+	// Verbose enables protocol logging.
+	Verbose bool
+}
+
+// Node is a running replica.
+type Node struct {
+	cfg   NodeConfig
+	proto engine.Protocol
+	tc    trusted.Component
+	store *kvstore.Store
+	suite *crypto.Suite
+	start time.Time
+
+	events   chan func()
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	timerMu  sync.Mutex
+	timerGen map[types.TimerID]uint64
+	timers   map[types.TimerID]*time.Timer
+}
+
+// NewNode builds and starts a replica node.
+func NewNode(cfg NodeConfig) *Node {
+	if cfg.Records == 0 {
+		cfg.Records = 600_000
+	}
+	n := &Node{
+		cfg:      cfg,
+		store:    kvstore.New(cfg.Records),
+		suite:    crypto.NewSuite(cfg.Keyring, cfg.ID),
+		start:    time.Now(),
+		events:   make(chan func(), 65536),
+		stop:     make(chan struct{}),
+		timerGen: make(map[types.TimerID]uint64),
+		timers:   make(map[types.TimerID]*time.Timer),
+	}
+	n.tc = trusted.New(trusted.Config{
+		Host:     cfg.ID,
+		Profile:  cfg.TrustedProfile,
+		KeepLog:  cfg.KeepLog,
+		Attestor: cfg.Authority.For(cfg.ID),
+	})
+	n.proto = cfg.NewProtocol(cfg.Engine)
+	cfg.Transport.SetHandler(n.onEnvelope)
+	n.wg.Add(1)
+	go n.loop()
+	n.enqueue(func() { n.proto.Init(n) })
+	return n
+}
+
+// loop is the single event goroutine.
+func (n *Node) loop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case fn := <-n.events:
+			fn()
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// enqueue schedules a protocol event; drops after shutdown.
+func (n *Node) enqueue(fn func()) {
+	select {
+	case n.events <- fn:
+	case <-n.stop:
+	}
+}
+
+// onEnvelope routes an inbound envelope into the protocol.
+func (n *Node) onEnvelope(env *wire.Envelope) {
+	n.enqueue(func() {
+		switch msg := env.Msg.(type) {
+		case *types.ClientRequest:
+			n.proto.OnRequest(msg)
+		case *types.RequestBatch:
+			for _, r := range msg.Requests {
+				n.proto.OnRequest(r)
+			}
+		default:
+			if env.IsClient {
+				n.proto.OnMessage(-1, env.Msg)
+			} else {
+				n.proto.OnMessage(env.From, env.Msg)
+			}
+		}
+	})
+}
+
+// Stop halts the node (fail-stop; used by crash tests). It is idempotent.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() {
+		close(n.stop)
+		n.timerMu.Lock()
+		for _, t := range n.timers {
+			t.Stop()
+		}
+		n.timerMu.Unlock()
+		n.wg.Wait()
+	})
+}
+
+// Store exposes the state machine (tests compare digests).
+func (n *Node) Store() *kvstore.Store { return n.store }
+
+// TrustedComponent exposes the node's trusted component.
+func (n *Node) TrustedComponent() trusted.Component { return n.tc }
+
+// --- engine.Env ---
+
+// ID implements engine.Env.
+func (n *Node) ID() types.ReplicaID { return n.cfg.ID }
+
+// Send implements engine.Env.
+func (n *Node) Send(to types.ReplicaID, m types.Message) {
+	n.cfg.Transport.Send(transport.ReplicaAddr(int32(to)),
+		&wire.Envelope{From: n.cfg.ID, Msg: m})
+}
+
+// Broadcast implements engine.Env.
+func (n *Node) Broadcast(m types.Message) {
+	for i := 0; i < n.cfg.Engine.N; i++ {
+		if types.ReplicaID(i) == n.cfg.ID {
+			continue
+		}
+		n.Send(types.ReplicaID(i), m)
+	}
+}
+
+// Respond implements engine.Env: fan the response out to every covered
+// client.
+func (n *Node) Respond(r *types.Response) {
+	seen := make(map[types.ClientID]bool, len(r.Results))
+	for _, res := range r.Results {
+		if seen[res.Client] {
+			continue
+		}
+		seen[res.Client] = true
+		n.cfg.Transport.Send(transport.ClientAddr(uint64(res.Client)),
+			&wire.Envelope{From: n.cfg.ID, Msg: r})
+	}
+}
+
+// SendClient implements engine.Env.
+func (n *Node) SendClient(c types.ClientID, m types.Message) {
+	n.cfg.Transport.Send(transport.ClientAddr(uint64(c)),
+		&wire.Envelope{From: n.cfg.ID, Msg: m})
+}
+
+// SetTimer implements engine.Env.
+func (n *Node) SetTimer(id types.TimerID, d time.Duration) {
+	n.timerMu.Lock()
+	defer n.timerMu.Unlock()
+	n.timerGen[id]++
+	gen := n.timerGen[id]
+	if t, ok := n.timers[id]; ok {
+		t.Stop()
+	}
+	n.timers[id] = time.AfterFunc(d, func() {
+		n.enqueue(func() {
+			n.timerMu.Lock()
+			current := n.timerGen[id] == gen
+			n.timerMu.Unlock()
+			if current {
+				n.proto.OnTimer(id)
+			}
+		})
+	})
+}
+
+// CancelTimer implements engine.Env.
+func (n *Node) CancelTimer(id types.TimerID) {
+	n.timerMu.Lock()
+	defer n.timerMu.Unlock()
+	n.timerGen[id]++
+	if t, ok := n.timers[id]; ok {
+		t.Stop()
+		delete(n.timers, id)
+	}
+}
+
+// Now implements engine.Env.
+func (n *Node) Now() time.Duration { return time.Since(n.start) }
+
+// Trusted implements engine.Env.
+func (n *Node) Trusted() trusted.Component {
+	if n.cfg.EmulateTCLatency {
+		return sleepingTC{inner: n.tc}
+	}
+	return n.tc
+}
+
+// VerifyAttestation implements engine.Env.
+func (n *Node) VerifyAttestation(a *types.Attestation) bool {
+	return n.cfg.Authority.Verify(a)
+}
+
+// Crypto implements engine.Env.
+func (n *Node) Crypto() crypto.Provider { return n.suite }
+
+// Execute implements engine.Env.
+func (n *Node) Execute(_ types.SeqNum, b *types.Batch) []types.Result {
+	return n.store.ApplyBatch(b)
+}
+
+// StateDigest implements engine.Env.
+func (n *Node) StateDigest() types.Digest { return n.store.StateDigest() }
+
+// SnapshotState implements engine.Env.
+func (n *Node) SnapshotState() any { return n.store.Snapshot() }
+
+// RestoreState implements engine.Env.
+func (n *Node) RestoreState(s any) { n.store.Restore(s.(*kvstore.Snapshot)) }
+
+// Defer implements engine.Env.
+func (n *Node) Defer(fn func()) { n.enqueue(fn) }
+
+// Logf implements engine.Env.
+func (n *Node) Logf(format string, args ...any) {
+	if n.cfg.Verbose {
+		log.Printf("[r%d] "+format, append([]any{n.cfg.ID}, args...)...)
+	}
+}
+
+// sleepingTC emulates hardware access latency by sleeping the profile's
+// access cost around each operation (hardware-faithful demos).
+type sleepingTC struct {
+	inner trusted.Component
+}
+
+// nap sleeps one access.
+func (s sleepingTC) nap() { time.Sleep(s.inner.Profile().AccessCost) }
+
+func (s sleepingTC) Host() types.ReplicaID    { return s.inner.Host() }
+func (s sleepingTC) Profile() trusted.Profile { return s.inner.Profile() }
+func (s sleepingTC) AppendF(q uint32, x types.Digest) (*types.Attestation, error) {
+	s.nap()
+	return s.inner.AppendF(q, x)
+}
+func (s sleepingTC) Append(q uint32, k uint64, x types.Digest) (*types.Attestation, error) {
+	s.nap()
+	return s.inner.Append(q, k, x)
+}
+func (s sleepingTC) Lookup(q uint32, k uint64) (*types.Attestation, error) {
+	s.nap()
+	return s.inner.Lookup(q, k)
+}
+func (s sleepingTC) Create(q uint32, k uint64) (*types.Attestation, error) {
+	s.nap()
+	return s.inner.Create(q, k)
+}
+func (s sleepingTC) Current(q uint32) (uint32, uint64, error) { return s.inner.Current(q) }
+func (s sleepingTC) Accesses() uint64                         { return s.inner.Accesses() }
+func (s sleepingTC) LogSize() int                             { return s.inner.LogSize() }
+func (s sleepingTC) Snapshot() *trusted.State                 { return s.inner.Snapshot() }
+func (s sleepingTC) Restore(st *trusted.State) error          { return s.inner.Restore(st) }

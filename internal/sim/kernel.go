@@ -1,0 +1,142 @@
+// Package sim is a deterministic discrete-event simulator for BFT clusters.
+// It runs the protocols from internal/protocols unmodified (they only see
+// engine.Env) while modeling, in virtual time, the quantities the paper's
+// evaluation turns on:
+//
+//   - per-replica CPU: each replica has a fixed number of worker threads;
+//     handling a message occupies a worker for a duration derived from the
+//     CostModel (MAC/signature operations, hashing, execution);
+//   - the trusted component as a serialized resource with a per-operation
+//     access latency (Profile.AccessCost) plus in-enclave attestation
+//     signing cost — the Figure 5/8 bottleneck;
+//   - the network as a region-to-region latency matrix with per-link FIFO
+//     delivery (TCP-like), plus injectable delay, drop and partition rules
+//     for the byzantine experiments;
+//   - closed-loop clients (up to the paper's 80k) aggregated into a client
+//     pool node that applies each protocol's reply-quorum rule.
+//
+// Everything is driven from a single goroutine off a binary heap of events,
+// so identical seeds give identical runs.
+package sim
+
+import (
+	"container/heap"
+	"time"
+
+	"flexitrust/internal/types"
+)
+
+// eventKind discriminates queue entries.
+type eventKind uint8
+
+const (
+	evMessage eventKind = iota
+	evTimer
+	evFunc
+)
+
+// event is one scheduled occurrence.
+type event struct {
+	at   time.Duration
+	seq  uint64 // tie-breaker for deterministic ordering
+	kind eventKind
+
+	node  int // destination node index
+	from  int // source node index (evMessage)
+	msg   types.Message
+	timer types.TimerID
+	tgen  uint64 // timer generation; stale timers are dropped
+	fn    func()
+}
+
+// eventHeap is a min-heap on (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// node is anything that can receive events: replicas and the client pool.
+type node interface {
+	// handleMessage delivers a message from another node.
+	handleMessage(from int, m types.Message)
+	// handleTimer delivers a timer whose generation is current.
+	handleTimer(t types.TimerID, gen uint64)
+}
+
+// kernel owns virtual time and the event queue.
+type kernel struct {
+	now    time.Duration
+	queue  eventHeap
+	seq    uint64
+	nodes  []node
+	events uint64 // processed count (stats)
+}
+
+// schedule enqueues an event at absolute time at.
+func (k *kernel) schedule(e *event) {
+	if e.at < k.now {
+		e.at = k.now
+	}
+	k.seq++
+	e.seq = k.seq
+	heap.Push(&k.queue, e)
+}
+
+// scheduleMessage enqueues a message arrival.
+func (k *kernel) scheduleMessage(at time.Duration, from, to int, m types.Message) {
+	k.schedule(&event{at: at, kind: evMessage, node: to, from: from, msg: m})
+}
+
+// scheduleTimer enqueues a timer firing.
+func (k *kernel) scheduleTimer(at time.Duration, nodeIdx int, t types.TimerID, gen uint64) {
+	k.schedule(&event{at: at, kind: evTimer, node: nodeIdx, timer: t, tgen: gen})
+}
+
+// scheduleFunc enqueues an arbitrary callback (experiment scripts: crashes,
+// rollbacks, load changes).
+func (k *kernel) scheduleFunc(at time.Duration, fn func()) {
+	k.schedule(&event{at: at, kind: evFunc, node: -1, fn: fn})
+}
+
+// runUntil processes events in order until virtual time end or queue
+// exhaustion. It returns the number of events processed.
+func (k *kernel) runUntil(end time.Duration) uint64 {
+	var processed uint64
+	for k.queue.Len() > 0 {
+		e := heap.Pop(&k.queue).(*event)
+		if e.at > end {
+			// Not consumed; push back so a later runUntil can resume.
+			heap.Push(&k.queue, e)
+			k.now = end
+			return processed
+		}
+		k.now = e.at
+		processed++
+		k.events++
+		switch e.kind {
+		case evFunc:
+			e.fn()
+		case evMessage:
+			k.nodes[e.node].handleMessage(e.from, e.msg)
+		case evTimer:
+			k.nodes[e.node].handleTimer(e.timer, e.tgen)
+		}
+	}
+	k.now = end
+	return processed
+}

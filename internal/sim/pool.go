@@ -1,0 +1,354 @@
+package sim
+
+import (
+	"encoding/binary"
+	"time"
+
+	"flexitrust/internal/crypto"
+	"flexitrust/internal/metrics"
+	"flexitrust/internal/types"
+	"flexitrust/internal/workload"
+)
+
+// ReplyPolicy is the client library's completion rule for one protocol: how
+// many matching responses finish a transaction on the fast path, and the
+// Zyzzyva/MinZZ-style commit-certificate slow path parameters.
+type ReplyPolicy struct {
+	// Fast is the matching-response quorum that completes a transaction:
+	// f+1 for PBFT/MinBFT/Flexi-BFT, 2f+1 for Flexi-ZZ, all n for
+	// Zyzzyva's and MinZZ's fast paths.
+	Fast int
+	// Slow, when non-zero, enables the commit-certificate slow path: if the
+	// fast quorum has not formed after CertTimeout but Slow matching
+	// speculative responses exist, the client broadcasts a CommitCert.
+	Slow int
+	// CertAck is the LocalCommit quorum that then completes the batch.
+	CertAck int
+	// CertTimeout arms the slow path.
+	CertTimeout time.Duration
+	// RetryTimeout re-broadcasts a request that got no resolution
+	// (ClientResend), the paper's "client complains to all replicas".
+	RetryTimeout time.Duration
+}
+
+// poolTxn tracks one outstanding closed-loop transaction.
+type poolTxn struct {
+	sent       time.Duration // original send (latency baseline)
+	lastResend time.Duration
+	req        *types.ClientRequest
+}
+
+// respTally counts matching responses for one (seq, match-digest) value.
+type respTally struct {
+	replicas  bitset
+	results   []types.Result
+	digest    types.Digest // batch digest (for CommitCert)
+	history   types.Digest
+	view      types.View
+	certAcks  bitset
+}
+
+// batchState aggregates client-side progress for one sequence number.
+type batchState struct {
+	firstSeen time.Duration
+	tallies   map[types.Digest]*respTally
+	certSent  bool
+	done      bool
+}
+
+// bitset holds up to 128 replica bits (n ≤ 97 in every experiment).
+type bitset [2]uint64
+
+// set marks bit i and reports whether it was newly set.
+func (b *bitset) set(i int) bool {
+	w, m := i/64, uint64(1)<<(i%64)
+	if b[w]&m != 0 {
+		return false
+	}
+	b[w] |= m
+	return true
+}
+
+// count returns the number of set bits.
+func (b *bitset) count() int {
+	n := 0
+	for _, w := range b {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// clientPool aggregates every closed-loop client into one simulator node: it
+// issues requests to the primary, applies the protocol's reply rule to the
+// responses, records latency, and immediately re-issues a new request per
+// completed one (closed loop). It also implements the client side of
+// Zyzzyva/MinZZ commit certificates and request re-broadcast.
+type clientPool struct {
+	c          *Cluster
+	policy     ReplyPolicy
+	numClients int
+	gen        *workload.Generator
+	nextReq    []uint64
+	txns       map[types.RequestKey]*poolTxn
+	batches    map[types.SeqNum]*batchState
+	collector  *metrics.Collector
+	primary    int
+	view       types.View
+	timerGen   map[types.TimerID]uint64
+	started    int // clients whose first request has been issued
+	// pendingSends accumulates new requests during one event, flushed as a
+	// single RequestBatch at the end.
+	pendingSends []*types.ClientRequest
+	resends      uint64
+	certsSent    uint64
+}
+
+// newClientPool wires a pool for cfg.Clients closed-loop clients.
+func newClientPool(c *Cluster) *clientPool {
+	return &clientPool{
+		c:          c,
+		policy:     c.cfg.Policy,
+		numClients: c.cfg.Clients,
+		gen:        workload.NewGenerator(c.cfg.Workload),
+		nextReq:    make([]uint64, c.cfg.Clients),
+		txns:       make(map[types.RequestKey]*poolTxn, c.cfg.Clients),
+		batches:    make(map[types.SeqNum]*batchState),
+		collector:  metrics.NewCollector(1 << 21),
+		timerGen:   make(map[types.TimerID]uint64),
+	}
+}
+
+// start ramps the initial window of requests in over rampOver to avoid an
+// unrealistic t=0 burst.
+func (p *clientPool) start(rampOver time.Duration) {
+	const chunks = 50
+	per := p.numClients / chunks
+	if per == 0 {
+		per = 1
+	}
+	step := rampOver / chunks
+	issued := 0
+	for i := 0; issued < p.numClients; i++ {
+		count := per
+		if issued+count > p.numClients {
+			count = p.numClients - issued
+		}
+		first := issued
+		p.c.scheduleFunc(time.Duration(i)*step, func() {
+			for k := 0; k < count; k++ {
+				p.issue(first + k)
+			}
+			p.flushSends()
+		})
+		issued += count
+	}
+	// Periodic resend sweep.
+	if p.policy.RetryTimeout > 0 {
+		p.armSweep()
+	}
+}
+
+// armSweep schedules the retry sweep timer.
+func (p *clientPool) armSweep() {
+	id := types.TimerID{Kind: types.TimerClientRetry}
+	p.timerGen[id]++
+	p.c.scheduleTimer(p.c.now+p.policy.RetryTimeout/2, p.c.poolIdx(), id, p.timerGen[id])
+}
+
+// issue creates and queues the next request for client index ci.
+func (p *clientPool) issue(ci int) {
+	p.nextReq[ci]++
+	req := &types.ClientRequest{
+		Client:    types.ClientID(ci + 1),
+		ReqNo:     p.nextReq[ci],
+		Op:        p.gen.Next(),
+		Timestamp: int64(p.c.now),
+	}
+	p.txns[req.Key()] = &poolTxn{sent: p.c.now, req: req}
+	p.pendingSends = append(p.pendingSends, req)
+}
+
+// flushSends transmits accumulated requests to the current primary.
+func (p *clientPool) flushSends() {
+	if len(p.pendingSends) == 0 {
+		return
+	}
+	reqs := make([]*types.ClientRequest, len(p.pendingSends))
+	copy(reqs, p.pendingSends)
+	p.pendingSends = p.pendingSends[:0]
+	p.sendTo(p.primary, &types.RequestBatch{Requests: reqs})
+}
+
+// sendTo schedules delivery of m to replica index idx with client-link
+// latency.
+func (p *clientPool) sendTo(idx int, m types.Message) {
+	lat := p.c.cfg.Topo.ClientLink(idx)
+	p.c.scheduleMessage(p.c.now+lat, p.c.poolIdx(), idx, m)
+}
+
+// matchKey hashes the fields that must be identical across replicas for
+// responses to "match": view, sequence, batch digest, history and results.
+func matchKey(r *types.Response) types.Digest {
+	var hdr [8 + 8]byte
+	binary.BigEndian.PutUint64(hdr[0:8], uint64(r.View))
+	binary.BigEndian.PutUint64(hdr[8:16], uint64(r.Seq))
+	parts := make([][]byte, 0, 3+2*len(r.Results))
+	parts = append(parts, hdr[:], r.Digest[:], r.History[:])
+	var nums [16]byte
+	for i := range r.Results {
+		res := &r.Results[i]
+		binary.BigEndian.PutUint64(nums[0:8], uint64(res.Client))
+		binary.BigEndian.PutUint64(nums[8:16], res.ReqNo)
+		parts = append(parts, append([]byte(nil), nums[:]...), res.Value)
+	}
+	return crypto.HashConcat(parts...)
+}
+
+// handleMessage implements node.
+func (p *clientPool) handleMessage(from int, m types.Message) {
+	switch msg := m.(type) {
+	case *types.Response:
+		p.onResponse(from, msg)
+	case *types.LocalCommit:
+		p.onLocalCommit(from, msg)
+	}
+	p.flushSends()
+}
+
+// onResponse folds one replica's response into the batch tallies.
+func (p *clientPool) onResponse(from int, r *types.Response) {
+	bs := p.batches[r.Seq]
+	if bs == nil {
+		bs = &batchState{firstSeen: p.c.now, tallies: make(map[types.Digest]*respTally)}
+		p.batches[r.Seq] = bs
+		if p.policy.Slow > 0 {
+			id := types.TimerID{Kind: types.TimerRequestForwarded, Seq: r.Seq}
+			p.timerGen[id]++
+			p.c.scheduleTimer(p.c.now+p.policy.CertTimeout, p.c.poolIdx(), id, p.timerGen[id])
+		}
+	}
+	if bs.done {
+		return
+	}
+	mk := matchKey(r)
+	tally := bs.tallies[mk]
+	if tally == nil {
+		tally = &respTally{results: r.Results, digest: r.Digest, history: r.History, view: r.View}
+		bs.tallies[mk] = tally
+	}
+	if !tally.replicas.set(from) {
+		return
+	}
+	if tally.replicas.count() >= p.policy.Fast {
+		p.complete(r.Seq, bs, tally)
+	}
+}
+
+// onLocalCommit tallies slow-path acknowledgements.
+func (p *clientPool) onLocalCommit(from int, lc *types.LocalCommit) {
+	bs := p.batches[lc.Seq]
+	if bs == nil || bs.done {
+		return
+	}
+	for _, tally := range bs.tallies {
+		if tally.digest == lc.Digest {
+			if tally.certAcks.set(from) && tally.certAcks.count() >= p.policy.CertAck {
+				p.complete(lc.Seq, bs, tally)
+			}
+			return
+		}
+	}
+}
+
+// complete finishes every transaction covered by the winning tally and
+// issues replacement requests (closed loop).
+func (p *clientPool) complete(seq types.SeqNum, bs *batchState, tally *respTally) {
+	bs.done = true
+	if tally.view > p.view {
+		p.view = tally.view
+		p.primary = int(types.Primary(p.view, p.c.cfg.N))
+	}
+	for i := range tally.results {
+		res := &tally.results[i]
+		key := types.RequestKey{Client: res.Client, ReqNo: res.ReqNo}
+		txn, ok := p.txns[key]
+		if !ok {
+			continue // already completed under an earlier seq (re-proposal)
+		}
+		delete(p.txns, key)
+		p.collector.Record(p.c.now, p.c.now-txn.sent)
+		p.issue(int(res.Client) - 1)
+	}
+}
+
+// handleTimer implements node.
+func (p *clientPool) handleTimer(t types.TimerID, gen uint64) {
+	if p.timerGen[t] != gen {
+		return
+	}
+	switch t.Kind {
+	case types.TimerRequestForwarded:
+		p.onCertTimer(t.Seq)
+	case types.TimerClientRetry:
+		p.onSweep()
+	}
+	p.flushSends()
+}
+
+// onCertTimer fires the Zyzzyva/MinZZ slow path for a batch whose fast
+// quorum did not form in time.
+func (p *clientPool) onCertTimer(seq types.SeqNum) {
+	bs := p.batches[seq]
+	if bs == nil || bs.done {
+		return
+	}
+	// Find the best-supported value.
+	var best *respTally
+	for _, tally := range bs.tallies {
+		if best == nil || tally.replicas.count() > best.replicas.count() {
+			best = tally
+		}
+	}
+	if best == nil {
+		return
+	}
+	if !bs.certSent && best.replicas.count() >= p.policy.Slow {
+		bs.certSent = true
+		p.certsSent++
+		cert := &types.CommitCert{
+			View:    best.view,
+			Seq:     seq,
+			Digest:  best.digest,
+			History: best.history,
+		}
+		for idx := range p.c.replicas {
+			p.sendTo(idx, cert)
+		}
+	}
+	// Re-arm in case acks get lost too.
+	id := types.TimerID{Kind: types.TimerRequestForwarded, Seq: seq}
+	p.timerGen[id]++
+	p.c.scheduleTimer(p.c.now+p.policy.CertTimeout, p.c.poolIdx(), id, p.timerGen[id])
+}
+
+// onSweep re-broadcasts requests that have waited longer than RetryTimeout.
+func (p *clientPool) onSweep() {
+	cutoff := p.c.now - p.policy.RetryTimeout
+	for _, txn := range p.txns {
+		last := txn.sent
+		if txn.lastResend > last {
+			last = txn.lastResend
+		}
+		if last <= cutoff {
+			txn.lastResend = p.c.now
+			p.resends++
+			resend := &types.ClientResend{Request: txn.req}
+			for idx := range p.c.replicas {
+				p.sendTo(idx, resend)
+			}
+		}
+	}
+	p.armSweep()
+}

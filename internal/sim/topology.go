@@ -1,0 +1,99 @@
+package sim
+
+import "time"
+
+// Region indexes into the WAN latency matrix. The paper's Section 9.7
+// deployment spans six OCI regions in this order.
+type Region int
+
+// The six evaluation regions.
+const (
+	SanJose Region = iota
+	Ashburn
+	Sydney
+	SaoPaulo
+	Montreal
+	Marseille
+	numRegions
+)
+
+var regionNames = [...]string{"San Jose", "Ashburn", "Sydney", "São Paulo", "Montreal", "Marseille"}
+
+// String implements fmt.Stringer.
+func (r Region) String() string {
+	if int(r) < len(regionNames) {
+		return regionNames[r]
+	}
+	return "Region?"
+}
+
+// wanOneWay is the approximate one-way latency matrix (milliseconds) between
+// the six regions, from public inter-region RTT measurements.
+var wanOneWay = [numRegions][numRegions]int{
+	//            SJ   ASH  SYD  SP   MTL  MRS
+	SanJose:   {0, 32, 74, 97, 40, 80},
+	Ashburn:   {32, 0, 100, 60, 8, 42},
+	Sydney:    {74, 100, 0, 160, 105, 140},
+	SaoPaulo:  {97, 60, 160, 0, 65, 95},
+	Montreal:  {40, 8, 105, 65, 0, 45},
+	Marseille: {80, 42, 140, 95, 45, 0},
+}
+
+// Topology maps replicas to regions and yields link latencies.
+type Topology struct {
+	// RegionOf[i] is replica i's region.
+	RegionOf []Region
+	// ClientRegion hosts the client pool.
+	ClientRegion Region
+	// LocalOneWay is the same-region one-way latency (LAN / same-DC).
+	LocalOneWay time.Duration
+}
+
+// LANTopology places all n replicas and the clients in one region with the
+// paper's single-datacenter latency (~0.25ms one-way).
+func LANTopology(n int) *Topology {
+	t := &Topology{
+		RegionOf:     make([]Region, n),
+		ClientRegion: SanJose,
+		LocalOneWay:  100 * time.Microsecond,
+	}
+	return t
+}
+
+// WANTopology spreads n replicas round-robin across the first `regions`
+// regions in the paper's order, clients in San Jose.
+func WANTopology(n, regions int) *Topology {
+	if regions < 1 {
+		regions = 1
+	}
+	if regions > int(numRegions) {
+		regions = int(numRegions)
+	}
+	t := LANTopology(n)
+	for i := 0; i < n; i++ {
+		t.RegionOf[i] = Region(i % regions)
+	}
+	return t
+}
+
+// oneWay returns the one-way latency between two regions.
+func (t *Topology) oneWay(a, b Region) time.Duration {
+	if a == b {
+		return t.LocalOneWay
+	}
+	return time.Duration(wanOneWay[a][b]) * time.Millisecond
+}
+
+// ReplicaLink returns the one-way latency from replica i to replica j.
+func (t *Topology) ReplicaLink(i, j int) time.Duration {
+	if i == j {
+		return 10 * time.Microsecond // loopback self-delivery
+	}
+	return t.oneWay(t.RegionOf[i], t.RegionOf[j])
+}
+
+// ClientLink returns the one-way latency between the client pool and
+// replica i.
+func (t *Topology) ClientLink(i int) time.Duration {
+	return t.oneWay(t.ClientRegion, t.RegionOf[i])
+}

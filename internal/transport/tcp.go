@@ -1,0 +1,218 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"flexitrust/internal/types"
+	"flexitrust/internal/wire"
+)
+
+// TCPTransport connects endpoints over TCP with length-prefixed wire frames.
+// Each node listens on its own address; outbound connections are dialed
+// lazily, announced with a Hello handshake, and reused. Failed peers are
+// redialed with backoff on the next send.
+type TCPTransport struct {
+	self     Addr
+	listen   net.Listener
+	peers    map[Addr]string // static address book for replicas
+	mu       sync.Mutex
+	conns    map[Addr]net.Conn
+	handler  Handler
+	hmu      sync.RWMutex
+	closed    chan struct{}
+	closeOnce sync.Once
+	lastDial  map[Addr]time.Time
+	wg        sync.WaitGroup
+}
+
+// NewTCP starts a TCP transport for self, listening on bind, with the
+// replica address book peers (replica id → host:port). Clients dial in and
+// are learned from their Hello.
+func NewTCP(self Addr, bind string, peers map[int32]string) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", bind, err)
+	}
+	book := make(map[Addr]string, len(peers))
+	for id, hostport := range peers {
+		book[ReplicaAddr(id)] = hostport
+	}
+	t := &TCPTransport{
+		self:     self,
+		listen:   ln,
+		peers:    book,
+		conns:    make(map[Addr]net.Conn),
+		closed:   make(chan struct{}),
+		lastDial: make(map[Addr]time.Time),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address.
+func (t *TCPTransport) Addr() string { return t.listen.Addr().String() }
+
+// SetHandler implements Transport.
+func (t *TCPTransport) SetHandler(h Handler) {
+	t.hmu.Lock()
+	t.handler = h
+	t.hmu.Unlock()
+}
+
+// acceptLoop admits inbound connections.
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listen.Accept()
+		if err != nil {
+			select {
+			case <-t.closed:
+				return
+			default:
+				continue
+			}
+		}
+		t.wg.Add(1)
+		go t.readLoop(conn, nil)
+	}
+}
+
+// readLoop pumps frames into the handler. For inbound connections the peer
+// identity comes from its Hello handshake; for dialed connections the caller
+// already knows who it connected to and passes `known`.
+func (t *TCPTransport) readLoop(conn net.Conn, known *Addr) {
+	defer t.wg.Done()
+	defer conn.Close()
+	var peer Addr
+	introduced := false
+	if known != nil {
+		peer = *known
+		introduced = true
+	}
+	for {
+		env, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		if hello, ok := env.Msg.(*types.Hello); ok {
+			if hello.IsClient {
+				peer = ClientAddr(uint64(hello.Client))
+			} else {
+				peer = ReplicaAddr(int32(hello.Replica))
+			}
+			introduced = true
+			t.mu.Lock()
+			if _, exists := t.conns[peer]; !exists {
+				t.conns[peer] = conn
+			}
+			t.mu.Unlock()
+			continue
+		}
+		if !introduced {
+			return // protocol messages before Hello: hang up
+		}
+		// Stamp the authenticated identity; bodies cannot impersonate.
+		if peer.IsClient {
+			env.IsClient = true
+			env.Client = types.ClientID(peer.Client)
+		} else {
+			env.IsClient = false
+			env.From = types.ReplicaID(peer.Replica)
+		}
+		t.hmu.RLock()
+		h := t.handler
+		t.hmu.RUnlock()
+		if h != nil {
+			h(env)
+		}
+	}
+}
+
+// Send implements Transport.
+func (t *TCPTransport) Send(to Addr, env *wire.Envelope) {
+	conn := t.conn(to)
+	if conn == nil {
+		return
+	}
+	if err := wire.WriteFrame(conn, env); err != nil {
+		t.dropConn(to, conn)
+	}
+}
+
+// conn returns (dialing if needed) the connection to a peer.
+func (t *TCPTransport) conn(to Addr) net.Conn {
+	t.mu.Lock()
+	if c, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return c
+	}
+	hostport, known := t.peers[to]
+	if !known {
+		t.mu.Unlock()
+		return nil // clients are reached only over their inbound conns
+	}
+	if time.Since(t.lastDial[to]) < 200*time.Millisecond {
+		t.mu.Unlock()
+		return nil // backoff
+	}
+	t.lastDial[to] = time.Now()
+	t.mu.Unlock()
+
+	c, err := net.DialTimeout("tcp", hostport, time.Second)
+	if err != nil {
+		return nil
+	}
+	hello := &types.Hello{}
+	if t.self.IsClient {
+		hello.IsClient = true
+		hello.Client = types.ClientID(t.self.Client)
+	} else {
+		hello.Replica = types.ReplicaID(t.self.Replica)
+	}
+	if err := wire.WriteFrame(c, &wire.Envelope{Msg: hello}); err != nil {
+		c.Close()
+		return nil
+	}
+	t.mu.Lock()
+	if existing, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		c.Close()
+		return existing
+	}
+	t.conns[to] = c
+	t.mu.Unlock()
+	t.wg.Add(1)
+	peer := to
+	go t.readLoop(c, &peer)
+	return c
+}
+
+// dropConn discards a broken connection so the next send redials.
+func (t *TCPTransport) dropConn(to Addr, c net.Conn) {
+	t.mu.Lock()
+	if t.conns[to] == c {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+	c.Close()
+}
+
+// Close implements Transport. It is idempotent.
+func (t *TCPTransport) Close() error {
+	var err error
+	t.closeOnce.Do(func() {
+		close(t.closed)
+		err = t.listen.Close()
+		t.mu.Lock()
+		for _, c := range t.conns {
+			c.Close()
+		}
+		t.conns = make(map[Addr]net.Conn)
+		t.mu.Unlock()
+	})
+	return err
+}

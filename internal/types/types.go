@@ -1,0 +1,415 @@
+// Package types defines the identifiers, digests and protocol messages shared
+// by every consensus protocol in this repository. It has no dependencies so
+// that the crypto, trusted-component, simulator and protocol packages can all
+// build on it without cycles.
+package types
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// ReplicaID identifies a replica within a cluster. Replicas are numbered
+// 0..n-1; the primary of view v is replica v mod n.
+type ReplicaID int32
+
+// ClientID identifies a client of the replicated service.
+type ClientID uint64
+
+// View numbers the configuration epochs of a primary-backup protocol. The
+// primary of view v is replica (v mod n).
+type View uint64
+
+// SeqNum is a consensus sequence (slot) number. Slot numbering starts at 1;
+// 0 means "no slot".
+type SeqNum uint64
+
+// Digest is a SHA-256 hash of a message, batch or state snapshot.
+type Digest [32]byte
+
+// ZeroDigest is the digest of "nothing" (all zero bytes).
+var ZeroDigest Digest
+
+// String returns a short hex prefix of the digest for logging.
+func (d Digest) String() string { return hex.EncodeToString(d[:6]) }
+
+// IsZero reports whether the digest is the zero digest.
+func (d Digest) IsZero() bool { return d == ZeroDigest }
+
+// Primary returns the primary replica of view v in a cluster of n replicas.
+func Primary(v View, n int) ReplicaID { return ReplicaID(uint64(v) % uint64(n)) }
+
+// QuorumRule captures the reply threshold a client must collect before it
+// accepts a result, and the vote threshold replicas need between phases.
+// These are the knobs the paper turns: trust-bft protocols use f+1
+// everywhere, FlexiTrust uses 2f+1 votes with f+1 (Flexi-BFT) or 2f+1
+// (Flexi-ZZ) client replies, Zyzzyva's fast path needs all n replies.
+type QuorumRule struct {
+	// Votes is the number of matching protocol votes (Prepare/Commit)
+	// needed to advance a phase.
+	Votes int
+	// Replies is the number of matching client responses needed to accept
+	// a transaction result.
+	Replies int
+}
+
+// Attestation is a trusted component's signed statement binding a counter
+// value (or log slot) to a message digest: ⟨Attest(q, k, x)⟩_t in the paper.
+// Proof is the cryptographic material; its interpretation belongs to the
+// trusted package (HMAC in simulation, Ed25519 in the real runtime).
+type Attestation struct {
+	Replica ReplicaID // whose trusted component issued this
+	Counter uint32    // counter / log identifier q
+	Epoch   uint32    // counter incarnation; bumped by Create() after view change
+	Value   uint64    // counter value / log slot k
+	Digest  Digest    // message digest x bound to k
+	Proof   []byte
+}
+
+// String renders the attestation for logs and test failures.
+func (a *Attestation) String() string {
+	if a == nil {
+		return "<nil attestation>"
+	}
+	return fmt.Sprintf("attest{r%d q%d.%d k=%d %s}", a.Replica, a.Counter, a.Epoch, a.Value, a.Digest)
+}
+
+// Bytes returns the canonical byte encoding of the attested statement
+// (everything except the proof), used as the signing payload.
+func (a *Attestation) Bytes() []byte {
+	buf := make([]byte, 0, 4+4+4+8+32)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(a.Replica))
+	buf = binary.BigEndian.AppendUint32(buf, a.Counter)
+	buf = binary.BigEndian.AppendUint32(buf, a.Epoch)
+	buf = binary.BigEndian.AppendUint64(buf, a.Value)
+	buf = append(buf, a.Digest[:]...)
+	return buf
+}
+
+// MsgType enumerates every message kind exchanged by the protocols.
+type MsgType uint8
+
+// Message kinds. A single shared enum keeps the wire codec and the
+// simulator's dispatch tables simple; each protocol uses the subset it needs.
+const (
+	MsgInvalid MsgType = iota
+	MsgClientRequest
+	MsgRequestBatch
+	MsgPreprepare
+	MsgPrepare
+	MsgCommit
+	MsgResponse
+	MsgCheckpoint
+	MsgViewChange
+	MsgNewView
+	MsgCommitCert
+	MsgLocalCommit
+	MsgClientResend
+	MsgForward
+	MsgHello
+)
+
+var msgTypeNames = [...]string{
+	MsgInvalid:       "Invalid",
+	MsgClientRequest: "ClientRequest",
+	MsgRequestBatch:  "RequestBatch",
+	MsgPreprepare:    "Preprepare",
+	MsgPrepare:       "Prepare",
+	MsgCommit:        "Commit",
+	MsgResponse:      "Response",
+	MsgCheckpoint:    "Checkpoint",
+	MsgViewChange:    "ViewChange",
+	MsgNewView:       "NewView",
+	MsgCommitCert:    "CommitCert",
+	MsgLocalCommit:   "LocalCommit",
+	MsgClientResend:  "ClientResend",
+	MsgForward:       "Forward",
+	MsgHello:         "Hello",
+}
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	if int(t) < len(msgTypeNames) {
+		return msgTypeNames[t]
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Message is implemented by every protocol message.
+type Message interface {
+	Type() MsgType
+}
+
+// ClientRequest is a signed transaction ⟨T⟩_c submitted by a client.
+type ClientRequest struct {
+	Client    ClientID
+	ReqNo     uint64 // client-local sequence number; (Client, ReqNo) is unique
+	Op        []byte // serialized state-machine operation
+	Timestamp int64  // client send time (ns in simulation virtual time)
+	Sig       []byte // client signature over (Client, ReqNo, Op)
+}
+
+// Type implements Message.
+func (*ClientRequest) Type() MsgType { return MsgClientRequest }
+
+// Key returns the unique identity of this request.
+func (r *ClientRequest) Key() RequestKey { return RequestKey{r.Client, r.ReqNo} }
+
+// RequestKey uniquely identifies a client request.
+type RequestKey struct {
+	Client ClientID
+	ReqNo  uint64
+}
+
+// RequestBatch carries several client requests in one transport frame. The
+// simulator's client pool uses it to aggregate closed-loop client sends, and
+// ResilientDB-style client batching maps onto it as well.
+type RequestBatch struct {
+	Requests []*ClientRequest
+}
+
+// Type implements Message.
+func (*RequestBatch) Type() MsgType { return MsgRequestBatch }
+
+// Batch is an ordered group of client requests proposed as one consensus
+// value, plus its digest. The digest covers every request in order.
+type Batch struct {
+	Requests []*ClientRequest
+	Digest   Digest
+}
+
+// Len returns the number of requests in the batch.
+func (b *Batch) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.Requests)
+}
+
+// Preprepare is the primary's proposal binding a batch to (view, seq).
+// Trust-based protocols attach the trusted component's attestation; for
+// trusted-log protocols (PBFT-EA) the attestation doubles as the log entry
+// proof.
+type Preprepare struct {
+	View   View
+	Seq    SeqNum
+	Batch  *Batch
+	Attest *Attestation // nil for plain BFT protocols (PBFT, Zyzzyva)
+	Sig    []byte       // primary's signature (real runtime)
+}
+
+// Type implements Message.
+func (*Preprepare) Type() MsgType { return MsgPreprepare }
+
+// Prepare is a backup's vote supporting a Preprepare. In trust-bft protocols
+// each replica attaches its own trusted attestation; in FlexiTrust protocols
+// it relays the primary's.
+type Prepare struct {
+	View    View
+	Seq     SeqNum
+	Digest  Digest
+	Replica ReplicaID
+	Attest  *Attestation // per-replica attestation (PBFT-EA/MinBFT); nil otherwise
+	Sig     []byte
+}
+
+// Type implements Message.
+func (*Prepare) Type() MsgType { return MsgPrepare }
+
+// Commit is the second all-to-all vote used by three-phase protocols.
+type Commit struct {
+	View    View
+	Seq     SeqNum
+	Digest  Digest
+	Replica ReplicaID
+	Attest  *Attestation
+	Sig     []byte
+}
+
+// Type implements Message.
+func (*Commit) Type() MsgType { return MsgCommit }
+
+// Result is the outcome of executing one client request.
+type Result struct {
+	Client ClientID
+	ReqNo  uint64
+	Value  []byte
+}
+
+// Response carries execution results for a whole batch back to the client
+// layer. The real runtime fans it out per client; the simulator's client pool
+// consumes it directly. History is Zyzzyva's cumulative history digest (zero
+// for other protocols).
+type Response struct {
+	Replica ReplicaID
+	View    View
+	Seq     SeqNum
+	Digest  Digest // batch digest the results correspond to
+	History Digest
+	Results []Result
+	// Speculative marks speculative execution (Zyzzyva/MinZZ/Flexi-ZZ fast
+	// path) where the client must apply its own commit rule.
+	Speculative bool
+	Sig         []byte
+}
+
+// Type implements Message.
+func (*Response) Type() MsgType { return MsgResponse }
+
+// Checkpoint advertises a replica's executed-state digest at a checkpoint
+// sequence number, enabling log truncation.
+type Checkpoint struct {
+	Replica     ReplicaID
+	Seq         SeqNum
+	StateDigest Digest
+	Attest      *Attestation // trusted counter/log state proof (trust-bft)
+	Sig         []byte
+}
+
+// Type implements Message.
+func (*Checkpoint) Type() MsgType { return MsgCheckpoint }
+
+// PreparedProof certifies that a batch was prepared: the Preprepare plus the
+// vote set that backed it. View-change messages carry these so the next
+// primary can re-propose.
+type PreparedProof struct {
+	Preprepare *Preprepare
+	Prepares   []*Prepare // 2f+1 (or f+1 for trust-bft) matching prepares
+}
+
+// ViewChange asks to replace the primary of view NewView-1.
+type ViewChange struct {
+	Replica    ReplicaID
+	NewView    View
+	StableSeq  SeqNum            // last stable checkpoint
+	Checkpoint *Checkpoint       // proof of the stable checkpoint
+	Prepared   []*PreparedProof  // per-slot prepared certificates above StableSeq
+	Preprepares []*Preprepare    // Flexi-ZZ: all preprepares received (speculative)
+	Attest     *Attestation      // trusted state proof where applicable
+	Sig        []byte
+}
+
+// Type implements Message.
+func (*ViewChange) Type() MsgType { return MsgViewChange }
+
+// NewView is the incoming primary's installation message: the view-change
+// quorum it collected and the slots it re-proposes.
+type NewView struct {
+	View        View
+	ViewChanges []*ViewChange
+	Proposals   []*Preprepare // sorted by sequence number; no-ops fill gaps
+	CounterInit *Attestation  // FlexiTrust: Create() attestation for the fresh counter
+	Sig         []byte
+}
+
+// Type implements Message.
+func (*NewView) Type() MsgType { return MsgNewView }
+
+// CommitCert is Zyzzyva's slow-path certificate: the client proves that
+// 2f+1 replicas speculatively executed the same history so replicas can
+// commit locally.
+type CommitCert struct {
+	Client    ClientID
+	View      View
+	Seq       SeqNum
+	Digest    Digest
+	History   Digest
+	Responses []*Response // 2f+1 matching speculative responses
+}
+
+// Type implements Message.
+func (*CommitCert) Type() MsgType { return MsgCommitCert }
+
+// LocalCommit acknowledges a CommitCert.
+type LocalCommit struct {
+	Replica ReplicaID
+	View    View
+	Seq     SeqNum
+	Digest  Digest
+	Client  ClientID
+	Sig     []byte
+}
+
+// Type implements Message.
+func (*LocalCommit) Type() MsgType { return MsgLocalCommit }
+
+// ClientResend is a client's complaint that it has not collected enough
+// matching responses; replicas either answer from their cache or forward the
+// request to the primary and start a view-change timer.
+type ClientResend struct {
+	Request *ClientRequest
+}
+
+// Type implements Message.
+func (*ClientResend) Type() MsgType { return MsgClientResend }
+
+// Forward relays a client request from a backup to the primary.
+type Forward struct {
+	Replica ReplicaID
+	Request *ClientRequest
+}
+
+// Type implements Message.
+func (*Forward) Type() MsgType { return MsgForward }
+
+// Hello announces a node on a transport (real runtime handshake).
+type Hello struct {
+	Replica ReplicaID
+	Client  ClientID
+	IsClient bool
+}
+
+// Type implements Message.
+func (*Hello) Type() MsgType { return MsgHello }
+
+// TimerKind enumerates protocol timers.
+type TimerKind uint8
+
+// Timer kinds.
+const (
+	TimerNone TimerKind = iota
+	// TimerViewChange fires when progress stalls and the replica should
+	// suspect the primary.
+	TimerViewChange
+	// TimerBatch fires to flush a partially filled batch at the primary.
+	TimerBatch
+	// TimerCheckpoint triggers periodic checkpointing.
+	TimerCheckpoint
+	// TimerClientRetry fires at the client library when responses are late.
+	TimerClientRetry
+	// TimerRequestForwarded fires when a forwarded request has not been
+	// pre-prepared in time (Flexi-ZZ view-change trigger).
+	TimerRequestForwarded
+)
+
+var timerKindNames = [...]string{
+	TimerNone:             "None",
+	TimerViewChange:       "ViewChange",
+	TimerBatch:            "Batch",
+	TimerCheckpoint:       "Checkpoint",
+	TimerClientRetry:      "ClientRetry",
+	TimerRequestForwarded: "RequestForwarded",
+}
+
+// String implements fmt.Stringer.
+func (k TimerKind) String() string {
+	if int(k) < len(timerKindNames) {
+		return timerKindNames[k]
+	}
+	return fmt.Sprintf("TimerKind(%d)", uint8(k))
+}
+
+// TimerID identifies a pending timer. The same (Kind, View, Seq, Aux) tuple
+// re-arms rather than duplicates.
+type TimerID struct {
+	Kind TimerKind
+	View View
+	Seq  SeqNum
+	Aux  uint64 // client id or other discriminator
+}
+
+// String implements fmt.Stringer.
+func (t TimerID) String() string {
+	return fmt.Sprintf("timer{%s v%d s%d a%d}", t.Kind, t.View, t.Seq, t.Aux)
+}

@@ -1,0 +1,34 @@
+package flexitrust
+
+import (
+	"flexitrust/internal/engine"
+	"flexitrust/internal/protocols/flexibft"
+	"flexitrust/internal/protocols/flexizz"
+	"flexitrust/internal/protocols/minbft"
+	"flexitrust/internal/protocols/minzz"
+	"flexitrust/internal/protocols/pbft"
+	"flexitrust/internal/protocols/pbftea"
+	"flexitrust/internal/protocols/zyzzyva"
+)
+
+// constructor maps a Protocol to its implementation constructor.
+func constructor(p Protocol) func(engine.Config) engine.Protocol {
+	switch p {
+	case FlexiBFT:
+		return func(cfg engine.Config) engine.Protocol { return flexibft.New(cfg) }
+	case FlexiZZ:
+		return func(cfg engine.Config) engine.Protocol { return flexizz.New(cfg) }
+	case PBFT:
+		return func(cfg engine.Config) engine.Protocol { return pbft.New(cfg) }
+	case Zyzzyva:
+		return func(cfg engine.Config) engine.Protocol { return zyzzyva.New(cfg) }
+	case PBFTEA:
+		return func(cfg engine.Config) engine.Protocol { return pbftea.New(cfg) }
+	case MinBFT:
+		return func(cfg engine.Config) engine.Protocol { return minbft.New(cfg) }
+	case MinZZ:
+		return func(cfg engine.Config) engine.Protocol { return minzz.New(cfg) }
+	default:
+		return func(cfg engine.Config) engine.Protocol { return flexibft.New(cfg) }
+	}
+}
