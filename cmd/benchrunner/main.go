@@ -7,7 +7,8 @@
 //	benchrunner -exp fig6i -full    # one experiment at publication scale
 //	benchrunner -list
 //
-// Experiments: fig1, fig5, fig6i, fig6ii, fig6iv, fig6vi, fig7, fig8, fig9.
+// Experiments: fig1, fig5, fig6i, fig6ii, fig6iv, fig6vi, fig7, fig8, fig9,
+// shard.
 package main
 
 import (
@@ -46,6 +47,8 @@ func experiments() []experiment {
 			func(s harness.Scale) string { return harness.Fig8TCSweep(nil, s).String() }},
 		{"fig9", "throughput-per-machine, Flexi-ZZ vs MinZZ",
 			func(s harness.Scale) string { return harness.Fig9PerMachine(nil, s).String() }},
+		{"shard", "shard scaling: co-located consensus groups, FlexiTrust vs MinBFT/MinZZ",
+			func(s harness.Scale) string { return harness.FigShardScaling(nil, s).String() }},
 	}
 }
 

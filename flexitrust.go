@@ -29,6 +29,34 @@
 //     comparison; see the paper's Sections 5–7 for why their responsiveness,
 //     rollback-safety and sequential-throughput caveats matter.
 //
+// # Sharded deployment
+//
+// FlexiTrust's defining property — the trusted counter is touched once per
+// consensus, at the primary, so instances run fully in parallel — also
+// composes across consensus groups. NewShardedCluster runs S independent
+// groups, each with its own replicas and a private trusted-counter
+// namespace, behind a deterministic keyspace router:
+//
+//	cluster, _ := flexitrust.NewShardedCluster(flexitrust.ShardOptions{
+//	    Shards:   4,
+//	    Protocol: flexitrust.FlexiBFT,
+//	    Clients:  []flexitrust.ClientID{1},
+//	})
+//	defer cluster.Stop()
+//	sess := cluster.Session(1)
+//	sess.Put(ctx, 42, []byte("hello"))        // routed to ShardFor(42)
+//	vals, vers, _ := sess.MultiGet(ctx, []uint64{42, 99, 7})
+//
+// Single-key operations take a fast path to the one group owning the key;
+// MultiGet reads across shards read-committed, fenced by per-shard commit
+// watermarks, and reports the per-shard versions it read at (vers). Run a
+// FlexiTrust protocol here: sharded Flexi-BFT/Flexi-ZZ scale near-linearly
+// with S, while MinBFT/MinZZ groups each stay serialized by their
+// host-sequenced counters (reproduce the contrast with
+// `benchrunner -exp shard` or BenchmarkShardedThroughput). Cross-shard
+// write atomicity (2PC), shard rebalancing and per-shard failover are
+// deliberately out of scope for now; see ROADMAP.md.
+//
 // The measurement side lives under internal/harness and is exposed through
 // cmd/benchrunner and the repository-root benchmarks.
 package flexitrust
@@ -172,7 +200,7 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		Replies:          opts.Protocol.Replies(n, opts.F),
 		Clients:          opts.Clients,
 		TrustedProfile:   trusted.ProfileSGXEnclave,
-		KeepLog:          opts.Protocol == PBFTEA,
+		KeepLog:          trustedKeepLog(opts.Protocol),
 		EmulateTCLatency: opts.EmulateTrustedLatency,
 		Records:          opts.Records,
 		Verbose:          opts.Verbose,
@@ -189,9 +217,11 @@ func (c *Cluster) NewClient(id ClientID) *Client { return c.inner.NewClient(id) 
 // Stop halts every replica.
 func (c *Cluster) Stop() { c.inner.Stop() }
 
-// StateDigest returns replica r's state-machine digest.
+// StateDigest returns replica r's state-machine digest (read on the
+// replica's event goroutine, so it is safe while the cluster runs).
 func (c *Cluster) StateDigest(r ReplicaID) Digest {
-	return c.inner.Nodes[r].Store().StateDigest()
+	d, _ := c.inner.Nodes[r].DigestSnapshot()
+	return d
 }
 
 // CrashReplica fail-stops one replica (failure demos; the protocols keep

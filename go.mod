@@ -1,0 +1,3 @@
+module flexitrust
+
+go 1.24

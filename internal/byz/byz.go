@@ -54,8 +54,8 @@ type RollbackPrimary struct {
 	// response for T (it is allowed to: byzantine ≠ silent).
 	ReplyToClient bool
 
-	env       engine.Env
-	fired     bool
+	env         engine.Env
+	fired       bool
 	RollbackErr error // recorded result of the Restore call
 }
 

@@ -94,12 +94,12 @@ type Provider interface {
 // simulator can reconstruct identical keyrings on every node without a key
 // distribution protocol.
 type Keyring struct {
-	n        int
-	pubs     []ed25519.PublicKey
-	privs    []ed25519.PrivateKey
+	n          int
+	pubs       []ed25519.PublicKey
+	privs      []ed25519.PrivateKey
 	clientPub  map[types.ClientID]ed25519.PublicKey
 	clientPriv map[types.ClientID]ed25519.PrivateKey
-	macKeys  [][]byte // pairwise symmetric keys, indexed i*n+j (i<=j)
+	macKeys    [][]byte // pairwise symmetric keys, indexed i*n+j (i<=j)
 }
 
 // NewKeyring deterministically derives keys for n replicas and the given

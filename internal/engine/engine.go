@@ -122,6 +122,15 @@ type Config struct {
 	// The simulator sets it (digest costs are modeled, not recomputed);
 	// the real runtime verifies digests.
 	SkipBatchDigestCheck bool
+
+	// TrustedNamespace, when nonzero, confines this instance's trusted
+	// counter/log identifiers to a private namespace of its (possibly
+	// shared) trusted component, and makes attestation verification expect
+	// that namespace. Sharded deployments (internal/shard) give every
+	// consensus group a distinct namespace so co-hosted protocol instances
+	// can never alias one another's counters; see trusted.Namespaced. All
+	// replicas of one group must use the same namespace.
+	TrustedNamespace uint16
 }
 
 // DefaultConfig returns the paper's standard setup for a given f: batch size

@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"fmt"
+
+	"flexitrust/internal/engine"
+	"flexitrust/internal/shard"
+	"flexitrust/internal/sim"
+)
+
+// Shard-scaling experiment: S consensus groups co-located on one set of
+// machines behind internal/shard's keyspace router, per-shard load held
+// constant (weak scaling). Each group runs in its own discrete-event cluster
+// with its own trusted-counter namespace; results merge under the
+// co-location model the protocol's trusted-component discipline dictates
+// (shard.TCParallel for FlexiTrust — one primary-side access per consensus —
+// vs shard.TCExclusive for MinBFT/MinZZ, whose machine-wide host-sequenced
+// USIG stream forces co-hosted groups to time-share; see
+// internal/shard/aggregate.go for the full argument).
+
+// shardScalingF keeps the per-group clusters small: sharding is the
+// low-f/many-groups regime, and the figure's point is the scaling shape,
+// not the replication factor.
+const shardScalingF = 2
+
+// shardScalingClientsPerShard is the constant per-shard offered load.
+const shardScalingClientsPerShard = 6000
+
+// ShardScalingPoint measures one (protocol, shard count) configuration and
+// returns the merged cluster-level result. Group g of an S-shard run uses a
+// distinct seed and trusted-counter namespace g+1.
+func ShardScalingPoint(protocol string, shards int, scale Scale) (sim.Results, error) {
+	spec, err := ByName(protocol)
+	if err != nil {
+		return sim.Results{}, err
+	}
+	groups := make([]sim.Results, shards)
+	for g := 0; g < shards; g++ {
+		g := g
+		opts := DefaultOptions()
+		opts.F = shardScalingF
+		opts.Clients = shardScalingClientsPerShard
+		scale.apply(&opts)
+		opts.Seed = int64(1000*shards + g + 1)
+		opts.EngineTweak = func(cfg *engine.Config) {
+			cfg.TrustedNamespace = uint16(g + 1)
+		}
+		groups[g] = Run(spec, opts)
+	}
+	return shard.MergeSimResults(groups, coLocationModel(spec)), nil
+}
+
+// coLocationModel keys the merge model on the protocol's trusted-component
+// discipline, matching internal/shard/aggregate.go: protocols whose every
+// replica binds messages to the machine's trusted component (MinBFT, MinZZ,
+// PBFT-EA — PrimaryOnlyTC false) must time-share the machine-wide stream
+// across co-located groups, while primary-only once-per-consensus accessors
+// (the FlexiTrust family, including its sequential o-ablations) and
+// trusted-component-free baselines interleave freely. Note OutOfOrder is NOT
+// the discriminator: oFlexi-BFT is sequential by configuration, but its
+// counter discipline still lets co-located groups run in parallel.
+func coLocationModel(spec Spec) shard.TCSharing {
+	if spec.Meta.TrustedAbstraction != "none" && !spec.Meta.PrimaryOnlyTC {
+		return shard.TCExclusive
+	}
+	return shard.TCParallel
+}
+
+// FigShardScaling sweeps the shard count for the FlexiTrust protocols
+// against MinBFT/MinZZ: near-linear aggregate throughput for the former,
+// flat for the latter — the parallel-instance property of the paper's
+// Section 8 turned into horizontal scale-out.
+func FigShardScaling(shards []int, scale Scale) *Table {
+	if len(shards) == 0 {
+		shards = []int{1, 2, 4, 8}
+	}
+	t := &Table{Title: fmt.Sprintf(
+		"Shard scaling: S co-located consensus groups, f=%d, %d clients/shard",
+		shardScalingF, shardScalingClientsPerShard)}
+	for _, name := range []string{"Flexi-BFT", "Flexi-ZZ", "MinBFT", "MinZZ"} {
+		for _, s := range shards {
+			res, err := ShardScalingPoint(name, s, scale)
+			if err != nil {
+				continue
+			}
+			t.Rows = append(t.Rows, Row{Label: name,
+				Params: fmt.Sprintf("shards=%d", s), Result: res})
+		}
+	}
+	return t
+}

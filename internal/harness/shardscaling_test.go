@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestShardScalingContrast is the headline check of the sharded layer: at 4
+// shards, the FlexiTrust protocols' aggregate throughput must scale to at
+// least 2.5× their single-group throughput, while the sequential-trusted-
+// counter protocols stay within 1.5× (their machine-wide USIG stream forces
+// co-located groups to time-share; see internal/shard/aggregate.go).
+func TestShardScalingContrast(t *testing.T) {
+	const scale = Scale(8)
+	cases := []struct {
+		name     string
+		min, max float64
+	}{
+		{"Flexi-BFT", 2.5, 0},
+		{"Flexi-ZZ", 2.5, 0},
+		{"MinBFT", 0, 1.5},
+		{"MinZZ", 0, 1.5},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			one, err := ShardScalingPoint(tc.name, 1, scale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			four, err := ShardScalingPoint(tc.name, 4, scale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if one.Throughput <= 0 {
+				t.Fatalf("%s: single-group run committed nothing", tc.name)
+			}
+			ratio := four.Throughput / one.Throughput
+			t.Logf("%-10s 1-shard=%.0f txn/s  4-shard=%.0f txn/s  ratio=%.2f",
+				tc.name, one.Throughput, four.Throughput, ratio)
+			if tc.min > 0 && ratio < tc.min {
+				t.Fatalf("%s: 4-shard speedup %.2f below %.1f", tc.name, ratio, tc.min)
+			}
+			if tc.max > 0 && ratio > tc.max {
+				t.Fatalf("%s: 4-shard speedup %.2f above %.1f (should be flat)", tc.name, ratio, tc.max)
+			}
+		})
+	}
+}

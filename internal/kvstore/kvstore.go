@@ -67,6 +67,19 @@ func DecodeOp(b []byte) (*Op, error) {
 	return o, nil
 }
 
+// KeyHash is the canonical 64-bit mix of a store key (a splitmix64
+// finalizer). It is the one hash every layer that partitions the keyspace
+// must agree on — the shard router derives key→shard placement from it — so
+// that routing stays deterministic across processes and releases. YCSB-style
+// workloads use dense small integers as keys; the finalizer spreads them
+// uniformly across the 64-bit space.
+func KeyHash(key uint64) uint64 {
+	z := key + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Store is the key-value state machine. It is not safe for concurrent use;
 // the engine executes batches single-threaded in sequence-number order, as
 // RSM semantics demand.

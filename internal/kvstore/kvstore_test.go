@@ -165,3 +165,33 @@ func TestSnapshotRestoreProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestKeyHashSpreadsDenseKeys pins the canonical key hash: it must be a pure
+// function (stable across processes — shard routing depends on it) and must
+// spread dense integer keys across the value space rather than preserving
+// their low bits.
+func TestKeyHashSpreadsDenseKeys(t *testing.T) {
+	if KeyHash(0) == 0 || KeyHash(1) == 1 {
+		t.Fatal("KeyHash looks like identity on small keys")
+	}
+	if KeyHash(7) != KeyHash(7) {
+		t.Fatal("KeyHash is not deterministic")
+	}
+	// Dense keys must not collide and must populate both halves of the
+	// 64-bit space (a low-bit-preserving hash would keep them all small).
+	seen := make(map[uint64]bool)
+	high := 0
+	for k := uint64(0); k < 4096; k++ {
+		h := KeyHash(k)
+		if seen[h] {
+			t.Fatalf("collision at key %d", k)
+		}
+		seen[h] = true
+		if h >= 1<<63 {
+			high++
+		}
+	}
+	if high < 4096/4 || high > 3*4096/4 {
+		t.Fatalf("dense keys skewed: %d/4096 hashes in the high half", high)
+	}
+}

@@ -95,6 +95,45 @@ func (c *Collector) Percentile(p float64) time.Duration {
 	return sorted[idx]
 }
 
+// Merge combines several collectors — one per shard in a sharded deployment —
+// into a single cluster-level collector: completion counters are summed and
+// latency samples pooled (capped at the merged collector's sample budget), so
+// Throughput/MeanLatency/Percentile answer for the cluster as a whole. The
+// inputs keep their measurement windows; the merged collector adopts the
+// first input's window for any further Record calls.
+func Merge(cs ...*Collector) *Collector {
+	out := NewCollector(0)
+	total := 0
+	for i, c := range cs {
+		if c == nil {
+			continue
+		}
+		if i == 0 {
+			out.windowStart, out.windowEnd = c.windowStart, c.windowEnd
+		}
+		out.completed += c.completed
+		out.totalDone += c.totalDone
+		total += len(c.latencies)
+	}
+	// When the pooled samples exceed the budget, thin each input by the same
+	// stride rather than truncating later inputs wholesale — every shard must
+	// keep contributing to the merged percentiles, or a slow late shard would
+	// silently vanish from the cluster tail.
+	stride := 1
+	if total > out.maxSamples {
+		stride = (total + out.maxSamples - 1) / out.maxSamples
+	}
+	for _, c := range cs {
+		if c == nil {
+			continue
+		}
+		for i := 0; i < len(c.latencies); i += stride {
+			out.latencies = append(out.latencies, c.latencies[i])
+		}
+	}
+	return out
+}
+
 // Summary is a human-readable result row.
 func (c *Collector) Summary(windowLen time.Duration) string {
 	return fmt.Sprintf("throughput=%.0f txn/s mean_lat=%s p50=%s p99=%s n=%d",

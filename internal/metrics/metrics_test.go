@@ -88,3 +88,36 @@ func TestSummaryRendering(t *testing.T) {
 		t.Fatal("empty summary")
 	}
 }
+
+// TestMergeAggregatesShards checks that Merge sums counters and pools
+// latency samples across per-shard collectors.
+func TestMergeAggregatesShards(t *testing.T) {
+	a := NewCollector(0)
+	b := NewCollector(0)
+	a.SetWindow(0, time.Second)
+	b.SetWindow(0, time.Second)
+	for i := 0; i < 10; i++ {
+		a.Record(time.Millisecond, 1*time.Millisecond)
+	}
+	for i := 0; i < 30; i++ {
+		b.Record(time.Millisecond, 3*time.Millisecond)
+	}
+	m := Merge(a, b)
+	if m.Completed() != 40 || m.TotalDone() != 40 {
+		t.Fatalf("merged counters wrong: %d/%d", m.Completed(), m.TotalDone())
+	}
+	if got := m.Throughput(time.Second); got != 40 {
+		t.Fatalf("merged throughput %v", got)
+	}
+	// Pooled mean: (10*1ms + 30*3ms)/40 = 2.5ms.
+	if got := m.MeanLatency(); got != 2500*time.Microsecond {
+		t.Fatalf("merged mean latency %v", got)
+	}
+	if got := m.Percentile(99); got != 3*time.Millisecond {
+		t.Fatalf("merged p99 %v", got)
+	}
+	// Merging nothing (or nils) must not panic.
+	if Merge().Completed() != 0 || Merge(nil, a).Completed() != 10 {
+		t.Fatal("degenerate merges wrong")
+	}
+}

@@ -75,7 +75,7 @@ type Base struct {
 	// inProgress dedups requests between arrival and execution.
 	inProgress map[types.RequestKey]bool
 	// forwarded counts requests sent to the primary that have not executed.
-	forwarded int
+	forwarded  int
 	lastExecAt time.Duration
 	vcVotes    map[types.View]map[types.ReplicaID]*types.ViewChange
 	nvSent     map[types.View]bool

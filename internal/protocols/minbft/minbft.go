@@ -53,9 +53,9 @@ type Protocol struct {
 	// buffered holds out-of-order Preprepares: the replica's trusted
 	// counter can only attest messages in consensus order, so gaps stall
 	// processing (the paper's Section 7 sequentiality argument).
-	buffered    map[types.SeqNum]*types.Preprepare
-	nextAccept  types.SeqNum
-	curEpoch    uint32
+	buffered   map[types.SeqNum]*types.Preprepare
+	nextAccept types.SeqNum
+	curEpoch   uint32
 }
 
 // New constructs a MinBFT replica for cfg. Parallel is forced off: the

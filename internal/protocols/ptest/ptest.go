@@ -80,10 +80,10 @@ func NewSiblingTC(env *Env, id types.ReplicaID) trusted.Component {
 // Cluster drives several protocol replicas with synchronous in-memory
 // delivery, for handler-level integration tests (view changes, quorums).
 type Cluster struct {
-	T        *testing.T
-	Cfg      engine.Config
-	Envs     []*Env
-	Protos   []engine.Protocol
+	T      *testing.T
+	Cfg    engine.Config
+	Envs   []*Env
+	Protos []engine.Protocol
 	// Cut drops messages between pairs: Cut[from][to].
 	Cut map[types.ReplicaID]map[types.ReplicaID]bool
 	// queue holds undelivered messages when Paused.
@@ -260,8 +260,8 @@ func (e *Env) ClearOutbox() { e.Outbox = nil }
 // trustingCrypto accepts everything (protocol-logic tests).
 type trustingCrypto struct{}
 
-func (trustingCrypto) Sign(_ []byte) []byte                                { return []byte("sig") }
-func (trustingCrypto) Verify(_ types.ReplicaID, _, _ []byte) bool          { return true }
-func (trustingCrypto) VerifyClient(_ types.ClientID, _, _ []byte) bool     { return true }
-func (trustingCrypto) MAC(_ types.ReplicaID, _ []byte) []byte              { return []byte("mac") }
-func (trustingCrypto) CheckMAC(_ types.ReplicaID, _, _ []byte) bool        { return true }
+func (trustingCrypto) Sign(_ []byte) []byte                            { return []byte("sig") }
+func (trustingCrypto) Verify(_ types.ReplicaID, _, _ []byte) bool      { return true }
+func (trustingCrypto) VerifyClient(_ types.ClientID, _, _ []byte) bool { return true }
+func (trustingCrypto) MAC(_ types.ReplicaID, _ []byte) []byte          { return []byte("mac") }
+func (trustingCrypto) CheckMAC(_ types.ReplicaID, _, _ []byte) bool    { return true }

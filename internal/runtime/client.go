@@ -38,11 +38,18 @@ type Client struct {
 	pending map[uint64]*pendingReq
 }
 
+// outcome is a resolved transaction: its result value and the consensus
+// sequence number the quorum committed it at (sharding watermarks need it).
+type outcome struct {
+	value []byte
+	seq   types.SeqNum
+}
+
 // pendingReq tracks one outstanding transaction.
 type pendingReq struct {
 	req     *types.ClientRequest
 	tallies map[string]map[types.ReplicaID]bool
-	done    chan []byte
+	done    chan outcome
 }
 
 // NewClient builds a client on its transport endpoint.
@@ -60,6 +67,14 @@ func NewClient(cfg ClientConfig) *Client {
 
 // Submit executes op through the replicated service and returns its result.
 func (c *Client) Submit(ctx context.Context, op []byte) ([]byte, error) {
+	res, _, err := c.SubmitSeq(ctx, op)
+	return res, err
+}
+
+// SubmitSeq executes op and additionally returns the consensus sequence
+// number the reply quorum committed it at. Sharded deployments use it to
+// maintain per-shard commit watermarks.
+func (c *Client) SubmitSeq(ctx context.Context, op []byte) ([]byte, types.SeqNum, error) {
 	c.mu.Lock()
 	c.nextReq++
 	req := &types.ClientRequest{
@@ -75,7 +90,7 @@ func (c *Client) Submit(ctx context.Context, op []byte) ([]byte, error) {
 	p := &pendingReq{
 		req:     req,
 		tallies: make(map[string]map[types.ReplicaID]bool),
-		done:    make(chan []byte, 1),
+		done:    make(chan outcome, 1),
 	}
 	c.pending[req.ReqNo] = p
 	primary := c.primary
@@ -94,7 +109,7 @@ func (c *Client) Submit(ctx context.Context, op []byte) ([]byte, error) {
 	for {
 		select {
 		case res := <-p.done:
-			return res, nil
+			return res.value, res.seq, nil
 		case <-retry.C:
 			// Complain to everyone; replicas answer from their caches or
 			// forward to the primary (and may trigger a view change).
@@ -104,7 +119,7 @@ func (c *Client) Submit(ctx context.Context, op []byte) ([]byte, error) {
 				c.cfg.Transport.Send(transport.ReplicaAddr(int32(i)), resend)
 			}
 		case <-ctx.Done():
-			return nil, fmt.Errorf("client %d request %d: %w", c.cfg.ID, req.ReqNo, ctx.Err())
+			return nil, 0, fmt.Errorf("client %d request %d: %w", c.cfg.ID, req.ReqNo, ctx.Err())
 		}
 	}
 }
@@ -141,7 +156,7 @@ func (c *Client) onEnvelope(env *wire.Envelope) {
 				c.primary = types.Primary(resp.View, c.cfg.N)
 			}
 			select {
-			case p.done <- append([]byte(nil), res.Value...):
+			case p.done <- outcome{value: append([]byte(nil), res.Value...), seq: resp.Seq}:
 			default:
 			}
 		}

@@ -66,9 +66,10 @@ func TestPrimaryFailoverUnderRealRuntime(t *testing.T) {
 			// Survivors converge.
 			deadline := time.Now().Add(5 * time.Second)
 			for {
-				d1 := cl.Nodes[1].Store().StateDigest()
-				if d1 == cl.Nodes[2].Store().StateDigest() &&
-					d1 == cl.Nodes[3].Store().StateDigest() {
+				d1, _ := cl.Nodes[1].DigestSnapshot()
+				d2, _ := cl.Nodes[2].DigestSnapshot()
+				d3, _ := cl.Nodes[3].DigestSnapshot()
+				if d1 == d2 && d1 == d3 {
 					return
 				}
 				if time.Now().After(deadline) {

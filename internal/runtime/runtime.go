@@ -47,12 +47,13 @@ type NodeConfig struct {
 
 // Node is a running replica.
 type Node struct {
-	cfg   NodeConfig
-	proto engine.Protocol
-	tc    trusted.Component
-	store *kvstore.Store
-	suite *crypto.Suite
-	start time.Time
+	cfg    NodeConfig
+	proto  engine.Protocol
+	tc     trusted.Component
+	tcView trusted.Component // tc behind the group's counter namespace
+	store  *kvstore.Store
+	suite  *crypto.Suite
+	start  time.Time
 
 	events   chan func()
 	stop     chan struct{}
@@ -85,6 +86,10 @@ func NewNode(cfg NodeConfig) *Node {
 		KeepLog:  cfg.KeepLog,
 		Attestor: cfg.Authority.For(cfg.ID),
 	})
+	// Protocol code sees instance-local counter ids; the namespaced view
+	// isolates them inside the component (sharded deployments co-hosting
+	// several protocol instances per process).
+	n.tcView = trusted.Namespaced(n.tc, cfg.Engine.TrustedNamespace)
 	n.proto = cfg.NewProtocol(cfg.Engine)
 	cfg.Transport.SetHandler(n.onEnvelope)
 	n.wg.Add(1)
@@ -147,8 +152,35 @@ func (n *Node) Stop() {
 	})
 }
 
-// Store exposes the state machine (tests compare digests).
+// Store exposes the state machine. The store is owned by the node's event
+// goroutine; while the node runs, read it through DigestSnapshot (or other
+// enqueued work) rather than directly.
 func (n *Node) Store() *kvstore.Store { return n.store }
+
+// DigestSnapshot returns the state machine's digest and applied-operation
+// count, read on the node's event goroutine so callers never race with
+// batch execution. A stopped node is read directly: its event loop has
+// exited, so no writer remains.
+func (n *Node) DigestSnapshot() (types.Digest, uint64) {
+	type snap struct {
+		d types.Digest
+		a uint64
+	}
+	ch := make(chan snap, 1)
+	select {
+	case n.events <- func() { ch <- snap{n.store.StateDigest(), n.store.Applied()} }:
+		select {
+		case s := <-ch:
+			return s.d, s.a
+		case <-n.stop:
+		}
+	case <-n.stop:
+	}
+	// Stopped before the snapshot ran: wait for the event loop to exit (it
+	// may still be draining an execution event), then read directly.
+	n.wg.Wait()
+	return n.store.StateDigest(), n.store.Applied()
+}
 
 // TrustedComponent exposes the node's trusted component.
 func (n *Node) TrustedComponent() trusted.Component { return n.tc }
@@ -232,14 +264,15 @@ func (n *Node) Now() time.Duration { return time.Since(n.start) }
 // Trusted implements engine.Env.
 func (n *Node) Trusted() trusted.Component {
 	if n.cfg.EmulateTCLatency {
-		return sleepingTC{inner: n.tc}
+		return sleepingTC{inner: n.tcView}
 	}
-	return n.tc
+	return n.tcView
 }
 
-// VerifyAttestation implements engine.Env.
+// VerifyAttestation implements engine.Env. Attestations minted through a
+// namespaced view are remapped to the form their proof binds before checking.
 func (n *Node) VerifyAttestation(a *types.Attestation) bool {
-	return n.cfg.Authority.Verify(a)
+	return n.cfg.Authority.Verify(trusted.MapAttestation(a, n.cfg.Engine.TrustedNamespace))
 }
 
 // Crypto implements engine.Env.

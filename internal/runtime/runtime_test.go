@@ -105,16 +105,18 @@ func waitConverged(t *testing.T, cl *Cluster) {
 		time.Sleep(20 * time.Millisecond)
 	}
 	for i, n := range cl.Nodes {
-		t.Logf("replica %d digest %v applied %d", i, n.Store().StateDigest(), n.Store().Applied())
+		d, applied := n.DigestSnapshot()
+		t.Logf("replica %d digest %v applied %d", i, d, applied)
 	}
 	t.Fatal("replicas never converged to identical state")
 }
 
-// digestsEqual compares every replica against replica 0.
+// digestsEqual compares every replica against replica 0 (snapshots are read
+// on each node's event goroutine, so this never races with execution).
 func digestsEqual(cl *Cluster) bool {
-	d0 := cl.Nodes[0].Store().StateDigest()
+	d0, _ := cl.Nodes[0].DigestSnapshot()
 	for _, n := range cl.Nodes[1:] {
-		if n.Store().StateDigest() != d0 {
+		if d, _ := n.DigestSnapshot(); d != d0 {
 			return false
 		}
 	}

@@ -1,0 +1,102 @@
+package shard
+
+import (
+	"sync"
+	"time"
+
+	"flexitrust/internal/metrics"
+	"flexitrust/internal/runtime"
+	"flexitrust/internal/types"
+)
+
+// Group is one shard's consensus group: a full protocol deployment (its own
+// replicas, transport hub, keyring and trusted components) whose trusted
+// counter identifiers live in a namespace private to the shard, plus the
+// shard-local bookkeeping the router needs (commit watermark, metrics).
+type Group struct {
+	// Index is the shard number this group serves (0..S-1).
+	Index int
+
+	inner     *runtime.Cluster
+	watermark Watermark
+
+	mu        sync.Mutex
+	collector *metrics.Collector
+	submitted uint64
+	start     time.Time
+}
+
+// newGroup boots one shard's runtime cluster. cfg must already carry the
+// shard's trusted-counter namespace and seed.
+func newGroup(idx int, cfg runtime.ClusterConfig) (*Group, error) {
+	inner, err := runtime.NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Group{
+		Index:     idx,
+		inner:     inner,
+		collector: metrics.NewCollector(0),
+		start:     time.Now(),
+	}, nil
+}
+
+// NewClient attaches a client library to this group.
+func (g *Group) NewClient(id types.ClientID) *runtime.Client { return g.inner.NewClient(id) }
+
+// Runtime exposes the underlying cluster (tests, failure injection).
+func (g *Group) Runtime() *runtime.Cluster { return g.inner }
+
+// noteCommit records a committed operation: the watermark advances to its
+// consensus sequence number and its latency joins the shard's metrics.
+func (g *Group) noteCommit(seq types.SeqNum, latency time.Duration) {
+	g.watermark.Advance(seq)
+	g.mu.Lock()
+	g.collector.Record(time.Since(g.start), latency)
+	g.mu.Unlock()
+}
+
+// noteSubmit counts an operation routed to this shard.
+func (g *Group) noteSubmit() {
+	g.mu.Lock()
+	g.submitted++
+	g.mu.Unlock()
+}
+
+// Watermark returns the shard's committed-sequence watermark.
+func (g *Group) Watermark() types.SeqNum { return g.watermark.Load() }
+
+// GroupStats is one shard's contribution to cluster-level numbers.
+type GroupStats struct {
+	Shard     int
+	Submitted uint64        // operations routed to this shard
+	Committed uint64        // operations committed (client-observed)
+	Watermark types.SeqNum  // highest committed consensus sequence observed
+	MeanLat   time.Duration // mean client-observed latency
+	P99Lat    time.Duration
+}
+
+// Stats snapshots the group's counters.
+func (g *Group) Stats() GroupStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return GroupStats{
+		Shard:     g.Index,
+		Submitted: g.submitted,
+		Committed: g.collector.TotalDone(),
+		Watermark: g.watermark.Load(),
+		MeanLat:   g.collector.MeanLatency(),
+		P99Lat:    g.collector.Percentile(99),
+	}
+}
+
+// snapshotCollector copies the group's collector under its lock so
+// cluster-level merging never races with concurrent Record calls.
+func (g *Group) snapshotCollector() *metrics.Collector {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return metrics.Merge(g.collector)
+}
+
+// Stop halts every replica in the group.
+func (g *Group) Stop() { g.inner.Stop() }

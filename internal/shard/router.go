@@ -1,0 +1,39 @@
+package shard
+
+import "flexitrust/internal/kvstore"
+
+// Router deterministically partitions the key-value store's keyspace across
+// S consensus groups. Placement is a pure function of the key and the shard
+// count — every client, replica and tool computes the same assignment with no
+// coordination — and is derived from kvstore.KeyHash so dense YCSB-style
+// integer keys spread uniformly.
+type Router struct {
+	shards int
+}
+
+// NewRouter builds a router over `shards` groups (at least 1).
+func NewRouter(shards int) Router {
+	if shards < 1 {
+		shards = 1
+	}
+	return Router{shards: shards}
+}
+
+// Shards returns the number of groups routed across.
+func (r Router) Shards() int { return r.shards }
+
+// ShardFor maps a key to its owning group.
+func (r Router) ShardFor(key uint64) int {
+	return int(kvstore.KeyHash(key) % uint64(r.shards))
+}
+
+// Partition groups keys by owning shard, preserving each shard's input
+// order. Multi-get uses it to build per-shard read sets.
+func (r Router) Partition(keys []uint64) map[int][]uint64 {
+	parts := make(map[int][]uint64)
+	for _, k := range keys {
+		s := r.ShardFor(k)
+		parts[s] = append(parts[s], k)
+	}
+	return parts
+}

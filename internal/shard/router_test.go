@@ -1,0 +1,83 @@
+package shard
+
+import (
+	"testing"
+)
+
+// TestRouterDeterministic checks that key→shard assignment is a pure
+// function: two routers with the same shard count agree on every key.
+func TestRouterDeterministic(t *testing.T) {
+	a := NewRouter(8)
+	b := NewRouter(8)
+	for key := uint64(0); key < 10_000; key++ {
+		sa, sb := a.ShardFor(key), b.ShardFor(key)
+		if sa != sb {
+			t.Fatalf("key %d: assignments differ (%d vs %d)", key, sa, sb)
+		}
+		if sa < 0 || sa >= 8 {
+			t.Fatalf("key %d: shard %d out of range", key, sa)
+		}
+	}
+}
+
+// TestRouterUniformDistribution bounds the chi-square statistic of the
+// shard assignment of a dense integer keyspace (the YCSB shape): with
+// 100k keys over S shards the statistic must stay near its S-1 degrees of
+// freedom, far from the hot-shard regime.
+func TestRouterUniformDistribution(t *testing.T) {
+	const keys = 100_000
+	for _, shards := range []int{2, 4, 8, 16} {
+		r := NewRouter(shards)
+		counts := make([]int, shards)
+		for key := uint64(0); key < keys; key++ {
+			counts[r.ShardFor(key)]++
+		}
+		expected := float64(keys) / float64(shards)
+		chi2 := 0.0
+		for _, c := range counts {
+			d := float64(c) - expected
+			chi2 += d * d / expected
+		}
+		// 3(S-1) is several times the chi-square mean (S-1): loose enough to
+		// be robust, tight enough that any skewed hash fails. The router is
+		// deterministic, so this never flakes.
+		if bound := 3 * float64(shards-1); chi2 > bound {
+			t.Fatalf("S=%d: chi2=%.1f exceeds %.1f (counts %v)", shards, chi2, bound, counts)
+		}
+		t.Logf("S=%-3d chi2=%.2f counts=%v", shards, chi2, counts)
+	}
+}
+
+// TestRouterPartition checks that Partition covers all keys, puts each on
+// its ShardFor shard, and preserves per-shard input order.
+func TestRouterPartition(t *testing.T) {
+	r := NewRouter(4)
+	keys := []uint64{10, 11, 12, 13, 14, 15, 16, 17, 18, 19}
+	parts := r.Partition(keys)
+	total := 0
+	for s, ks := range parts {
+		total += len(ks)
+		for _, k := range ks {
+			if r.ShardFor(k) != s {
+				t.Fatalf("key %d placed on shard %d, ShardFor says %d", k, s, r.ShardFor(k))
+			}
+		}
+	}
+	if total != len(keys) {
+		t.Fatalf("partition covers %d of %d keys", total, len(keys))
+	}
+	// Per-shard order preservation: each shard's list must be a subsequence
+	// of the input.
+	for s, ks := range parts {
+		idx := 0
+		for _, k := range ks {
+			for idx < len(keys) && keys[idx] != k {
+				idx++
+			}
+			if idx == len(keys) {
+				t.Fatalf("shard %d list %v is not an ordered subsequence of input", s, ks)
+			}
+			idx++
+		}
+	}
+}

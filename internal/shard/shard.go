@@ -1,0 +1,286 @@
+// Package shard composes S independent consensus groups behind one
+// deterministic keyspace router, turning the FlexiTrust property the paper
+// proves — consensus instances parallelize because the trusted counter is
+// touched once, at the primary — into horizontal scale-out (the paper's
+// Section 8 outlook; ByzCoinX-style group composition).
+//
+// The pieces:
+//
+//   - Router hash-partitions kvstore keys across the groups (pure function
+//     of key and shard count, so every party agrees with no coordination).
+//   - Group wraps one full protocol deployment per shard over the existing
+//     runtime substrate, with the shard's trusted-counter identifiers
+//     confined to a private namespace (trusted.Namespaced) so co-hosted
+//     protocol instances can never alias one another's counters.
+//   - Session is the client side: single-shard operations follow a fast
+//     path straight to the owning group; cross-shard multi-gets are fenced
+//     by per-shard commit watermarks and return read-committed values plus
+//     the ShardVector version at which each shard was read.
+//   - Aggregate metrics merge per-shard throughput and latency into
+//     cluster-level numbers (metrics.Merge).
+//
+// The simulation substrate is served by this package too: MergeSimResults
+// aggregates per-group discrete-event results under the co-location model
+// the harness's FigShardScaling experiment measures (see aggregate.go).
+//
+// What sharding deliberately does not yet provide: cross-shard write
+// atomicity (a multi-key update spanning shards is not a transaction — 2PC
+// over groups is future work, tracked in ROADMAP.md), shard rebalancing,
+// and per-shard primary failover orchestration.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"flexitrust/internal/kvstore"
+	"flexitrust/internal/metrics"
+	"flexitrust/internal/runtime"
+	"flexitrust/internal/types"
+)
+
+// Config assembles a sharded cluster: S copies of the Group template, each
+// seeded distinctly and namespaced by shard index.
+type Config struct {
+	// Shards is the number of consensus groups (≥ 1).
+	Shards int
+	// Group is the per-shard deployment template. Seed and
+	// Engine.TrustedNamespace are derived per shard from it: shard s runs
+	// with Seed+s*7919 and namespace s+1.
+	Group runtime.ClusterConfig
+}
+
+// Cluster is a running sharded deployment.
+type Cluster struct {
+	router Router
+	groups []*Group
+}
+
+// NewCluster boots S consensus groups and the router in front of them.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards > 1<<16-1 {
+		return nil, fmt.Errorf("shard: %d shards exceeds the counter namespace space", cfg.Shards)
+	}
+	c := &Cluster{router: NewRouter(cfg.Shards)}
+	for s := 0; s < cfg.Shards; s++ {
+		gcfg := cfg.Group
+		if gcfg.Seed == 0 {
+			gcfg.Seed = 42
+		}
+		gcfg.Seed += int64(s) * 7919
+		gcfg.Engine.TrustedNamespace = uint16(s + 1)
+		g, err := newGroup(s, gcfg)
+		if err != nil {
+			c.Stop()
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		c.groups = append(c.groups, g)
+	}
+	return c, nil
+}
+
+// Shards returns the number of groups.
+func (c *Cluster) Shards() int { return len(c.groups) }
+
+// ShardFor maps a key to its owning group index.
+func (c *Cluster) ShardFor(key uint64) int { return c.router.ShardFor(key) }
+
+// Router returns the cluster's keyspace router.
+func (c *Cluster) Router() Router { return c.router }
+
+// Group exposes one shard's group (tests, failure injection).
+func (c *Cluster) Group(s int) *Group { return c.groups[s] }
+
+// Watermarks snapshots every shard's commit watermark.
+func (c *Cluster) Watermarks() ShardVector {
+	v := make(ShardVector, len(c.groups))
+	for i, g := range c.groups {
+		v[i] = g.Watermark()
+	}
+	return v
+}
+
+// Stop halts every group.
+func (c *Cluster) Stop() {
+	for _, g := range c.groups {
+		if g != nil {
+			g.Stop()
+		}
+	}
+}
+
+// Stats aggregates per-shard numbers into cluster-level ones.
+type Stats struct {
+	PerShard []GroupStats
+	// Committed is the cluster-wide committed-operation count; MeanLat and
+	// P99Lat are over the pooled latency samples of all shards.
+	Committed uint64
+	MeanLat   time.Duration
+	P99Lat    time.Duration
+}
+
+// Stats merges every group's counters (metrics.Merge pools the samples).
+func (c *Cluster) Stats() Stats {
+	st := Stats{}
+	collectors := make([]*metrics.Collector, 0, len(c.groups))
+	for _, g := range c.groups {
+		st.PerShard = append(st.PerShard, g.Stats())
+		collectors = append(collectors, g.snapshotCollector())
+	}
+	merged := metrics.Merge(collectors...)
+	st.Committed = merged.TotalDone()
+	st.MeanLat = merged.MeanLatency()
+	st.P99Lat = merged.Percentile(99)
+	return st
+}
+
+// Session is one client identity's routing handle: it holds a client
+// endpoint in every group and sends each operation to the shard that owns
+// its key.
+type Session struct {
+	c       *Cluster
+	id      types.ClientID
+	clients []*runtime.Client
+}
+
+// Session attaches client id to every group. The id must be listed in the
+// group template's Clients.
+func (c *Cluster) Session(id types.ClientID) *Session {
+	s := &Session{c: c, id: id}
+	for _, g := range c.groups {
+		s.clients = append(s.clients, g.NewClient(id))
+	}
+	return s
+}
+
+// Do routes one operation to the shard owning op.Key and executes it there —
+// the single-shard fast path: exactly one consensus group is touched.
+func (s *Session) Do(ctx context.Context, op *kvstore.Op) ([]byte, error) {
+	shardIdx := s.c.router.ShardFor(op.Key)
+	g := s.c.groups[shardIdx]
+	g.noteSubmit()
+	start := time.Now()
+	res, seq, err := s.clients[shardIdx].SubmitSeq(ctx, op.Encode())
+	if err != nil {
+		return nil, err
+	}
+	g.noteCommit(seq, time.Since(start))
+	return res, nil
+}
+
+// Get reads one key.
+func (s *Session) Get(ctx context.Context, key uint64) ([]byte, error) {
+	return s.Do(ctx, &kvstore.Op{Code: kvstore.OpRead, Key: key})
+}
+
+// Put overwrites one key.
+func (s *Session) Put(ctx context.Context, key uint64, value []byte) error {
+	_, err := s.Do(ctx, &kvstore.Op{Code: kvstore.OpUpdate, Key: key, Value: value})
+	return err
+}
+
+// Insert writes a fresh key.
+func (s *Session) Insert(ctx context.Context, key uint64, value []byte) error {
+	_, err := s.Do(ctx, &kvstore.Op{Code: kvstore.OpInsert, Key: key, Value: value})
+	return err
+}
+
+// MultiGet reads a set of keys that may span shards, read-committed: every
+// value is a committed value on its shard, and every shard is read at a
+// sequence number at least the shard's commit watermark when the call began
+// (so a write this process saw commit before the call is visible). The
+// returned ShardVector reports, per shard, the highest consensus sequence
+// among this call's reads — the version the result was read at. Reads of
+// different shards are issued concurrently; there is no cross-shard snapshot
+// (two shards may be read at versions that never coexisted — cross-shard
+// transactions are future work).
+func (s *Session) MultiGet(ctx context.Context, keys []uint64) (map[uint64][]byte, ShardVector, error) {
+	fence := s.c.Watermarks()
+	parts := s.c.router.Partition(keys)
+	versions := make(ShardVector, len(s.c.groups))
+
+	type shardRead struct {
+		shard  int
+		values map[uint64][]byte
+		asOf   types.SeqNum
+		err    error
+	}
+	results := make(chan shardRead, len(parts))
+	for shardIdx, shardKeys := range parts {
+		go func(shardIdx int, shardKeys []uint64) {
+			out := shardRead{shard: shardIdx, values: make(map[uint64][]byte, len(shardKeys))}
+			g := s.c.groups[shardIdx]
+			// Submit the shard's reads concurrently: the client library
+			// tracks each outstanding request and the primary batches them,
+			// so the whole read set usually costs one consensus round.
+			type keyRead struct {
+				key uint64
+				val []byte
+				seq types.SeqNum
+				err error
+			}
+			reads := make(chan keyRead, len(shardKeys))
+			for _, k := range shardKeys {
+				go func(k uint64) {
+					g.noteSubmit()
+					start := time.Now()
+					op := &kvstore.Op{Code: kvstore.OpRead, Key: k}
+					v, seq, err := s.clients[shardIdx].SubmitSeq(ctx, op.Encode())
+					if err == nil {
+						g.noteCommit(seq, time.Since(start))
+					}
+					reads <- keyRead{key: k, val: v, seq: seq, err: err}
+				}(k)
+			}
+			for range shardKeys {
+				r := <-reads
+				if r.err != nil {
+					if out.err == nil {
+						out.err = fmt.Errorf("shard %d key %d: %w", shardIdx, r.key, r.err)
+					}
+					continue
+				}
+				out.values[r.key] = r.val
+				if r.seq > out.asOf {
+					out.asOf = r.seq
+				}
+			}
+			results <- out
+		}(shardIdx, shardKeys)
+	}
+
+	values := make(map[uint64][]byte, len(keys))
+	var firstErr error
+	for range parts {
+		r := <-results
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+			continue
+		}
+		for k, v := range r.values {
+			values[k] = v
+		}
+		versions[r.shard] = r.asOf
+	}
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	// Shards this call did not read report the fence itself: nothing newer
+	// was observed, nothing older can be claimed.
+	for i := range versions {
+		if _, read := parts[i]; !read {
+			versions[i] = fence[i]
+		}
+	}
+	// Consensus serializes each shard's reads after the writes below its
+	// fence, so the observed versions always cover the fence; keep the
+	// invariant checked rather than assumed.
+	if !versions.Covers(fence) {
+		return nil, nil, fmt.Errorf("shard: read versions %v regressed below fence %v", versions, fence)
+	}
+	return values, versions, nil
+}

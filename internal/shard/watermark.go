@@ -1,0 +1,54 @@
+package shard
+
+import (
+	"sync"
+
+	"flexitrust/internal/types"
+)
+
+// Watermark tracks one shard's committed consensus sequence number as
+// observed by this process's clients. It only moves forward; readers use it
+// as a fence: a read that executes at sequence ≥ the fence is guaranteed to
+// reflect every write this process saw commit on that shard before the fence
+// was taken (read-committed, monotonic within the shard).
+type Watermark struct {
+	mu  sync.Mutex
+	seq types.SeqNum
+}
+
+// Advance raises the watermark to seq if it is higher.
+func (w *Watermark) Advance(seq types.SeqNum) {
+	w.mu.Lock()
+	if seq > w.seq {
+		w.seq = seq
+	}
+	w.mu.Unlock()
+}
+
+// Load returns the current watermark.
+func (w *Watermark) Load() types.SeqNum {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// ShardVector is a per-shard vector of consensus sequence numbers — the
+// version at which each shard was observed. Cross-shard multi-gets return
+// one: entry s is the highest sequence number among that operation's reads
+// on shard s (or the fence value if the operation read nothing there).
+type ShardVector []types.SeqNum
+
+// Covers reports whether every entry of v is at least the corresponding
+// entry of fence — i.e. whether the reads described by v are no older than
+// the fence snapshot.
+func (v ShardVector) Covers(fence ShardVector) bool {
+	if len(v) != len(fence) {
+		return false
+	}
+	for i := range v {
+		if v[i] < fence[i] {
+			return false
+		}
+	}
+	return true
+}

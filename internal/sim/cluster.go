@@ -136,6 +136,9 @@ func NewCluster(cfg Config) *Cluster {
 			KeepLog:  cfg.KeepLog,
 			Attestor: c.auth.For(id),
 		})
+		// Protocol code sees instance-local counter ids; the namespaced view
+		// isolates them inside the component (multi-group deployments).
+		rn.tcView = trusted.Namespaced(rn.tc, cfg.Engine.TrustedNamespace)
 		rn.cryptoProv = &simCrypto{node: rn}
 		rn.proto = cfg.NewProtocol(id, cfg.Engine)
 		c.replicas = append(c.replicas, rn)

@@ -40,12 +40,12 @@ type poolTxn struct {
 
 // respTally counts matching responses for one (seq, match-digest) value.
 type respTally struct {
-	replicas  bitset
-	results   []types.Result
-	digest    types.Digest // batch digest (for CommitCert)
-	history   types.Digest
-	view      types.View
-	certAcks  bitset
+	replicas bitset
+	results  []types.Result
+	digest   types.Digest // batch digest (for CommitCert)
+	history  types.Digest
+	view     types.View
+	certAcks bitset
 }
 
 // batchState aggregates client-side progress for one sequence number.

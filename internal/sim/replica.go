@@ -25,8 +25,9 @@ type replicaNode struct {
 	workers  []time.Duration // per-worker busy-until
 	tcFreeAt time.Duration   // trusted component busy-until
 
-	tc    trusted.Component
-	store *kvstore.Store
+	tc     trusted.Component
+	tcView trusted.Component // tc behind the group's counter namespace
+	store  *kvstore.Store
 
 	timerGen map[types.TimerID]uint64
 
@@ -211,17 +212,20 @@ func (r *replicaNode) CancelTimer(id types.TimerID) { r.timerGen[id]++ }
 // Now implements engine.Env.
 func (r *replicaNode) Now() time.Duration { return r.c.now }
 
-// Trusted implements engine.Env: the real component wrapped so every access
-// serializes on the TC resource and charges its latency.
+// Trusted implements engine.Env: the real component (behind the group's
+// counter namespace) wrapped so every access serializes on the TC resource
+// and charges its latency.
 func (r *replicaNode) Trusted() trusted.Component {
-	return &chargingTC{node: r, inner: r.tc}
+	return &chargingTC{node: r, inner: r.tcView}
 }
 
 // VerifyAttestation implements engine.Env: a signature verification plus the
 // actual (cheap) HMAC check so forged attestations really are rejected.
+// Attestations minted through a namespaced view are remapped to the form
+// their proof binds before checking.
 func (r *replicaNode) VerifyAttestation(a *types.Attestation) bool {
 	r.charge(r.c.cfg.Cost.DSVerify)
-	return r.c.auth.Verify(a)
+	return r.c.auth.Verify(trusted.MapAttestation(a, r.c.cfg.Engine.TrustedNamespace))
 }
 
 // Crypto implements engine.Env.

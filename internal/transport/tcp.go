@@ -15,13 +15,13 @@ import (
 // lazily, announced with a Hello handshake, and reused. Failed peers are
 // redialed with backoff on the next send.
 type TCPTransport struct {
-	self     Addr
-	listen   net.Listener
-	peers    map[Addr]string // static address book for replicas
-	mu       sync.Mutex
-	conns    map[Addr]net.Conn
-	handler  Handler
-	hmu      sync.RWMutex
+	self      Addr
+	listen    net.Listener
+	peers     map[Addr]string // static address book for replicas
+	mu        sync.Mutex
+	conns     map[Addr]net.Conn
+	handler   Handler
+	hmu       sync.RWMutex
 	closed    chan struct{}
 	closeOnce sync.Once
 	lastDial  map[Addr]time.Time

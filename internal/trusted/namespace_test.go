@@ -1,0 +1,103 @@
+package trusted
+
+import (
+	"testing"
+
+	"flexitrust/internal/types"
+)
+
+// digestOf builds a distinct digest per byte tag.
+func digestOf(tag byte) types.Digest {
+	var d types.Digest
+	d[0] = tag
+	return d
+}
+
+// TestSharedComponentAliasesCounters is the regression the namespacing exists
+// for: two protocol instances sharing one raw component and both using the
+// conventional counter id 0 observe each other's increments.
+func TestSharedComponentAliasesCounters(t *testing.T) {
+	auth := NewHMACAuthority(7, 1)
+	tc := New(Config{Host: 0, Profile: ProfileSGXEnclave, Attestor: auth.For(0)})
+
+	// Instance A and instance B interleave on the same counter.
+	a1, err := tc.AppendF(0, digestOf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := tc.AppendF(0, digestOf(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Value != 1 || b1.Value != 2 {
+		t.Fatalf("expected aliased counter values 1,2; got %d,%d", a1.Value, b1.Value)
+	}
+}
+
+// TestNamespacedCountersDoNotAlias checks that namespaced views of one shared
+// component give each instance an independent counter space, while proofs
+// stay bound to the namespace (cross-namespace replay fails verification).
+func TestNamespacedCountersDoNotAlias(t *testing.T) {
+	auth := NewHMACAuthority(7, 1)
+	tc := New(Config{Host: 0, Profile: ProfileSGXEnclave, Attestor: auth.For(0)})
+	g1 := Namespaced(tc, 1)
+	g2 := Namespaced(tc, 2)
+
+	a1, err := g1.AppendF(0, digestOf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := g2.AppendF(0, digestOf(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Value != 1 || a2.Value != 1 {
+		t.Fatalf("namespaced counters aliased: values %d,%d (want 1,1)", a1.Value, a2.Value)
+	}
+	if a1.Counter != 0 || a2.Counter != 0 {
+		t.Fatalf("namespaced views must return local ids; got %d,%d", a1.Counter, a2.Counter)
+	}
+
+	// Current() goes through the same mapping.
+	if _, v, err := g1.Current(0); err != nil || v != 1 {
+		t.Fatalf("g1 Current = %d,%v; want 1", v, err)
+	}
+	if _, err := g1.AppendF(0, digestOf(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, v, _ := g2.Current(0); v != 1 {
+		t.Fatalf("g2 observed g1's increment: Current = %d", v)
+	}
+
+	// The proof binds the namespaced identifier: it verifies only after
+	// remapping with the owning namespace.
+	if auth.Verify(a1) {
+		t.Fatal("attestation with local id must not verify raw")
+	}
+	if !auth.Verify(MapAttestation(a1, 1)) {
+		t.Fatal("attestation must verify under its own namespace")
+	}
+	if auth.Verify(MapAttestation(a1, 2)) {
+		t.Fatal("attestation must not verify under another namespace")
+	}
+}
+
+// TestNamespaceZeroIsIdentity checks that namespace 0 changes nothing, so
+// single-group deployments keep today's behavior and attestations.
+func TestNamespaceZeroIsIdentity(t *testing.T) {
+	auth := NewHMACAuthority(7, 1)
+	tc := New(Config{Host: 0, Profile: ProfileSGXEnclave, Attestor: auth.For(0)})
+	if Namespaced(tc, 0) != tc {
+		t.Fatal("namespace 0 must return the component itself")
+	}
+	a, err := tc.AppendF(0, digestOf(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MapAttestation(a, 0) != a {
+		t.Fatal("MapAttestation with ns 0 must be the identity")
+	}
+	if !auth.Verify(a) {
+		t.Fatal("un-namespaced attestation must verify directly")
+	}
+}

@@ -280,14 +280,14 @@ type PreparedProof struct {
 
 // ViewChange asks to replace the primary of view NewView-1.
 type ViewChange struct {
-	Replica    ReplicaID
-	NewView    View
-	StableSeq  SeqNum            // last stable checkpoint
-	Checkpoint *Checkpoint       // proof of the stable checkpoint
-	Prepared   []*PreparedProof  // per-slot prepared certificates above StableSeq
+	Replica     ReplicaID
+	NewView     View
+	StableSeq   SeqNum           // last stable checkpoint
+	Checkpoint  *Checkpoint      // proof of the stable checkpoint
+	Prepared    []*PreparedProof // per-slot prepared certificates above StableSeq
 	Preprepares []*Preprepare    // Flexi-ZZ: all preprepares received (speculative)
-	Attest     *Attestation      // trusted state proof where applicable
-	Sig        []byte
+	Attest      *Attestation     // trusted state proof where applicable
+	Sig         []byte
 }
 
 // Type implements Message.
@@ -355,8 +355,8 @@ func (*Forward) Type() MsgType { return MsgForward }
 
 // Hello announces a node on a transport (real runtime handshake).
 type Hello struct {
-	Replica ReplicaID
-	Client  ClientID
+	Replica  ReplicaID
+	Client   ClientID
 	IsClient bool
 }
 

@@ -32,7 +32,7 @@ var YCSBC = Mix{ReadFraction: 1.0}
 
 // Config parameterizes a generator.
 type Config struct {
-	Records   int     // key space size (paper: 600_000)
+	Records   int // key space size (paper: 600_000)
 	Mix       Mix
 	Zipfian   bool    // Zipfian (true) vs uniform key choice
 	ZipfTheta float64 // Zipfian skew; YCSB default 0.99
@@ -118,11 +118,11 @@ func (g *Generator) nextOp() *kvstore.Op {
 // (math/rand's Zipf has a different parameterization and no theta=0.99
 // support across arbitrary ranges, so we implement the standard one).
 type zipfGen struct {
-	rng              *rand.Rand
-	n                uint64
-	theta            float64
+	rng               *rand.Rand
+	n                 uint64
+	theta             float64
 	alpha, zetan, eta float64
-	zeta2            float64
+	zeta2             float64
 }
 
 // newZipfGen precomputes the YCSB zipfian constants for n items.

@@ -11,6 +11,10 @@ import (
 	"flexitrust/internal/protocols/zyzzyva"
 )
 
+// trustedKeepLog reports whether a protocol's trusted components must store
+// appended digests for Lookup (the attested-log protocols).
+func trustedKeepLog(p Protocol) bool { return p == PBFTEA }
+
 // constructor maps a Protocol to its implementation constructor.
 func constructor(p Protocol) func(engine.Config) engine.Protocol {
 	switch p {

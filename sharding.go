@@ -1,0 +1,129 @@
+package flexitrust
+
+import (
+	"context"
+	"time"
+
+	"flexitrust/internal/engine"
+	"flexitrust/internal/kvstore"
+	"flexitrust/internal/runtime"
+	"flexitrust/internal/shard"
+	"flexitrust/internal/trusted"
+)
+
+// ShardOptions configures a sharded deployment (NewShardedCluster): S
+// independent consensus groups — each a full protocol instance with its own
+// replicas and a private trusted-counter namespace — behind a deterministic
+// keyspace router.
+type ShardOptions struct {
+	// Shards is the number of consensus groups (default 4).
+	Shards int
+	// Protocol picks the consensus protocol every group runs (default
+	// FlexiBFT). FlexiTrust protocols are the intended choice: their single
+	// primary-side trusted-counter access per consensus is what lets groups
+	// scale; MinBFT/MinZZ groups each stay bottlenecked by their sequential
+	// counter.
+	Protocol Protocol
+	// F is the per-group fault threshold (default 1); each group runs
+	// Protocol.N(F) replicas.
+	F int
+	// Clients lists the client identities to provision in every group.
+	Clients []ClientID
+	// BatchSize / BatchTimeout tune per-group batching (defaults 100 / 2ms).
+	BatchSize    int
+	BatchTimeout time.Duration
+	// Records sizes each group's key-value store (default 600k).
+	Records int
+	// Verbose enables replica logging.
+	Verbose bool
+}
+
+// ShardedCluster is a running sharded deployment. Operations are routed to
+// the shard owning their key (single-shard fast path); cross-shard reads go
+// through ShardSession.MultiGet, which is fenced by per-shard commit
+// watermarks (read-committed). Cross-shard write atomicity is not provided.
+type ShardedCluster struct {
+	inner *shard.Cluster
+	opts  ShardOptions
+}
+
+// ShardSession is a client identity's routing handle into every shard.
+type ShardSession = shard.Session
+
+// ShardVector is the per-shard version vector a MultiGet was read at.
+type ShardVector = shard.ShardVector
+
+// NewShardedCluster boots S in-process consensus groups behind the keyspace
+// router. Each group is a real cluster (goroutine replicas, Ed25519
+// signatures, HMAC-attested trusted components) whose trusted-counter
+// identifiers live in a namespace private to the shard.
+func NewShardedCluster(opts ShardOptions) (*ShardedCluster, error) {
+	if opts.Shards <= 0 {
+		opts.Shards = 4
+	}
+	if opts.F <= 0 {
+		opts.F = 1
+	}
+	n := opts.Protocol.N(opts.F)
+	ecfg := engine.DefaultConfig(n, opts.F)
+	if opts.BatchSize > 0 {
+		ecfg.BatchSize = opts.BatchSize
+	}
+	if opts.BatchTimeout > 0 {
+		ecfg.BatchTimeout = opts.BatchTimeout
+	}
+	inner, err := shard.NewCluster(shard.Config{
+		Shards: opts.Shards,
+		Group: runtime.ClusterConfig{
+			N: n, F: opts.F,
+			Engine:         ecfg,
+			NewProtocol:    constructor(opts.Protocol),
+			Replies:        opts.Protocol.Replies(n, opts.F),
+			Clients:        opts.Clients,
+			TrustedProfile: trusted.ProfileSGXEnclave,
+			KeepLog:        trustedKeepLog(opts.Protocol),
+			Records:        opts.Records,
+			Verbose:        opts.Verbose,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedCluster{inner: inner, opts: opts}, nil
+}
+
+// Session attaches a routing client for one of the provisioned ids.
+func (c *ShardedCluster) Session(id ClientID) *ShardSession { return c.inner.Session(id) }
+
+// Shards returns the number of consensus groups.
+func (c *ShardedCluster) Shards() int { return c.inner.Shards() }
+
+// ShardFor maps a key to its owning group index (deterministic).
+func (c *ShardedCluster) ShardFor(key uint64) int { return c.inner.ShardFor(key) }
+
+// Watermarks snapshots every shard's committed-sequence watermark.
+func (c *ShardedCluster) Watermarks() ShardVector { return c.inner.Watermarks() }
+
+// Stats aggregates per-shard throughput/latency into cluster-level numbers.
+func (c *ShardedCluster) Stats() shard.Stats { return c.inner.Stats() }
+
+// Stop halts every group.
+func (c *ShardedCluster) Stop() { c.inner.Stop() }
+
+// DoOp routes an already-built kv operation (Read/Update/Insert/Scan
+// helpers) through a session. It decodes the payload to find the routing
+// key; prefer the typed ShardSession methods for new code.
+func DoOp(ctx context.Context, s *ShardSession, op []byte) ([]byte, error) {
+	decoded, err := kvstore.DecodeOp(op)
+	if err != nil {
+		return nil, err
+	}
+	return s.Do(ctx, decoded)
+}
+
+// ShardStateDigest returns replica r of group s's state-machine digest
+// (read on the replica's event goroutine, so it is safe while running).
+func (c *ShardedCluster) ShardStateDigest(s int, r ReplicaID) Digest {
+	d, _ := c.inner.Group(s).Runtime().Nodes[r].DigestSnapshot()
+	return d
+}
