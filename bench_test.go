@@ -104,10 +104,12 @@ func BenchmarkFig9_PerMachine(b *testing.B) {
 }
 
 // BenchmarkShardedThroughput measures aggregate throughput of S co-located
-// consensus groups behind the shard router: FlexiBFT scales near-linearly
-// (one primary-side trusted-counter access per consensus, so groups
-// interleave like parallel instances), MinBFT stays flat (its host-sequenced
-// machine-wide counter stream forces groups to time-share).
+// consensus groups, all hosted in one shared discrete-event kernel on one
+// set of machines: FlexiBFT scales near-linearly (one primary-side
+// trusted-counter access per consensus in a per-group namespace, so groups
+// interleave like parallel instances), MinBFT stays flat (every alternation
+// on a machine's host-sequenced USIG stream drains and retargets it, so
+// co-hosted groups time-share the machine's TC timeline).
 func BenchmarkShardedThroughput(b *testing.B) {
 	protos := []struct{ short, name string }{
 		{"flexibft", "Flexi-BFT"},

@@ -5,6 +5,7 @@
 //
 //	benchrunner -exp all            # every experiment, quick scale
 //	benchrunner -exp fig6i -full    # one experiment at publication scale
+//	benchrunner -exp shard -mode shared -scale 16 -shards 1,4   # CI smoke
 //	benchrunner -list
 //
 // Experiments: fig1, fig5, fig6i, fig6ii, fig6iv, fig6vi, fig7, fig8, fig9,
@@ -15,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"flexitrust/internal/harness"
@@ -25,6 +28,10 @@ type experiment struct {
 	name, desc string
 	run        func(scale harness.Scale) string
 }
+
+// shardCounts holds the -shards sweep for the shard experiment (nil =
+// default 1,2,4,8).
+var shardCounts []int
 
 // experiments lists every reproducible figure/table.
 func experiments() []experiment {
@@ -47,14 +54,33 @@ func experiments() []experiment {
 			func(s harness.Scale) string { return harness.Fig8TCSweep(nil, s).String() }},
 		{"fig9", "throughput-per-machine, Flexi-ZZ vs MinZZ",
 			func(s harness.Scale) string { return harness.Fig9PerMachine(nil, s).String() }},
-		{"shard", "shard scaling: co-located consensus groups, FlexiTrust vs MinBFT/MinZZ",
-			func(s harness.Scale) string { return harness.FigShardScaling(nil, s).String() }},
+		{"shard", "shard scaling: co-located consensus groups in one shared kernel, FlexiTrust vs MinBFT/MinZZ",
+			func(s harness.Scale) string { return harness.FigShardScaling(shardCounts, s).String() }},
 	}
+}
+
+// parseShards turns "1,2,4" into a sweep list.
+func parseShards(spec string) ([]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad shard count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (see -list) or 'all'")
 	full := flag.Bool("full", false, "publication-scale windows (slower)")
+	scaleFlag := flag.Int("scale", 4, "window divisor for quick runs (ignored with -full; larger = shorter)")
+	mode := flag.String("mode", "shared", "shard-experiment simulation mode: 'shared' runs all groups in one kernel (the analytic 'merged' mode was removed)")
+	shards := flag.String("shards", "", "comma-separated shard counts for -exp shard (default 1,2,4,8)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -64,7 +90,19 @@ func main() {
 		}
 		return
 	}
-	scale := harness.Scale(4)
+	if *mode != "shared" {
+		fmt.Fprintf(os.Stderr, "unknown simulation mode %q: only 'shared' exists — the analytic merged-results co-location model was removed; contention now emerges from the shared kernel\n", *mode)
+		os.Exit(2)
+	}
+	var err error
+	if shardCounts, err = parseShards(*shards); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	scale := harness.Scale(*scaleFlag)
+	if scale < 1 {
+		scale = 1
+	}
 	if *full {
 		scale = 1
 	}
@@ -75,6 +113,9 @@ func main() {
 		}
 		ran = true
 		start := time.Now()
+		if e.name == "shard" {
+			fmt.Println("simulation mode: shared-kernel (all groups in one discrete-event kernel, deterministic seeds)")
+		}
 		fmt.Println(e.run(scale))
 		fmt.Printf("(%s completed in %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
 	}

@@ -1,10 +1,16 @@
-// Command sharding demonstrates the sharded deployment: four Flexi-BFT
-// consensus groups — each a real in-process cluster with its own replicas
-// and a private trusted-counter namespace — behind the deterministic
-// keyspace router, serving single-shard writes and a cross-shard
-// read-committed multi-get.
+// Command sharding demonstrates the sharded deployment twice over:
 //
-//	go run ./examples/sharding
+//  1. Runtime: four Flexi-BFT consensus groups — each a real in-process
+//     cluster with its own replicas and a private trusted-counter
+//     namespace — behind the deterministic keyspace router, serving
+//     single-shard writes and a cross-shard read-committed multi-get.
+//
+//  2. Simulation: the shard-scaling contrast, produced by the shared
+//     discrete-event kernel (the default and only simulation mode: all
+//     groups co-hosted on one set of machines so trusted-component
+//     contention emerges; the old merged-results analytic mode is gone).
+//
+//     go run ./examples/sharding
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"time"
 
 	"flexitrust"
+	"flexitrust/internal/harness"
 )
 
 func main() {
@@ -35,7 +42,7 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 
-	fmt.Printf("== sharded Flexi-BFT: %d groups of %d replicas ==\n",
+	fmt.Printf("== sharded Flexi-BFT: %d groups of %d replicas (runtime, real replicas) ==\n",
 		shards, flexitrust.FlexiBFT.N(1))
 
 	// Route 32 writes; the router spreads dense keys across all groups.
@@ -65,4 +72,28 @@ func main() {
 	st := cluster.Stats()
 	fmt.Printf("cluster: %d ops committed, mean latency %v, p99 %v\n",
 		st.Committed, st.MeanLat.Round(time.Microsecond), st.P99Lat.Round(time.Microsecond))
+
+	// The scaling contrast, regenerated in simulation. Every number below
+	// comes from the shared-kernel mode: S groups inside one
+	// discrete-event kernel on one set of machines, replica i of group g
+	// on machine (i+g) mod M, so co-located groups really contend on each
+	// machine's workers and trusted-component timeline. (The former
+	// "merged" mode — independent per-group kernels combined under an
+	// analytic co-location model — was removed.)
+	fmt.Printf("\n== shard scaling (simulation mode: shared-kernel, seeded) ==\n")
+	const scale = harness.Scale(16)
+	for _, proto := range []string{"Flexi-BFT", "MinBFT"} {
+		one, err := harness.ShardScalingPoint(proto, 1, scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		four, err := harness.ShardScalingPoint(proto, 4, scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s 1 shard: %7.0f txn/s   4 co-located shards: %7.0f txn/s  (%.1fx)\n",
+			proto, one.Throughput, four.Throughput, four.Throughput/one.Throughput)
+	}
+	fmt.Println("Flexi-BFT scales because its namespaced AppendF counters interleave freely;")
+	fmt.Println("MinBFT stays flat because co-hosted groups time-share each machine's USIG stream.")
 }

@@ -49,11 +49,23 @@
 //
 // Single-key operations take a fast path to the one group owning the key;
 // MultiGet reads across shards read-committed, fenced by per-shard commit
-// watermarks, and reports the per-shard versions it read at (vers). Run a
-// FlexiTrust protocol here: sharded Flexi-BFT/Flexi-ZZ scale near-linearly
-// with S, while MinBFT/MinZZ groups each stay serialized by their
-// host-sequenced counters (reproduce the contrast with
-// `benchrunner -exp shard` or BenchmarkShardedThroughput). Cross-shard
+// watermarks, and reports the per-shard versions it read at (vers).
+//
+// Co-location is where the protocol choice bites, and the simulation
+// substrate measures it the honest way: the shard-scaling experiments run
+// all S groups inside ONE discrete-event kernel (sim.MultiCluster) on one
+// shared set of machines — machine m hosts one replica of every group, with
+// each group's primary on a different machine — so co-located groups
+// genuinely contend on each machine's CPU workers and its trusted
+// component's timeline. Flexi-BFT/Flexi-ZZ scale near-linearly with S
+// because their one-per-consensus AppendF counters live in per-group
+// namespaces inside the shared component and interleave freely. MinBFT and
+// MinZZ stay flat because their host-sequenced counters (USIG) attest one
+// totally-ordered stream per machine, consumed gap-free: every time a
+// different co-hosted group appends, the stream must drain and retarget
+// (sim.Machine's stream tenancy), so the groups end up time-sharing the
+// machine's trusted-component timeline. Reproduce the contrast with
+// `benchrunner -exp shard` or BenchmarkShardedThroughput. Cross-shard
 // write atomicity (2PC), shard rebalancing and per-shard failover are
 // deliberately out of scope for now; see ROADMAP.md.
 //

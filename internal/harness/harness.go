@@ -166,8 +166,10 @@ func DefaultOptions() Options {
 	}
 }
 
-// Build constructs the simulated cluster for spec under opts.
-func Build(spec Spec, opts Options) *sim.Cluster {
+// GroupConfig builds the sim.Config one consensus group runs under opts —
+// the unit both Build (S=1) and the shared-kernel shard experiments
+// (sim.MultiCluster) assemble deployments from.
+func GroupConfig(spec Spec, opts Options) sim.Config {
 	n := spec.N(opts.F)
 	ecfg := engine.DefaultConfig(n, opts.F)
 	ecfg.BatchSize = opts.BatchSize
@@ -187,7 +189,7 @@ func Build(spec Spec, opts Options) *sim.Cluster {
 	}
 	wl := workload.DefaultConfig()
 	wl.Seed = opts.Seed
-	cl := sim.NewCluster(sim.Config{
+	return sim.Config{
 		N:              n,
 		F:              opts.F,
 		Engine:         ecfg,
@@ -200,7 +202,12 @@ func Build(spec Spec, opts Options) *sim.Cluster {
 		Clients:        opts.Clients,
 		Workload:       wl,
 		Seed:           opts.Seed,
-	})
+	}
+}
+
+// Build constructs the simulated cluster for spec under opts.
+func Build(spec Spec, opts Options) *sim.Cluster {
+	cl := sim.NewCluster(GroupConfig(spec, opts))
 	if opts.Mutate != nil {
 		opts.Mutate(cl)
 	}

@@ -10,72 +10,89 @@ import (
 
 // Shard-scaling experiment: S consensus groups co-located on one set of
 // machines behind internal/shard's keyspace router, per-shard load held
-// constant (weak scaling). Each group runs in its own discrete-event cluster
-// with its own trusted-counter namespace; results merge under the
-// co-location model the protocol's trusted-component discipline dictates
-// (shard.TCParallel for FlexiTrust — one primary-side access per consensus —
-// vs shard.TCExclusive for MinBFT/MinZZ, whose machine-wide host-sequenced
-// USIG stream forces co-hosted groups to time-share; see
-// internal/shard/aggregate.go for the full argument).
+// constant (weak scaling). All S groups run inside ONE discrete-event
+// kernel (sim.MultiCluster): machine m hosts one replica of every group
+// (rotated so each group's primary lands on a different machine), and the
+// co-hosted replicas contend on the machine's worker pool and its trusted
+// component's timeline. The paper's dichotomy is therefore measured, not
+// asserted: FlexiTrust's once-per-consensus primary-side AppendF counters
+// interleave freely in per-group namespaces, while MinBFT/MinZZ's
+// host-sequenced USIG streams force co-hosted groups to drain and retarget
+// the machine's single attested stream on every alternation (see
+// sim.Machine and internal/shard/aggregate.go).
 
 // shardScalingF keeps the per-group clusters small: sharding is the
 // low-f/many-groups regime, and the figure's point is the scaling shape,
 // not the replication factor.
 const shardScalingF = 2
 
-// shardScalingClientsPerShard is the constant per-shard offered load.
-const shardScalingClientsPerShard = 6000
+// shardScalingClientsPerShard is the constant per-shard offered load. It is
+// deliberately far below a group's CPU saturation point: co-located groups
+// share machine CPU, so a saturating per-shard load would measure CPU
+// division for every protocol and hide the trusted-component contrast the
+// figure is about. The question the experiment asks is "the machines have
+// headroom for S groups — does the trusted-component discipline let them
+// use it?".
+const shardScalingClientsPerShard = 128
 
-// ShardScalingPoint measures one (protocol, shard count) configuration and
-// returns the merged cluster-level result. Group g of an S-shard run uses a
-// distinct seed and trusted-counter namespace g+1.
+// shardScalingWorkers provisions each co-location machine's worker pool
+// (the paper's 16-core testbed class, more than the 4-thread consensus
+// pipeline of the dedicated-machine figures) — identical for every shard
+// count, so the scaling ratios compare like with like.
+const shardScalingWorkers = 8
+
+// ShardScalingPoint measures one (protocol, shard count) configuration —
+// all groups in one shared kernel — and returns the aggregated
+// cluster-level result. Group g runs with trusted-counter namespace g+1 and
+// the sub-seed sim.SubSeed derives for it, so adding a group never perturbs
+// another group's private randomness.
 func ShardScalingPoint(protocol string, shards int, scale Scale) (sim.Results, error) {
-	spec, err := ByName(protocol)
+	per, err := ShardScalingGroups(protocol, shards, scale)
 	if err != nil {
 		return sim.Results{}, err
 	}
-	groups := make([]sim.Results, shards)
-	for g := 0; g < shards; g++ {
-		g := g
-		opts := DefaultOptions()
-		opts.F = shardScalingF
-		opts.Clients = shardScalingClientsPerShard
-		scale.apply(&opts)
-		opts.Seed = int64(1000*shards + g + 1)
-		opts.EngineTweak = func(cfg *engine.Config) {
-			cfg.TrustedNamespace = uint16(g + 1)
-		}
-		groups[g] = Run(spec, opts)
-	}
-	return shard.MergeSimResults(groups, coLocationModel(spec)), nil
+	return shard.Aggregate(per), nil
 }
 
-// coLocationModel keys the merge model on the protocol's trusted-component
-// discipline, matching internal/shard/aggregate.go: protocols whose every
-// replica binds messages to the machine's trusted component (MinBFT, MinZZ,
-// PBFT-EA — PrimaryOnlyTC false) must time-share the machine-wide stream
-// across co-located groups, while primary-only once-per-consensus accessors
-// (the FlexiTrust family, including its sequential o-ablations) and
-// trusted-component-free baselines interleave freely. Note OutOfOrder is NOT
-// the discriminator: oFlexi-BFT is sequential by configuration, but its
-// counter discipline still lets co-located groups run in parallel.
-func coLocationModel(spec Spec) shard.TCSharing {
-	if spec.Meta.TrustedAbstraction != "none" && !spec.Meta.PrimaryOnlyTC {
-		return shard.TCExclusive
+// ShardScalingGroups runs the shared-kernel deployment and returns the
+// per-group results (group g at index g).
+func ShardScalingGroups(protocol string, shards int, scale Scale) ([]sim.Results, error) {
+	spec, err := ByName(protocol)
+	if err != nil {
+		return nil, err
 	}
-	return shard.TCParallel
+	opts := DefaultOptions()
+	opts.F = shardScalingF
+	opts.Clients = shardScalingClientsPerShard
+	opts.Cost = sim.DefaultCostModel()
+	opts.Cost.Workers = shardScalingWorkers
+	scale.apply(&opts)
+	master := opts.Seed
+	groups := make([]sim.Config, shards)
+	for g := 0; g < shards; g++ {
+		g := g
+		o := opts
+		o.Seed = sim.SubSeed(master, g)
+		o.EngineTweak = func(cfg *engine.Config) {
+			cfg.TrustedNamespace = uint16(g + 1)
+		}
+		groups[g] = GroupConfig(spec, o)
+	}
+	mc := sim.NewMultiCluster(sim.MultiConfig{Seed: master, Groups: groups})
+	return mc.Run(opts.Warmup, opts.Measure), nil
 }
 
 // FigShardScaling sweeps the shard count for the FlexiTrust protocols
 // against MinBFT/MinZZ: near-linear aggregate throughput for the former,
 // flat for the latter — the parallel-instance property of the paper's
-// Section 8 turned into horizontal scale-out.
+// Section 8 turned into horizontal scale-out, with the co-location
+// contention emerging from shared per-machine timelines.
 func FigShardScaling(shards []int, scale Scale) *Table {
 	if len(shards) == 0 {
 		shards = []int{1, 2, 4, 8}
 	}
 	t := &Table{Title: fmt.Sprintf(
-		"Shard scaling: S co-located consensus groups, f=%d, %d clients/shard",
+		"Shard scaling (shared kernel): S co-located consensus groups, f=%d, %d clients/shard",
 		shardScalingF, shardScalingClientsPerShard)}
 	for _, name := range []string{"Flexi-BFT", "Flexi-ZZ", "MinBFT", "MinZZ"} {
 		for _, s := range shards {

@@ -6,53 +6,39 @@ import (
 	"flexitrust/internal/sim"
 )
 
-// Simulation-substrate aggregation: the harness runs one discrete-event
-// cluster per consensus group and merges the per-group results under an
-// explicit co-location model of S groups deployed on ONE set of machines
-// (each machine hosts one replica of every group and one trusted component).
-// Which model applies is decided by how the protocol touches that shared
-// trusted component — the paper's central dichotomy:
+// Simulation-substrate aggregation: the harness runs all S consensus
+// groups of a co-located deployment inside ONE discrete-event kernel
+// (sim.MultiCluster) — each machine hosts one replica of every group, and
+// co-hosted replicas contend on the machine's worker pool and its trusted
+// component's timeline. Whether the deployment scales with S is therefore
+// an *outcome* of the kernel run, not of a merge model:
 //
-//   - TCParallel (FlexiTrust: Flexi-BFT, Flexi-ZZ; also untrusted BFT).
-//     One counter access per consensus, at the primary only, internally
-//     incremented (AppendF) — so each group gets its own counter namespace
-//     inside the shared component (trusted.Namespaced) and groups interleave
-//     exactly like the parallel instances of Section 8. With each group's
-//     primary on a different machine, the leader-side cost spreads and the
-//     deployment commits at the SUM of the group rates.
+//   - FlexiTrust (Flexi-BFT, Flexi-ZZ; also untrusted BFT) touches the
+//     counter once per consensus, at the primary, internally incremented
+//     (AppendF) — each group's counters live in a private namespace inside
+//     the shared component, accesses interleave freely, and with each
+//     group's primary placed on a different machine the deployment commits
+//     near the sum of the group rates.
 //
-//   - TCExclusive (MinBFT, MinZZ, PBFT-EA). Every replica binds every
-//     consensus message to a host-sequenced counter whose values must
-//     advance in consensus order (Section 7's sequentiality argument) —
-//     the USIG model: the hardware attests one totally-ordered stream per
-//     machine, and verifiers consume each machine's stream gap-free. Two
-//     co-hosted groups cannot interleave their appends without tearing the
-//     other group's stream, so co-located groups time-share the machine's
-//     counter: the deployment commits at ONE group's rate (the MEAN of the
-//     group results) no matter how many groups are stacked.
+//   - MinBFT/MinZZ/PBFT-EA bind every consensus message to a
+//     host-sequenced counter (Append): the hardware attests one
+//     totally-ordered stream per machine, consumed gap-free, so the
+//     machine's stream must be drained and retargeted every time a
+//     different co-hosted group appends (sim.Machine's stream tenancy).
+//     Co-located groups end up time-sharing the machine's TC timeline and
+//     aggregate throughput stays ~flat no matter how many groups stack.
 //
-// This is what makes shard scaling a paper-faithful figure rather than a
-// tautology: the same router and the same groups scale near-linearly when
-// the trusted component is touched once per consensus, and stay flat when
-// it serializes every message.
+// Aggregate below only sums and weights the per-group results that one
+// shared kernel emitted; it applies no co-location model. (The former
+// TCSharing/MergeSimResults analytic merge — divide the sum by S for
+// host-sequenced protocols — is gone: the contrast it hard-coded now
+// emerges from per-machine contention.)
 
-// TCSharing selects the co-location model for merging per-group results.
-type TCSharing int
-
-const (
-	// TCParallel merges groups that interleave freely on the shared trusted
-	// component (FlexiTrust's once-per-consensus primary-side access).
-	TCParallel TCSharing = iota
-	// TCExclusive merges groups that must time-share a machine-wide
-	// host-sequenced counter stream (MinBFT/MinZZ/PBFT-EA's USIG).
-	TCExclusive
-)
-
-// MergeSimResults merges per-group simulation results into one cluster-level
-// result under the given co-location model. Latencies are weighted by each
-// group's completions; percentile-like fields take the worst group
+// Aggregate merges per-group results emitted by one shared-kernel run into
+// one cluster-level result. Throughput and counters sum; mean/p50 latencies
+// are weighted by each group's completions; p99 takes the worst group
 // (conservative).
-func MergeSimResults(groups []sim.Results, model TCSharing) sim.Results {
+func Aggregate(groups []sim.Results) sim.Results {
 	if len(groups) == 0 {
 		return sim.Results{}
 	}
@@ -76,13 +62,6 @@ func MergeSimResults(groups []sim.Results, model TCSharing) sim.Results {
 	if latWeight > 0 {
 		agg.MeanLat = time.Duration(meanAcc / latWeight)
 		agg.P50Lat = time.Duration(p50Acc / latWeight)
-	}
-	if model == TCExclusive {
-		// Time-shared USIG: each group holds the machine counters for 1/S of
-		// the run, so the cluster commits one group's worth of work.
-		s := uint64(len(groups))
-		agg.Throughput /= float64(s)
-		agg.Completed /= s
 	}
 	return agg
 }

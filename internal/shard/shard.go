@@ -19,9 +19,11 @@
 //   - Aggregate metrics merge per-shard throughput and latency into
 //     cluster-level numbers (metrics.Merge).
 //
-// The simulation substrate is served by this package too: MergeSimResults
-// aggregates per-group discrete-event results under the co-location model
-// the harness's FigShardScaling experiment measures (see aggregate.go).
+// The simulation substrate is served by this package too: Aggregate sums
+// the per-group results that one shared discrete-event kernel
+// (sim.MultiCluster, driving the harness's FigShardScaling experiment)
+// emits for S co-located groups; co-location contention is the kernel's
+// job, not a merge model's (see aggregate.go).
 //
 // What sharding deliberately does not yet provide: cross-shard write
 // atomicity (a multi-key update spanning shards is not a transaction — 2PC

@@ -2,18 +2,17 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"flexitrust/internal/engine"
-	"flexitrust/internal/kvstore"
 	"flexitrust/internal/metrics"
 	"flexitrust/internal/trusted"
 	"flexitrust/internal/types"
 	"flexitrust/internal/workload"
 )
 
-// Config assembles a simulated cluster.
+// Config assembles one simulated consensus group (a full cluster when run
+// alone, one tenant when co-hosted on a MultiCluster).
 type Config struct {
 	N, F int
 	// Engine is the protocol-level configuration (batching, parallelism,
@@ -23,7 +22,9 @@ type Config struct {
 	NewProtocol func(id types.ReplicaID, cfg engine.Config) engine.Protocol
 	// Policy is the client reply rule for this protocol.
 	Policy ReplyPolicy
-	// Cost is the CPU cost model; Topo the network topology.
+	// Cost is the CPU cost model; Topo the network topology. In a
+	// MultiCluster, the machine-level parts (Workers, TCStreamHandoff)
+	// come from the first group's model.
 	Cost CostModel
 	Topo *Topology
 	// TrustedProfile picks the trusted hardware class; KeepLog stores
@@ -33,7 +34,9 @@ type Config struct {
 	// Clients is the number of closed-loop clients; Workload their op mix.
 	Clients  int
 	Workload workload.Config
-	// Seed drives all simulator randomness (workload keys, jitter).
+	// Seed drives the group's simulator randomness (workload keys,
+	// jitter). Co-hosted groups should each get an independent stream —
+	// see SubSeed.
 	Seed int64
 	// Trace enables per-replica debug logging.
 	Trace bool
@@ -47,7 +50,7 @@ func DefaultPolicy(f int) ReplyPolicy {
 	}
 }
 
-// Results summarizes one run's measurement window.
+// Results summarizes one group's measurement window.
 type Results struct {
 	Throughput float64 // committed transactions per second
 	MeanLat    time.Duration
@@ -75,204 +78,97 @@ type linkRule struct {
 	match    func(types.Message) bool
 }
 
-// Cluster is a fully assembled simulated deployment: n replicas plus a
-// client pool, driven in virtual time.
+// Cluster is a fully assembled single-group simulated deployment: n
+// replicas plus a client pool, driven in virtual time. It is a thin S=1
+// wrapper over the multi-group core (MultiCluster) — the group runs alone
+// on its machines, so nothing contends with it and the behavior of the
+// historical single-kernel simulator is preserved exactly.
 type Cluster struct {
-	kernel
-	cfg      Config
-	replicas []*replicaNode
-	pool     *clientPool
-	auth     *trusted.HMACAuthority
-	rules    []linkRule
-	rng      *rand.Rand
+	mc *MultiCluster
+	g  *group
 }
 
 // jitterMax bounds the per-message network jitter. Real networks and OS
 // schedulers impose tens of microseconds of variance per message; without
 // it, closed-loop clients synchronize into artificial thundering-herd waves
-// that no real deployment exhibits. The jitter is drawn from the cluster's
+// that no real deployment exhibits. The jitter is drawn from the group's
 // seeded RNG, so runs stay fully deterministic.
 const jitterMax = 100 * time.Microsecond
 
 // NewCluster builds the cluster; protocols are initialized immediately.
 func NewCluster(cfg Config) *Cluster {
-	if cfg.N == 0 {
-		panic("sim: Config.N must be set")
-	}
-	if cfg.Topo == nil {
-		cfg.Topo = LANTopology(cfg.N)
-	}
-	if cfg.Cost.Workers == 0 {
-		cfg.Cost = DefaultCostModel()
-	}
-	if cfg.Workload.Records == 0 {
-		cfg.Workload = workload.DefaultConfig()
-		cfg.Workload.Seed = cfg.Seed
-	}
-	if cfg.Policy.Fast == 0 {
-		cfg.Policy = DefaultPolicy(cfg.F)
-	}
-	c := &Cluster{
-		cfg:  cfg,
-		auth: trusted.NewHMACAuthority(cfg.Seed+1, cfg.N),
-		rng:  rand.New(rand.NewSource(cfg.Seed + 2)),
-	}
-	nodes := make([]node, cfg.N+1)
-	totalNodes := cfg.N + 1
-	for i := 0; i < cfg.N; i++ {
-		id := types.ReplicaID(i)
-		rn := &replicaNode{
-			c:           c,
-			id:          id,
-			idx:         i,
-			workers:     make([]time.Duration, cfg.Cost.Workers),
-			timerGen:    make(map[types.TimerID]uint64),
-			lastArrival: make([]time.Duration, totalNodes),
-			store:       kvstore.New(cfg.Workload.Records),
-		}
-		rn.tc = trusted.New(trusted.Config{
-			Host:     id,
-			Profile:  cfg.TrustedProfile,
-			KeepLog:  cfg.KeepLog,
-			Attestor: c.auth.For(id),
-		})
-		// Protocol code sees instance-local counter ids; the namespaced view
-		// isolates them inside the component (multi-group deployments).
-		rn.tcView = trusted.Namespaced(rn.tc, cfg.Engine.TrustedNamespace)
-		rn.cryptoProv = &simCrypto{node: rn}
-		rn.proto = cfg.NewProtocol(id, cfg.Engine)
-		c.replicas = append(c.replicas, rn)
-		nodes[i] = rn
-	}
-	c.pool = newClientPool(c)
-	nodes[cfg.N] = c.pool
-	c.nodes = nodes
-	for _, rn := range c.replicas {
-		rn.proto.Init(rn)
-	}
-	return c
-}
-
-// poolIdx is the client pool's node index.
-func (c *Cluster) poolIdx() int { return c.cfg.N }
-
-// linkLatency returns the one-way latency from node i to node j for message
-// m, applying injected rules; a negative value means "dropped".
-func (c *Cluster) linkLatency(i, j int, m types.Message) time.Duration {
-	var lat time.Duration
-	switch {
-	case j == c.poolIdx():
-		lat = c.cfg.Topo.ClientLink(i)
-	case i == c.poolIdx():
-		lat = c.cfg.Topo.ClientLink(j)
-	default:
-		lat = c.cfg.Topo.ReplicaLink(i, j)
-	}
-	for _, rule := range c.rules {
-		if rule.until != 0 && c.now >= rule.until {
-			continue
-		}
-		if rule.from != -1 && rule.from != i {
-			continue
-		}
-		if rule.to != -1 && rule.to != j {
-			continue
-		}
-		if rule.match != nil && !rule.match(m) {
-			continue
-		}
-		if rule.drop {
-			return -1
-		}
-		lat += rule.extra
-	}
-	return lat + time.Duration(c.rng.Int63n(int64(jitterMax)))
+	mc := NewMultiCluster(MultiConfig{Seed: cfg.Seed, Groups: []Config{cfg}})
+	return &Cluster{mc: mc, g: mc.groups[0]}
 }
 
 // DelayLink adds `extra` latency to messages from node i to node j (use -1
 // as a wildcard); until==0 means for the whole run. match optionally
 // restricts the rule to particular messages.
 func (c *Cluster) DelayLink(i, j int, extra time.Duration, until time.Duration, match func(types.Message) bool) {
-	c.rules = append(c.rules, linkRule{from: i, to: j, extra: extra, until: until, match: match})
+	c.g.rules = append(c.g.rules, linkRule{from: i, to: j, extra: extra, until: until, match: match})
 }
 
 // DropLink discards messages from node i to node j (wildcards as above).
 func (c *Cluster) DropLink(i, j int, until time.Duration, match func(types.Message) bool) {
-	c.rules = append(c.rules, linkRule{from: i, to: j, drop: true, until: until, match: match})
+	c.g.rules = append(c.g.rules, linkRule{from: i, to: j, drop: true, until: until, match: match})
 }
 
 // Crash stops replica r at virtual time at: it no longer processes or sends
 // anything (fail-stop).
 func (c *Cluster) Crash(r types.ReplicaID, at time.Duration) {
-	c.scheduleFunc(at, func() { c.replicas[r].crashed = true })
+	c.g.scheduleFunc(at, func() { c.g.replicas[r].crashed = true })
 }
 
 // SetSendFilter installs a byzantine outbound filter on replica r: return
 // false to silently withhold a message. Node index cfg.N is the client pool.
 func (c *Cluster) SetSendFilter(r types.ReplicaID, filter func(to int, m types.Message) bool) {
-	c.replicas[r].sendFilter = filter
+	c.g.replicas[r].sendFilter = filter
 }
 
 // At schedules fn at virtual time at (attack scripts, load changes).
-func (c *Cluster) At(at time.Duration, fn func()) { c.scheduleFunc(at, fn) }
+func (c *Cluster) At(at time.Duration, fn func()) { c.g.scheduleFunc(at, fn) }
 
 // Replica exposes a replica's trusted component and protocol for attack
-// scripts and white-box tests.
+// scripts and white-box tests. The component is the replica's machine's
+// (co-hosted replicas share it behind counter namespaces).
 func (c *Cluster) Replica(r types.ReplicaID) (trusted.Component, engine.Protocol) {
-	return c.replicas[r].tc, c.replicas[r].proto
+	return c.g.replicas[r].tc, c.g.replicas[r].proto
 }
 
 // StateDigestOf returns replica r's current state-machine digest (safety
 // checks compare these across replicas).
 func (c *Cluster) StateDigestOf(r types.ReplicaID) types.Digest {
-	return c.replicas[r].store.StateDigest()
+	return c.g.replicas[r].store.StateDigest()
 }
 
 // InjectRequest sends a single client request to replica `to` at time at,
 // bypassing the closed-loop pool (attack demos drive individual requests).
 func (c *Cluster) InjectRequest(at time.Duration, to types.ReplicaID, req *types.ClientRequest) {
-	c.scheduleFunc(at, func() {
-		c.scheduleMessage(c.now+c.cfg.Topo.ClientLink(int(to)), c.poolIdx(), int(to), req)
+	c.g.scheduleFunc(at, func() {
+		c.g.scheduleMessage(c.mc.now+c.g.cfg.Topo.ClientLink(int(to)), c.g.poolIdx(), int(to), req)
 	})
 }
 
 // Collector exposes the client pool's metrics collector.
-func (c *Cluster) Collector() *metrics.Collector { return c.pool.collector }
+func (c *Cluster) Collector() *metrics.Collector { return c.g.pool.collector }
 
 // Pool returns client-pool statistics: outstanding txns, resends, certs.
 func (c *Cluster) Pool() (outstanding int, resends, certs uint64) {
-	return len(c.pool.txns), c.pool.resends, c.pool.certsSent
+	return len(c.g.pool.txns), c.g.pool.resends, c.g.pool.certsSent
 }
 
 // Run executes the experiment: clients ramp in over the first tenth of
 // warmup, the measurement window is [warmup, warmup+measure), and the run
 // stops at the window's end (the paper's warmup/cooldown trimming).
 func (c *Cluster) Run(warmup, measure time.Duration) Results {
-	ramp := warmup / 10
-	if ramp <= 0 {
-		ramp = time.Millisecond
-	}
-	if c.cfg.Clients > 0 {
-		c.pool.start(ramp)
-	}
-	c.pool.collector.SetWindow(warmup, warmup+measure)
-	c.runUntil(warmup + measure)
-	col := c.pool.collector
-	return Results{
-		Throughput: col.Throughput(measure),
-		MeanLat:    col.MeanLatency(),
-		P50Lat:     col.Percentile(50),
-		P99Lat:     col.Percentile(99),
-		Completed:  col.Completed(),
-		Events:     c.events,
-		Resends:    c.pool.resends,
-		CertsSent:  c.pool.certsSent,
-	}
+	res := c.mc.Run(warmup, measure)[0]
+	res.Events = c.mc.events // kernel-wide count, as the single-kernel sim reported
+	return res
 }
 
 // RunUntil advances virtual time to t without touching the measurement
 // window (attack scripts that need fine-grained control).
-func (c *Cluster) RunUntil(t time.Duration) { c.runUntil(t) }
+func (c *Cluster) RunUntil(t time.Duration) { c.mc.runUntil(t) }
 
 // Now returns current virtual time.
-func (c *Cluster) Now() time.Duration { return c.now }
+func (c *Cluster) Now() time.Duration { return c.mc.now }

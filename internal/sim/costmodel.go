@@ -36,6 +36,15 @@ type CostModel struct {
 	// which models the ecall / hardware access itself). Figure 5's "SA"
 	// bars toggle this.
 	TCSign time.Duration
+	// TCStreamHandoff is the drain occupancy paid when a machine's
+	// host-sequenced counter stream (the MinBFT/MinZZ/PBFT-EA Append
+	// discipline) is retargeted between co-hosted consensus groups: the
+	// previous tenant's in-flight attested messages must clear its
+	// pipeline — roughly one consensus round trip — before the single
+	// totally-ordered stream can bind another group's appends without
+	// tearing the first group's gap-free verification. Never paid by a
+	// group running alone, nor by FlexiTrust's per-group AppendF counters.
+	TCStreamHandoff time.Duration
 	// ClientVerifyPerReq is the per-request client authenticator check.
 	ClientVerifyPerReq time.Duration
 }
@@ -53,6 +62,7 @@ func DefaultCostModel() CostModel {
 		HashPerReq:         400 * time.Nanosecond,
 		ExecPerReq:         1 * time.Microsecond,
 		TCSign:             50 * time.Microsecond,
+		TCStreamHandoff:    900 * time.Microsecond,
 		ClientVerifyPerReq: 1 * time.Microsecond,
 	}
 }

@@ -3,17 +3,26 @@
 // engine.Env) while modeling, in virtual time, the quantities the paper's
 // evaluation turns on:
 //
-//   - per-replica CPU: each replica has a fixed number of worker threads;
-//     handling a message occupies a worker for a duration derived from the
-//     CostModel (MAC/signature operations, hashing, execution);
-//   - the trusted component as a serialized resource with a per-operation
-//     access latency (Profile.AccessCost) plus in-enclave attestation
-//     signing cost — the Figure 5/8 bottleneck;
+//   - per-machine CPU: each simulated machine has a fixed number of worker
+//     threads; handling a message occupies a worker for a duration derived
+//     from the CostModel (MAC/signature operations, hashing, execution);
+//   - the trusted component as a serialized per-machine resource with a
+//     per-operation access latency (Profile.AccessCost) plus in-enclave
+//     attestation signing cost — the Figure 5/8 bottleneck — and, for
+//     host-sequenced (USIG-style) counter streams, a stream-retarget cost
+//     when co-hosted consensus groups alternate on it (see Machine);
 //   - the network as a region-to-region latency matrix with per-link FIFO
 //     delivery (TCP-like), plus injectable delay, drop and partition rules
 //     for the byzantine experiments;
 //   - closed-loop clients (up to the paper's 80k) aggregated into a client
-//     pool node that applies each protocol's reply-quorum rule.
+//     pool node per consensus group that applies each protocol's
+//     reply-quorum rule.
+//
+// One kernel can host several consensus groups on one shared set of
+// machines (MultiCluster): replicas of co-hosted groups contend on their
+// machine's workers and trusted-component timeline, which is what makes
+// the sharded co-location experiments emergent rather than modeled. The
+// single-group Cluster is a thin S=1 wrapper over the same core.
 //
 // Everything is driven from a single goroutine off a binary heap of events,
 // so identical seeds give identical runs.
@@ -41,8 +50,9 @@ type event struct {
 	seq  uint64 // tie-breaker for deterministic ordering
 	kind eventKind
 
-	node  int // destination node index
-	from  int // source node index (evMessage)
+	dst   node   // destination node (evMessage, evTimer)
+	grp   *group // owning group, for per-group event accounting (may be nil)
+	from  int    // group-local source node index (evMessage)
 	msg   types.Message
 	timer types.TimerID
 	tgen  uint64 // timer generation; stale timers are dropped
@@ -70,20 +80,21 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
-// node is anything that can receive events: replicas and the client pool.
+// node is anything that can receive events: replicas and client pools.
 type node interface {
-	// handleMessage delivers a message from another node.
+	// handleMessage delivers a message from a group-local node index.
 	handleMessage(from int, m types.Message)
 	// handleTimer delivers a timer whose generation is current.
 	handleTimer(t types.TimerID, gen uint64)
 }
 
-// kernel owns virtual time and the event queue.
+// kernel owns virtual time and the event queue. All groups of a
+// MultiCluster share one kernel, so their events interleave in one
+// totally-ordered virtual timeline.
 type kernel struct {
 	now    time.Duration
 	queue  eventHeap
 	seq    uint64
-	nodes  []node
 	events uint64 // processed count (stats)
 }
 
@@ -95,22 +106,6 @@ func (k *kernel) schedule(e *event) {
 	k.seq++
 	e.seq = k.seq
 	heap.Push(&k.queue, e)
-}
-
-// scheduleMessage enqueues a message arrival.
-func (k *kernel) scheduleMessage(at time.Duration, from, to int, m types.Message) {
-	k.schedule(&event{at: at, kind: evMessage, node: to, from: from, msg: m})
-}
-
-// scheduleTimer enqueues a timer firing.
-func (k *kernel) scheduleTimer(at time.Duration, nodeIdx int, t types.TimerID, gen uint64) {
-	k.schedule(&event{at: at, kind: evTimer, node: nodeIdx, timer: t, tgen: gen})
-}
-
-// scheduleFunc enqueues an arbitrary callback (experiment scripts: crashes,
-// rollbacks, load changes).
-func (k *kernel) scheduleFunc(at time.Duration, fn func()) {
-	k.schedule(&event{at: at, kind: evFunc, node: -1, fn: fn})
 }
 
 // runUntil processes events in order until virtual time end or queue
@@ -128,13 +123,16 @@ func (k *kernel) runUntil(end time.Duration) uint64 {
 		k.now = e.at
 		processed++
 		k.events++
+		if e.grp != nil {
+			e.grp.events++
+		}
 		switch e.kind {
 		case evFunc:
 			e.fn()
 		case evMessage:
-			k.nodes[e.node].handleMessage(e.from, e.msg)
+			e.dst.handleMessage(e.from, e.msg)
 		case evTimer:
-			k.nodes[e.node].handleTimer(e.timer, e.tgen)
+			e.dst.handleTimer(e.timer, e.tgen)
 		}
 	}
 	k.now = end

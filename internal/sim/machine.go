@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"time"
+
+	"flexitrust/internal/trusted"
+)
+
+// Machine models one simulated host. It owns the two per-host resources
+// every replica placed on it must share:
+//
+//   - workers: the CPU worker threads. A handler occupies the
+//     earliest-free worker from max(arrival, free) for the duration its
+//     cost-model charges accumulate; co-hosted replicas of different
+//     consensus groups draw from the same pool, so co-location CPU
+//     contention is a property of the timeline, not of a merge formula.
+//   - the trusted component: one physical component per machine, shared by
+//     every co-hosted replica behind per-group counter namespaces
+//     (trusted.Namespaced). Every operation serializes on the component's
+//     busy-timeline and occupies it for Profile.AccessCost plus the
+//     in-enclave signing cost.
+//
+// Host-sequenced counter streams (the MinBFT/MinZZ/PBFT-EA Append
+// discipline) carry one extra, paper-critical constraint: the hardware
+// attests a single totally-ordered stream per machine, and each group's
+// verifiers consume that stream gap-free in consensus order. Two co-hosted
+// groups therefore cannot interleave their appends at operation granularity
+// — the stream must be retargeted between tenants, and retargeting cannot
+// complete until the previous tenant's in-flight attested messages have
+// drained from its pipeline (otherwise its verifiers would observe a torn
+// stream). The machine models this as a stream-tenancy timeline: an Append
+// by a group other than the current stream tenant first pays
+// CostModel.TCStreamHandoff of drain occupancy. FlexiTrust's AppendF
+// counters are internally incremented and per-group, so they interleave
+// freely and never pay the handoff — which is exactly the dichotomy the
+// shard-scaling experiment measures.
+type Machine struct {
+	idx int
+
+	// workers holds each CPU worker thread's busy-until time.
+	workers []time.Duration
+
+	// tcFreeAt is the trusted component's busy-until time; tcBusy
+	// accumulates its total occupancy (accesses plus stream drains) for
+	// contention accounting.
+	tcFreeAt time.Duration
+	tcBusy   time.Duration
+
+	// tcTenant is the group currently holding the host-sequenced counter
+	// stream (-1 until the first Append); handoff is the drain occupancy
+	// paid when the stream is retargeted to another group; tcSign is the
+	// in-enclave attestation signing cost. Like the worker count, these
+	// are properties of the shared hardware, not of any one tenant.
+	tcTenant int
+	handoff  time.Duration
+	tcSign   time.Duration
+
+	tc trusted.Component
+}
+
+// newMachine builds machine idx with the given worker count and trusted
+// component.
+func newMachine(idx, workers int, handoff, tcSign time.Duration, tc trusted.Component) *Machine {
+	return &Machine{
+		idx:      idx,
+		workers:  make([]time.Duration, workers),
+		tcTenant: -1,
+		handoff:  handoff,
+		tcSign:   tcSign,
+		tc:       tc,
+	}
+}
+
+// Index returns the machine's index in its MultiCluster.
+func (m *Machine) Index() int { return m.idx }
+
+// TCBusy returns the cumulative occupancy of the machine's trusted
+// component: access and signing time of every operation plus the stream
+// drains paid when co-hosted host-sequenced groups alternated on it. The
+// per-machine contention tests compare this across co-location degrees.
+func (m *Machine) TCBusy() time.Duration { return m.tcBusy }
+
+// Component exposes the machine's trusted component (white-box tests and
+// attack scripts; every co-hosted replica shares it behind its group's
+// counter namespace).
+func (m *Machine) Component() trusted.Component { return m.tc }
+
+// tcAccess serializes one trusted-component operation issued by group
+// `tenant` whose already-charged handler work completes at `busy`. hostSeq
+// marks host-sequenced (Append-discipline) operations, which own the
+// machine's single attested stream and pay the retarget drain when the
+// stream last belonged to another group. The operation occupies the
+// component for the hardware access plus the in-enclave signing cost. It
+// returns the operation's finish time; the caller charges finish-busy
+// (wait + access) to the handler.
+func (m *Machine) tcAccess(busy time.Duration, tenant int, hostSeq bool) time.Duration {
+	occupancy := m.tc.Profile().AccessCost + m.tcSign
+	free := m.tcFreeAt
+	if hostSeq {
+		if m.tcTenant >= 0 && m.tcTenant != tenant {
+			// Stream retarget: the previous tenant's attested pipeline
+			// drains before the counter can bind another group's stream.
+			m.tcBusy += m.handoff
+			free += m.handoff
+		}
+		m.tcTenant = tenant
+	}
+	start := busy
+	if free > start {
+		start = free
+	}
+	m.tcFreeAt = start + occupancy
+	m.tcBusy += occupancy
+	return m.tcFreeAt
+}

@@ -80,13 +80,15 @@ func (b *bitset) count() int {
 	return n
 }
 
-// clientPool aggregates every closed-loop client into one simulator node: it
-// issues requests to the primary, applies the protocol's reply rule to the
-// responses, records latency, and immediately re-issues a new request per
-// completed one (closed loop). It also implements the client side of
-// Zyzzyva/MinZZ commit certificates and request re-broadcast.
+// clientPool aggregates every closed-loop client of one consensus group
+// into one simulator node: it issues requests to the primary, applies the
+// protocol's reply rule to the responses, records latency, and immediately
+// re-issues a new request per completed one (closed loop). It also
+// implements the client side of Zyzzyva/MinZZ commit certificates and
+// request re-broadcast. Clients are external to the simulated machines, so
+// a pool never contends on machine resources.
 type clientPool struct {
-	c          *Cluster
+	g          *group
 	policy     ReplyPolicy
 	numClients int
 	gen        *workload.Generator
@@ -105,15 +107,16 @@ type clientPool struct {
 	certsSent    uint64
 }
 
-// newClientPool wires a pool for cfg.Clients closed-loop clients.
-func newClientPool(c *Cluster) *clientPool {
+// newClientPool wires a pool for the group's cfg.Clients closed-loop
+// clients.
+func newClientPool(g *group) *clientPool {
 	return &clientPool{
-		c:          c,
-		policy:     c.cfg.Policy,
-		numClients: c.cfg.Clients,
-		gen:        workload.NewGenerator(c.cfg.Workload),
-		nextReq:    make([]uint64, c.cfg.Clients),
-		txns:       make(map[types.RequestKey]*poolTxn, c.cfg.Clients),
+		g:          g,
+		policy:     g.cfg.Policy,
+		numClients: g.cfg.Clients,
+		gen:        workload.NewGenerator(g.cfg.Workload),
+		nextReq:    make([]uint64, g.cfg.Clients),
+		txns:       make(map[types.RequestKey]*poolTxn, g.cfg.Clients),
 		batches:    make(map[types.SeqNum]*batchState),
 		collector:  metrics.NewCollector(1 << 21),
 		timerGen:   make(map[types.TimerID]uint64),
@@ -136,7 +139,7 @@ func (p *clientPool) start(rampOver time.Duration) {
 			count = p.numClients - issued
 		}
 		first := issued
-		p.c.scheduleFunc(time.Duration(i)*step, func() {
+		p.g.scheduleFunc(time.Duration(i)*step, func() {
 			for k := 0; k < count; k++ {
 				p.issue(first + k)
 			}
@@ -154,7 +157,7 @@ func (p *clientPool) start(rampOver time.Duration) {
 func (p *clientPool) armSweep() {
 	id := types.TimerID{Kind: types.TimerClientRetry}
 	p.timerGen[id]++
-	p.c.scheduleTimer(p.c.now+p.policy.RetryTimeout/2, p.c.poolIdx(), id, p.timerGen[id])
+	p.g.scheduleTimer(p.g.now()+p.policy.RetryTimeout/2, p.g.poolIdx(), id, p.timerGen[id])
 }
 
 // issue creates and queues the next request for client index ci.
@@ -164,9 +167,9 @@ func (p *clientPool) issue(ci int) {
 		Client:    types.ClientID(ci + 1),
 		ReqNo:     p.nextReq[ci],
 		Op:        p.gen.Next(),
-		Timestamp: int64(p.c.now),
+		Timestamp: int64(p.g.now()),
 	}
-	p.txns[req.Key()] = &poolTxn{sent: p.c.now, req: req}
+	p.txns[req.Key()] = &poolTxn{sent: p.g.now(), req: req}
 	p.pendingSends = append(p.pendingSends, req)
 }
 
@@ -184,8 +187,8 @@ func (p *clientPool) flushSends() {
 // sendTo schedules delivery of m to replica index idx with client-link
 // latency.
 func (p *clientPool) sendTo(idx int, m types.Message) {
-	lat := p.c.cfg.Topo.ClientLink(idx)
-	p.c.scheduleMessage(p.c.now+lat, p.c.poolIdx(), idx, m)
+	lat := p.g.cfg.Topo.ClientLink(idx)
+	p.g.scheduleMessage(p.g.now()+lat, p.g.poolIdx(), idx, m)
 }
 
 // matchKey hashes the fields that must be identical across replicas for
@@ -221,12 +224,12 @@ func (p *clientPool) handleMessage(from int, m types.Message) {
 func (p *clientPool) onResponse(from int, r *types.Response) {
 	bs := p.batches[r.Seq]
 	if bs == nil {
-		bs = &batchState{firstSeen: p.c.now, tallies: make(map[types.Digest]*respTally)}
+		bs = &batchState{firstSeen: p.g.now(), tallies: make(map[types.Digest]*respTally)}
 		p.batches[r.Seq] = bs
 		if p.policy.Slow > 0 {
 			id := types.TimerID{Kind: types.TimerRequestForwarded, Seq: r.Seq}
 			p.timerGen[id]++
-			p.c.scheduleTimer(p.c.now+p.policy.CertTimeout, p.c.poolIdx(), id, p.timerGen[id])
+			p.g.scheduleTimer(p.g.now()+p.policy.CertTimeout, p.g.poolIdx(), id, p.timerGen[id])
 		}
 	}
 	if bs.done {
@@ -268,7 +271,7 @@ func (p *clientPool) complete(seq types.SeqNum, bs *batchState, tally *respTally
 	bs.done = true
 	if tally.view > p.view {
 		p.view = tally.view
-		p.primary = int(types.Primary(p.view, p.c.cfg.N))
+		p.primary = int(types.Primary(p.view, p.g.cfg.N))
 	}
 	for i := range tally.results {
 		res := &tally.results[i]
@@ -278,7 +281,7 @@ func (p *clientPool) complete(seq types.SeqNum, bs *batchState, tally *respTally
 			continue // already completed under an earlier seq (re-proposal)
 		}
 		delete(p.txns, key)
-		p.collector.Record(p.c.now, p.c.now-txn.sent)
+		p.collector.Record(p.g.now(), p.g.now()-txn.sent)
 		p.issue(int(res.Client) - 1)
 	}
 }
@@ -323,29 +326,29 @@ func (p *clientPool) onCertTimer(seq types.SeqNum) {
 			Digest:  best.digest,
 			History: best.history,
 		}
-		for idx := range p.c.replicas {
+		for idx := range p.g.replicas {
 			p.sendTo(idx, cert)
 		}
 	}
 	// Re-arm in case acks get lost too.
 	id := types.TimerID{Kind: types.TimerRequestForwarded, Seq: seq}
 	p.timerGen[id]++
-	p.c.scheduleTimer(p.c.now+p.policy.CertTimeout, p.c.poolIdx(), id, p.timerGen[id])
+	p.g.scheduleTimer(p.g.now()+p.policy.CertTimeout, p.g.poolIdx(), id, p.timerGen[id])
 }
 
 // onSweep re-broadcasts requests that have waited longer than RetryTimeout.
 func (p *clientPool) onSweep() {
-	cutoff := p.c.now - p.policy.RetryTimeout
+	cutoff := p.g.now() - p.policy.RetryTimeout
 	for _, txn := range p.txns {
 		last := txn.sent
 		if txn.lastResend > last {
 			last = txn.lastResend
 		}
 		if last <= cutoff {
-			txn.lastResend = p.c.now
+			txn.lastResend = p.g.now()
 			p.resends++
 			resend := &types.ClientResend{Request: txn.req}
-			for idx := range p.c.replicas {
+			for idx := range p.g.replicas {
 				p.sendTo(idx, resend)
 			}
 		}

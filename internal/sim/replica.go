@@ -12,28 +12,29 @@ import (
 )
 
 // replicaNode hosts one protocol instance inside the simulator and
-// implements engine.Env for it. CPU is modeled as cm.Workers worker threads:
-// a handler occupies the earliest-free worker from max(arrival, free) for a
-// duration accumulated from the cost model; its outbound messages depart at
-// completion. The trusted component is a separate serialized resource.
+// implements engine.Env for it. CPU and trusted-component time live on the
+// replica's Machine: a handler occupies the machine's earliest-free worker
+// from max(arrival, free) for a duration accumulated from the cost model;
+// its outbound messages depart at completion. Replicas of other groups
+// placed on the same machine draw from the same worker pool and the same
+// trusted-component timeline — co-location contention is shared state, not
+// per-replica accounting.
 type replicaNode struct {
-	c     *Cluster
+	g     *group
 	id    types.ReplicaID
 	idx   int
+	m     *Machine
 	proto engine.Protocol
 
-	workers  []time.Duration // per-worker busy-until
-	tcFreeAt time.Duration   // trusted component busy-until
-
-	tc     trusted.Component
-	tcView trusted.Component // tc behind the group's counter namespace
+	tc     trusted.Component // the machine's physical component
+	tcView trusted.Component // machine component behind the group's counter namespace
 	store  *kvstore.Store
 
 	timerGen map[types.TimerID]uint64
 
 	crashed bool
 	// sendFilter, when set, decides whether an outbound message is actually
-	// transmitted (byzantine withholding). to == poolNode targets clients.
+	// transmitted (byzantine withholding). to == poolIdx targets clients.
 	sendFilter func(to int, m types.Message) bool
 
 	// lastArrival enforces per-link FIFO delivery (TCP-like ordering).
@@ -68,22 +69,23 @@ func (r *replicaNode) charge(d time.Duration) {
 // completes; used to serialize trusted-component access realistically.
 func (r *replicaNode) busyPoint() time.Duration { return r.curStart + r.curCharges }
 
-// runHandler wraps a protocol callback with worker scheduling, cost
+// runHandler wraps a protocol callback with machine-worker scheduling, cost
 // accumulation and outbox flushing.
 func (r *replicaNode) runHandler(fn func()) {
 	if r.crashed {
 		return
 	}
-	// Pick the earliest-free worker.
+	// Pick the machine's earliest-free worker.
+	workers := r.m.workers
 	wi := 0
-	for i := 1; i < len(r.workers); i++ {
-		if r.workers[i] < r.workers[wi] {
+	for i := 1; i < len(workers); i++ {
+		if workers[i] < workers[wi] {
 			wi = i
 		}
 	}
-	start := r.c.now
-	if r.workers[wi] > start {
-		start = r.workers[wi]
+	start := r.g.now()
+	if workers[wi] > start {
+		start = workers[wi]
 	}
 	r.inHandler = true
 	r.curStart = start
@@ -93,7 +95,7 @@ func (r *replicaNode) runHandler(fn func()) {
 	fn()
 
 	finish := start + r.curCharges
-	r.workers[wi] = finish
+	workers[wi] = finish
 	r.inHandler = false
 
 	for _, out := range r.outbox {
@@ -102,13 +104,13 @@ func (r *replicaNode) runHandler(fn func()) {
 	r.outbox = r.outbox[:0]
 }
 
-// transmit schedules delivery of m to node `to`, departing at depart, with
-// link latency, injected delays and FIFO ordering applied.
+// transmit schedules delivery of m to group-local node `to`, departing at
+// depart, with link latency, injected delays and FIFO ordering applied.
 func (r *replicaNode) transmit(depart time.Duration, to int, m types.Message) {
 	if r.sendFilter != nil && !r.sendFilter(to, m) {
 		return
 	}
-	lat := r.c.linkLatency(r.idx, to, m)
+	lat := r.g.linkLatency(r.idx, to, m)
 	if lat < 0 {
 		return // dropped by injection rule
 	}
@@ -117,7 +119,7 @@ func (r *replicaNode) transmit(depart time.Duration, to int, m types.Message) {
 		arrival = r.lastArrival[to] + time.Nanosecond
 	}
 	r.lastArrival[to] = arrival
-	r.c.scheduleMessage(arrival, r.idx, to, m)
+	r.g.scheduleMessage(arrival, r.idx, to, m)
 }
 
 // handleMessage implements node.
@@ -126,7 +128,7 @@ func (r *replicaNode) handleMessage(from int, m types.Message) {
 		return
 	}
 	r.runHandler(func() {
-		cm := &r.c.cfg.Cost
+		cm := &r.g.cfg.Cost
 		r.charge(cm.BaseHandle + cm.MACVerify)
 		switch msg := m.(type) {
 		case *types.RequestBatch:
@@ -139,7 +141,7 @@ func (r *replicaNode) handleMessage(from int, m types.Message) {
 			r.charge(cm.ClientVerifyPerReq + cm.HashPerReq)
 			r.proto.OnRequest(msg)
 		default:
-			if from >= 0 && from < len(r.c.replicas) {
+			if from >= 0 && from < len(r.g.replicas) {
 				r.proto.OnMessage(types.ReplicaID(from), m)
 			} else {
 				// Client-originated protocol message (resend, commit cert).
@@ -155,7 +157,7 @@ func (r *replicaNode) handleTimer(t types.TimerID, gen uint64) {
 		return
 	}
 	r.runHandler(func() {
-		r.charge(r.c.cfg.Cost.BaseHandle)
+		r.charge(r.g.cfg.Cost.BaseHandle)
 		r.proto.OnTimer(t)
 	})
 }
@@ -167,14 +169,14 @@ func (r *replicaNode) ID() types.ReplicaID { return r.id }
 
 // Send implements engine.Env.
 func (r *replicaNode) Send(to types.ReplicaID, m types.Message) {
-	r.charge(r.c.cfg.Cost.MACSign + r.c.cfg.Cost.SendOverhead)
+	r.charge(r.g.cfg.Cost.MACSign + r.g.cfg.Cost.SendOverhead)
 	r.outbox = append(r.outbox, simOut{to: int(to), m: m, depart: r.busyPoint()})
 }
 
 // Broadcast implements engine.Env.
 func (r *replicaNode) Broadcast(m types.Message) {
-	cm := &r.c.cfg.Cost
-	for j := range r.c.replicas {
+	cm := &r.g.cfg.Cost
+	for j := range r.g.replicas {
 		if j == r.idx {
 			continue
 		}
@@ -190,31 +192,31 @@ func (r *replicaNode) Broadcast(m types.Message) {
 // worker would serialize proposal emission behind reply fan-out, which no
 // pipelined implementation does.)
 func (r *replicaNode) Respond(resp *types.Response) {
-	r.charge(time.Duration(len(resp.Results))*r.c.cfg.Cost.MACSign + r.c.cfg.Cost.SendOverhead)
-	r.outbox = append(r.outbox, simOut{to: r.c.poolIdx(), m: resp, depart: r.busyPoint()})
+	r.charge(time.Duration(len(resp.Results))*r.g.cfg.Cost.MACSign + r.g.cfg.Cost.SendOverhead)
+	r.outbox = append(r.outbox, simOut{to: r.g.poolIdx(), m: resp, depart: r.busyPoint()})
 }
 
 // SendClient implements engine.Env.
 func (r *replicaNode) SendClient(_ types.ClientID, m types.Message) {
-	r.charge(r.c.cfg.Cost.MACSign + r.c.cfg.Cost.SendOverhead)
-	r.outbox = append(r.outbox, simOut{to: r.c.poolIdx(), m: m, depart: r.busyPoint()})
+	r.charge(r.g.cfg.Cost.MACSign + r.g.cfg.Cost.SendOverhead)
+	r.outbox = append(r.outbox, simOut{to: r.g.poolIdx(), m: m, depart: r.busyPoint()})
 }
 
 // SetTimer implements engine.Env.
 func (r *replicaNode) SetTimer(id types.TimerID, d time.Duration) {
 	r.timerGen[id]++
-	r.c.scheduleTimer(r.c.now+d, r.idx, id, r.timerGen[id])
+	r.g.scheduleTimer(r.g.now()+d, r.idx, id, r.timerGen[id])
 }
 
 // CancelTimer implements engine.Env.
 func (r *replicaNode) CancelTimer(id types.TimerID) { r.timerGen[id]++ }
 
 // Now implements engine.Env.
-func (r *replicaNode) Now() time.Duration { return r.c.now }
+func (r *replicaNode) Now() time.Duration { return r.g.now() }
 
-// Trusted implements engine.Env: the real component (behind the group's
-// counter namespace) wrapped so every access serializes on the TC resource
-// and charges its latency.
+// Trusted implements engine.Env: the machine's component (behind the
+// group's counter namespace) wrapped so every access serializes on the
+// machine's TC timeline and charges its latency.
 func (r *replicaNode) Trusted() trusted.Component {
 	return &chargingTC{node: r, inner: r.tcView}
 }
@@ -222,10 +224,20 @@ func (r *replicaNode) Trusted() trusted.Component {
 // VerifyAttestation implements engine.Env: a signature verification plus the
 // actual (cheap) HMAC check so forged attestations really are rejected.
 // Attestations minted through a namespaced view are remapped to the form
-// their proof binds before checking.
+// their proof binds before checking; likewise, the proof was minted by the
+// *machine* hosting the sending replica, so the logical replica identity is
+// remapped to the machine's before the key lookup.
 func (r *replicaNode) VerifyAttestation(a *types.Attestation) bool {
-	r.charge(r.c.cfg.Cost.DSVerify)
-	return r.c.auth.Verify(trusted.MapAttestation(a, r.c.cfg.Engine.TrustedNamespace))
+	r.charge(r.g.cfg.Cost.DSVerify)
+	m := trusted.MapAttestation(a, r.g.cfg.Engine.TrustedNamespace)
+	if a != nil {
+		if mi := r.g.machineOf(int(a.Replica)); mi != int(a.Replica) {
+			mm := *m
+			mm.Replica = types.ReplicaID(mi)
+			m = &mm
+		}
+	}
+	return r.g.mc.auth.Verify(m)
 }
 
 // Crypto implements engine.Env.
@@ -233,7 +245,7 @@ func (r *replicaNode) Crypto() crypto.Provider { return r.cryptoProv }
 
 // Execute implements engine.Env.
 func (r *replicaNode) Execute(_ types.SeqNum, b *types.Batch) []types.Result {
-	r.charge(time.Duration(b.Len()) * r.c.cfg.Cost.ExecPerReq)
+	r.charge(time.Duration(b.Len()) * r.g.cfg.Cost.ExecPerReq)
 	return r.store.ApplyBatch(b)
 }
 
@@ -248,60 +260,84 @@ func (r *replicaNode) RestoreState(snap any) { r.store.Restore(snap.(*kvstore.Sn
 
 // Defer implements engine.Env: the callback becomes its own worker event.
 func (r *replicaNode) Defer(fn func()) {
-	r.c.scheduleFunc(r.c.now, func() {
+	r.g.scheduleFunc(r.g.now(), func() {
 		r.runHandler(fn)
 	})
 }
 
 // Logf implements engine.Env.
 func (r *replicaNode) Logf(format string, args ...any) {
-	if r.c.cfg.Trace {
-		fmt.Printf("[%12s r%d] %s\n", r.c.now, r.id, fmt.Sprintf(format, args...))
+	if r.g.cfg.Trace {
+		if len(r.g.mc.groups) > 1 {
+			fmt.Printf("[%12s g%d r%d] %s\n", r.g.now(), r.g.idx, r.id, fmt.Sprintf(format, args...))
+			return
+		}
+		fmt.Printf("[%12s r%d] %s\n", r.g.now(), r.id, fmt.Sprintf(format, args...))
 	}
 }
 
-// chargingTC decorates a trusted component: each operation waits for the
-// serialized TC resource, then occupies it for AccessCost (the
-// ecall/hardware access) plus TCSign (in-enclave attestation signing).
+// chargingTC decorates the machine's trusted component for one replica:
+// each operation waits for the machine's serialized TC timeline, then
+// occupies it for AccessCost (the ecall/hardware access) plus TCSign
+// (in-enclave attestation signing). Host-sequenced Append operations also
+// own the machine's single attested stream: when another co-hosted group
+// held it last, the stream-retarget drain (CostModel.TCStreamHandoff) is
+// paid first — the emergent form of the USIG time-sharing argument.
+// Attestations are minted by the machine's component, so their host
+// identity is rewritten back to the replica's logical id before the
+// protocol sees them (the placement-aware inverse lives in
+// VerifyAttestation).
 type chargingTC struct {
 	node  *replicaNode
 	inner trusted.Component
 }
 
-// chargeAccess models one serialized component operation.
-func (t *chargingTC) chargeAccess() {
+// chargeAccess models one serialized component operation; hostSeq marks
+// operations on the host-sequenced stream (the Append discipline).
+func (t *chargingTC) chargeAccess(hostSeq bool) {
 	n := t.node
 	busy := n.busyPoint()
-	start := busy
-	if n.tcFreeAt > start {
-		start = n.tcFreeAt
-	}
-	occupancy := t.inner.Profile().AccessCost + n.c.cfg.Cost.TCSign
-	n.tcFreeAt = start + occupancy
-	n.charge(n.tcFreeAt - busy) // wait + access, from this handler's view
+	finish := n.m.tcAccess(busy, n.g.idx, hostSeq)
+	n.charge(finish - busy) // wait + access, from this handler's view
 }
 
-func (t *chargingTC) Host() types.ReplicaID    { return t.inner.Host() }
+// relabel rewrites the machine-host identity on a returned attestation to
+// the replica's logical id (a no-op when the replica's machine index equals
+// its id, as in every single-group identity placement).
+func (t *chargingTC) relabel(a *types.Attestation) *types.Attestation {
+	if a == nil || a.Replica == t.node.id {
+		return a
+	}
+	m := *a
+	m.Replica = t.node.id
+	return &m
+}
+
+func (t *chargingTC) Host() types.ReplicaID    { return t.node.id }
 func (t *chargingTC) Profile() trusted.Profile { return t.inner.Profile() }
 
 func (t *chargingTC) AppendF(q uint32, x types.Digest) (*types.Attestation, error) {
-	t.chargeAccess()
-	return t.inner.AppendF(q, x)
+	t.chargeAccess(false)
+	a, err := t.inner.AppendF(q, x)
+	return t.relabel(a), err
 }
 
 func (t *chargingTC) Append(q uint32, k uint64, x types.Digest) (*types.Attestation, error) {
-	t.chargeAccess()
-	return t.inner.Append(q, k, x)
+	t.chargeAccess(true)
+	a, err := t.inner.Append(q, k, x)
+	return t.relabel(a), err
 }
 
 func (t *chargingTC) Lookup(q uint32, k uint64) (*types.Attestation, error) {
-	t.chargeAccess()
-	return t.inner.Lookup(q, k)
+	t.chargeAccess(false)
+	a, err := t.inner.Lookup(q, k)
+	return t.relabel(a), err
 }
 
 func (t *chargingTC) Create(q uint32, k uint64) (*types.Attestation, error) {
-	t.chargeAccess()
-	return t.inner.Create(q, k)
+	t.chargeAccess(false)
+	a, err := t.inner.Create(q, k)
+	return t.relabel(a), err
 }
 
 func (t *chargingTC) Current(q uint32) (uint32, uint64, error) { return t.inner.Current(q) }
@@ -319,30 +355,30 @@ type simCrypto struct {
 
 // Sign implements crypto.Provider.
 func (s *simCrypto) Sign(_ []byte) []byte {
-	s.node.charge(s.node.c.cfg.Cost.DSSign)
+	s.node.charge(s.node.g.cfg.Cost.DSSign)
 	return nil
 }
 
 // Verify implements crypto.Provider.
 func (s *simCrypto) Verify(_ types.ReplicaID, _, _ []byte) bool {
-	s.node.charge(s.node.c.cfg.Cost.DSVerify)
+	s.node.charge(s.node.g.cfg.Cost.DSVerify)
 	return true
 }
 
 // VerifyClient implements crypto.Provider.
 func (s *simCrypto) VerifyClient(_ types.ClientID, _, _ []byte) bool {
-	s.node.charge(s.node.c.cfg.Cost.ClientVerifyPerReq)
+	s.node.charge(s.node.g.cfg.Cost.ClientVerifyPerReq)
 	return true
 }
 
 // MAC implements crypto.Provider.
 func (s *simCrypto) MAC(_ types.ReplicaID, _ []byte) []byte {
-	s.node.charge(s.node.c.cfg.Cost.MACSign)
+	s.node.charge(s.node.g.cfg.Cost.MACSign)
 	return nil
 }
 
 // CheckMAC implements crypto.Provider.
 func (s *simCrypto) CheckMAC(_ types.ReplicaID, _, _ []byte) bool {
-	s.node.charge(s.node.c.cfg.Cost.MACVerify)
+	s.node.charge(s.node.g.cfg.Cost.MACVerify)
 	return true
 }

@@ -225,4 +225,44 @@ func TestTCSerializationShowsInThroughput(t *testing.T) {
 	if slow > 1200 {
 		t.Fatalf("slow-TC throughput %.0f exceeds the access-latency bound", slow)
 	}
+
+	// Per-machine TC contention, measured directly on the shared-kernel
+	// deployment. Two co-hosted MinBFT groups must roughly double the
+	// busiest machine's trusted-component occupancy: every alternation on
+	// the host-sequenced USIG stream drains and retargets it, so the
+	// second tenant's time adds instead of interleaving. Two FlexiBFT
+	// groups must not: each group's primary (the only replica touching
+	// the counter, via per-group namespaced AppendF) lands on its own
+	// machine, so no machine's TC timeline carries more than one group.
+	busyAfter := func(n int, mk func(cfg engine.Config) engine.Protocol, groups int) time.Duration {
+		mc := coHosted(n, 1, mk, groups, 21)
+		mc.Run(100*time.Millisecond, 400*time.Millisecond)
+		return maxTCBusy(mc)
+	}
+	t.Run("CoHostedMinBFTStreamContention", func(t *testing.T) {
+		mk := func(cfg engine.Config) engine.Protocol { return minbft.New(cfg) }
+		one := busyAfter(3, mk, 1)
+		two := busyAfter(3, mk, 2)
+		t.Logf("MinBFT max-machine TC busy: 1 group=%v  2 groups=%v (%.2fx)",
+			one, two, float64(two)/float64(one))
+		if one <= 0 {
+			t.Fatal("single MinBFT group never touched the trusted component")
+		}
+		if float64(two) < 1.8*float64(one) {
+			t.Fatalf("co-hosting a second MinBFT group added too little TC busy-time: %v -> %v (<1.8x)", one, two)
+		}
+	})
+	t.Run("CoHostedFlexiBFTInterleaves", func(t *testing.T) {
+		mk := func(cfg engine.Config) engine.Protocol { return flexibft.New(cfg) }
+		one := busyAfter(4, mk, 1)
+		two := busyAfter(4, mk, 2)
+		t.Logf("FlexiBFT max-machine TC busy: 1 group=%v  2 groups=%v (%.2fx)",
+			one, two, float64(two)/float64(one))
+		if one <= 0 {
+			t.Fatal("single FlexiBFT group never touched the trusted component")
+		}
+		if float64(two) > 1.1*float64(one) {
+			t.Fatalf("co-hosting a second FlexiBFT group should not pile onto one machine's TC: %v -> %v (>1.1x)", one, two)
+		}
+	})
 }
