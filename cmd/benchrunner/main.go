@@ -9,7 +9,7 @@
 //	benchrunner -list
 //
 // Experiments: fig1, fig5, fig6i, fig6ii, fig6iv, fig6vi, fig7, fig8, fig9,
-// shard.
+// shard, txn.
 package main
 
 import (
@@ -56,6 +56,8 @@ func experiments() []experiment {
 			func(s harness.Scale) string { return harness.Fig9PerMachine(nil, s).String() }},
 		{"shard", "shard scaling: co-located consensus groups in one shared kernel, FlexiTrust vs MinBFT/MinZZ",
 			func(s harness.Scale) string { return harness.FigShardScaling(shardCounts, s).String() }},
+		{"txn", "cross-shard 2PC transactions: attested commit point under co-location, FlexiBFT vs MinBFT",
+			func(s harness.Scale) string { return harness.FigTxnScaling(shardCounts, s) }},
 	}
 }
 
@@ -80,7 +82,7 @@ func main() {
 	full := flag.Bool("full", false, "publication-scale windows (slower)")
 	scaleFlag := flag.Int("scale", 4, "window divisor for quick runs (ignored with -full; larger = shorter)")
 	mode := flag.String("mode", "shared", "shard-experiment simulation mode: 'shared' runs all groups in one kernel (the analytic 'merged' mode was removed)")
-	shards := flag.String("shards", "", "comma-separated shard counts for -exp shard (default 1,2,4,8)")
+	shards := flag.String("shards", "", "comma-separated shard counts for -exp shard / txn (defaults 1,2,4,8 / 4)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -113,7 +115,7 @@ func main() {
 		}
 		ran = true
 		start := time.Now()
-		if e.name == "shard" {
+		if e.name == "shard" || e.name == "txn" {
 			fmt.Println("simulation mode: shared-kernel (all groups in one discrete-event kernel, deterministic seeds)")
 		}
 		fmt.Println(e.run(scale))

@@ -67,7 +67,7 @@ func main() {
 	}
 	fmt.Printf("multi-get: %d keys across %d shards, read at versions %v\n",
 		len(vals), shards, versions)
-	fmt.Printf("  e.g. key 7 (shard %d) = %q\n", cluster.ShardFor(7), vals[7])
+	fmt.Printf("  e.g. key 7 (shard %d) = %q\n", cluster.ShardFor(7), vals[7].Value)
 
 	st := cluster.Stats()
 	fmt.Printf("cluster: %d ops committed, mean latency %v, p99 %v\n",

@@ -65,9 +65,47 @@
 // different co-hosted group appends, the stream must drain and retarget
 // (sim.Machine's stream tenancy), so the groups end up time-sharing the
 // machine's trusted-component timeline. Reproduce the contrast with
-// `benchrunner -exp shard` or BenchmarkShardedThroughput. Cross-shard
-// write atomicity (2PC), shard rebalancing and per-shard failover are
-// deliberately out of scope for now; see ROADMAP.md.
+// `benchrunner -exp shard` or BenchmarkShardedThroughput.
+//
+// # Cross-shard transactions
+//
+// A multi-key write spanning shards is atomic: ShardSession.MultiPut (and
+// the more general ShardSession.Txn) runs two-phase commit over the
+// participant groups with a FlexiTrust attested counter as the
+// commit-point arbiter. Phase 1 installs per-key intents on each
+// participant shard through that shard's own consensus (so prepared state
+// is replicated and survives f replica failures); the decision is then ONE
+// internally-incremented attested counter access binding
+// Attest(q, k, H(decision ‖ txid)) — the paper's one-access-per-consensus
+// property applied to the commit point — published to a first-wins
+// attestation log; phase 2 drives the decision to the participants:
+//
+//	sess := cluster.Session(1)
+//	err := sess.MultiPut(ctx, map[uint64][]byte{3: a, 9: b, 21: c}) // all-or-nothing
+//
+// A transaction IS committed iff a verified commit attestation for its id
+// is published: a Byzantine coordinator cannot forge one (the component
+// signs, the host cannot), and minting both outcomes loses to the log's
+// first-wins rule, so the decision is non-equivocable. If a coordinator
+// crashes mid-flight, readers see the pending state explicitly — MultiGet
+// returns per-key ReadResult values whose BlockedBy field names the
+// transaction holding an intent on the key (with the read-committed
+// fallback value), instead of silently serving a stale read — and anyone
+// may settle the transaction after an in-doubt timeout with
+// ShardSession.ResolveTxn: a published decision wins, otherwise the
+// arbiter mints an abort that also poisons the id on shards whose Prepare
+// never arrived.
+//
+// The commit path is measured under co-location on the shared-kernel
+// simulator (`benchrunner -exp txn`, examples/transactions): FlexiBFT's
+// decision accesses interleave freely with the co-hosted groups'
+// namespaced counters, so cross-shard transaction latency stays within 2x
+// of a single-shard write even at high multi-shard mixes, while
+// MinBFT-style host-sequenced decisions time-share each machine's attested
+// stream and degrade.
+//
+// Shard rebalancing and per-shard failover orchestration remain out of
+// scope for now; see ROADMAP.md.
 //
 // The measurement side lives under internal/harness and is exposed through
 // cmd/benchrunner and the repository-root benchmarks.

@@ -24,6 +24,14 @@ const (
 	OpInsert
 	OpScan // short range scan
 	OpRMW  // read-modify-write
+
+	// Transactional operations (cross-shard 2PC; see txn.go). Prepare
+	// installs per-key intents, Commit/Abort resolve them, TxnRead is the
+	// intent-aware read that reports a pending intent explicitly.
+	OpTxnPrepare
+	OpTxnCommit
+	OpTxnAbort
+	OpTxnRead
 )
 
 // Op is one key-value operation. Encode/Decode give it a compact canonical
@@ -96,6 +104,19 @@ type Store struct {
 	// what checkpoints advertise: equal digests ⟺ equal histories.
 	stateDigest types.Digest
 	applied     uint64
+
+	// Transactional state (cross-shard 2PC, see txn.go): pending per-key
+	// intents, the keys each in-flight transaction claimed on this shard,
+	// and the decisions already applied (kept so retried or late
+	// Prepare/Commit/Abort operations answer deterministically instead of
+	// acting twice). txnDecided grows by one entry per decided transaction
+	// for the life of the store — safe but unpruned; compacting it below a
+	// coordinator-supplied stability watermark (after which no retry can
+	// arrive) is tracked in ROADMAP.md, and Snapshot/Restore copy it in
+	// full until then.
+	intents    map[uint64]intent
+	txnKeys    map[uint64][]uint64
+	txnDecided map[uint64]bool
 }
 
 // New creates a store whose initial state holds recordCount records with
@@ -105,6 +126,9 @@ func New(recordCount int) *Store {
 	return &Store{
 		recordCount: uint64(recordCount),
 		records:     make(map[uint64][]byte),
+		intents:     make(map[uint64]intent),
+		txnKeys:     make(map[uint64][]uint64),
+		txnDecided:  make(map[uint64]bool),
 	}
 }
 
@@ -152,18 +176,26 @@ func (s *Store) Apply(opBytes []byte) []byte {
 	switch op.Code {
 	case OpNoop:
 		return nil
+	case OpTxnPrepare, OpTxnCommit, OpTxnAbort, OpTxnRead:
+		return s.applyTxnOp(op)
 	case OpRead:
 		if v, ok := s.get(op.Key); ok {
 			return v
 		}
 		return []byte("NOTFOUND")
 	case OpUpdate:
+		if _, held := s.intents[op.Key]; held {
+			return []byte(TxnConflict)
+		}
 		if !s.exists(op.Key) {
 			return []byte("NOTFOUND")
 		}
 		s.records[op.Key] = append([]byte(nil), op.Value...)
 		return []byte("OK")
 	case OpInsert:
+		if _, held := s.intents[op.Key]; held {
+			return []byte(TxnConflict)
+		}
 		s.records[op.Key] = append([]byte(nil), op.Value...)
 		return []byte("OK")
 	case OpScan:
@@ -182,6 +214,9 @@ func (s *Store) Apply(opBytes []byte) []byte {
 		binary.BigEndian.PutUint32(out, uint32(found))
 		return out
 	case OpRMW:
+		if _, held := s.intents[op.Key]; held {
+			return []byte(TxnConflict)
+		}
 		v, ok := s.get(op.Key)
 		if !ok {
 			return []byte("NOTFOUND")
@@ -221,15 +256,33 @@ type Snapshot struct {
 	records     map[uint64][]byte
 	stateDigest types.Digest
 	applied     uint64
+	intents     map[uint64]intent
+	txnKeys     map[uint64][]uint64
+	txnDecided  map[uint64]bool
 }
 
-// Snapshot copies the current state.
+// Snapshot copies the current state, transactional intent tables included —
+// a speculative rollback that forgot an installed intent (or a decision)
+// would let replicas diverge on a later Prepare.
 func (s *Store) Snapshot() *Snapshot {
 	cp := make(map[uint64][]byte, len(s.records))
 	for k, v := range s.records {
 		cp[k] = v // values are copy-on-write (Apply always allocates anew)
 	}
-	return &Snapshot{recordCount: s.recordCount, records: cp, stateDigest: s.stateDigest, applied: s.applied}
+	ins := make(map[uint64]intent, len(s.intents))
+	for k, in := range s.intents {
+		ins[k] = in // intent values are immutable once installed
+	}
+	tk := make(map[uint64][]uint64, len(s.txnKeys))
+	for id, keys := range s.txnKeys {
+		tk[id] = append([]uint64(nil), keys...)
+	}
+	td := make(map[uint64]bool, len(s.txnDecided))
+	for id, d := range s.txnDecided {
+		td[id] = d
+	}
+	return &Snapshot{recordCount: s.recordCount, records: cp, stateDigest: s.stateDigest,
+		applied: s.applied, intents: ins, txnKeys: tk, txnDecided: td}
 }
 
 // Restore rewinds the store to a snapshot (speculative execution rollback
@@ -242,4 +295,16 @@ func (s *Store) Restore(snap *Snapshot) {
 	}
 	s.stateDigest = snap.stateDigest
 	s.applied = snap.applied
+	s.intents = make(map[uint64]intent, len(snap.intents))
+	for k, in := range snap.intents {
+		s.intents[k] = in
+	}
+	s.txnKeys = make(map[uint64][]uint64, len(snap.txnKeys))
+	for id, keys := range snap.txnKeys {
+		s.txnKeys[id] = append([]uint64(nil), keys...)
+	}
+	s.txnDecided = make(map[uint64]bool, len(snap.txnDecided))
+	for id, d := range snap.txnDecided {
+		s.txnDecided[id] = d
+	}
 }

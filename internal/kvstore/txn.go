@@ -1,0 +1,309 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Cross-shard transaction support: the store-level half of two-phase commit.
+//
+// A transaction's writes reach a shard as one OpTxnPrepare operation that
+// installs a per-key *intent* (the classic write lock with a payload): the
+// committed value stays readable, but the key is claimed by the transaction
+// until the coordinator's decision arrives as OpTxnCommit (apply every
+// intent) or OpTxnAbort (drop them). All four operations execute through
+// consensus like any other, so every replica of the shard holds the same
+// intent table and the same decision history — prepare state survives f
+// replica failures without any extra machinery.
+//
+// Determinism rules the design: conflicting prepares, writes blocked by a
+// foreign intent, and retried decisions must all produce the same result
+// bytes on every replica, so outcomes are encoded as fixed status strings
+// (TxnPrepared, TxnConflict, ...) and decided transaction ids are remembered
+// so a re-delivered Prepare or Commit answers with the original decision
+// instead of acting twice.
+
+// Txn operation status results (the deterministic result bytes every replica
+// returns).
+const (
+	// TxnPrepared: every intent of the shard-prepare installed.
+	TxnPrepared = "PREPARED"
+	// TxnConflict: another transaction holds an intent on one of the keys
+	// (or a non-transactional write hit a key under intent).
+	TxnConflict = "CONFLICT"
+	// TxnCommitted: the transaction's intents were applied (or already had
+	// been — decisions are idempotent).
+	TxnCommitted = "COMMITTED"
+	// TxnAborted: the transaction's intents were dropped, and the id is
+	// poisoned: a Prepare arriving after the abort is refused.
+	TxnAborted = "ABORTED"
+	// TxnNotFound: an update-mode write targets a key that does not exist.
+	TxnNotFound = "NOTFOUND"
+)
+
+// TxnRead result framing (first byte of an OpTxnRead result).
+const (
+	// txnReadValue precedes a committed value.
+	txnReadValue = 'V'
+	// txnReadMissing marks a key with no committed value.
+	txnReadMissing = 'N'
+	// txnReadIntent marks a key under a pending intent: the blocking txid
+	// (8 bytes) follows, then the committed fallback framed as above.
+	txnReadIntent = 'I'
+)
+
+// TxnWrite is one write of a transaction.
+type TxnWrite struct {
+	Key uint64
+	// Code is the write mode: OpUpdate (the key must exist) or OpInsert
+	// (blind upsert).
+	Code  OpCode
+	Value []byte
+}
+
+// intent is a pending transactional write on one key.
+type intent struct {
+	txid  uint64
+	code  OpCode
+	value []byte
+}
+
+// maxTxnPayload bounds one shard-prepare's encoded payload: the Op wire
+// form carries the value length as uint16, so everything after the opcode
+// header must fit 64KiB. Oversized transactions fail loudly at encode time
+// instead of aborting with an opaque replica-side ERR.
+const maxTxnPayload = 1<<16 - 1
+
+// EncodeTxnPrepare builds the OpTxnPrepare operation carrying one shard's
+// slice of a transaction's writes. Op.Key is the first write's key and is
+// used only for shard routing; the payload is authoritative. The encoded
+// payload must fit the Op wire form's 64KiB value bound.
+func EncodeTxnPrepare(txid uint64, writes []TxnWrite) (*Op, error) {
+	if len(writes) == 0 || len(writes) > maxTxnPayload {
+		return nil, fmt.Errorf("kvstore: txn %d: %d writes on one shard (want 1..%d)", txid, len(writes), maxTxnPayload)
+	}
+	size := 10
+	for _, w := range writes {
+		if len(w.Value) > maxTxnPayload {
+			return nil, fmt.Errorf("kvstore: txn %d: value for key %d is %d bytes (max %d)", txid, w.Key, len(w.Value), maxTxnPayload)
+		}
+		size += 11 + len(w.Value)
+	}
+	if size > maxTxnPayload {
+		return nil, fmt.Errorf("kvstore: txn %d: shard-prepare payload %d bytes exceeds %d", txid, size, maxTxnPayload)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.BigEndian.AppendUint64(buf, txid)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(writes)))
+	for _, w := range writes {
+		buf = binary.BigEndian.AppendUint64(buf, w.Key)
+		buf = append(buf, byte(w.Code))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(w.Value)))
+		buf = append(buf, w.Value...)
+	}
+	return &Op{Code: OpTxnPrepare, Key: writes[0].Key, Value: buf}, nil
+}
+
+// decodeTxnPrepare parses an OpTxnPrepare payload.
+func decodeTxnPrepare(b []byte) (uint64, []TxnWrite, error) {
+	if len(b) < 10 {
+		return 0, nil, fmt.Errorf("kvstore: txn prepare too short (%d bytes)", len(b))
+	}
+	txid := binary.BigEndian.Uint64(b[0:8])
+	n := int(binary.BigEndian.Uint16(b[8:10]))
+	writes := make([]TxnWrite, 0, n)
+	rest := b[10:]
+	for i := 0; i < n; i++ {
+		if len(rest) < 11 {
+			return 0, nil, fmt.Errorf("kvstore: txn prepare truncated at write %d", i)
+		}
+		w := TxnWrite{
+			Key:  binary.BigEndian.Uint64(rest[0:8]),
+			Code: OpCode(rest[8]),
+		}
+		vlen := int(binary.BigEndian.Uint16(rest[9:11]))
+		if len(rest) < 11+vlen {
+			return 0, nil, fmt.Errorf("kvstore: txn prepare value truncated at write %d", i)
+		}
+		w.Value = rest[11 : 11+vlen]
+		rest = rest[11+vlen:]
+		writes = append(writes, w)
+	}
+	if len(rest) != 0 {
+		return 0, nil, fmt.Errorf("kvstore: txn prepare has %d trailing bytes", len(rest))
+	}
+	return txid, writes, nil
+}
+
+// EncodeTxnDecision builds the OpTxnCommit/OpTxnAbort operation for txid.
+// routingKey only steers the op to a shard; decisions are idempotent, so
+// any key owned by the target shard works.
+func EncodeTxnDecision(commit bool, txid uint64, routingKey uint64) *Op {
+	code := OpTxnAbort
+	if commit {
+		code = OpTxnCommit
+	}
+	return &Op{Code: code, Key: routingKey,
+		Value: binary.BigEndian.AppendUint64(nil, txid)}
+}
+
+// EncodeTxnRead builds the intent-aware read of key (see ReadResult).
+func EncodeTxnRead(key uint64) *Op { return &Op{Code: OpTxnRead, Key: key} }
+
+// ReadResult is a decoded OpTxnRead outcome: the committed (read-committed)
+// view of the key plus an explicit pending-intent signal.
+type ReadResult struct {
+	// Value is the committed value (nil when !Found). When BlockedBy is
+	// non-zero this is the read-committed fallback: the value from before
+	// the pending transaction.
+	Value []byte
+	// Found reports whether the key has a committed value.
+	Found bool
+	// BlockedBy is the id of the transaction holding an intent on the key
+	// (0 when none is pending).
+	BlockedBy uint64
+}
+
+// DecodeTxnRead parses an OpTxnRead result.
+func DecodeTxnRead(res []byte) (ReadResult, error) {
+	if len(res) == 0 {
+		return ReadResult{}, fmt.Errorf("kvstore: empty txn read result")
+	}
+	var out ReadResult
+	b := res
+	if b[0] == txnReadIntent {
+		if len(b) < 10 {
+			return ReadResult{}, fmt.Errorf("kvstore: txn read intent frame too short")
+		}
+		out.BlockedBy = binary.BigEndian.Uint64(b[1:9])
+		b = b[9:]
+	}
+	switch b[0] {
+	case txnReadValue:
+		out.Found = true
+		out.Value = b[1:]
+	case txnReadMissing:
+	default:
+		return ReadResult{}, fmt.Errorf("kvstore: bad txn read frame byte %q", b[0])
+	}
+	return out, nil
+}
+
+// applyTxnOp executes one transactional operation; called from Apply with a
+// decoded op.
+func (s *Store) applyTxnOp(op *Op) []byte {
+	switch op.Code {
+	case OpTxnPrepare:
+		return s.applyPrepare(op.Value)
+	case OpTxnCommit, OpTxnAbort:
+		if len(op.Value) != 8 {
+			return []byte("ERR")
+		}
+		return s.applyDecision(binary.BigEndian.Uint64(op.Value), op.Code == OpTxnCommit)
+	case OpTxnRead:
+		return s.applyTxnRead(op.Key)
+	default:
+		return []byte("ERR")
+	}
+}
+
+// applyPrepare validates a shard-prepare and installs its intents
+// atomically: either every write is claimable and all intents install, or
+// nothing changes and the vote is negative.
+func (s *Store) applyPrepare(payload []byte) []byte {
+	txid, writes, err := decodeTxnPrepare(payload)
+	if err != nil || txid == 0 || len(writes) == 0 {
+		return []byte("ERR")
+	}
+	// A decided transaction answers with its decision: a retried Prepare
+	// after commit must not reinstall intents, and a Prepare arriving after
+	// a recovery abort must be refused (the abort poisoned the id).
+	if d, ok := s.txnDecided[txid]; ok {
+		if d {
+			return []byte(TxnCommitted)
+		}
+		return []byte(TxnAborted)
+	}
+	// Validate every write first.
+	for _, w := range writes {
+		if in, ok := s.intents[w.Key]; ok && in.txid != txid {
+			return []byte(TxnConflict)
+		}
+		if w.Code == OpUpdate && !s.exists(w.Key) {
+			return []byte(TxnNotFound)
+		}
+		if w.Code != OpUpdate && w.Code != OpInsert {
+			return []byte("ERR")
+		}
+	}
+	// Install. A key written twice in one transaction keeps the last write.
+	for _, w := range writes {
+		if _, dup := s.intents[w.Key]; !dup {
+			s.txnKeys[txid] = append(s.txnKeys[txid], w.Key)
+		}
+		s.intents[w.Key] = intent{txid: txid, code: w.Code, value: append([]byte(nil), w.Value...)}
+	}
+	return []byte(TxnPrepared)
+}
+
+// applyDecision commits or aborts txid on this shard. Decisions are
+// idempotent, and deciding an unprepared transaction is meaningful: it
+// records the decision so a later Prepare is answered with it (the recovery
+// path aborts transactions whose Prepare never arrived).
+func (s *Store) applyDecision(txid uint64, commit bool) []byte {
+	if txid == 0 {
+		return []byte("ERR")
+	}
+	if d, ok := s.txnDecided[txid]; ok {
+		if d != commit {
+			// The attested commit point makes this unreachable for correct
+			// coordinators; answer with the recorded decision.
+			if d {
+				return []byte(TxnCommitted)
+			}
+			return []byte(TxnAborted)
+		}
+	}
+	for _, k := range s.txnKeys[txid] {
+		in, ok := s.intents[k]
+		if !ok || in.txid != txid {
+			continue
+		}
+		if commit {
+			s.records[k] = in.value
+		}
+		delete(s.intents, k)
+	}
+	delete(s.txnKeys, txid)
+	s.txnDecided[txid] = commit
+	if commit {
+		return []byte(TxnCommitted)
+	}
+	return []byte(TxnAborted)
+}
+
+// applyTxnRead serves the intent-aware read: the committed value, prefixed
+// with the blocking transaction id when an intent is pending.
+func (s *Store) applyTxnRead(key uint64) []byte {
+	var out []byte
+	if in, ok := s.intents[key]; ok {
+		out = append(out, txnReadIntent)
+		out = binary.BigEndian.AppendUint64(out, in.txid)
+	}
+	if v, ok := s.get(key); ok {
+		out = append(out, txnReadValue)
+		return append(out, v...)
+	}
+	return append(out, txnReadMissing)
+}
+
+// PendingIntents returns the number of keys currently under a transactional
+// intent (tests and the atomicity checks).
+func (s *Store) PendingIntents() int { return len(s.intents) }
+
+// TxnDecision reports whether txid has been decided on this shard and, if
+// so, which way.
+func (s *Store) TxnDecision(txid uint64) (commit, decided bool) {
+	d, ok := s.txnDecided[txid]
+	return d, ok
+}

@@ -1,0 +1,226 @@
+package kvstore
+
+import (
+	"bytes"
+	"testing"
+)
+
+// apply runs op on s and returns the result string.
+func apply(s *Store, op *Op) string { return string(s.Apply(op.Encode())) }
+
+// prep is EncodeTxnPrepare for known-good test inputs.
+func prep(txid uint64, writes []TxnWrite) *Op {
+	op, err := EncodeTxnPrepare(txid, writes)
+	if err != nil {
+		panic(err)
+	}
+	return op
+}
+
+// TestTxnPrepareCommit walks the happy path: prepare installs intents (reads
+// stay read-committed), commit applies them and clears the intent table.
+func TestTxnPrepareCommit(t *testing.T) {
+	s := New(100)
+	if got := apply(s, prep(7, []TxnWrite{
+		{Key: 1, Code: OpUpdate, Value: []byte("new1")},
+		{Key: 2, Code: OpInsert, Value: []byte("new2")},
+	})); got != TxnPrepared {
+		t.Fatalf("prepare = %q", got)
+	}
+	if s.PendingIntents() != 2 {
+		t.Fatalf("intents = %d, want 2", s.PendingIntents())
+	}
+	// Plain read still serves the committed value.
+	before, _ := s.get(1)
+	if got := s.Apply((&Op{Code: OpRead, Key: 1}).Encode()); !bytes.Equal(got, before) {
+		t.Fatalf("read under intent = %q, want committed %q", got, before)
+	}
+	// The intent-aware read reports the blocker and the fallback.
+	rr, err := DecodeTxnRead(s.Apply(EncodeTxnRead(1).Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.BlockedBy != 7 || !rr.Found || !bytes.Equal(rr.Value, before) {
+		t.Fatalf("txn read = %+v", rr)
+	}
+	if got := apply(s, EncodeTxnDecision(true, 7, 1)); got != TxnCommitted {
+		t.Fatalf("commit = %q", got)
+	}
+	if s.PendingIntents() != 0 {
+		t.Fatalf("intents linger after commit")
+	}
+	if v, _ := s.get(1); !bytes.Equal(v, []byte("new1")) {
+		t.Fatalf("key 1 = %q after commit", v)
+	}
+	if v, _ := s.get(2); !bytes.Equal(v, []byte("new2")) {
+		t.Fatalf("key 2 = %q after commit", v)
+	}
+	// Decisions are idempotent; a retried prepare answers the decision.
+	if got := apply(s, EncodeTxnDecision(true, 7, 1)); got != TxnCommitted {
+		t.Fatalf("re-commit = %q", got)
+	}
+	if got := apply(s, prep(7, []TxnWrite{{Key: 1, Code: OpInsert}})); got != TxnCommitted {
+		t.Fatalf("late prepare after commit = %q", got)
+	}
+}
+
+// TestTxnAbortAndPoison aborts a prepared transaction and checks the id is
+// poisoned: intents drop, values stay, and a later Prepare is refused.
+func TestTxnAbortAndPoison(t *testing.T) {
+	s := New(100)
+	before, _ := s.get(3)
+	apply(s, prep(9, []TxnWrite{{Key: 3, Code: OpUpdate, Value: []byte("x")}}))
+	if got := apply(s, EncodeTxnDecision(false, 9, 3)); got != TxnAborted {
+		t.Fatalf("abort = %q", got)
+	}
+	if v, _ := s.get(3); !bytes.Equal(v, before) {
+		t.Fatalf("abort changed value: %q", v)
+	}
+	if s.PendingIntents() != 0 {
+		t.Fatal("intents linger after abort")
+	}
+	if got := apply(s, prep(9, []TxnWrite{{Key: 3, Code: OpInsert}})); got != TxnAborted {
+		t.Fatalf("prepare after abort = %q (id must be poisoned)", got)
+	}
+	// Aborting a transaction never seen records the decision — the recovery
+	// path for a Prepare that never arrived.
+	if got := apply(s, EncodeTxnDecision(false, 11, 0)); got != TxnAborted {
+		t.Fatalf("abort of unseen txn = %q", got)
+	}
+	if got := apply(s, prep(11, []TxnWrite{{Key: 5, Code: OpInsert}})); got != TxnAborted {
+		t.Fatalf("prepare after recovery abort = %q", got)
+	}
+}
+
+// TestTxnConflicts covers the vote-no paths: foreign intents, update of a
+// missing key, and plain writes blocked by an intent — all atomic (a failed
+// prepare installs nothing).
+func TestTxnConflicts(t *testing.T) {
+	s := New(100)
+	apply(s, prep(1, []TxnWrite{{Key: 10, Code: OpUpdate, Value: []byte("a")}}))
+	if got := apply(s, prep(2, []TxnWrite{
+		{Key: 11, Code: OpUpdate, Value: []byte("b")},
+		{Key: 10, Code: OpUpdate, Value: []byte("b")},
+	})); got != TxnConflict {
+		t.Fatalf("conflicting prepare = %q", got)
+	}
+	if s.PendingIntents() != 1 {
+		t.Fatalf("failed prepare leaked intents: %d", s.PendingIntents())
+	}
+	if got := apply(s, prep(3, []TxnWrite{{Key: 500, Code: OpUpdate, Value: []byte("c")}})); got != TxnNotFound {
+		t.Fatalf("update-missing prepare = %q", got)
+	}
+	for _, op := range []*Op{
+		{Code: OpUpdate, Key: 10, Value: []byte("w")},
+		{Code: OpInsert, Key: 10, Value: []byte("w")},
+		{Code: OpRMW, Key: 10, Value: []byte("w")},
+	} {
+		if got := apply(s, op); got != TxnConflict {
+			t.Fatalf("plain %v under intent = %q, want conflict", op.Code, got)
+		}
+	}
+}
+
+// TestTxnSnapshotRestore checks speculative rollback round-trips the
+// transactional state: intents and decisions reappear exactly.
+func TestTxnSnapshotRestore(t *testing.T) {
+	s := New(100)
+	apply(s, prep(5, []TxnWrite{{Key: 1, Code: OpUpdate, Value: []byte("v")}}))
+	apply(s, EncodeTxnDecision(false, 6, 0))
+	snap := s.Snapshot()
+	apply(s, EncodeTxnDecision(true, 5, 1))
+	if s.PendingIntents() != 0 {
+		t.Fatal("commit should clear intents")
+	}
+	s.Restore(snap)
+	if s.PendingIntents() != 1 {
+		t.Fatalf("restore lost the intent: %d", s.PendingIntents())
+	}
+	if _, decided := s.TxnDecision(5); decided {
+		t.Fatal("restore resurrected a post-snapshot decision")
+	}
+	if d, ok := s.TxnDecision(6); !ok || d {
+		t.Fatal("restore lost the abort decision")
+	}
+	// The restored intent still commits cleanly.
+	if got := apply(s, EncodeTxnDecision(true, 5, 1)); got != TxnCommitted {
+		t.Fatalf("commit after restore = %q", got)
+	}
+	if v, _ := s.get(1); !bytes.Equal(v, []byte("v")) {
+		t.Fatalf("value after restored commit = %q", v)
+	}
+}
+
+// TestTxnEncodingRoundTrips fuzzes the wire forms lightly: prepare and read
+// results survive encode/decode, and malformed payloads answer ERR rather
+// than panicking.
+func TestTxnEncodingRoundTrips(t *testing.T) {
+	writes := []TxnWrite{
+		{Key: 42, Code: OpUpdate, Value: []byte("hello")},
+		{Key: 7, Code: OpInsert, Value: nil},
+	}
+	op := prep(99, writes)
+	txid, got, err := decodeTxnPrepare(op.Value)
+	if err != nil || txid != 99 || len(got) != 2 {
+		t.Fatalf("round trip: txid=%d writes=%v err=%v", txid, got, err)
+	}
+	if got[0].Key != 42 || got[0].Code != OpUpdate || !bytes.Equal(got[0].Value, []byte("hello")) {
+		t.Fatalf("write 0 = %+v", got[0])
+	}
+	s := New(10)
+	for _, bad := range [][]byte{
+		(&Op{Code: OpTxnPrepare, Value: []byte{1, 2}}).Encode(),
+		(&Op{Code: OpTxnCommit, Value: []byte{1, 2, 3}}).Encode(),
+		(&Op{Code: OpTxnPrepare}).Encode(),
+	} {
+		if got := string(s.Apply(bad)); got != "ERR" {
+			t.Fatalf("malformed txn op = %q, want ERR", got)
+		}
+	}
+	if _, err := DecodeTxnRead(nil); err == nil {
+		t.Fatal("empty txn read result must error")
+	}
+	if _, err := DecodeTxnRead([]byte{'Z'}); err == nil {
+		t.Fatal("bad frame byte must error")
+	}
+	rr, err := DecodeTxnRead(s.Apply(EncodeTxnRead(1).Encode()))
+	if err != nil || !rr.Found || rr.BlockedBy != 0 {
+		t.Fatalf("plain txn read = %+v, %v", rr, err)
+	}
+	rr, err = DecodeTxnRead(s.Apply(EncodeTxnRead(9999).Encode()))
+	if err != nil || rr.Found {
+		t.Fatalf("missing-key txn read = %+v, %v", rr, err)
+	}
+}
+
+// TestTxnPrepareSizeBounds: oversized write sets fail at encode time with a
+// descriptive error instead of aborting replica-side as opaque ERR.
+func TestTxnPrepareSizeBounds(t *testing.T) {
+	if _, err := EncodeTxnPrepare(1, nil); err == nil {
+		t.Fatal("empty write set must not encode")
+	}
+	big := make([]byte, maxTxnPayload+1)
+	if _, err := EncodeTxnPrepare(1, []TxnWrite{{Key: 1, Code: OpInsert, Value: big}}); err == nil {
+		t.Fatal("oversized value must not encode")
+	}
+	// Many small writes whose total payload exceeds the op value bound.
+	many := make([]TxnWrite, 6000)
+	for i := range many {
+		many[i] = TxnWrite{Key: uint64(i), Code: OpInsert, Value: []byte("0123456789")}
+	}
+	if _, err := EncodeTxnPrepare(1, many); err == nil {
+		t.Fatal("oversized payload must not encode")
+	}
+	// A comfortably-sized set still round-trips.
+	ok := make([]TxnWrite, 100)
+	for i := range ok {
+		ok[i] = TxnWrite{Key: uint64(i), Code: OpInsert, Value: []byte("v")}
+	}
+	op, err := EncodeTxnPrepare(1, ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ws, err := decodeTxnPrepare(op.Value); err != nil || len(ws) != 100 {
+		t.Fatalf("round trip: %d writes, %v", len(ws), err)
+	}
+}

@@ -25,10 +25,13 @@
 // emits for S co-located groups; co-location contention is the kernel's
 // job, not a merge model's (see aggregate.go).
 //
-// What sharding deliberately does not yet provide: cross-shard write
-// atomicity (a multi-key update spanning shards is not a transaction — 2PC
-// over groups is future work, tracked in ROADMAP.md), shard rebalancing,
-// and per-shard primary failover orchestration.
+// Cross-shard write atomicity is provided by the transaction layer (see
+// txn.go here and internal/txn): Session.Txn / Session.MultiPut run
+// two-phase commit over the groups with the cluster's attested counter as
+// the commit-point arbiter, and MultiGet reports keys blocked by a pending
+// transaction intent explicitly. What sharding still does not provide:
+// shard rebalancing and per-shard primary failover orchestration
+// (ROADMAP.md).
 package shard
 
 import (
@@ -39,6 +42,8 @@ import (
 	"flexitrust/internal/kvstore"
 	"flexitrust/internal/metrics"
 	"flexitrust/internal/runtime"
+	"flexitrust/internal/trusted"
+	"flexitrust/internal/txn"
 	"flexitrust/internal/types"
 )
 
@@ -57,6 +62,14 @@ type Config struct {
 type Cluster struct {
 	router Router
 	groups []*Group
+
+	// Transaction substrate (see txn.go): the coordinator-side attested
+	// counter with its own authority, the decision log, and the txid
+	// allocator every session shares.
+	coordAuth *trusted.HMACAuthority
+	arbiter   txn.Arbiter
+	txnLog    *txn.AttestationLog
+	newTxID   func() uint64
 }
 
 // NewCluster boots S consensus groups and the router in front of them.
@@ -64,10 +77,28 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.Shards < 1 {
 		cfg.Shards = 1
 	}
-	if cfg.Shards > 1<<16-1 {
+	// Group s uses namespace s+1; the top namespace is the transaction
+	// coordinator's.
+	if cfg.Shards >= int(txn.CoordinatorNamespace) {
 		return nil, fmt.Errorf("shard: %d shards exceeds the counter namespace space", cfg.Shards)
 	}
 	c := &Cluster{router: NewRouter(cfg.Shards)}
+	seed := cfg.Group.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	// The coordinator's trusted component is provisioned like a replica's:
+	// its own attestation key under its own authority, its decision counter
+	// behind the reserved namespace.
+	c.coordAuth = trusted.NewHMACAuthority(seed+31*7919, 1)
+	coordTC := trusted.New(trusted.Config{
+		Host:     0,
+		Profile:  cfg.Group.TrustedProfile,
+		Attestor: c.coordAuth.For(0),
+	})
+	c.arbiter = txn.Arbiter{TC: trusted.Namespaced(coordTC, txn.CoordinatorNamespace), Q: txn.DecisionCounter}
+	c.txnLog = txn.NewLog(txn.VerifierFor(c.coordAuth, txn.CoordinatorNamespace))
+	c.newTxID = txn.SequentialTxIDs(0)
 	for s := 0; s < cfg.Shards; s++ {
 		gcfg := cfg.Group
 		if gcfg.Seed == 0 {
@@ -147,6 +178,7 @@ type Session struct {
 	c       *Cluster
 	id      types.ClientID
 	clients []*runtime.Client
+	coord   *txn.Coordinator
 }
 
 // Session attaches client id to every group. The id must be listed in the
@@ -156,6 +188,13 @@ func (c *Cluster) Session(id types.ClientID) *Session {
 	for _, g := range c.groups {
 		s.clients = append(s.clients, g.NewClient(id))
 	}
+	s.coord = txn.NewCoordinator(txn.Config{
+		Arbiter:  c.arbiter,
+		Log:      c.txnLog,
+		NewTxID:  c.newTxID,
+		Submit:   s.submitShard,
+		ShardFor: c.router.ShardFor,
+	})
 	return s
 }
 
@@ -179,49 +218,67 @@ func (s *Session) Get(ctx context.Context, key uint64) ([]byte, error) {
 	return s.Do(ctx, &kvstore.Op{Code: kvstore.OpRead, Key: key})
 }
 
-// Put overwrites one key.
+// Put overwrites one key. A key held by a pending transaction intent
+// refuses plain writes deterministically; the returned error names the
+// conflict so the write is never silently lost.
 func (s *Session) Put(ctx context.Context, key uint64, value []byte) error {
-	_, err := s.Do(ctx, &kvstore.Op{Code: kvstore.OpUpdate, Key: key, Value: value})
-	return err
+	res, err := s.Do(ctx, &kvstore.Op{Code: kvstore.OpUpdate, Key: key, Value: value})
+	return writeOutcome(key, res, err)
 }
 
-// Insert writes a fresh key.
+// Insert writes a fresh key (same intent-conflict contract as Put).
 func (s *Session) Insert(ctx context.Context, key uint64, value []byte) error {
-	_, err := s.Do(ctx, &kvstore.Op{Code: kvstore.OpInsert, Key: key, Value: value})
-	return err
+	res, err := s.Do(ctx, &kvstore.Op{Code: kvstore.OpInsert, Key: key, Value: value})
+	return writeOutcome(key, res, err)
+}
+
+// writeOutcome maps a plain write's deterministic result bytes to an error:
+// a transactional intent on the key rejects the write (resolve or retry).
+func writeOutcome(key uint64, res []byte, err error) error {
+	if err != nil {
+		return err
+	}
+	if string(res) == kvstore.TxnConflict {
+		return fmt.Errorf("shard: key %d is held by a pending transaction intent", key)
+	}
+	return nil
 }
 
 // MultiGet reads a set of keys that may span shards, read-committed: every
 // value is a committed value on its shard, and every shard is read at a
 // sequence number at least the shard's commit watermark when the call began
-// (so a write this process saw commit before the call is visible). The
-// returned ShardVector reports, per shard, the highest consensus sequence
-// among this call's reads — the version the result was read at. Reads of
-// different shards are issued concurrently; there is no cross-shard snapshot
-// (two shards may be read at versions that never coexisted — cross-shard
-// transactions are future work).
-func (s *Session) MultiGet(ctx context.Context, keys []uint64) (map[uint64][]byte, ShardVector, error) {
+// (so a write this process saw commit before the call is visible). A key
+// under a pending transaction intent is NOT silently served stale: its
+// ReadResult carries the blocking transaction id (BlockedBy) alongside the
+// read-committed fallback value, so callers can distinguish "current" from
+// "a transaction is about to change this" (and resolve the transaction if
+// its coordinator died — Session.ResolveTxn). The returned ShardVector
+// reports, per shard, the highest consensus sequence among this call's
+// reads — the version the result was read at. Reads of different shards are
+// issued concurrently; there is no cross-shard snapshot (two shards may be
+// read at versions that never coexisted; use Txn for atomic writes).
+func (s *Session) MultiGet(ctx context.Context, keys []uint64) (map[uint64]kvstore.ReadResult, ShardVector, error) {
 	fence := s.c.Watermarks()
 	parts := s.c.router.Partition(keys)
 	versions := make(ShardVector, len(s.c.groups))
 
 	type shardRead struct {
 		shard  int
-		values map[uint64][]byte
+		values map[uint64]kvstore.ReadResult
 		asOf   types.SeqNum
 		err    error
 	}
 	results := make(chan shardRead, len(parts))
 	for shardIdx, shardKeys := range parts {
 		go func(shardIdx int, shardKeys []uint64) {
-			out := shardRead{shard: shardIdx, values: make(map[uint64][]byte, len(shardKeys))}
+			out := shardRead{shard: shardIdx, values: make(map[uint64]kvstore.ReadResult, len(shardKeys))}
 			g := s.c.groups[shardIdx]
 			// Submit the shard's reads concurrently: the client library
 			// tracks each outstanding request and the primary batches them,
 			// so the whole read set usually costs one consensus round.
 			type keyRead struct {
 				key uint64
-				val []byte
+				val kvstore.ReadResult
 				seq types.SeqNum
 				err error
 			}
@@ -230,12 +287,13 @@ func (s *Session) MultiGet(ctx context.Context, keys []uint64) (map[uint64][]byt
 				go func(k uint64) {
 					g.noteSubmit()
 					start := time.Now()
-					op := &kvstore.Op{Code: kvstore.OpRead, Key: k}
-					v, seq, err := s.clients[shardIdx].SubmitSeq(ctx, op.Encode())
+					raw, seq, err := s.clients[shardIdx].SubmitSeq(ctx, kvstore.EncodeTxnRead(k).Encode())
+					var rr kvstore.ReadResult
 					if err == nil {
 						g.noteCommit(seq, time.Since(start))
+						rr, err = kvstore.DecodeTxnRead(raw)
 					}
-					reads <- keyRead{key: k, val: v, seq: seq, err: err}
+					reads <- keyRead{key: k, val: rr, seq: seq, err: err}
 				}(k)
 			}
 			for range shardKeys {
@@ -255,7 +313,7 @@ func (s *Session) MultiGet(ctx context.Context, keys []uint64) (map[uint64][]byt
 		}(shardIdx, shardKeys)
 	}
 
-	values := make(map[uint64][]byte, len(keys))
+	values := make(map[uint64]kvstore.ReadResult, len(keys))
 	var firstErr error
 	for range parts {
 		r := <-results

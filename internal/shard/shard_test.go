@@ -123,8 +123,11 @@ func TestCrossShardMultiGet(t *testing.T) {
 		t.Fatal(err)
 	}
 	for k, v := range want {
-		if !bytes.Equal(got[k], v) {
-			t.Fatalf("key %d: got %q want %q", k, got[k], v)
+		if !bytes.Equal(got[k].Value, v) {
+			t.Fatalf("key %d: got %q want %q", k, got[k].Value, v)
+		}
+		if got[k].BlockedBy != 0 {
+			t.Fatalf("key %d unexpectedly blocked by txn %d", k, got[k].BlockedBy)
 		}
 	}
 	if !versions.Covers(fence) {

@@ -1,0 +1,97 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"flexitrust/internal/kvstore"
+	"flexitrust/internal/txn"
+)
+
+// Cross-shard transactions: the sharded cluster owns one transaction
+// arbiter — a coordinator-side trusted counter in the reserved namespace
+// txn.CoordinatorNamespace with its own attestation authority — plus the
+// attestation log participants resolve in-doubt transactions against. Every
+// Session drives two-phase commits through them (Session.Txn / MultiPut);
+// the per-shard prepare/decision operations execute through each group's
+// consensus like any other kvstore operation, so prepared intents are
+// replicated inside each shard.
+
+// submitShard executes op on one specific group (bypassing key routing —
+// transaction decisions target shards, not keys) and maintains the group's
+// watermark and metrics like the single-shard fast path does.
+func (s *Session) submitShard(ctx context.Context, shardIdx int, op *kvstore.Op) ([]byte, error) {
+	g := s.c.groups[shardIdx]
+	g.noteSubmit()
+	start := time.Now()
+	res, seq, err := s.clients[shardIdx].SubmitSeq(ctx, op.Encode())
+	if err != nil {
+		return nil, err
+	}
+	g.noteCommit(seq, time.Since(start))
+	return res, nil
+}
+
+// Txn executes writes as one atomic cross-shard transaction: intents
+// prepare on every participant shard, one attested counter access decides,
+// and the decision drives to the participants. On ErrAborted no write is
+// visible anywhere; on success all are.
+func (s *Session) Txn(ctx context.Context, writes []kvstore.TxnWrite) (*txn.Result, error) {
+	return s.TxnWithOptions(ctx, writes, txn.Options{})
+}
+
+// TxnWithOptions is Txn with crash injection (recovery tests).
+func (s *Session) TxnWithOptions(ctx context.Context, writes []kvstore.TxnWrite, opts txn.Options) (*txn.Result, error) {
+	return s.coord.Execute(ctx, writes, opts)
+}
+
+// MultiPut atomically upserts a set of keys that may span shards — the
+// transactional counterpart of per-key Put. Writes are ordered by key so
+// the transaction is deterministic regardless of map iteration.
+func (s *Session) MultiPut(ctx context.Context, writes map[uint64][]byte) error {
+	ws := make([]kvstore.TxnWrite, 0, len(writes))
+	for k, v := range writes {
+		ws = append(ws, kvstore.TxnWrite{Key: k, Code: kvstore.OpInsert, Value: v})
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].Key < ws[j].Key })
+	_, err := s.Txn(ctx, ws)
+	return err
+}
+
+// ResolveTxn settles an in-doubt transaction (a coordinator that vanished
+// mid-flight): the attestation log's published decision wins; with none,
+// the arbiter mints an abort. The winning decision is then driven to every
+// shard — idempotent for shards that already decided, and poisoning for
+// shards whose Prepare never arrived. Call it only after the in-doubt
+// timeout: resolving a live coordinator's transaction aborts work it would
+// have committed (safe — the first published decision still governs — just
+// wasteful).
+func (s *Session) ResolveTxn(ctx context.Context, txid uint64) (txn.Decision, error) {
+	d, err := txn.ResolveInDoubt(s.c.txnLog, s.c.arbiter, txid)
+	if err != nil {
+		return d, err
+	}
+	errs := make(chan error, len(s.c.groups))
+	for idx := range s.c.groups {
+		go func(idx int) {
+			_, err := s.submitShard(ctx, idx, kvstore.EncodeTxnDecision(d.Commit, d.TxID, 0))
+			errs <- err
+		}(idx)
+	}
+	var first error
+	for range s.c.groups {
+		if err := <-errs; err != nil && first == nil {
+			first = fmt.Errorf("shard: driving resolved txn %d: %w", txid, err)
+		}
+	}
+	return d, first
+}
+
+// TxnLog exposes the cluster's decision log (tests, monitoring).
+func (c *Cluster) TxnLog() *txn.AttestationLog { return c.txnLog }
+
+// Arbiter exposes the cluster's transaction arbiter (tests account its
+// accesses; one per decision).
+func (c *Cluster) Arbiter() txn.Arbiter { return c.arbiter }

@@ -1,0 +1,251 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"flexitrust/internal/kvstore"
+	"flexitrust/internal/txn"
+)
+
+// freshKeysOnShard returns `count` keys owned by the given shard that lie
+// above the store's preloaded records (so "exists" is observable).
+func freshKeysOnShard(r Router, shard, count int, records uint64) []uint64 {
+	var out []uint64
+	for k := records; len(out) < count; k++ {
+		if r.ShardFor(k) == shard {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// txnFixture boots a 2-shard cluster and returns a session plus one fresh
+// key per shard (distinct keys per call via the offset).
+type txnFixture struct {
+	c    *Cluster
+	sess *Session
+}
+
+func newTxnFixture(t *testing.T) *txnFixture {
+	t.Helper()
+	c, err := NewCluster(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return &txnFixture{c: c, sess: c.Session(1)}
+}
+
+// keyPair picks the i-th fresh key on each shard.
+func (f *txnFixture) keyPair(i int) (uint64, uint64) {
+	k0 := freshKeysOnShard(f.c.Router(), 0, i+1, 10_000)[i]
+	k1 := freshKeysOnShard(f.c.Router(), 1, i+1, 10_000)[i]
+	return k0, k1
+}
+
+// TestTxnCommitAcrossShards is the happy path on real consensus groups: a
+// MultiPut spanning both shards commits atomically, the values are visible
+// read-committed, nothing stays blocked, and the commit decision cost
+// exactly one attested counter access.
+func TestTxnCommitAcrossShards(t *testing.T) {
+	f := newTxnFixture(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	k0, k1 := f.keyPair(0)
+
+	before := f.c.Arbiter().Accesses()
+	writes := map[uint64][]byte{k0: []byte("cross-a"), k1: []byte("cross-b")}
+	if err := f.sess.MultiPut(ctx, writes); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.c.Arbiter().Accesses() - before; got != 1 {
+		t.Fatalf("commit decision cost %d attested accesses, want exactly 1", got)
+	}
+	vals, _, err := f.sess.MultiGet(ctx, []uint64{k0, k1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range writes {
+		if rr := vals[k]; !rr.Found || !bytes.Equal(rr.Value, want) || rr.BlockedBy != 0 {
+			t.Fatalf("key %d after commit: %+v", k, rr)
+		}
+	}
+	if f.c.TxnLog().Len() != 1 {
+		t.Fatalf("decision log has %d entries, want 1", f.c.TxnLog().Len())
+	}
+}
+
+// TestMultiGetReportsPendingIntent: a transaction parked after prepare (its
+// coordinator "crashed" before deciding) must surface as an explicit
+// per-key blocked-by-intent signal in MultiGet — with the read-committed
+// fallback — rather than a silent stale read; resolving the transaction
+// clears the signal.
+func TestMultiGetReportsPendingIntent(t *testing.T) {
+	f := newTxnFixture(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	k0, k1 := f.keyPair(0)
+
+	// Seed a committed value under one of the keys so the fallback is
+	// observable.
+	if err := f.sess.Insert(ctx, k0, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.sess.TxnWithOptions(ctx, []kvstore.TxnWrite{
+		{Key: k0, Code: kvstore.OpInsert, Value: []byte("new")},
+		{Key: k1, Code: kvstore.OpInsert, Value: []byte("new")},
+	}, txn.Options{CrashAt: txn.PhaseVoted})
+	if !errors.Is(err, txn.ErrCoordinatorCrashed) {
+		t.Fatalf("err = %v", err)
+	}
+
+	vals, _, err := f.sess.MultiGet(ctx, []uint64{k0, k1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr := vals[k0]; rr.BlockedBy != res.TxID || !rr.Found || !bytes.Equal(rr.Value, []byte("old")) {
+		t.Fatalf("k0 pending read = %+v, want blocked by %d with fallback \"old\"", rr, res.TxID)
+	}
+	if rr := vals[k1]; rr.BlockedBy != res.TxID || rr.Found {
+		t.Fatalf("k1 pending read = %+v, want blocked with no committed value", rr)
+	}
+
+	// The in-doubt timeout has elapsed (the coordinator is dead by
+	// construction); resolution aborts and unblocks.
+	d, err := f.sess.ResolveTxn(ctx, res.TxID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Commit {
+		t.Fatal("undecided transaction resolved as commit")
+	}
+	vals, _, err = f.sess.MultiGet(ctx, []uint64{k0, k1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr := vals[k0]; rr.BlockedBy != 0 || !bytes.Equal(rr.Value, []byte("old")) {
+		t.Fatalf("k0 after resolve = %+v", rr)
+	}
+	if rr := vals[k1]; rr.BlockedBy != 0 || rr.Found {
+		t.Fatalf("k1 after resolve = %+v", rr)
+	}
+}
+
+// TestTxnAtomicity injects a coordinator crash at every phase boundary of a
+// multi-shard transaction and checks all-or-nothing after recovery: the
+// write set is either visible on both shards (decision published before the
+// crash) or on neither (crash before publication ⇒ recovery aborts), never
+// split.
+func TestTxnAtomicity(t *testing.T) {
+	f := newTxnFixture(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	cases := []struct {
+		name       string
+		opts       txn.Options
+		wantCommit bool
+	}{
+		{"crash-after-votes", txn.Options{CrashAt: txn.PhaseVoted}, false},
+		{"crash-after-attest", txn.Options{CrashAt: txn.PhaseAttested}, false},
+		{"crash-after-publish", txn.Options{CrashAt: txn.PhasePublished}, true},
+		{"crash-mid-drive", txn.Options{DriveOnly: map[int]bool{0: true}}, true},
+		{"no-crash", txn.Options{}, true},
+	}
+	for i, tc := range cases {
+		tc, i := tc, i
+		t.Run(tc.name, func(t *testing.T) {
+			k0, k1 := f.keyPair(i + 1)
+			val := []byte(fmt.Sprintf("atomic-%d", i))
+			res, err := f.sess.TxnWithOptions(ctx, []kvstore.TxnWrite{
+				{Key: k0, Code: kvstore.OpInsert, Value: val},
+				{Key: k1, Code: kvstore.OpInsert, Value: val},
+			}, tc.opts)
+			crashed := tc.opts.CrashAt != txn.PhaseNone || tc.opts.DriveOnly != nil
+			if crashed {
+				if tc.opts.CrashAt != txn.PhaseNone && !errors.Is(err, txn.ErrCoordinatorCrashed) {
+					t.Fatalf("err = %v, want coordinator crash", err)
+				}
+				d, err := f.sess.ResolveTxn(ctx, res.TxID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d.Commit != tc.wantCommit {
+					t.Fatalf("recovery decided commit=%v, want %v", d.Commit, tc.wantCommit)
+				}
+			} else if err != nil {
+				t.Fatal(err)
+			}
+
+			vals, _, err := f.sess.MultiGet(ctx, []uint64{k0, k1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r0, r1 := vals[k0], vals[k1]
+			if r0.BlockedBy != 0 || r1.BlockedBy != 0 {
+				t.Fatalf("intents survive recovery: %+v %+v", r0, r1)
+			}
+			if r0.Found != r1.Found {
+				t.Fatalf("ATOMICITY VIOLATED: shard0 found=%v shard1 found=%v", r0.Found, r1.Found)
+			}
+			if r0.Found != tc.wantCommit {
+				t.Fatalf("outcome found=%v, want %v", r0.Found, tc.wantCommit)
+			}
+			if tc.wantCommit && (!bytes.Equal(r0.Value, val) || !bytes.Equal(r1.Value, val)) {
+				t.Fatalf("committed values wrong: %q %q", r0.Value, r1.Value)
+			}
+		})
+	}
+}
+
+// TestTxnConflictAborts: two transactions racing for the same key — the
+// loser aborts cleanly and the winner's effects stand.
+func TestTxnConflictAborts(t *testing.T) {
+	f := newTxnFixture(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	k0, k1 := f.keyPair(0)
+
+	// Holder parks a prepared transaction on k0.
+	held, err := f.sess.TxnWithOptions(ctx, []kvstore.TxnWrite{
+		{Key: k0, Code: kvstore.OpInsert, Value: []byte("held")},
+	}, txn.Options{CrashAt: txn.PhaseVoted})
+	if !errors.Is(err, txn.ErrCoordinatorCrashed) {
+		t.Fatal(err)
+	}
+	// A second transaction touching k0 (and k1) must abort whole.
+	_, err = f.sess.Txn(ctx, []kvstore.TxnWrite{
+		{Key: k0, Code: kvstore.OpInsert, Value: []byte("loser")},
+		{Key: k1, Code: kvstore.OpInsert, Value: []byte("loser")},
+	})
+	if !errors.Is(err, txn.ErrAborted) {
+		t.Fatalf("conflicting txn err = %v, want ErrAborted", err)
+	}
+	vals, _, err := f.sess.MultiGet(ctx, []uint64{k0, k1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr := vals[k1]; rr.Found || rr.BlockedBy != 0 {
+		t.Fatalf("loser leaked onto k1: %+v", rr)
+	}
+	if rr := vals[k0]; rr.BlockedBy != held.TxID {
+		t.Fatalf("holder's intent gone: %+v", rr)
+	}
+	// A plain (non-transactional) write against the held key must fail
+	// loudly, not report success while the store refuses it.
+	if err := f.sess.Insert(ctx, k0, []byte("plain")); err == nil {
+		t.Fatal("plain Insert against a held key reported success")
+	}
+	if err := f.sess.Put(ctx, k0, []byte("plain")); err == nil {
+		t.Fatal("plain Put against a held key reported success")
+	}
+	// Cleanup: resolve the holder (aborts) so nothing stays locked.
+	if _, err := f.sess.ResolveTxn(ctx, held.TxID); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,46 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+
+	"flexitrust/internal/types"
+)
+
+// TestWatermarkConcurrentAdvance hammers one watermark from many goroutines
+// (the MultiGet fan-out does exactly this) under -race: the final value must
+// be the maximum ever advanced to, and loads must never observe a regress.
+func TestWatermarkConcurrentAdvance(t *testing.T) {
+	var w Watermark
+	const (
+		writers   = 8
+		perWriter = 2000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := types.SeqNum(0)
+			for i := 1; i <= perWriter; i++ {
+				w.Advance(types.SeqNum(g*perWriter + i))
+				if got := w.Load(); got < last {
+					t.Errorf("watermark regressed: %d after %d", got, last)
+					return
+				} else {
+					last = got
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := w.Load(), types.SeqNum(writers*perWriter); got != want {
+		t.Fatalf("final watermark %d, want %d", got, want)
+	}
+	// Advancing backwards is a no-op.
+	w.Advance(1)
+	if got := w.Load(); got != types.SeqNum(writers*perWriter) {
+		t.Fatalf("backward advance moved the watermark to %d", got)
+	}
+}

@@ -51,6 +51,9 @@ type MultiCluster struct {
 	machines  []*Machine
 	auth      *trusted.HMACAuthority
 	placement func(group, replica int) int
+	// txnDriver, when attached, runs cross-group two-phase-commit clients
+	// inside the same kernel (see txndriver.go).
+	txnDriver *TxnDriver
 }
 
 // group is one consensus group hosted on a MultiCluster: its replicas, its
@@ -239,10 +242,16 @@ func (mc *MultiCluster) Run(warmup, measure time.Duration) []Results {
 		ramp = time.Millisecond
 	}
 	for _, g := range mc.groups {
-		if g.cfg.Clients > 0 {
+		// A clientless pool still starts when a transaction driver is
+		// attached: external requests lean on the pool's resend sweep.
+		if g.cfg.Clients > 0 || mc.txnDriver != nil {
 			g.pool.start(ramp)
 		}
 		g.pool.collector.SetWindow(warmup, warmup+measure)
+	}
+	if mc.txnDriver != nil {
+		mc.txnDriver.start(ramp)
+		mc.txnDriver.collector.SetWindow(warmup, warmup+measure)
 	}
 	mc.runUntil(warmup + measure)
 	out := make([]Results, len(mc.groups))

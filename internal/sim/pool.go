@@ -36,6 +36,10 @@ type poolTxn struct {
 	sent       time.Duration // original send (latency baseline)
 	lastResend time.Duration
 	req        *types.ClientRequest
+	// cb, when set, marks an externally-submitted request (the cross-group
+	// transaction driver): completion calls cb instead of recording into
+	// the pool's collector and issuing a closed-loop replacement.
+	cb func(value []byte)
 }
 
 // respTally counts matching responses for one (seq, match-digest) value.
@@ -281,9 +285,24 @@ func (p *clientPool) complete(seq types.SeqNum, bs *batchState, tally *respTally
 			continue // already completed under an earlier seq (re-proposal)
 		}
 		delete(p.txns, key)
+		if txn.cb != nil {
+			txn.cb(append([]byte(nil), res.Value...))
+			continue
+		}
 		p.collector.Record(p.g.now(), p.g.now()-txn.sent)
 		p.issue(int(res.Client) - 1)
 	}
+}
+
+// submitExternal queues a request built outside the closed loop (the
+// cross-group transaction driver); cb fires once when the reply quorum
+// completes it. The caller owns client-id and request-number uniqueness —
+// external client ids live above the pool's numClients range. External
+// requests share the pool's resend sweep.
+func (p *clientPool) submitExternal(req *types.ClientRequest, cb func(value []byte)) {
+	p.txns[req.Key()] = &poolTxn{sent: p.g.now(), req: req, cb: cb}
+	p.pendingSends = append(p.pendingSends, req)
+	p.flushSends()
 }
 
 // handleTimer implements node.

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"flexitrust/internal/engine"
+	"flexitrust/internal/protocols/flexibft"
+	"flexitrust/internal/protocols/minbft"
+)
+
+// driverRun builds a co-hosted deployment with a transaction driver and
+// runs it.
+func driverRun(mk func(cfg engine.Config) engine.Protocol, groups int, hostSeq bool, master int64) (*MultiCluster, TxnResults) {
+	cfgs := make([]Config, groups)
+	for g := 0; g < groups; g++ {
+		cfgs[g] = multiGroupConfig(4, 1, mk, uint16(g+1), SubSeed(master, g))
+	}
+	mc := NewMultiCluster(MultiConfig{Seed: master, Groups: cfgs})
+	d := mc.AttachTxnDriver(TxnDriverConfig{
+		Coordinators:       8,
+		MultiShardFraction: 0.5,
+		HostSeqCommitPoint: hostSeq,
+		Seed:               SubSeed(master, 1<<20),
+	})
+	mc.Run(100*time.Millisecond, 300*time.Millisecond)
+	return mc, d.Results(300 * time.Millisecond)
+}
+
+// TestTxnDriverAccounting: the driver completes transactions, spans shards,
+// never aborts (its keys are conflict-free by construction), and — the
+// paper's claim applied to the commit point — every decision costs exactly
+// one attested counter access.
+func TestTxnDriverAccounting(t *testing.T) {
+	_, res := driverRun(func(cfg engine.Config) engine.Protocol { return flexibft.New(cfg) }, 2, false, 21)
+	if res.Completed == 0 || res.Decisions == 0 {
+		t.Fatalf("driver made no progress: %+v", res)
+	}
+	if res.TCAccesses != res.Decisions {
+		t.Fatalf("%d attested accesses for %d decisions — the commit point must cost exactly one",
+			res.TCAccesses, res.Decisions)
+	}
+	if res.Aborted != 0 {
+		t.Fatalf("%d aborts with conflict-free keys", res.Aborted)
+	}
+	if res.Committed != res.Decisions {
+		t.Fatalf("committed %d of %d decisions", res.Committed, res.Decisions)
+	}
+	if res.MultiShard == 0 {
+		t.Fatal("no multi-shard transactions at 50% mix")
+	}
+	if res.MeanLat <= 0 || res.Throughput <= 0 {
+		t.Fatalf("degenerate results: %+v", res)
+	}
+}
+
+// TestTxnDriverDeterminism: identical seeds give bit-identical driver
+// results — the driver's events ride the same deterministic heap as the
+// groups'.
+func TestTxnDriverDeterminism(t *testing.T) {
+	mk := func(cfg engine.Config) engine.Protocol { return minbft.New(cfg) }
+	_, a := driverRun(mk, 2, true, 31)
+	_, b := driverRun(mk, 2, true, 31)
+	if a != b {
+		t.Fatalf("identical seeds diverged:\n  a=%+v\n  b=%+v", a, b)
+	}
+	if a.Completed == 0 {
+		t.Fatal("driver committed nothing")
+	}
+}
+
+// TestTxnDriverHostSeqContention: with the host-sequenced commit-point
+// discipline every coordinator decision retargets its machine's attested
+// stream — the decision waits out the co-hosted MinBFT groups' drain, and
+// the groups pay a drain to take the stream back. Compared with the
+// freely-interleaving AppendF discipline on identical deployments, the
+// transactions must be measurably slower and fewer, and the background
+// groups must lose throughput to the injected drains. Groups run MinBFT
+// (host-sequenced consensus appends) so the stream actually alternates;
+// background load is kept light so the trusted components have headroom
+// for the effect to be visible rather than saturated away.
+func TestTxnDriverHostSeqContention(t *testing.T) {
+	mk := func(cfg engine.Config) engine.Protocol { return minbft.New(cfg) }
+	run := func(hostSeq bool) (groupsDone uint64, txn TxnResults) {
+		cfgs := make([]Config, 2)
+		for g := 0; g < 2; g++ {
+			cfgs[g] = multiGroupConfig(4, 1, mk, uint16(g+1), SubSeed(41, g))
+			cfgs[g].Clients = 16
+		}
+		mc := NewMultiCluster(MultiConfig{Seed: 41, Groups: cfgs})
+		d := mc.AttachTxnDriver(TxnDriverConfig{
+			Coordinators:       16,
+			MultiShardFraction: 0.5,
+			HostSeqCommitPoint: hostSeq,
+			Seed:               SubSeed(41, 1<<20),
+		})
+		for _, r := range mc.Run(100*time.Millisecond, 300*time.Millisecond) {
+			groupsDone += r.Completed
+		}
+		return groupsDone, d.Results(300 * time.Millisecond)
+	}
+	groupsSeq, seq := run(true)
+	groupsFree, free := run(false)
+	if seq.Completed == 0 || free.Completed == 0 {
+		t.Fatalf("degenerate runs: seq=%+v free=%+v", seq, free)
+	}
+	t.Logf("hostSeq: txn lat %v, txn done %d, group ops %d", seq.MeanLat, seq.Completed, groupsSeq)
+	t.Logf("free:    txn lat %v, txn done %d, group ops %d", free.MeanLat, free.Completed, groupsFree)
+	if float64(seq.MeanLat) < 1.1*float64(free.MeanLat) {
+		t.Fatalf("host-sequenced commit point not measurably slower: %v vs %v", seq.MeanLat, free.MeanLat)
+	}
+	if seq.Completed >= free.Completed {
+		t.Fatalf("host-sequenced commit point not fewer txns: %d vs %d", seq.Completed, free.Completed)
+	}
+	if groupsSeq >= groupsFree {
+		t.Fatalf("stream retargeting stole no group throughput: %d vs %d", groupsSeq, groupsFree)
+	}
+}
+
+// TestTxnDriverDoesNotStarveGroups: the background closed-loop load still
+// commits on every group while the driver runs.
+func TestTxnDriverDoesNotStarveGroups(t *testing.T) {
+	mk := func(cfg engine.Config) engine.Protocol { return flexibft.New(cfg) }
+	cfgs := []Config{
+		multiGroupConfig(4, 1, mk, 1, SubSeed(51, 0)),
+		multiGroupConfig(4, 1, mk, 2, SubSeed(51, 1)),
+	}
+	mc := NewMultiCluster(MultiConfig{Seed: 51, Groups: cfgs})
+	mc.AttachTxnDriver(TxnDriverConfig{Coordinators: 8, MultiShardFraction: 0.2, Seed: 99})
+	per := mc.Run(100*time.Millisecond, 300*time.Millisecond)
+	for g, r := range per {
+		if r.Completed == 0 {
+			t.Fatalf("group %d starved: %+v", g, r)
+		}
+	}
+}

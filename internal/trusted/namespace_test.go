@@ -1,6 +1,7 @@
 package trusted
 
 import (
+	"sync"
 	"testing"
 
 	"flexitrust/internal/types"
@@ -99,5 +100,64 @@ func TestNamespaceZeroIsIdentity(t *testing.T) {
 	}
 	if !auth.Verify(a) {
 		t.Fatal("un-namespaced attestation must verify directly")
+	}
+}
+
+// TestNamespacedConcurrentIsolation hammers one shared component from
+// several namespaced views at once — the deployment shape of the sharded
+// transaction layer, where consensus groups (namespaces 1..S) and the
+// transaction coordinator (namespace 0xFFFF) co-host one component. Under
+// -race this exercises the component's locking; the assertions check that
+// heavy cross-namespace concurrency never bleeds one view's counter into
+// another's.
+func TestNamespacedConcurrentIsolation(t *testing.T) {
+	auth := NewHMACAuthority(7, 1)
+	tc := New(Config{Host: 0, Profile: ProfileSGXEnclave, Attestor: auth.For(0)})
+
+	// Groups 1..4 plus the coordinator namespace at the top of the space.
+	namespaces := []uint16{1, 2, 3, 4, 0xFFFF}
+	perView := 500
+	views := make([]Component, len(namespaces))
+	for i, ns := range namespaces {
+		views[i] = Namespaced(tc, ns)
+	}
+	var wg sync.WaitGroup
+	lasts := make([]*types.Attestation, len(views))
+	for i, v := range views {
+		i, v := i, v
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < perView; k++ {
+				a, err := v.AppendF(0, digestOf(byte(i)))
+				if err != nil {
+					t.Errorf("view %d: %v", i, err)
+					return
+				}
+				lasts[i] = a
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i, v := range views {
+		if _, val, err := v.Current(0); err != nil || val != uint64(perView) {
+			t.Fatalf("namespace %#x counter = %d (%v), want %d — cross-namespace bleed",
+				namespaces[i], val, err, perView)
+		}
+		if lasts[i].Value != uint64(perView) {
+			t.Fatalf("namespace %#x last attested value %d, want %d", namespaces[i], lasts[i].Value, perView)
+		}
+		// Each view's attestation verifies only under its own namespace.
+		if !auth.Verify(MapAttestation(lasts[i], namespaces[i])) {
+			t.Fatalf("namespace %#x attestation does not verify under its namespace", namespaces[i])
+		}
+		other := namespaces[(i+1)%len(namespaces)]
+		if auth.Verify(MapAttestation(lasts[i], other)) {
+			t.Fatalf("namespace %#x attestation verifies under %#x", namespaces[i], other)
+		}
+	}
+	if got := tc.Accesses(); got != uint64(len(views)*perView) {
+		t.Fatalf("component accesses = %d, want %d", got, len(views)*perView)
 	}
 }

@@ -1,0 +1,128 @@
+package txn
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+
+	"flexitrust/internal/crypto"
+	"flexitrust/internal/trusted"
+	"flexitrust/internal/types"
+)
+
+// Decision is one transaction's published outcome: the attested counter
+// statement binding DecisionDigest(txid, commit) is what makes it a
+// decision rather than a claim.
+type Decision struct {
+	TxID   uint64
+	Commit bool
+	Att    *types.Attestation
+}
+
+// DecisionDigest is the digest a decision attestation binds: a domain tag,
+// the outcome, and the transaction id. Binding the outcome means a commit
+// attestation cannot be replayed as an abort (and vice versa); binding the
+// id means it cannot decide any other transaction.
+func DecisionDigest(txid uint64, commit bool) types.Digest {
+	tag := byte('A')
+	if commit {
+		tag = 'C'
+	}
+	var id [8]byte
+	binary.BigEndian.PutUint64(id[:], txid)
+	return crypto.HashConcat([]byte("flexitrust/txn-decision"), []byte{tag}, id[:])
+}
+
+// Arbiter is the coordinator's trusted counter: deciding a transaction is
+// one internally-incremented AppendF access. TC should be a
+// trusted.Namespaced view (CoordinatorNamespace) of the coordinator's
+// component so the decision counter can never alias a consensus group's.
+type Arbiter struct {
+	TC trusted.Component
+	Q  uint32
+}
+
+// Decide mints the decision attestation for txid — the single attested
+// counter access the commit point costs.
+func (a Arbiter) Decide(txid uint64, commit bool) (*types.Attestation, error) {
+	return a.TC.AppendF(a.Q, DecisionDigest(txid, commit))
+}
+
+// Accesses exposes the underlying component's access counter (the
+// one-access-per-decision accounting).
+func (a Arbiter) Accesses() uint64 { return a.TC.Accesses() }
+
+// ErrBadAttestation is returned by Publish for a decision whose attestation
+// fails verification (wrong digest, wrong signer, or no attestation at
+// all) — a Byzantine coordinator trying to publish a claim it could not get
+// its trusted component to sign.
+var ErrBadAttestation = errors.New("txn: decision attestation failed verification")
+
+// AttestationLog is the decision bulletin board: at most one decision per
+// transaction id, first verified publication wins, late and losing
+// publishers adopt the recorded decision. In a distributed deployment this
+// is itself a small replicated service (or a slot in a config shard); the
+// in-process form keeps the same interface and first-wins semantics.
+type AttestationLog struct {
+	mu        sync.Mutex
+	decisions map[uint64]Decision
+	verify    func(Decision) bool
+}
+
+// NewLog builds a log that accepts only decisions passing verify (see
+// VerifierFor).
+func NewLog(verify func(Decision) bool) *AttestationLog {
+	if verify == nil {
+		panic("txn: NewLog requires a verifier")
+	}
+	return &AttestationLog{decisions: make(map[uint64]Decision), verify: verify}
+}
+
+// VerifierFor builds the standard decision verifier: the attestation must
+// be signed by the coordinator component known to auth (remapped into its
+// counter namespace, the form the proof was minted over) and must bind
+// exactly DecisionDigest(TxID, Commit).
+func VerifierFor(auth *trusted.HMACAuthority, ns uint16) func(Decision) bool {
+	return func(d Decision) bool {
+		if d.Att == nil || d.TxID == 0 {
+			return false
+		}
+		if d.Att.Digest != DecisionDigest(d.TxID, d.Commit) {
+			return false
+		}
+		return auth.Verify(trusted.MapAttestation(d.Att, ns))
+	}
+}
+
+// Publish records d if its id is undecided and its attestation verifies.
+// The returned Decision is the one on record afterwards — d itself when it
+// won, the earlier publication when it lost the race (callers adopt it).
+func (l *AttestationLog) Publish(d Decision) (Decision, error) {
+	if !l.verify(d) {
+		return Decision{}, ErrBadAttestation
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if won, ok := l.decisions[d.TxID]; ok {
+		return won, nil
+	}
+	l.decisions[d.TxID] = d
+	return d, nil
+}
+
+// Lookup returns the recorded decision for txid, if any. This is the only
+// statement participants may trust: an attestation presented directly by a
+// coordinator proves it was minted, not that it was published first.
+func (l *AttestationLog) Lookup(txid uint64) (Decision, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d, ok := l.decisions[txid]
+	return d, ok
+}
+
+// Len returns the number of decided transactions.
+func (l *AttestationLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.decisions)
+}

@@ -1,0 +1,320 @@
+// Package txn implements cross-shard transactions over the sharded
+// consensus layer: a two-phase-commit coordinator whose commit point is a
+// FlexiTrust attested counter access.
+//
+// The protocol composes three pieces:
+//
+//   - Participants are consensus groups (shards). A transaction's writes
+//     reach each participant shard as one OpTxnPrepare operation that
+//     installs per-key intents through the shard's own consensus, so the
+//     prepared state is replicated and survives f replica failures
+//     (internal/kvstore's transactional operations).
+//
+//   - The Arbiter is the coordinator's trusted monotonic counter, held in a
+//     namespace of its own (CoordinatorNamespace) so it can share a
+//     physical component with co-hosted consensus groups without aliasing
+//     their counters. Deciding a transaction is ONE internally-incremented
+//     AppendF access binding Attest(q, k, H(decision ‖ txid)) — the paper's
+//     core claim, that a single attested counter access per decision
+//     suffices to order irrevocable steps, applied to the commit point.
+//
+//   - The AttestationLog is the decision bulletin board: publication is
+//     first-wins per transaction id and only verified attestations are
+//     accepted. A transaction IS committed iff a verified commit
+//     attestation for its id is published; participants in doubt resolve
+//     against the log, never against an attestation a coordinator shows
+//     them directly.
+//
+// Why this is non-equivocable even with a Byzantine coordinator: the
+// coordinator cannot forge an attestation (the component signs, the host
+// cannot), so it cannot fabricate a commit it never decided; it can mint
+// both a commit and an abort attestation (two counter accesses), but the
+// log's first-wins rule picks exactly one, and the monotonic counter values
+// inside the attestations give auditors the true minting order. A crashed
+// coordinator leaves participants in doubt, not stuck: recovery
+// (ResolveInDoubt) asks the arbiter to mint an abort and publishes it —
+// if the original decision was already published, the publication loses
+// and recovery adopts the published decision instead; either way the
+// participant drives a decision that every other participant will agree
+// with, and a shard that aborts a transaction it never prepared poisons
+// the id so a late Prepare cannot resurrect it.
+package txn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"flexitrust/internal/kvstore"
+	"flexitrust/internal/types"
+)
+
+// CoordinatorNamespace is the trusted-counter namespace reserved for
+// transaction coordinators. Shard groups use namespaces 1..S, so the top of
+// the 16-bit space can never collide with a group's counters on a shared
+// component.
+const CoordinatorNamespace uint16 = 0xFFFF
+
+// DecisionCounter is the counter id transaction decisions are appended to
+// (instance-local inside CoordinatorNamespace).
+const DecisionCounter uint32 = 0
+
+// Phase names the coordinator's crash boundaries (test injection): a
+// coordinator configured to crash at a phase stops right after reaching it.
+type Phase int
+
+// Crash boundaries, in execution order.
+const (
+	// PhaseNone never crashes.
+	PhaseNone Phase = iota
+	// PhaseVoted: every participant's vote collected, decision not yet
+	// attested — recovery must abort.
+	PhaseVoted
+	// PhaseAttested: the decision attestation is minted but unpublished —
+	// it dies with the coordinator, so recovery must abort.
+	PhaseAttested
+	// PhasePublished: the decision is published but no participant has
+	// been told — recovery must adopt it.
+	PhasePublished
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhaseNone:
+		return "none"
+	case PhaseVoted:
+		return "voted"
+	case PhaseAttested:
+		return "attested"
+	case PhasePublished:
+		return "published"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// ErrCoordinatorCrashed is returned by Execute when a configured crash
+// boundary fires, leaving participants in doubt (tests drive recovery).
+var ErrCoordinatorCrashed = errors.New("txn: coordinator crashed")
+
+// ErrAborted is returned when the transaction aborted (a participant voted
+// no, or recovery beat the coordinator to an abort decision).
+var ErrAborted = errors.New("txn: transaction aborted")
+
+// Config assembles a coordinator.
+type Config struct {
+	// Arbiter mints decision attestations (one counter access each).
+	Arbiter Arbiter
+	// Log is the decision bulletin board shared with participants.
+	Log *AttestationLog
+	// NewTxID allocates transaction ids; ids must never repeat (a decided
+	// id stays decided forever).
+	NewTxID func() uint64
+	// Submit executes op on participant shard `shard` through its
+	// consensus and returns the deterministic result bytes.
+	Submit func(ctx context.Context, shard int, op *kvstore.Op) ([]byte, error)
+	// ShardFor maps a key to its owning shard.
+	ShardFor func(key uint64) int
+}
+
+// Options tunes one Execute call (crash injection for recovery tests).
+type Options struct {
+	// CrashAt stops the coordinator at the given boundary.
+	CrashAt Phase
+	// DriveOnly, when non-nil, restricts the phase-2 fan-out to these
+	// shards — a crash mid-fan-out that told some participants but not
+	// others.
+	DriveOnly map[int]bool
+}
+
+// Result reports one transaction's outcome.
+type Result struct {
+	TxID      uint64
+	Committed bool
+	// Attestation is the decision's counter attestation (the commit point).
+	Attestation *types.Attestation
+	// Shards lists the participant shards, ascending.
+	Shards []int
+	// Votes holds each participant's phase-1 result string.
+	Votes map[int]string
+}
+
+// Coordinator drives two-phase commits over participant shards.
+type Coordinator struct {
+	cfg Config
+}
+
+// NewCoordinator validates cfg and builds a coordinator.
+func NewCoordinator(cfg Config) *Coordinator {
+	switch {
+	case cfg.Arbiter.TC == nil:
+		panic("txn: Config.Arbiter.TC is required")
+	case cfg.Log == nil:
+		panic("txn: Config.Log is required")
+	case cfg.NewTxID == nil:
+		panic("txn: Config.NewTxID is required")
+	case cfg.Submit == nil:
+		panic("txn: Config.Submit is required")
+	case cfg.ShardFor == nil:
+		panic("txn: Config.ShardFor is required")
+	}
+	return &Coordinator{cfg: cfg}
+}
+
+// Execute runs one transaction: prepare on every participant shard
+// (concurrently), decide with one attested counter access, publish, drive.
+// A voted-down transaction returns ErrAborted (after driving the abort);
+// an injected crash returns ErrCoordinatorCrashed with the partial Result
+// so tests can recover the in-doubt state.
+func (c *Coordinator) Execute(ctx context.Context, writes []kvstore.TxnWrite, opts Options) (*Result, error) {
+	if len(writes) == 0 {
+		return nil, errors.New("txn: empty write set")
+	}
+	txid := c.cfg.NewTxID()
+	parts := make(map[int][]kvstore.TxnWrite)
+	for _, w := range writes {
+		s := c.cfg.ShardFor(w.Key)
+		parts[s] = append(parts[s], w)
+	}
+	res := &Result{TxID: txid, Votes: make(map[int]string, len(parts))}
+	prepares := make(map[int]*kvstore.Op, len(parts))
+	for s, ws := range parts {
+		res.Shards = append(res.Shards, s)
+		// Encode up front: an oversized write set fails loudly here, before
+		// any participant installs an intent.
+		op, err := kvstore.EncodeTxnPrepare(txid, ws)
+		if err != nil {
+			return nil, err
+		}
+		prepares[s] = op
+	}
+	sort.Ints(res.Shards)
+
+	// Phase 1: fan the per-shard prepares out concurrently.
+	type vote struct {
+		shard int
+		res   string
+		err   error
+	}
+	votes := make(chan vote, len(parts))
+	for s, op := range prepares {
+		go func(s int, op *kvstore.Op) {
+			v, err := c.cfg.Submit(ctx, s, op)
+			votes <- vote{shard: s, res: string(v), err: err}
+		}(s, op)
+	}
+	commit := true
+	var voteErr error
+	for range parts {
+		v := <-votes
+		if v.err != nil {
+			// An unreachable participant is a no-vote: its intents, if any
+			// installed, die with the abort (which also poisons the id).
+			commit = false
+			if voteErr == nil {
+				voteErr = fmt.Errorf("txn %d: prepare on shard %d: %w", txid, v.shard, v.err)
+			}
+			continue
+		}
+		res.Votes[v.shard] = v.res
+		if v.res != kvstore.TxnPrepared {
+			commit = false
+		}
+	}
+	if opts.CrashAt == PhaseVoted {
+		return res, fmt.Errorf("%w at %v (txn %d)", ErrCoordinatorCrashed, PhaseVoted, txid)
+	}
+
+	// Commit point: exactly one attested counter access decides.
+	att, err := c.cfg.Arbiter.Decide(txid, commit)
+	if err != nil {
+		return res, fmt.Errorf("txn %d: arbiter: %w", txid, err)
+	}
+	if opts.CrashAt == PhaseAttested {
+		return res, fmt.Errorf("%w at %v (txn %d)", ErrCoordinatorCrashed, PhaseAttested, txid)
+	}
+	decision, err := c.cfg.Log.Publish(Decision{TxID: txid, Commit: commit, Att: att})
+	if err != nil {
+		return res, fmt.Errorf("txn %d: publish: %w", txid, err)
+	}
+	// First-wins: if recovery published before us, its decision governs.
+	res.Committed = decision.Commit
+	res.Attestation = decision.Att
+	if opts.CrashAt == PhasePublished {
+		return res, fmt.Errorf("%w at %v (txn %d)", ErrCoordinatorCrashed, PhasePublished, txid)
+	}
+
+	// Phase 2: drive the decision to the participants (concurrently;
+	// idempotent on the shards, so retries and recovery may overlap).
+	if err := c.drive(ctx, decision, parts, opts.DriveOnly); err != nil {
+		return res, err
+	}
+	if voteErr != nil {
+		return res, fmt.Errorf("%w: %v", ErrAborted, voteErr)
+	}
+	if !res.Committed {
+		return res, ErrAborted
+	}
+	return res, nil
+}
+
+// drive sends the decision to every participant shard in parts (restricted
+// to `only` when non-nil).
+func (c *Coordinator) drive(ctx context.Context, d Decision, parts map[int][]kvstore.TxnWrite, only map[int]bool) error {
+	errs := make(chan error, len(parts))
+	n := 0
+	for s, ws := range parts {
+		if only != nil && !only[s] {
+			continue
+		}
+		n++
+		go func(s int, routingKey uint64) {
+			_, err := c.cfg.Submit(ctx, s, kvstore.EncodeTxnDecision(d.Commit, d.TxID, routingKey))
+			if err != nil {
+				err = fmt.Errorf("txn %d: decision on shard %d: %w", d.TxID, s, err)
+			}
+			errs <- err
+		}(s, ws[0].Key)
+	}
+	var first error
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ResolveInDoubt settles txid from a participant's (or recovery
+// coordinator's) perspective: a published decision wins; otherwise the
+// arbiter mints an abort and publication decides the race — if the original
+// coordinator's decision lands first, the abort loses and the published
+// decision is adopted. The caller is responsible for having waited out its
+// in-doubt timeout first; resolving too eagerly aborts transactions a slow
+// coordinator would have committed (safe, but wasteful).
+func ResolveInDoubt(log *AttestationLog, arb Arbiter, txid uint64) (Decision, error) {
+	if d, ok := log.Lookup(txid); ok {
+		return d, nil
+	}
+	att, err := arb.Decide(txid, false)
+	if err != nil {
+		return Decision{}, fmt.Errorf("txn %d: recovery arbiter: %w", txid, err)
+	}
+	return log.Publish(Decision{TxID: txid, Commit: false, Att: att})
+}
+
+// SequentialTxIDs returns a thread-safe id allocator counting up from
+// start+1 (0 is never a valid transaction id).
+func SequentialTxIDs(start uint64) func() uint64 {
+	var mu sync.Mutex
+	next := start
+	return func() uint64 {
+		mu.Lock()
+		defer mu.Unlock()
+		next++
+		return next
+	}
+}

@@ -1,0 +1,326 @@
+package txn
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"flexitrust/internal/kvstore"
+	"flexitrust/internal/trusted"
+	"flexitrust/internal/types"
+)
+
+// fakeShards stands in for the consensus groups: each shard is a kvstore
+// applied under a lock (the coordinator fans out from goroutines). The
+// deterministic store results are exactly what consensus would return.
+type fakeShards struct {
+	mu     sync.Mutex
+	stores []*kvstore.Store
+	// failPrepare makes a shard's prepare return a transport error.
+	failPrepare map[int]bool
+	submits     int
+}
+
+func newFakeShards(n int) *fakeShards {
+	f := &fakeShards{failPrepare: make(map[int]bool)}
+	for i := 0; i < n; i++ {
+		f.stores = append(f.stores, kvstore.New(1000))
+	}
+	return f
+}
+
+func (f *fakeShards) shardFor(key uint64) int { return int(key % uint64(len(f.stores))) }
+
+func (f *fakeShards) submit(_ context.Context, shard int, op *kvstore.Op) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.submits++
+	if op.Code == kvstore.OpTxnPrepare && f.failPrepare[shard] {
+		return nil, errors.New("shard unreachable")
+	}
+	return f.stores[shard].Apply(op.Encode()), nil
+}
+
+// applyDecision drives a decision into one shard directly (the recovery
+// path a participant would take after resolving).
+func (f *fakeShards) applyDecision(shard int, d Decision) string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return string(f.stores[shard].Apply(kvstore.EncodeTxnDecision(d.Commit, d.TxID, 0).Encode()))
+}
+
+// harness bundles a coordinator with its arbiter, log and fake shards.
+type harness struct {
+	shards *fakeShards
+	arb    Arbiter
+	log    *AttestationLog
+	coord  *Coordinator
+	auth   *trusted.HMACAuthority
+}
+
+func newHarness(t *testing.T, nShards int) *harness {
+	t.Helper()
+	auth := trusted.NewHMACAuthority(99, 1)
+	tc := trusted.New(trusted.Config{Host: 0, Profile: trusted.ProfileSGXEnclave, Attestor: auth.For(0)})
+	arb := Arbiter{TC: trusted.Namespaced(tc, CoordinatorNamespace), Q: DecisionCounter}
+	log := NewLog(VerifierFor(auth, CoordinatorNamespace))
+	shards := newFakeShards(nShards)
+	coord := NewCoordinator(Config{
+		Arbiter:  arb,
+		Log:      log,
+		NewTxID:  SequentialTxIDs(0),
+		Submit:   shards.submit,
+		ShardFor: shards.shardFor,
+	})
+	return &harness{shards: shards, arb: arb, log: log, coord: coord, auth: auth}
+}
+
+// Fresh keys above the stores' 1000 preloaded records, so "committed"
+// versus "not found" is observable; keys 2000/2001 land on shards 0/1
+// under the modulo router.
+const (
+	keyShard0 = 2000
+	keyShard1 = 2001
+)
+
+// twoShardWrites builds one write per shard.
+func twoShardWrites(val string) []kvstore.TxnWrite {
+	return []kvstore.TxnWrite{
+		{Key: keyShard0, Code: kvstore.OpInsert, Value: []byte(val + "-a")},
+		{Key: keyShard1, Code: kvstore.OpInsert, Value: []byte(val + "-b")},
+	}
+}
+
+// readKey reads a key's committed state from a shard.
+func readKey(f *fakeShards, shard int, key uint64) kvstore.ReadResult {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rr, err := kvstore.DecodeTxnRead(f.stores[shard].Apply(kvstore.EncodeTxnRead(key).Encode()))
+	if err != nil {
+		panic(err)
+	}
+	return rr
+}
+
+func TestCommitHappyPath(t *testing.T) {
+	h := newHarness(t, 2)
+	before := h.arb.Accesses()
+	res, err := h.coord.Execute(context.Background(), twoShardWrites("v"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed || res.TxID == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if got := h.arb.Accesses() - before; got != 1 {
+		t.Fatalf("commit decision cost %d attested accesses, want exactly 1", got)
+	}
+	if rr := readKey(h.shards, 0, keyShard0); !bytes.Equal(rr.Value, []byte("v-a")) || rr.BlockedBy != 0 {
+		t.Fatalf("shard 0 after commit: %+v", rr)
+	}
+	if rr := readKey(h.shards, 1, keyShard1); !bytes.Equal(rr.Value, []byte("v-b")) {
+		t.Fatalf("shard 1 after commit: %+v", rr)
+	}
+	d, ok := h.log.Lookup(res.TxID)
+	if !ok || !d.Commit || d.Att == nil {
+		t.Fatalf("log decision = %+v, %v", d, ok)
+	}
+	// The attestation binds the commit digest under the coordinator
+	// namespace and nothing else.
+	if d.Att.Digest != DecisionDigest(res.TxID, true) {
+		t.Fatal("attestation digest mismatch")
+	}
+	if h.auth.Verify(d.Att) {
+		t.Fatal("attestation must not verify without namespace remap")
+	}
+	if !h.auth.Verify(trusted.MapAttestation(d.Att, CoordinatorNamespace)) {
+		t.Fatal("attestation must verify under the coordinator namespace")
+	}
+}
+
+// TestVoteNoAborts: a conflicting intent on one shard vetoes the
+// transaction; the other shard's intent is rolled back and the decision
+// still costs one attested access.
+func TestVoteNoAborts(t *testing.T) {
+	h := newHarness(t, 2)
+	// A foreign transaction holds shard 1's key.
+	h.shards.mu.Lock()
+	heldOp, err := kvstore.EncodeTxnPrepare(777, []kvstore.TxnWrite{
+		{Key: keyShard1, Code: kvstore.OpInsert, Value: []byte("held")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.shards.stores[1].Apply(heldOp.Encode())
+	h.shards.mu.Unlock()
+
+	before := h.arb.Accesses()
+	res, err := h.coord.Execute(context.Background(), twoShardWrites("w"), Options{})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	if res.Committed {
+		t.Fatal("vetoed transaction reported committed")
+	}
+	if got := h.arb.Accesses() - before; got != 1 {
+		t.Fatalf("abort decision cost %d accesses, want 1", got)
+	}
+	// Shard 0's intent must be gone and the value unwritten.
+	if rr := readKey(h.shards, 0, keyShard0); rr.Found || rr.BlockedBy != 0 {
+		t.Fatalf("shard 0 after abort: %+v", rr)
+	}
+	// The foreign intent on shard 1 is untouched.
+	if rr := readKey(h.shards, 1, keyShard1); rr.BlockedBy != 777 {
+		t.Fatalf("foreign intent disturbed: %+v", rr)
+	}
+}
+
+// TestUnreachableShardAborts: a prepare transport error is a no-vote.
+func TestUnreachableShardAborts(t *testing.T) {
+	h := newHarness(t, 2)
+	h.shards.failPrepare[1] = true
+	_, err := h.coord.Execute(context.Background(), twoShardWrites("x"), Options{})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	if rr := readKey(h.shards, 0, keyShard0); rr.Found || rr.BlockedBy != 0 {
+		t.Fatalf("reachable shard kept txn state: %+v", rr)
+	}
+}
+
+// TestCrashRecoveryMatrix is the coordinator-crash sweep: at every boundary
+// the participants are left in doubt, resolve through the log, and converge
+// all-or-nothing — abort when no decision was published, the published
+// decision otherwise.
+func TestCrashRecoveryMatrix(t *testing.T) {
+	cases := []struct {
+		name       string
+		opts       Options
+		wantCommit bool
+	}{
+		{"crash-after-votes", Options{CrashAt: PhaseVoted}, false},
+		{"crash-after-attest", Options{CrashAt: PhaseAttested}, false},
+		{"crash-after-publish", Options{CrashAt: PhasePublished}, true},
+		{"crash-mid-drive", Options{DriveOnly: map[int]bool{0: true}}, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			h := newHarness(t, 2)
+			res, err := h.coord.Execute(context.Background(), twoShardWrites("r"), tc.opts)
+			if tc.opts.CrashAt != PhaseNone && !errors.Is(err, ErrCoordinatorCrashed) {
+				t.Fatalf("err = %v, want ErrCoordinatorCrashed", err)
+			}
+			// Both participants are (possibly) in doubt; each resolves. The
+			// in-doubt timeout has implicitly elapsed — the coordinator is
+			// definitively dead in this test.
+			d, err := ResolveInDoubt(h.log, h.arb, res.TxID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.Commit != tc.wantCommit {
+				t.Fatalf("resolved commit=%v, want %v", d.Commit, tc.wantCommit)
+			}
+			for shard := 0; shard < 2; shard++ {
+				h.shards.applyDecision(shard, d)
+			}
+			// All-or-nothing across shards, no intents left anywhere.
+			got0, got1 := readKey(h.shards, 0, keyShard0), readKey(h.shards, 1, keyShard1)
+			if got0.BlockedBy != 0 || got1.BlockedBy != 0 {
+				t.Fatalf("intents survive recovery: %+v %+v", got0, got1)
+			}
+			if got0.Found != tc.wantCommit || got1.Found != tc.wantCommit {
+				t.Fatalf("atomicity violated: shard0 found=%v shard1 found=%v want %v",
+					got0.Found, got1.Found, tc.wantCommit)
+			}
+			// Resolution is stable: resolving again returns the same decision.
+			again, err := ResolveInDoubt(h.log, h.arb, res.TxID)
+			if err != nil || again.Commit != d.Commit {
+				t.Fatalf("re-resolve = %+v, %v", again, err)
+			}
+		})
+	}
+}
+
+// TestRecoveryLosesToPublishedCommit: recovery's abort publication loses
+// the race when the coordinator already published a commit — participants
+// adopt the commit.
+func TestRecoveryLosesToPublishedCommit(t *testing.T) {
+	h := newHarness(t, 2)
+	res, err := h.coord.Execute(context.Background(), twoShardWrites("y"), Options{CrashAt: PhasePublished})
+	if !errors.Is(err, ErrCoordinatorCrashed) {
+		t.Fatal(err)
+	}
+	d, err := ResolveInDoubt(h.log, h.arb, res.TxID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Commit {
+		t.Fatal("recovery must adopt the published commit")
+	}
+}
+
+// TestByzantineCoordinatorCannotEquivocate: minting both decisions is
+// possible (two counter accesses) but publication is first-wins, and
+// fabricated decisions without a matching attestation are rejected.
+func TestByzantineCoordinatorCannotEquivocate(t *testing.T) {
+	h := newHarness(t, 1)
+	const txid = 42
+	commitAtt, _ := h.arb.Decide(txid, true)
+	abortAtt, _ := h.arb.Decide(txid, false)
+
+	first, err := h.log.Publish(Decision{TxID: txid, Commit: true, Att: commitAtt})
+	if err != nil || !first.Commit {
+		t.Fatalf("first publish: %+v, %v", first, err)
+	}
+	second, err := h.log.Publish(Decision{TxID: txid, Commit: false, Att: abortAtt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Commit {
+		t.Fatal("second publication must lose to the first")
+	}
+
+	// A decision whose attestation binds the other outcome is a forgery.
+	if _, err := h.log.Publish(Decision{TxID: 43, Commit: true, Att: abortAtt}); !errors.Is(err, ErrBadAttestation) {
+		t.Fatalf("forged decision accepted: %v", err)
+	}
+	// Tampered proof.
+	tampered := *commitAtt
+	tampered.Proof = append([]byte(nil), tampered.Proof...)
+	tampered.Proof[0] ^= 1
+	if _, err := h.log.Publish(Decision{TxID: txid, Commit: true, Att: &tampered}); !errors.Is(err, ErrBadAttestation) {
+		t.Fatalf("tampered attestation accepted: %v", err)
+	}
+	// No attestation at all.
+	if _, err := h.log.Publish(Decision{TxID: 44, Commit: true}); !errors.Is(err, ErrBadAttestation) {
+		t.Fatalf("bare claim accepted: %v", err)
+	}
+}
+
+// TestDecisionDigestDomain: digests separate outcome and id.
+func TestDecisionDigestDomain(t *testing.T) {
+	if DecisionDigest(1, true) == DecisionDigest(1, false) {
+		t.Fatal("commit and abort digests collide")
+	}
+	if DecisionDigest(1, true) == DecisionDigest(2, true) {
+		t.Fatal("digests of different txns collide")
+	}
+	if DecisionDigest(1, true) == (types.Digest{}) {
+		t.Fatal("zero digest")
+	}
+}
+
+// TestCounterOrdersDecisions: the arbiter's monotonic counter gives every
+// decision a distinct, increasing value — the audit order of Section 4's
+// "order irrevocable steps" claim.
+func TestCounterOrdersDecisions(t *testing.T) {
+	h := newHarness(t, 1)
+	a1, _ := h.arb.Decide(1, true)
+	a2, _ := h.arb.Decide(2, false)
+	a3, _ := h.arb.Decide(3, true)
+	if !(a1.Value < a2.Value && a2.Value < a3.Value) {
+		t.Fatalf("counter values not increasing: %d %d %d", a1.Value, a2.Value, a3.Value)
+	}
+}

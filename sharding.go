@@ -41,7 +41,11 @@ type ShardOptions struct {
 // ShardedCluster is a running sharded deployment. Operations are routed to
 // the shard owning their key (single-shard fast path); cross-shard reads go
 // through ShardSession.MultiGet, which is fenced by per-shard commit
-// watermarks (read-committed). Cross-shard write atomicity is not provided.
+// watermarks (read-committed) and reports keys blocked by a pending
+// transaction intent explicitly. Cross-shard writes are atomic through
+// ShardSession.MultiPut / ShardSession.Txn: two-phase commit over the
+// groups with the cluster's attested counter as the commit-point arbiter
+// (see the package docs' "Cross-shard transactions" section).
 type ShardedCluster struct {
 	inner *shard.Cluster
 	opts  ShardOptions
@@ -52,6 +56,25 @@ type ShardSession = shard.Session
 
 // ShardVector is the per-shard version vector a MultiGet was read at.
 type ShardVector = shard.ShardVector
+
+// TxnWrite is one write of a cross-shard transaction (ShardSession.Txn):
+// Code is OpUpdate-style (key must exist) when built with UpdateWrite, or
+// blind-upsert when built with InsertWrite.
+type TxnWrite = kvstore.TxnWrite
+
+// ReadResult is one key's outcome in a MultiGet: the committed value plus
+// an explicit pending-transaction-intent signal (BlockedBy).
+type ReadResult = kvstore.ReadResult
+
+// UpdateWrite builds a transactional write requiring the key to exist.
+func UpdateWrite(key uint64, value []byte) TxnWrite {
+	return TxnWrite{Key: key, Code: kvstore.OpUpdate, Value: value}
+}
+
+// InsertWrite builds a transactional blind-upsert write.
+func InsertWrite(key uint64, value []byte) TxnWrite {
+	return TxnWrite{Key: key, Code: kvstore.OpInsert, Value: value}
+}
 
 // NewShardedCluster boots S in-process consensus groups behind the keyspace
 // router. Each group is a real cluster (goroutine replicas, Ed25519

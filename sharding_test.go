@@ -59,8 +59,11 @@ func TestShardedClusterQuickstart(t *testing.T) {
 		t.Fatal(err)
 	}
 	for k, v := range want {
-		if !bytes.Equal(vals[k], v) {
-			t.Fatalf("key %d: got %q want %q", k, vals[k], v)
+		if !bytes.Equal(vals[k].Value, v) {
+			t.Fatalf("key %d: got %q want %q", k, vals[k].Value, v)
+		}
+		if vals[k].BlockedBy != 0 {
+			t.Fatalf("key %d unexpectedly blocked by txn %d", k, vals[k].BlockedBy)
 		}
 	}
 	if len(vers) != 4 {
@@ -76,5 +79,69 @@ func TestShardedClusterQuickstart(t *testing.T) {
 	res, err := DoOp(ctx, sess, Read(3))
 	if err != nil || string(res) != "v3" {
 		t.Fatalf("DoOp read = %q, %v", res, err)
+	}
+}
+
+// TestShardedClusterTransactions exercises the documented cross-shard
+// transaction surface: MultiPut spans shards atomically, MultiGet returns
+// the committed values unblocked, and the general Txn form works with
+// typed writes.
+func TestShardedClusterTransactions(t *testing.T) {
+	cluster, err := NewShardedCluster(ShardOptions{
+		Shards:    2,
+		Protocol:  FlexiBFT,
+		F:         1,
+		Clients:   []ClientID{1},
+		BatchSize: 4,
+		Records:   1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	sess := cluster.Session(1)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Fresh keys above Records, one per shard.
+	keys := map[int]uint64{}
+	for k := uint64(1000); len(keys) < 2; k++ {
+		if _, ok := keys[cluster.ShardFor(k)]; !ok {
+			keys[cluster.ShardFor(k)] = k
+		}
+	}
+	writes := map[uint64][]byte{
+		keys[0]: []byte("txn-shard0"),
+		keys[1]: []byte("txn-shard1"),
+	}
+	if err := sess.MultiPut(ctx, writes); err != nil {
+		t.Fatal(err)
+	}
+	vals, _, err := sess.MultiGet(ctx, []uint64{keys[0], keys[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range writes {
+		rr := vals[k]
+		if !rr.Found || !bytes.Equal(rr.Value, want) || rr.BlockedBy != 0 {
+			t.Fatalf("key %d after MultiPut: %+v", k, rr)
+		}
+	}
+
+	// The typed-write form: an update of an existing (preloaded) key plus
+	// an upsert, in one transaction.
+	res, err := sess.Txn(ctx, []TxnWrite{
+		UpdateWrite(3, []byte("updated")),
+		InsertWrite(keys[0]+64, []byte("inserted")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed {
+		t.Fatalf("txn result: %+v", res)
+	}
+	got, err := DoOp(ctx, sess, Read(3))
+	if err != nil || string(got) != "updated" {
+		t.Fatalf("updated key reads %q, %v", got, err)
 	}
 }
