@@ -9,7 +9,7 @@
 //	benchrunner -list
 //
 // Experiments: fig1, fig5, fig6i, fig6ii, fig6iv, fig6vi, fig7, fig8, fig9,
-// shard, txn.
+// shard, txn, rebalance.
 package main
 
 import (
@@ -58,6 +58,8 @@ func experiments() []experiment {
 			func(s harness.Scale) string { return harness.FigShardScaling(shardCounts, s).String() }},
 		{"txn", "cross-shard 2PC transactions: attested commit point under co-location, FlexiBFT vs MinBFT",
 			func(s harness.Scale) string { return harness.FigTxnScaling(shardCounts, s) }},
+		{"rebalance", "live shard rebalancing: mid-workload range handoff with an attested placement flip, FlexiBFT vs MinBFT",
+			func(s harness.Scale) string { return harness.FigRebalance(shardCounts, s) }},
 	}
 }
 
@@ -82,13 +84,13 @@ func main() {
 	full := flag.Bool("full", false, "publication-scale windows (slower)")
 	scaleFlag := flag.Int("scale", 4, "window divisor for quick runs (ignored with -full; larger = shorter)")
 	mode := flag.String("mode", "shared", "shard-experiment simulation mode: 'shared' runs all groups in one kernel (the analytic 'merged' mode was removed)")
-	shards := flag.String("shards", "", "comma-separated shard counts for -exp shard / txn (defaults 1,2,4,8 / 4)")
+	shards := flag.String("shards", "", "comma-separated shard counts for -exp shard / txn / rebalance (defaults 1,2,4,8 / 4 / 4)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
 	if *list {
 		for _, e := range experiments() {
-			fmt.Printf("%-8s %s\n", e.name, e.desc)
+			fmt.Printf("%-10s %s\n", e.name, e.desc)
 		}
 		return
 	}
@@ -115,7 +117,7 @@ func main() {
 		}
 		ran = true
 		start := time.Now()
-		if e.name == "shard" || e.name == "txn" {
+		if e.name == "shard" || e.name == "txn" || e.name == "rebalance" {
 			fmt.Println("simulation mode: shared-kernel (all groups in one discrete-event kernel, deterministic seeds)")
 		}
 		fmt.Println(e.run(scale))

@@ -104,8 +104,57 @@
 // MinBFT-style host-sequenced decisions time-share each machine's attested
 // stream and degrade.
 //
-// Shard rebalancing and per-shard failover orchestration remain out of
-// scope for now; see ROADMAP.md.
+// # Elastic placement & rebalancing
+//
+// The keyspace is owned through an epoch-versioned PlacementMap: explicit
+// hash-range → group assignments under a monotonically increasing epoch,
+// with a deterministic serialization and digest. Epoch 1 is the uniform
+// split; every committed rebalance installs a successor map at epoch+1.
+// Sessions route by their cached epoch and, when a store answers that a
+// range moved (or is mid-handoff), transparently refresh and retry — an
+// epoch flip costs clients a latency blip, never an error.
+//
+// A live migration moves one hash range between groups while both keep
+// serving:
+//
+//	sess := cluster.Session(1)
+//	r := cluster.Placement().GroupRanges(0)[0]      // a range group 0 owns
+//	res, err := sess.Rebalance(ctx, flexitrust.KeyRange{Start: r.Start, End: r.Start + (r.End-r.Start)/2}, 1)
+//
+// The handoff reuses the transaction machinery end to end: prepare
+// freezes the range on the source (writes to it are refused until the
+// decision; reads keep serving) and exports its records — one consensus
+// operation whose deterministic result every replica computes — then
+// stages the export on the destination through the destination's own
+// consensus. The commit point is ONE attested counter access binding
+// H(handoff id ‖ new epoch ‖ new placement digest), published to the same
+// first-wins attestation log transactions use; the log additionally
+// enforces one placement decision per epoch, so two handoffs (or a
+// Byzantine orchestrator minting two conflicting maps) can never both
+// activate — no two groups can simultaneously own a range. On commit the
+// source deletes and RELEASES the range (late operations answer the
+// wrong-shard retry signal) and the destination claims it; an orchestrator
+// crash at any boundary resolves through the log exactly like an in-doubt
+// transaction (ShardSession.ResolveTxn), with zero lost and zero
+// doubly-owned keys either way.
+//
+// Decision history is compacted by a gossiped stability watermark — the
+// oldest transaction/handoff id any coordinator may still retry.
+// ShardSession.CompactTxnHistory prunes the attestation log and every
+// shard's per-id decision table below it; late retries of pruned ids are
+// refused deterministically instead of re-acted.
+//
+// The migration cost is measured mid-workload on the shared kernel
+// (`benchrunner -exp rebalance`, examples/rebalancing,
+// harness.FigRebalance): probe writers in the migrating range surface the
+// availability dip between freeze and flip. FlexiBFT keeps the window
+// short and recovers steady-state throughput right after the flip;
+// MinBFT's host-sequenced component stretches both the handoff's consensus
+// rounds and the flip access, so the range stays unavailable materially
+// longer.
+//
+// Per-shard failover orchestration remains open (ROADMAP.md); the epoch
+// bump is its natural substrate.
 //
 // The measurement side lives under internal/harness and is exposed through
 // cmd/benchrunner and the repository-root benchmarks.

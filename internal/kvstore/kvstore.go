@@ -32,6 +32,15 @@ const (
 	OpTxnCommit
 	OpTxnAbort
 	OpTxnRead
+
+	// Range-handoff operations (live shard rebalancing; see rangeops.go).
+	// Freeze is the source-side prepare (claim + deterministic export of a
+	// hash range), Install stages one export chunk on the destination; the
+	// decision rides the shared OpTxnCommit/OpTxnAbort id space. TxnCompact
+	// prunes decision history at or below the stability watermark.
+	OpRangeFreeze
+	OpRangeInstall
+	OpTxnCompact
 )
 
 // Op is one key-value operation. Encode/Decode give it a compact canonical
@@ -109,14 +118,22 @@ type Store struct {
 	// intents, the keys each in-flight transaction claimed on this shard,
 	// and the decisions already applied (kept so retried or late
 	// Prepare/Commit/Abort operations answer deterministically instead of
-	// acting twice). txnDecided grows by one entry per decided transaction
-	// for the life of the store — safe but unpruned; compacting it below a
-	// coordinator-supplied stability watermark (after which no retry can
-	// arrive) is tracked in ROADMAP.md, and Snapshot/Restore copy it in
-	// full until then.
+	// acting twice). txnDecided is pruned below txnStable, the
+	// coordinator-gossiped stability watermark: ids at or below it can no
+	// longer be retried by a correct coordinator, and any operation naming
+	// one answers TxnStale (OpTxnCompact advances the watermark).
 	intents    map[uint64]intent
 	txnKeys    map[uint64][]uint64
 	txnDecided map[uint64]bool
+	txnStable  uint64
+
+	// Range-handoff state (live rebalancing, see rangeops.go): outbound
+	// ranges frozen for export, inbound ranges staged for install, and the
+	// intervals this store has released to other groups (operations on
+	// released keys answer WrongShard deterministically).
+	outbound map[uint64]HashRange
+	inbound  map[uint64]*rangeStage
+	released []HashRange
 }
 
 // New creates a store whose initial state holds recordCount records with
@@ -129,6 +146,8 @@ func New(recordCount int) *Store {
 		intents:     make(map[uint64]intent),
 		txnKeys:     make(map[uint64][]uint64),
 		txnDecided:  make(map[uint64]bool),
+		outbound:    make(map[uint64]HashRange),
+		inbound:     make(map[uint64]*rangeStage),
 	}
 }
 
@@ -149,6 +168,25 @@ func (s *Store) exists(key uint64) bool {
 		return true
 	}
 	return key < s.recordCount
+}
+
+// writeRefused applies the deterministic write-admission checks shared by
+// the plain write operations: a released key answers WrongShard (the
+// caller's placement is stale), a key inside a frozen outbound range
+// answers RangeMigrating (retry after the handoff decides), and a key under
+// a transactional intent answers TxnConflict. ok is true when the write may
+// proceed.
+func (s *Store) writeRefused(key uint64) ([]byte, bool) {
+	if s.releasedKey(key) {
+		return []byte(WrongShard), false
+	}
+	if s.frozenOut(key) || s.stagedIn(key) {
+		return []byte(RangeMigrating), false
+	}
+	if _, held := s.intents[key]; held {
+		return []byte(TxnConflict), false
+	}
+	return nil, true
 }
 
 // defaultValue derives the initial value for a key.
@@ -178,14 +216,26 @@ func (s *Store) Apply(opBytes []byte) []byte {
 		return nil
 	case OpTxnPrepare, OpTxnCommit, OpTxnAbort, OpTxnRead:
 		return s.applyTxnOp(op)
+	case OpRangeFreeze:
+		return s.applyRangeFreeze(op.Value)
+	case OpRangeInstall:
+		return s.applyRangeInstall(op.Value)
+	case OpTxnCompact:
+		return s.applyTxnCompact(op.Value)
 	case OpRead:
+		if s.releasedKey(op.Key) {
+			return []byte(WrongShard)
+		}
+		if s.stagedIn(op.Key) {
+			return []byte(RangeMigrating)
+		}
 		if v, ok := s.get(op.Key); ok {
 			return v
 		}
 		return []byte("NOTFOUND")
 	case OpUpdate:
-		if _, held := s.intents[op.Key]; held {
-			return []byte(TxnConflict)
+		if res, ok := s.writeRefused(op.Key); !ok {
+			return res
 		}
 		if !s.exists(op.Key) {
 			return []byte("NOTFOUND")
@@ -193,12 +243,21 @@ func (s *Store) Apply(opBytes []byte) []byte {
 		s.records[op.Key] = append([]byte(nil), op.Value...)
 		return []byte("OK")
 	case OpInsert:
-		if _, held := s.intents[op.Key]; held {
-			return []byte(TxnConflict)
+		if res, ok := s.writeRefused(op.Key); !ok {
+			return res
 		}
 		s.records[op.Key] = append([]byte(nil), op.Value...)
 		return []byte("OK")
 	case OpScan:
+		// Ownership is checked on the start key only: scans are routed by
+		// it, and a scan straddling a placement boundary is already
+		// approximate by design.
+		if s.releasedKey(op.Key) {
+			return []byte(WrongShard)
+		}
+		if s.stagedIn(op.Key) {
+			return []byte(RangeMigrating)
+		}
 		// Deterministic short scan over the contiguous key space.
 		n := int(op.Count)
 		if n > 64 {
@@ -214,8 +273,8 @@ func (s *Store) Apply(opBytes []byte) []byte {
 		binary.BigEndian.PutUint32(out, uint32(found))
 		return out
 	case OpRMW:
-		if _, held := s.intents[op.Key]; held {
-			return []byte(TxnConflict)
+		if res, ok := s.writeRefused(op.Key); !ok {
+			return res
 		}
 		v, ok := s.get(op.Key)
 		if !ok {
@@ -259,11 +318,16 @@ type Snapshot struct {
 	intents     map[uint64]intent
 	txnKeys     map[uint64][]uint64
 	txnDecided  map[uint64]bool
+	txnStable   uint64
+	outbound    map[uint64]HashRange
+	inbound     map[uint64]*rangeStage
+	released    []HashRange
 }
 
-// Snapshot copies the current state, transactional intent tables included —
-// a speculative rollback that forgot an installed intent (or a decision)
-// would let replicas diverge on a later Prepare.
+// Snapshot copies the current state, transactional intent and range-handoff
+// tables included — a speculative rollback that forgot an installed intent,
+// a decision, or a frozen/released range would let replicas diverge on a
+// later Prepare or handoff retry.
 func (s *Store) Snapshot() *Snapshot {
 	cp := make(map[uint64][]byte, len(s.records))
 	for k, v := range s.records {
@@ -281,8 +345,31 @@ func (s *Store) Snapshot() *Snapshot {
 	for id, d := range s.txnDecided {
 		td[id] = d
 	}
+	ob := make(map[uint64]HashRange, len(s.outbound))
+	for id, r := range s.outbound {
+		ob[id] = r
+	}
+	ib := make(map[uint64]*rangeStage, len(s.inbound))
+	for id, st := range s.inbound {
+		ib[id] = st.clone()
+	}
 	return &Snapshot{recordCount: s.recordCount, records: cp, stateDigest: s.stateDigest,
-		applied: s.applied, intents: ins, txnKeys: tk, txnDecided: td}
+		applied: s.applied, intents: ins, txnKeys: tk, txnDecided: td, txnStable: s.txnStable,
+		outbound: ob, inbound: ib, released: append([]HashRange(nil), s.released...)}
+}
+
+// clone deep-copies a stage (staged values are copy-on-write once installed,
+// chunk/record indexes are not).
+func (st *rangeStage) clone() *rangeStage {
+	cp := &rangeStage{r: st.r, chunks: make(map[uint32]bool, len(st.chunks)),
+		recs: make(map[uint64][]byte, len(st.recs))}
+	for c := range st.chunks {
+		cp.chunks[c] = true
+	}
+	for k, v := range st.recs {
+		cp.recs[k] = v
+	}
+	return cp
 }
 
 // Restore rewinds the store to a snapshot (speculative execution rollback
@@ -307,4 +394,14 @@ func (s *Store) Restore(snap *Snapshot) {
 	for id, d := range snap.txnDecided {
 		s.txnDecided[id] = d
 	}
+	s.txnStable = snap.txnStable
+	s.outbound = make(map[uint64]HashRange, len(snap.outbound))
+	for id, r := range snap.outbound {
+		s.outbound[id] = r
+	}
+	s.inbound = make(map[uint64]*rangeStage, len(snap.inbound))
+	for id, st := range snap.inbound {
+		s.inbound[id] = st.clone()
+	}
+	s.released = append([]HashRange(nil), snap.released...)
 }

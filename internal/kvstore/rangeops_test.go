@@ -1,0 +1,384 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// keyInRange / keyOutsideRange find test keys by hash membership.
+func keyInRange(t *testing.T, r HashRange, from uint64) uint64 {
+	t.Helper()
+	for k := from; k < from+1_000_000; k++ {
+		if r.Contains(KeyHash(k)) {
+			return k
+		}
+	}
+	t.Fatal("no key found in range")
+	return 0
+}
+
+func keyOutsideRange(t *testing.T, r HashRange, from uint64) uint64 {
+	t.Helper()
+	for k := from; k < from+1_000_000; k++ {
+		if !r.Contains(KeyHash(k)) {
+			return k
+		}
+	}
+	t.Fatal("no key found outside range")
+	return 0
+}
+
+// lowerHalf is the migrated interval used throughout. The `apply` test
+// shorthand lives in txn_test.go.
+var lowerHalf = HashRange{Start: 0, End: 1<<63 - 1}
+
+// TestRangeFreezeExportInstallCommit walks the full handoff at the store
+// level: freeze exports exactly the in-range written records, writes to the
+// frozen range are refused while reads still serve, install stages on the
+// destination invisibly, and the commit decision flips ownership — source
+// deletes + releases (WrongShard), destination serves the records.
+func TestRangeFreezeExportInstallCommit(t *testing.T) {
+	src, dst := New(0), New(0)
+	in1 := keyInRange(t, lowerHalf, 100)
+	in2 := keyInRange(t, lowerHalf, in1+1)
+	out := keyOutsideRange(t, lowerHalf, 100)
+	for _, k := range []uint64{in1, in2, out} {
+		if res := apply(src, &Op{Code: OpInsert, Key: k, Value: []byte(fmt.Sprintf("v%d", k))}); res != "OK" {
+			t.Fatalf("insert %d: %s", k, res)
+		}
+	}
+
+	const hid = 7
+	raw := src.Apply(EncodeRangeFreeze(hid, lowerHalf).Encode())
+	recs, ok := DecodeRangeExport(raw)
+	if !ok {
+		t.Fatalf("freeze refused: %s", raw)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("export carries %d records, want 2 (in-range only)", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1].Key >= recs[i].Key {
+			t.Fatalf("export not sorted: %v", recs)
+		}
+	}
+	// Frozen: writes refused, reads still served.
+	if res := apply(src, &Op{Code: OpUpdate, Key: in1, Value: []byte("x")}); res != RangeMigrating {
+		t.Fatalf("write to frozen range: %s", res)
+	}
+	if res := apply(src, &Op{Code: OpRead, Key: in1}); res != fmt.Sprintf("v%d", in1) {
+		t.Fatalf("read of frozen range: %s", res)
+	}
+	// Out-of-range keys are untouched.
+	if res := apply(src, &Op{Code: OpUpdate, Key: out, Value: []byte("y")}); res != "OK" {
+		t.Fatalf("write outside range: %s", res)
+	}
+	// Idempotent re-freeze re-exports identically (the range is stable).
+	if again := src.Apply(EncodeRangeFreeze(hid, lowerHalf).Encode()); !bytes.Equal(again, raw) {
+		t.Fatal("re-freeze export differs")
+	}
+
+	// Install on the destination, chunked; staged records are invisible.
+	for i, chunk := range ChunkRangeRecords(recs) {
+		op, err := EncodeRangeInstall(hid, lowerHalf, uint32(i), chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := apply(dst, op); res != RangeStaged {
+			t.Fatalf("install chunk %d: %s", i, res)
+		}
+		// Chunk resends are idempotent.
+		if res := apply(dst, op); res != RangeStaged {
+			t.Fatalf("install resend: %s", res)
+		}
+	}
+	// The destination does not own the staged range yet: reads would expose
+	// pre-handoff state and writes would be clobbered by the commit's
+	// staged records, so both refuse until the decision lands.
+	if res := apply(dst, &Op{Code: OpRead, Key: in1}); res != RangeMigrating {
+		t.Fatalf("read of staged range before commit: %s", res)
+	}
+	if res := apply(dst, &Op{Code: OpInsert, Key: in1, Value: []byte("racer")}); res != RangeMigrating {
+		t.Fatalf("write into staged range before commit: %s", res)
+	}
+
+	// Commit on both sides.
+	if res := apply(src, EncodeTxnDecision(true, hid, 0)); res != TxnCommitted {
+		t.Fatalf("src commit: %s", res)
+	}
+	if res := apply(dst, EncodeTxnDecision(true, hid, 0)); res != TxnCommitted {
+		t.Fatalf("dst commit: %s", res)
+	}
+	for _, k := range []uint64{in1, in2} {
+		if res := apply(src, &Op{Code: OpRead, Key: k}); res != WrongShard {
+			t.Fatalf("src still serves moved key %d: %s", k, res)
+		}
+		if res := apply(src, &Op{Code: OpInsert, Key: k, Value: []byte("z")}); res != WrongShard {
+			t.Fatalf("src accepts write to released key %d: %s", k, res)
+		}
+		if res := apply(dst, &Op{Code: OpRead, Key: k}); res != fmt.Sprintf("v%d", k) {
+			t.Fatalf("dst missing moved key %d: %s", k, res)
+		}
+	}
+	if res := apply(src, &Op{Code: OpRead, Key: out}); res != "y" {
+		t.Fatalf("src lost out-of-range key: %s", res)
+	}
+	if len(src.ReleasedRanges()) != 1 {
+		t.Fatalf("released ranges: %v", src.ReleasedRanges())
+	}
+}
+
+// TestRangeAbortUnfreezes: an aborted handoff drops the freeze and the
+// staging whole — source serves and accepts writes again, destination shows
+// nothing, and the poisoned id refuses a late freeze.
+func TestRangeAbortUnfreezes(t *testing.T) {
+	src, dst := New(0), New(0)
+	in := keyInRange(t, lowerHalf, 100)
+	apply(src, &Op{Code: OpInsert, Key: in, Value: []byte("keep")})
+
+	const hid = 9
+	raw := src.Apply(EncodeRangeFreeze(hid, lowerHalf).Encode())
+	recs, ok := DecodeRangeExport(raw)
+	if !ok {
+		t.Fatalf("freeze refused: %s", raw)
+	}
+	op, err := EncodeRangeInstall(hid, lowerHalf, 0, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apply(dst, op)
+
+	if res := apply(src, EncodeTxnDecision(false, hid, 0)); res != TxnAborted {
+		t.Fatalf("src abort: %s", res)
+	}
+	if res := apply(dst, EncodeTxnDecision(false, hid, 0)); res != TxnAborted {
+		t.Fatalf("dst abort: %s", res)
+	}
+	if res := apply(src, &Op{Code: OpUpdate, Key: in, Value: []byte("alive")}); res != "OK" {
+		t.Fatalf("src write after abort: %s", res)
+	}
+	if res := apply(dst, &Op{Code: OpRead, Key: in}); res != "NOTFOUND" {
+		t.Fatalf("aborted staging leaked on dst: %s", res)
+	}
+	// The id is poisoned: a late freeze answers the abort.
+	if res := string(src.Apply(EncodeRangeFreeze(hid, lowerHalf).Encode())); res != TxnAborted {
+		t.Fatalf("late freeze after abort: %s", res)
+	}
+}
+
+// TestRangeFreezeRefusals: overlapping freezes conflict, a range already
+// given away answers WrongShard, and a range holding a txn intent conflicts.
+func TestRangeFreezeRefusals(t *testing.T) {
+	s := New(0)
+	if raw := s.Apply(EncodeRangeFreeze(1, lowerHalf).Encode()); raw[0] != 'S' {
+		t.Fatalf("first freeze: %s", raw)
+	}
+	overlap := HashRange{Start: lowerHalf.End / 2, End: lowerHalf.End + 10}
+	if res := string(s.Apply(EncodeRangeFreeze(2, overlap).Encode())); res != TxnConflict {
+		t.Fatalf("overlapping freeze: %s", res)
+	}
+	apply(s, EncodeTxnDecision(true, 1, 0)) // release lowerHalf
+	if res := string(s.Apply(EncodeRangeFreeze(3, lowerHalf).Encode())); res != WrongShard {
+		t.Fatalf("freeze of released range: %s", res)
+	}
+	// Intent in range blocks migration.
+	upper := HashRange{Start: lowerHalf.End + 1, End: ^uint64(0)}
+	k := keyInRange(t, upper, 100)
+	prep, err := EncodeTxnPrepare(50, []TxnWrite{{Key: k, Code: OpInsert, Value: []byte("i")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := apply(s, prep); res != TxnPrepared {
+		t.Fatalf("prepare: %s", res)
+	}
+	if res := string(s.Apply(EncodeRangeFreeze(4, upper).Encode())); res != TxnConflict {
+		t.Fatalf("freeze over pending intent: %s", res)
+	}
+	// And symmetrically: a prepare against a frozen range refuses.
+	apply(s, EncodeTxnDecision(false, 50, 0))
+	if raw := s.Apply(EncodeRangeFreeze(5, upper).Encode()); raw[0] != 'S' {
+		t.Fatalf("refreeze: %s", raw)
+	}
+	prep2, err := EncodeTxnPrepare(51, []TxnWrite{{Key: k, Code: OpInsert, Value: []byte("j")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := apply(s, prep2); res != RangeMigrating {
+		t.Fatalf("prepare against frozen range: %s", res)
+	}
+}
+
+// TestRangeReacquire: a store that released a range re-acquires it when a
+// later handoff installs+commits it back (released-interval subtraction).
+func TestRangeReacquire(t *testing.T) {
+	s := New(0)
+	k := keyInRange(t, lowerHalf, 100)
+	apply(s, &Op{Code: OpInsert, Key: k, Value: []byte("v1")})
+	s.Apply(EncodeRangeFreeze(1, lowerHalf).Encode())
+	apply(s, EncodeTxnDecision(true, 1, 0))
+	if res := apply(s, &Op{Code: OpRead, Key: k}); res != WrongShard {
+		t.Fatalf("released read: %s", res)
+	}
+	op, err := EncodeRangeInstall(2, lowerHalf, 0, []RangeRecord{{Key: k, Value: []byte("v2")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := apply(s, op); res != RangeStaged {
+		t.Fatalf("install back: %s", res)
+	}
+	if res := apply(s, EncodeTxnDecision(true, 2, 0)); res != TxnCommitted {
+		t.Fatalf("claim commit: %s", res)
+	}
+	if res := apply(s, &Op{Code: OpRead, Key: k}); res != "v2" {
+		t.Fatalf("re-acquired read: %s", res)
+	}
+	if n := len(s.ReleasedRanges()); n != 0 {
+		t.Fatalf("released set after re-acquire: %v", s.ReleasedRanges())
+	}
+}
+
+// TestRangeSnapshotRestoreCoversHandoffState: a speculative rollback across
+// freeze/install/release state must restore all of it, or replicas diverge
+// on the decision.
+func TestRangeSnapshotRestoreCoversHandoffState(t *testing.T) {
+	s := New(0)
+	k := keyInRange(t, lowerHalf, 100)
+	apply(s, &Op{Code: OpInsert, Key: k, Value: []byte("v")})
+	s.Apply(EncodeRangeFreeze(1, lowerHalf).Encode())
+	op, _ := EncodeRangeInstall(2, HashRange{Start: lowerHalf.End + 1, End: ^uint64(0)}, 0,
+		[]RangeRecord{{Key: keyOutsideRange(t, lowerHalf, 100), Value: []byte("staged")}})
+	apply(s, op)
+	snap := s.Snapshot()
+
+	// Diverge: decide both handoffs, then roll back.
+	apply(s, EncodeTxnDecision(true, 1, 0))
+	apply(s, EncodeTxnDecision(false, 2, 0))
+	s.Restore(snap)
+
+	// The freeze is live again (conflicting freeze refused), the staging
+	// too (commit applies it), and the decisions are forgotten.
+	if res := string(s.Apply(EncodeRangeFreeze(3, lowerHalf).Encode())); res != TxnConflict {
+		t.Fatalf("freeze state not restored: %s", res)
+	}
+	if res := apply(s, EncodeTxnDecision(false, 1, 0)); res != TxnAborted {
+		t.Fatalf("decision after restore: %s", res)
+	}
+	if res := apply(s, EncodeTxnDecision(true, 2, 0)); res != TxnCommitted {
+		t.Fatalf("staged claim after restore: %s", res)
+	}
+	if res := apply(s, &Op{Code: OpRead, Key: keyOutsideRange(t, lowerHalf, 100)}); res != "staged" {
+		t.Fatalf("staged records not restored: %s", res)
+	}
+}
+
+// TestTxnCompactPrunesAndRefuses: compaction prunes decided ids at or below
+// the watermark; late prepares, decisions, freezes and installs naming a
+// pruned id answer TxnStale without acting; ids above the watermark are
+// untouched.
+func TestTxnCompactPrunesAndRefuses(t *testing.T) {
+	s := New(0)
+	k := keyInRange(t, lowerHalf, 100)
+	prep, err := EncodeTxnPrepare(3, []TxnWrite{{Key: k, Code: OpInsert, Value: []byte("v")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apply(s, prep)
+	apply(s, EncodeTxnDecision(true, 3, 0))
+	if _, decided := s.TxnDecision(3); !decided {
+		t.Fatal("txn 3 not decided")
+	}
+	if res := apply(s, EncodeTxnCompact(3)); res != "OK" {
+		t.Fatalf("compact: %s", res)
+	}
+	if s.TxnStableWatermark() != 3 {
+		t.Fatalf("watermark %d", s.TxnStableWatermark())
+	}
+	if _, decided := s.TxnDecision(3); decided {
+		t.Fatal("txn 3 survived compaction")
+	}
+	// Late retries below the watermark: refused safely, nothing installed.
+	if res := apply(s, prep); res != TxnStale {
+		t.Fatalf("late prepare: %s", res)
+	}
+	if s.PendingIntents() != 0 {
+		t.Fatal("late prepare installed an intent")
+	}
+	if res := apply(s, EncodeTxnDecision(false, 3, 0)); res != TxnStale {
+		t.Fatalf("late decision: %s", res)
+	}
+	if res := apply(s, &Op{Code: OpRead, Key: k}); res != "v" {
+		t.Fatalf("late retry disturbed state: %s", res)
+	}
+	if res := string(s.Apply(EncodeRangeFreeze(2, lowerHalf).Encode())); res != TxnStale {
+		t.Fatalf("late freeze: %s", res)
+	}
+	op, _ := EncodeRangeInstall(1, lowerHalf, 0, nil)
+	if res := apply(s, op); res != TxnStale {
+		t.Fatalf("late install: %s", res)
+	}
+	// The watermark is monotone; a lower compact is a no-op.
+	apply(s, EncodeTxnCompact(1))
+	if s.TxnStableWatermark() != 3 {
+		t.Fatalf("watermark regressed to %d", s.TxnStableWatermark())
+	}
+	// Fresh ids above the watermark work normally.
+	prep4, _ := EncodeTxnPrepare(4, []TxnWrite{{Key: k, Code: OpUpdate, Value: []byte("w")}})
+	if res := apply(s, prep4); res != TxnPrepared {
+		t.Fatalf("fresh prepare: %s", res)
+	}
+}
+
+// TestIntervalSetArithmetic exercises addRange/subtractRange merging and
+// splitting, including the top-of-space edge.
+func TestIntervalSetArithmetic(t *testing.T) {
+	var rs []HashRange
+	rs = addRange(rs, HashRange{Start: 10, End: 20})
+	rs = addRange(rs, HashRange{Start: 30, End: 40})
+	rs = addRange(rs, HashRange{Start: 21, End: 29}) // adjacent both sides → one interval
+	if len(rs) != 1 || rs[0] != (HashRange{Start: 10, End: 40}) {
+		t.Fatalf("merge: %v", rs)
+	}
+	rs = addRange(rs, HashRange{Start: ^uint64(0) - 5, End: ^uint64(0)})
+	if len(rs) != 2 {
+		t.Fatalf("top add: %v", rs)
+	}
+	rs = subtractRange(rs, HashRange{Start: 15, End: 35})
+	if len(rs) != 3 || rs[0] != (HashRange{Start: 10, End: 14}) || rs[1] != (HashRange{Start: 36, End: 40}) {
+		t.Fatalf("split: %v", rs)
+	}
+	if rangesContain(rs, 20) || !rangesContain(rs, 12) || !rangesContain(rs, ^uint64(0)) {
+		t.Fatalf("membership: %v", rs)
+	}
+	rs = subtractRange(rs, HashRange{Start: 0, End: ^uint64(0)})
+	if len(rs) != 0 {
+		t.Fatalf("full subtract: %v", rs)
+	}
+}
+
+// TestChunkRangeRecordsBounds: chunking respects the payload budget and an
+// empty export still yields one chunk.
+func TestChunkRangeRecordsBounds(t *testing.T) {
+	if chunks := ChunkRangeRecords(nil); len(chunks) != 1 || len(chunks[0]) != 0 {
+		t.Fatalf("empty export chunks: %v", chunks)
+	}
+	big := make([]RangeRecord, 0, 200)
+	val := make([]byte, 1000)
+	for i := 0; i < 200; i++ {
+		big = append(big, RangeRecord{Key: uint64(i), Value: val})
+	}
+	chunks := ChunkRangeRecords(big)
+	if len(chunks) < 2 {
+		t.Fatalf("200KB export fit %d chunk(s)", len(chunks))
+	}
+	total := 0
+	for i, c := range chunks {
+		if _, err := EncodeRangeInstall(1, lowerHalf, uint32(i), c); err != nil {
+			t.Fatalf("chunk %d does not encode: %v", i, err)
+		}
+		total += len(c)
+	}
+	if total != len(big) {
+		t.Fatalf("chunking lost records: %d of %d", total, len(big))
+	}
+}

@@ -215,6 +215,11 @@ func (s *Store) applyPrepare(payload []byte) []byte {
 	if err != nil || txid == 0 || len(writes) == 0 {
 		return []byte("ERR")
 	}
+	// A retried prepare below the stability watermark is refused safely:
+	// its decision history is compacted, so it must not be re-acted.
+	if txid <= s.txnStable {
+		return []byte(TxnStale)
+	}
 	// A decided transaction answers with its decision: a retried Prepare
 	// after commit must not reinstall intents, and a Prepare arriving after
 	// a recovery abort must be refused (the abort poisoned the id).
@@ -226,6 +231,12 @@ func (s *Store) applyPrepare(payload []byte) []byte {
 	}
 	// Validate every write first.
 	for _, w := range writes {
+		if s.releasedKey(w.Key) {
+			return []byte(WrongShard)
+		}
+		if s.frozenOut(w.Key) || s.stagedIn(w.Key) {
+			return []byte(RangeMigrating)
+		}
 		if in, ok := s.intents[w.Key]; ok && in.txid != txid {
 			return []byte(TxnConflict)
 		}
@@ -254,6 +265,12 @@ func (s *Store) applyDecision(txid uint64, commit bool) []byte {
 	if txid == 0 {
 		return []byte("ERR")
 	}
+	// A decision at or below the stability watermark was applied and pruned
+	// already (the watermark only advances past fully driven ids); answer
+	// the retry without acting.
+	if txid <= s.txnStable {
+		return []byte(TxnStale)
+	}
 	if d, ok := s.txnDecided[txid]; ok {
 		if d != commit {
 			// The attested commit point makes this unreachable for correct
@@ -275,6 +292,7 @@ func (s *Store) applyDecision(txid uint64, commit bool) []byte {
 		delete(s.intents, k)
 	}
 	delete(s.txnKeys, txid)
+	s.settleRanges(txid, commit)
 	s.txnDecided[txid] = commit
 	if commit {
 		return []byte(TxnCommitted)
@@ -283,8 +301,17 @@ func (s *Store) applyDecision(txid uint64, commit bool) []byte {
 }
 
 // applyTxnRead serves the intent-aware read: the committed value, prefixed
-// with the blocking transaction id when an intent is pending.
+// with the blocking transaction id when an intent is pending. A released
+// key answers WrongShard (re-route through a newer placement epoch); a key
+// merely frozen for an outbound handoff still reads — the source owns the
+// data until the flip decision lands.
 func (s *Store) applyTxnRead(key uint64) []byte {
+	if s.releasedKey(key) {
+		return []byte(WrongShard)
+	}
+	if s.stagedIn(key) {
+		return []byte(RangeMigrating)
+	}
 	var out []byte
 	if in, ok := s.intents[key]; ok {
 		out = append(out, txnReadIntent)

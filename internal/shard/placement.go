@@ -1,0 +1,285 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"flexitrust/internal/crypto"
+	"flexitrust/internal/kvstore"
+	"flexitrust/internal/types"
+)
+
+// Range is a contiguous interval of the 64-bit key-HASH space, inclusive on
+// both ends. Placement is expressed over kvstore.KeyHash — the one hash
+// every partitioning layer agrees on — not over raw keys, so dense integer
+// keyspaces spread uniformly across range assignments.
+type Range = kvstore.HashRange
+
+// Assignment maps one hash range to the consensus group that owns it.
+type Assignment struct {
+	Range
+	Group int
+}
+
+// PlacementMap is the epoch-versioned ownership map of the keyspace:
+// explicit hash-range → group assignments under a monotonically increasing
+// epoch number, with a deterministic serialization and digest. It replaces
+// the fixed `hash mod S` router: because assignments are explicit data
+// rather than a formula, a range can be handed from one group to another by
+// publishing a successor map at epoch+1 — the substrate of live
+// rebalancing (see rebalance.go). A PlacementMap is immutable; mutation
+// returns a successor.
+type PlacementMap struct {
+	epoch  uint64
+	groups int
+	// assignments are sorted by Start, contiguous, and cover the whole
+	// hash space: assignments[0].Start == 0, each next Start is the
+	// previous End+1, and the last End is ^uint64(0).
+	assignments []Assignment
+}
+
+// UniformPlacement builds the epoch-1 map splitting the hash space into
+// `groups` equal contiguous ranges, range i owned by group i — the seed
+// placement NewCluster starts from.
+func UniformPlacement(groups int) *PlacementMap {
+	if groups < 1 {
+		groups = 1
+	}
+	pm := &PlacementMap{epoch: 1, groups: groups}
+	if groups == 1 {
+		pm.assignments = []Assignment{{Range: Range{Start: 0, End: ^uint64(0)}, Group: 0}}
+		return pm
+	}
+	step := ^uint64(0)/uint64(groups) + 1
+	for g := 0; g < groups; g++ {
+		start := uint64(g) * step
+		end := ^uint64(0)
+		if g < groups-1 {
+			end = start + step - 1
+		}
+		pm.assignments = append(pm.assignments, Assignment{Range: Range{Start: start, End: end}, Group: g})
+	}
+	return pm
+}
+
+// Epoch returns the map's version. Epochs only ever increase; a cluster
+// rejects installing a map whose epoch does not exceed the current one.
+func (pm *PlacementMap) Epoch() uint64 { return pm.epoch }
+
+// Groups returns the number of consensus groups the map routes across.
+func (pm *PlacementMap) Groups() int { return pm.groups }
+
+// Assignments returns a copy of the ordered range assignments.
+func (pm *PlacementMap) Assignments() []Assignment {
+	return append([]Assignment(nil), pm.assignments...)
+}
+
+// ShardFor maps a key to the group owning its hash.
+func (pm *PlacementMap) ShardFor(key uint64) int {
+	h := kvstore.KeyHash(key)
+	i := sort.Search(len(pm.assignments), func(i int) bool { return pm.assignments[i].End >= h })
+	return pm.assignments[i].Group
+}
+
+// OwnerOf returns the single group owning every hash of r, or an error when
+// r is empty/inverted or spans an ownership boundary (a handoff moves a
+// range out of exactly one source group).
+func (pm *PlacementMap) OwnerOf(r Range) (int, error) {
+	if r.Start > r.End {
+		return 0, fmt.Errorf("shard: empty hash range [%d, %d]", r.Start, r.End)
+	}
+	owner := -1
+	for _, a := range pm.assignments {
+		if !a.Overlaps(r) {
+			continue
+		}
+		if owner >= 0 && owner != a.Group {
+			return 0, fmt.Errorf("shard: range [%#x, %#x] spans groups %d and %d", r.Start, r.End, owner, a.Group)
+		}
+		owner = a.Group
+	}
+	return owner, nil
+}
+
+// GroupRanges returns the ranges currently assigned to group g, in hash
+// order.
+func (pm *PlacementMap) GroupRanges(g int) []Range {
+	var out []Range
+	for _, a := range pm.assignments {
+		if a.Group == g {
+			out = append(out, a.Range)
+		}
+	}
+	return out
+}
+
+// WithReassigned returns the successor map (epoch+1) in which the hash
+// range r is owned by group dst. The range must be non-empty, lie within a
+// single current owner, and dst must be a valid group; the result is
+// canonical (adjacent same-group ranges merged), so two parties deriving
+// the same reassignment compute the same digest.
+func (pm *PlacementMap) WithReassigned(r Range, dst int) (*PlacementMap, error) {
+	if r.Start > r.End {
+		return nil, fmt.Errorf("shard: empty hash range [%d, %d]", r.Start, r.End)
+	}
+	if dst < 0 || dst >= pm.groups {
+		return nil, fmt.Errorf("shard: destination group %d out of range (have %d groups)", dst, pm.groups)
+	}
+	src, err := pm.OwnerOf(r)
+	if err != nil {
+		return nil, err
+	}
+	if src == dst {
+		return nil, fmt.Errorf("shard: range [%#x, %#x] already owned by group %d", r.Start, r.End, dst)
+	}
+	var split []Assignment
+	for _, a := range pm.assignments {
+		if !a.Overlaps(r) {
+			split = append(split, a)
+			continue
+		}
+		if a.Start < r.Start {
+			split = append(split, Assignment{Range: Range{Start: a.Start, End: r.Start - 1}, Group: a.Group})
+		}
+		lo, hi := a.Start, a.End
+		if r.Start > lo {
+			lo = r.Start
+		}
+		if r.End < hi {
+			hi = r.End
+		}
+		split = append(split, Assignment{Range: Range{Start: lo, End: hi}, Group: dst})
+		if a.End > r.End {
+			split = append(split, Assignment{Range: Range{Start: r.End + 1, End: a.End}, Group: a.Group})
+		}
+	}
+	sort.Slice(split, func(i, j int) bool { return split[i].Start < split[j].Start })
+	// Canonicalize: merge adjacent ranges with the same owner.
+	merged := split[:1]
+	for _, a := range split[1:] {
+		last := &merged[len(merged)-1]
+		if a.Group == last.Group {
+			last.End = a.End
+			continue
+		}
+		merged = append(merged, a)
+	}
+	next := &PlacementMap{epoch: pm.epoch + 1, groups: pm.groups,
+		assignments: append([]Assignment(nil), merged...)}
+	if err := next.validate(); err != nil {
+		return nil, err
+	}
+	return next, nil
+}
+
+// Partition groups keys by owning shard, preserving each shard's input
+// order. Iterate the result with SortedShards so the request issue order is
+// deterministic.
+func (pm *PlacementMap) Partition(keys []uint64) map[int][]uint64 {
+	parts := make(map[int][]uint64)
+	for _, k := range keys {
+		s := pm.ShardFor(k)
+		parts[s] = append(parts[s], k)
+	}
+	return parts
+}
+
+// SortedShards returns a partition's shard indices in ascending order —
+// map iteration order is nondeterministic, and request issue order (and
+// with it simulated timelines) must be reproducible across runs.
+func SortedShards(parts map[int][]uint64) []int {
+	out := make([]int, 0, len(parts))
+	for s := range parts {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// validate checks the structural invariants.
+func (pm *PlacementMap) validate() error {
+	if pm.epoch == 0 {
+		return fmt.Errorf("shard: placement epoch 0 is reserved")
+	}
+	if pm.groups < 1 {
+		return fmt.Errorf("shard: placement needs at least one group")
+	}
+	if len(pm.assignments) == 0 {
+		return fmt.Errorf("shard: placement has no assignments")
+	}
+	if pm.assignments[0].Start != 0 {
+		return fmt.Errorf("shard: placement does not start at hash 0")
+	}
+	if pm.assignments[len(pm.assignments)-1].End != ^uint64(0) {
+		return fmt.Errorf("shard: placement does not reach the top of the hash space")
+	}
+	for i, a := range pm.assignments {
+		if a.Start > a.End {
+			return fmt.Errorf("shard: assignment %d is empty", i)
+		}
+		if a.Group < 0 || a.Group >= pm.groups {
+			return fmt.Errorf("shard: assignment %d names group %d of %d", i, a.Group, pm.groups)
+		}
+		if i > 0 && a.Start != pm.assignments[i-1].End+1 {
+			return fmt.Errorf("shard: assignments %d..%d leave a gap or overlap", i-1, i)
+		}
+	}
+	return nil
+}
+
+// placementMagic versions the wire form.
+const placementMagic = "FTPL1"
+
+// Encode serializes the map deterministically: magic, epoch, group count,
+// then the ordered assignments. Equal maps encode to equal bytes, so the
+// digest is stable across processes and releases.
+func (pm *PlacementMap) Encode() []byte {
+	buf := make([]byte, 0, len(placementMagic)+20+20*len(pm.assignments))
+	buf = append(buf, placementMagic...)
+	buf = binary.BigEndian.AppendUint64(buf, pm.epoch)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(pm.groups))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(pm.assignments)))
+	for _, a := range pm.assignments {
+		buf = binary.BigEndian.AppendUint64(buf, a.Start)
+		buf = binary.BigEndian.AppendUint64(buf, a.End)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(a.Group))
+	}
+	return buf
+}
+
+// DecodePlacement parses and validates an encoded map.
+func DecodePlacement(b []byte) (*PlacementMap, error) {
+	hdr := len(placementMagic)
+	if len(b) < hdr+16 || string(b[:hdr]) != placementMagic {
+		return nil, fmt.Errorf("shard: bad placement encoding header")
+	}
+	pm := &PlacementMap{
+		epoch:  binary.BigEndian.Uint64(b[hdr : hdr+8]),
+		groups: int(binary.BigEndian.Uint32(b[hdr+8 : hdr+12])),
+	}
+	n := int(binary.BigEndian.Uint32(b[hdr+12 : hdr+16]))
+	rest := b[hdr+16:]
+	if len(rest) != 20*n {
+		return nil, fmt.Errorf("shard: placement encoding length mismatch")
+	}
+	for i := 0; i < n; i++ {
+		pm.assignments = append(pm.assignments, Assignment{
+			Range: Range{Start: binary.BigEndian.Uint64(rest[0:8]), End: binary.BigEndian.Uint64(rest[8:16])},
+			Group: int(binary.BigEndian.Uint32(rest[16:20])),
+		})
+		rest = rest[20:]
+	}
+	if err := pm.validate(); err != nil {
+		return nil, err
+	}
+	return pm, nil
+}
+
+// Digest returns the map's identity: the hash of its canonical encoding.
+// The rebalance commit point binds it inside the attested placement
+// decision, so a published epoch flip commits to exactly one ownership
+// assignment.
+func (pm *PlacementMap) Digest() types.Digest {
+	return crypto.HashConcat(pm.Encode())
+}

@@ -1,0 +1,234 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestPlacementDeterministic checks key→shard assignment is a pure function
+// of the map: two uniform maps agree on every key, in range.
+func TestPlacementDeterministic(t *testing.T) {
+	a, b := UniformPlacement(8), UniformPlacement(8)
+	for key := uint64(0); key < 10_000; key++ {
+		sa, sb := a.ShardFor(key), b.ShardFor(key)
+		if sa != sb {
+			t.Fatalf("key %d: assignments differ (%d vs %d)", key, sa, sb)
+		}
+		if sa < 0 || sa >= 8 {
+			t.Fatalf("key %d: shard %d out of range", key, sa)
+		}
+	}
+}
+
+// TestPlacementUniformDistribution bounds the chi-square statistic of the
+// uniform map's assignment of a dense integer keyspace (the YCSB shape) —
+// equal hash ranges over KeyHash must spread keys evenly.
+func TestPlacementUniformDistribution(t *testing.T) {
+	const keys = 100_000
+	for _, shards := range []int{2, 3, 4, 8, 16} {
+		pm := UniformPlacement(shards)
+		counts := make([]int, shards)
+		for key := uint64(0); key < keys; key++ {
+			counts[pm.ShardFor(key)]++
+		}
+		expected := float64(keys) / float64(shards)
+		chi2 := 0.0
+		for _, c := range counts {
+			d := float64(c) - expected
+			chi2 += d * d / expected
+		}
+		// 3(S-1)+3 is several times the chi-square mean (S-1), with flat
+		// slack so low-dof configurations (S=2 has one degree of freedom)
+		// don't flag statistically unremarkable deviations; any genuinely
+		// skewed split still fails by an order of magnitude. Deterministic,
+		// so this never flakes.
+		if bound := 3*float64(shards-1) + 3; chi2 > bound {
+			t.Fatalf("S=%d: chi2=%.1f exceeds %.1f (counts %v)", shards, chi2, bound, counts)
+		}
+		t.Logf("S=%-3d chi2=%.2f", shards, chi2)
+	}
+}
+
+// TestPlacementSingleShard: the degenerate one-group map owns the whole
+// space at every key, and reassignment out of it is impossible.
+func TestPlacementSingleShard(t *testing.T) {
+	pm := UniformPlacement(1)
+	if pm.Groups() != 1 || pm.Epoch() != 1 {
+		t.Fatalf("unexpected map: groups=%d epoch=%d", pm.Groups(), pm.Epoch())
+	}
+	for _, key := range []uint64{0, 1, 42, ^uint64(0)} {
+		if s := pm.ShardFor(key); s != 0 {
+			t.Fatalf("key %d on shard %d", key, s)
+		}
+	}
+	rs := pm.GroupRanges(0)
+	if len(rs) != 1 || rs[0].Start != 0 || rs[0].End != ^uint64(0) {
+		t.Fatalf("group 0 ranges = %v", rs)
+	}
+	if _, err := pm.WithReassigned(rs[0], 1); err == nil {
+		t.Fatal("reassignment to a nonexistent group accepted")
+	}
+	if _, err := pm.WithReassigned(rs[0], 0); err == nil {
+		t.Fatal("no-op reassignment to the same owner accepted")
+	}
+}
+
+// TestPlacementEmptyRangeRejected: an inverted (empty) range can neither be
+// reassigned nor owned.
+func TestPlacementEmptyRangeRejected(t *testing.T) {
+	pm := UniformPlacement(4)
+	empty := Range{Start: 10, End: 9}
+	if _, err := pm.WithReassigned(empty, 1); err == nil {
+		t.Fatal("empty range reassignment accepted")
+	}
+	if _, err := pm.OwnerOf(empty); err == nil {
+		t.Fatal("empty range ownership resolved")
+	}
+}
+
+// TestPlacementReassignSpanningOwnersRejected: a range crossing an
+// ownership boundary has no single source and cannot be handed off whole.
+func TestPlacementReassignSpanningOwnersRejected(t *testing.T) {
+	pm := UniformPlacement(4)
+	r0 := pm.GroupRanges(0)[0]
+	spanning := Range{Start: r0.End, End: r0.End + 1}
+	if _, err := pm.OwnerOf(spanning); err == nil {
+		t.Fatal("range spanning two owners resolved to one")
+	}
+	if _, err := pm.WithReassigned(spanning, 3); err == nil {
+		t.Fatal("spanning reassignment accepted")
+	}
+}
+
+// TestPlacementReassignment: a sub-range handoff bumps the epoch, moves
+// exactly the sub-range, keeps the map canonical (contiguous, covering,
+// merged), and leaves the original untouched (immutability).
+func TestPlacementReassignment(t *testing.T) {
+	pm := UniformPlacement(4)
+	r0 := pm.GroupRanges(0)[0]
+	sub := Range{Start: r0.Start, End: r0.Start + (r0.End-r0.Start)/2}
+	next, err := pm.WithReassigned(sub, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Epoch() != pm.Epoch()+1 {
+		t.Fatalf("epoch %d, want %d", next.Epoch(), pm.Epoch()+1)
+	}
+	if err := next.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if owner, err := next.OwnerOf(sub); err != nil || owner != 2 {
+		t.Fatalf("sub-range owner = %d, %v", owner, err)
+	}
+	rest := Range{Start: sub.End + 1, End: r0.End}
+	if owner, err := next.OwnerOf(rest); err != nil || owner != 0 {
+		t.Fatalf("remainder owner = %d, %v", owner, err)
+	}
+	if owner, err := pm.OwnerOf(sub); err != nil || owner != 0 {
+		t.Fatalf("original map mutated: owner = %d, %v", owner, err)
+	}
+	// Round-trip: moving it back merges the split away and the assignment
+	// structure returns to the uniform shape (epoch keeps climbing).
+	back, err := next.WithReassigned(sub, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Epoch() != pm.Epoch()+2 {
+		t.Fatalf("epoch %d after round trip", back.Epoch())
+	}
+	if len(back.Assignments()) != len(pm.Assignments()) {
+		t.Fatalf("round trip left %d assignments, want %d (canonical merge failed)",
+			len(back.Assignments()), len(pm.Assignments()))
+	}
+}
+
+// TestPlacementSerializationRoundTrip: Encode/Decode are inverse, the
+// digest is a pure function of content, and the epoch-1 uniform maps have
+// stable digests across runs and releases (a digest change would silently
+// split routing between versions, so it must be a loud test failure).
+func TestPlacementSerializationRoundTrip(t *testing.T) {
+	pm := UniformPlacement(4)
+	sub := Range{Start: 0, End: 1<<61 - 1}
+	next, err := pm.WithReassigned(sub, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*PlacementMap{UniformPlacement(1), pm, next} {
+		dec, err := DecodePlacement(m.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Epoch() != m.Epoch() || dec.Groups() != m.Groups() {
+			t.Fatalf("round trip changed header: %d/%d vs %d/%d", dec.Epoch(), dec.Groups(), m.Epoch(), m.Groups())
+		}
+		if fmt.Sprintf("%v", dec.Assignments()) != fmt.Sprintf("%v", m.Assignments()) {
+			t.Fatalf("round trip changed assignments")
+		}
+		if dec.Digest() != m.Digest() {
+			t.Fatal("round trip changed digest")
+		}
+	}
+	// Digest stability: equal content ⇒ equal digest, different content ⇒
+	// different digest.
+	if UniformPlacement(4).Digest() != pm.Digest() {
+		t.Fatal("equal maps digest differently")
+	}
+	if next.Digest() == pm.Digest() {
+		t.Fatal("different maps share a digest")
+	}
+	// Golden digest: pins the canonical encoding. If this fails you changed
+	// the wire form — bump placementMagic and treat it as a migration.
+	const golden = "132338a24f043ec0621c5b651bf597e59fdb7a2323ff3e15f0522f528a4aec87"
+	d4 := UniformPlacement(4).Digest()
+	if got := fmt.Sprintf("%x", d4[:]); got != golden {
+		t.Fatalf("UniformPlacement(4) digest %s, golden %s", got, golden)
+	}
+	// Corrupt encodings are rejected.
+	if _, err := DecodePlacement([]byte("junk")); err == nil {
+		t.Fatal("junk decoded")
+	}
+	enc := pm.Encode()
+	if _, err := DecodePlacement(enc[:len(enc)-3]); err == nil {
+		t.Fatal("truncated encoding decoded")
+	}
+}
+
+// TestPlacementPartitionSorted: Partition covers all keys on their owning
+// shards preserving input order, and SortedShards iterates deterministically.
+func TestPlacementPartitionSorted(t *testing.T) {
+	pm := UniformPlacement(4)
+	keys := []uint64{10, 11, 12, 13, 14, 15, 16, 17, 18, 19}
+	parts := pm.Partition(keys)
+	total := 0
+	for s, ks := range parts {
+		total += len(ks)
+		for _, k := range ks {
+			if pm.ShardFor(k) != s {
+				t.Fatalf("key %d placed on shard %d, ShardFor says %d", k, s, pm.ShardFor(k))
+			}
+		}
+		// Per-shard order preservation: a subsequence of the input.
+		idx := 0
+		for _, k := range ks {
+			for idx < len(keys) && keys[idx] != k {
+				idx++
+			}
+			if idx == len(keys) {
+				t.Fatalf("shard %d list %v is not an ordered subsequence of input", s, ks)
+			}
+			idx++
+		}
+	}
+	if total != len(keys) {
+		t.Fatalf("partition covers %d of %d keys", total, len(keys))
+	}
+	sorted := SortedShards(parts)
+	if len(sorted) != len(parts) {
+		t.Fatalf("SortedShards returned %d of %d shards", len(sorted), len(parts))
+	}
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1] >= sorted[i] {
+			t.Fatalf("shards not ascending: %v", sorted)
+		}
+	}
+}

@@ -1,0 +1,391 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"flexitrust/internal/kvstore"
+	"flexitrust/internal/txn"
+)
+
+// rebFixture boots a 2-shard cluster and computes a migratable sub-range of
+// group `src`'s keyspace plus keys inside it.
+type rebFixture struct {
+	c    *Cluster
+	sess *Session
+	r    Range
+	keys []uint64 // keys above the preloaded records whose hash ∈ r
+}
+
+func newRebFixture(t *testing.T, src int, keyCount int) *rebFixture {
+	t.Helper()
+	c, err := NewCluster(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	f := &rebFixture{c: c, sess: c.Session(1)}
+	// Migrate the lower half of the source group's first range.
+	full := c.Placement().GroupRanges(src)[0]
+	f.r = Range{Start: full.Start, End: full.Start + (full.End-full.Start)/2}
+	for k := uint64(10_000); len(f.keys) < keyCount; k++ {
+		if f.r.Contains(kvstore.KeyHash(k)) {
+			f.keys = append(f.keys, k)
+		}
+	}
+	return f
+}
+
+// ownersOf submits a raw read for key to both groups and returns which
+// groups serve a committed value for it. A group answering WrongShard has
+// released the range; one answering NOTFOUND holds no committed value (the
+// store-level ownership fence is the released set — full-map routing is the
+// session's job). "Doubly owned" means two groups would serve the key.
+func (f *rebFixture) ownersOf(ctx context.Context, key uint64) ([]int, map[int][]byte) {
+	var owners []int
+	vals := make(map[int][]byte)
+	for g := 0; g < f.c.Shards(); g++ {
+		res, err := f.sess.submitShard(ctx, g, &kvstore.Op{Code: kvstore.OpRead, Key: key})
+		if err != nil {
+			continue
+		}
+		if string(res) != kvstore.WrongShard && string(res) != "NOTFOUND" {
+			owners = append(owners, g)
+			vals[g] = res
+		}
+	}
+	return owners, vals
+}
+
+// TestRebalanceMovesRangeLive is the happy path on real consensus groups: a
+// range with committed keys migrates from group 0 to group 1 mid-session;
+// the session transparently re-routes (old epoch retry-then-succeed), every
+// key keeps its value, exactly one group owns each key afterwards, and the
+// placement change cost exactly one attested counter access.
+func TestRebalanceMovesRangeLive(t *testing.T) {
+	f := newRebFixture(t, 0, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	for i, k := range f.keys {
+		if err := f.sess.Insert(ctx, k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e := f.sess.Epoch(); e != 1 {
+		t.Fatalf("fresh session at epoch %d, want 1", e)
+	}
+	before := f.c.Arbiter().Accesses()
+	res, err := f.sess.Rebalance(ctx, f.r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed || res.From != 0 || res.To != 1 || res.Epoch != 2 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	if res.Moved < len(f.keys) {
+		t.Fatalf("moved %d records, wrote %d in range", res.Moved, len(f.keys))
+	}
+	if got := f.c.Arbiter().Accesses() - before; got != 1 {
+		t.Fatalf("placement change cost %d attested accesses, want exactly 1", got)
+	}
+	if e := f.c.Placement().Epoch(); e != 2 {
+		t.Fatalf("cluster epoch %d after commit, want 2", e)
+	}
+
+	// Every migrated key: exactly one owner (the destination), value intact.
+	for i, k := range f.keys {
+		owners, vals := f.ownersOf(ctx, k)
+		if len(owners) != 1 || owners[0] != 1 {
+			t.Fatalf("key %d owned by groups %v, want exactly [1]", k, owners)
+		}
+		if want := []byte(fmt.Sprintf("v%d", i)); !bytes.Equal(vals[1], want) {
+			t.Fatalf("key %d = %q after migration, want %q", k, vals[1], want)
+		}
+		// The session (which cached epoch 1 before the flip) re-routes
+		// transparently.
+		got, err := f.sess.Get(ctx, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := []byte(fmt.Sprintf("v%d", i)); !bytes.Equal(got, want) {
+			t.Fatalf("session read of key %d = %q, want %q", k, got, want)
+		}
+	}
+	if e := f.sess.Epoch(); e != 2 {
+		t.Fatalf("session still at epoch %d after re-route, want 2", e)
+	}
+	// Writes through the new epoch land on the destination.
+	if err := f.sess.Put(ctx, f.keys[0], []byte("post-flip")); err != nil {
+		t.Fatal(err)
+	}
+	owners, _ := f.ownersOf(ctx, f.keys[0])
+	if len(owners) != 1 || owners[0] != 1 {
+		t.Fatalf("post-flip write landed on groups %v", owners)
+	}
+}
+
+// TestRebalanceStaleSessionRetries: a session that cached the old epoch
+// BEFORE another session's rebalance transparently retries through the
+// updated map — both reads and writes — and ends on the new epoch.
+func TestRebalanceStaleSessionRetries(t *testing.T) {
+	f := newRebFixture(t, 0, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	stale := f.c.Session(2) // a second identity; caches epoch 1 now
+	if err := stale.Insert(ctx, f.keys[0], []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.sess.Rebalance(ctx, f.r, 1); err != nil {
+		t.Fatal(err)
+	}
+	// The stale session still routes by epoch 1: its first submission hits
+	// the source, is answered WrongShard, and must retry to success.
+	if got, err := stale.Get(ctx, f.keys[0]); err != nil || !bytes.Equal(got, []byte("old")) {
+		t.Fatalf("stale session read = %q, %v", got, err)
+	}
+	if err := stale.Put(ctx, f.keys[0], []byte("new")); err != nil {
+		t.Fatalf("stale session write: %v", err)
+	}
+	if e := stale.Epoch(); e != 2 {
+		t.Fatalf("stale session still at epoch %d, want 2", e)
+	}
+	vals, _, err := stale.MultiGet(ctx, f.keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(vals[f.keys[0]].Value, []byte("new")) {
+		t.Fatalf("multi-get after migration = %+v", vals[f.keys[0]])
+	}
+}
+
+// TestRebalanceAtomicityUnderCrash injects an orchestrator crash at every
+// handoff phase boundary (mirroring TestTxnAtomicity) and checks after
+// recovery that ownership is all-or-nothing: the range is either fully on
+// the destination (decision published before the crash) or fully back on
+// the source (recovery aborts), with zero lost and zero doubly-owned keys
+// either way, and stale sessions keep routing correctly.
+func TestRebalanceAtomicityUnderCrash(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 240*time.Second)
+	defer cancel()
+
+	cases := []struct {
+		name       string
+		opts       RebalanceOptions
+		wantCommit bool
+	}{
+		{"crash-after-prepare", RebalanceOptions{CrashAt: txn.PhaseVoted}, false},
+		{"crash-after-attest", RebalanceOptions{CrashAt: txn.PhaseAttested}, false},
+		{"crash-after-publish", RebalanceOptions{CrashAt: txn.PhasePublished}, true},
+		{"crash-mid-drive-src-only", RebalanceOptions{DriveOnly: map[int]bool{0: true}}, true},
+		{"crash-mid-drive-dst-only", RebalanceOptions{DriveOnly: map[int]bool{1: true}}, true},
+		{"no-crash", RebalanceOptions{}, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			f := newRebFixture(t, 0, 2)
+			for i, k := range f.keys {
+				if err := f.sess.Insert(ctx, k, []byte(fmt.Sprintf("a%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			res, err := f.sess.RebalanceWithOptions(ctx, f.r, 1, tc.opts)
+			crashed := tc.opts.CrashAt != txn.PhaseNone || tc.opts.DriveOnly != nil
+			if crashed {
+				if tc.opts.CrashAt != txn.PhaseNone && !errors.Is(err, txn.ErrCoordinatorCrashed) {
+					t.Fatalf("err = %v, want coordinator crash", err)
+				}
+				// In-doubt resolution settles the handoff through the log.
+				d, rerr := f.sess.ResolveTxn(ctx, res.HandoffID)
+				if rerr != nil {
+					t.Fatal(rerr)
+				}
+				if d.Commit != tc.wantCommit {
+					t.Fatalf("recovery decided commit=%v, want %v", d.Commit, tc.wantCommit)
+				}
+			} else if err != nil {
+				t.Fatal(err)
+			}
+
+			wantEpoch := uint64(1)
+			wantOwner := 0
+			if tc.wantCommit {
+				wantEpoch, wantOwner = 2, 1
+			}
+			if e := f.c.Placement().Epoch(); e != wantEpoch {
+				t.Fatalf("cluster epoch %d after recovery, want %d", e, wantEpoch)
+			}
+			for i, k := range f.keys {
+				owners, vals := f.ownersOf(ctx, k)
+				if len(owners) != 1 {
+					t.Fatalf("OWNERSHIP VIOLATED: key %d owned by groups %v", k, owners)
+				}
+				if owners[0] != wantOwner {
+					t.Fatalf("key %d on group %d, want %d", k, owners[0], wantOwner)
+				}
+				if want := []byte(fmt.Sprintf("a%d", i)); !bytes.Equal(vals[owners[0]], want) {
+					t.Fatalf("KEY LOST: key %d = %q, want %q", k, vals[owners[0]], want)
+				}
+				// The session routes to the surviving owner either way.
+				got, err := f.sess.Get(ctx, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := []byte(fmt.Sprintf("a%d", i)); !bytes.Equal(got, want) {
+					t.Fatalf("session read of key %d = %q, want %q", k, got, want)
+				}
+			}
+			// Writes work again post-recovery (the abort unfroze the range;
+			// the commit moved it).
+			if err := f.sess.Put(ctx, f.keys[0], []byte("settled")); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestRebalanceEpochRegressionRejected: installing a map whose epoch does
+// not advance the current one is refused, so replayed or raced flips can
+// never roll ownership back.
+func TestRebalanceEpochRegressionRejected(t *testing.T) {
+	f := newRebFixture(t, 0, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	old := f.c.Placement()
+	if _, err := f.sess.Rebalance(ctx, f.r, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.c.installPlacement(old); err == nil {
+		t.Fatal("epoch regression accepted")
+	}
+	next, err := old.WithReassigned(f.r, 1) // same epoch (2) as installed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.c.installPlacement(next); err == nil {
+		t.Fatal("duplicate epoch accepted")
+	}
+}
+
+// TestRebalanceConflictingHandoffsCannotBothOwn: two handoffs proposing the
+// same successor epoch — the log's per-epoch first-wins rule lets exactly
+// one activate, so no two groups can both claim a range even with a
+// Byzantine orchestrator minting both flips.
+func TestRebalanceConflictingHandoffsCannotBothOwn(t *testing.T) {
+	f := newRebFixture(t, 0, 1)
+	pm := f.c.Placement()
+	nextA, err := pm.WithReassigned(f.r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second, conflicting successor for the SAME epoch (different range).
+	full := pm.GroupRanges(0)[0]
+	otherR := Range{Start: f.r.End + 1, End: full.End}
+	nextB, err := pm.WithReassigned(otherR, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hidA, hidB := f.c.newTxID(), f.c.newTxID()
+	attA, err := f.c.arbiter.DecidePlacement(hidA, nextA.Epoch(), nextA.Digest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Byzantine orchestrator mints BOTH (two accesses — already off the
+	// one-access honest path) ...
+	attB, err := f.c.arbiter.DecidePlacement(hidB, nextB.Epoch(), nextB.Digest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.c.txnLog.Publish(txn.Decision{TxID: hidA, Commit: true, Epoch: nextA.Epoch(), Placement: nextA.Digest(), Att: attA}); err != nil {
+		t.Fatal(err)
+	}
+	// ... but the second publication for the epoch is rejected outright.
+	_, err = f.c.txnLog.Publish(txn.Decision{TxID: hidB, Commit: true, Epoch: nextB.Epoch(), Placement: nextB.Digest(), Att: attB})
+	if !errors.Is(err, txn.ErrEpochClaimed) {
+		t.Fatalf("conflicting epoch publication: err=%v, want ErrEpochClaimed", err)
+	}
+	// A forged placement decision (digest not matching the attestation)
+	// never publishes.
+	_, err = f.c.txnLog.Publish(txn.Decision{TxID: hidB, Commit: true, Epoch: nextB.Epoch() + 1, Placement: nextB.Digest(), Att: attB})
+	if !errors.Is(err, txn.ErrBadAttestation) {
+		t.Fatalf("forged placement decision: err=%v, want ErrBadAttestation", err)
+	}
+}
+
+// TestTxnHistoryCompaction drives transactions to completion, gossips the
+// stability watermark, and checks that (a) the attestation log and the
+// shards' decision history shrink, (b) a late retry below the watermark is
+// refused safely — no intents installed, no decision re-minted — and (c)
+// in-doubt resolution refuses ids below the watermark instead of minting
+// bogus aborts.
+func TestTxnHistoryCompaction(t *testing.T) {
+	f := newTxnFixture(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	k0, k1 := f.keyPair(0)
+
+	if err := f.sess.MultiPut(ctx, map[uint64][]byte{k0: []byte("a"), k1: []byte("b")}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.sess.Txn(ctx, []kvstore.TxnWrite{{Key: k0, Code: kvstore.OpInsert, Value: []byte("c")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.c.TxnLog().Len() != 2 {
+		t.Fatalf("log holds %d decisions before compaction, want 2", f.c.TxnLog().Len())
+	}
+	wm, err := f.sess.CompactTxnHistory(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm < res.TxID {
+		t.Fatalf("stability watermark %d below settled txid %d", wm, res.TxID)
+	}
+	if f.c.TxnLog().Len() != 0 {
+		t.Fatalf("log still holds %d decisions after compaction", f.c.TxnLog().Len())
+	}
+
+	// A late retried prepare below the watermark is refused without
+	// installing anything.
+	prep, err := kvstore.EncodeTxnPrepare(res.TxID, []kvstore.TxnWrite{{Key: k0, Code: kvstore.OpInsert, Value: []byte("late")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := f.sess.submitShard(ctx, f.c.ShardFor(k0), prep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != kvstore.TxnStale {
+		t.Fatalf("late prepare answered %q, want %q", raw, kvstore.TxnStale)
+	}
+	vals, _, err := f.sess.MultiGet(ctx, []uint64{k0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[k0].BlockedBy != 0 || !bytes.Equal(vals[k0].Value, []byte("c")) {
+		t.Fatalf("late retry disturbed state: %+v", vals[k0])
+	}
+	// A late decision retry is refused the same way.
+	raw, err = f.sess.submitShard(ctx, f.c.ShardFor(k0), kvstore.EncodeTxnDecision(false, res.TxID, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != kvstore.TxnStale {
+		t.Fatalf("late decision answered %q, want %q", raw, kvstore.TxnStale)
+	}
+	// And resolution below the watermark refuses rather than minting an
+	// abort for a transaction that actually committed.
+	if _, err := f.sess.ResolveTxn(ctx, res.TxID); !errors.Is(err, txn.ErrBelowWatermark) {
+		t.Fatalf("resolve below watermark: err=%v, want ErrBelowWatermark", err)
+	}
+	// Watermark survives and transactions continue normally above it.
+	if err := f.sess.MultiPut(ctx, map[uint64][]byte{k0: []byte("after")}); err != nil {
+		t.Fatal(err)
+	}
+}

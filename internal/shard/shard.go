@@ -1,21 +1,34 @@
 // Package shard composes S independent consensus groups behind one
-// deterministic keyspace router, turning the FlexiTrust property the paper
-// proves — consensus instances parallelize because the trusted counter is
-// touched once, at the primary — into horizontal scale-out (the paper's
-// Section 8 outlook; ByzCoinX-style group composition).
+// epoch-versioned keyspace placement, turning the FlexiTrust property the
+// paper proves — consensus instances parallelize because the trusted
+// counter is touched once, at the primary — into horizontal scale-out (the
+// paper's Section 8 outlook; ByzCoinX-style group composition).
 //
 // The pieces:
 //
-//   - Router hash-partitions kvstore keys across the groups (pure function
-//     of key and shard count, so every party agrees with no coordination).
+//   - PlacementMap assigns explicit hash ranges to groups under a monotone
+//     epoch number with a deterministic serialization and digest
+//     (placement.go). The epoch-1 map is the uniform split every party
+//     derives with no coordination; successor epochs are produced by live
+//     rebalancing and installed only after an attested placement decision
+//     is published.
 //   - Group wraps one full protocol deployment per shard over the existing
 //     runtime substrate, with the shard's trusted-counter identifiers
 //     confined to a private namespace (trusted.Namespaced) so co-hosted
 //     protocol instances can never alias one another's counters.
-//   - Session is the client side: single-shard operations follow a fast
-//     path straight to the owning group; cross-shard multi-gets are fenced
-//     by per-shard commit watermarks and return read-committed values plus
-//     the ShardVector version at which each shard was read.
+//   - Session is the client side: it routes by its cached placement epoch.
+//     Single-shard operations follow a fast path straight to the owning
+//     group; when a store answers WrongShard (the range moved) or
+//     RangeMigrating (a handoff is in flight) the session transparently
+//     refreshes its placement and retries through the newer epoch.
+//     Cross-shard multi-gets are fenced by per-shard commit watermarks and
+//     return read-committed values plus the ShardVector version at which
+//     each shard was read.
+//   - Rebalancing (rebalance.go) moves a hash range between groups as a
+//     two-phase handoff — freeze/export on the source, staged install on
+//     the destination, ONE attested counter access binding the new
+//     placement's digest and epoch as the commit point — reusing the
+//     transaction layer's decision log, id space and recovery machinery.
 //   - Aggregate metrics merge per-shard throughput and latency into
 //     cluster-level numbers (metrics.Merge).
 //
@@ -30,13 +43,15 @@
 // two-phase commit over the groups with the cluster's attested counter as
 // the commit-point arbiter, and MultiGet reports keys blocked by a pending
 // transaction intent explicitly. What sharding still does not provide:
-// shard rebalancing and per-shard primary failover orchestration
-// (ROADMAP.md).
+// per-shard primary failover orchestration (ROADMAP.md) — the epoch-bump
+// machinery here is its natural substrate.
 package shard
 
 import (
 	"context"
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"flexitrust/internal/kvstore"
@@ -60,15 +75,23 @@ type Config struct {
 
 // Cluster is a running sharded deployment.
 type Cluster struct {
-	router Router
 	groups []*Group
 
+	// Placement state: the installed epoch-versioned ownership map plus
+	// the proposals in-flight handoffs registered (in-doubt resolution
+	// re-derives the map to install from them, checked against the
+	// published placement digest).
+	placeMu   sync.Mutex
+	placement *PlacementMap
+	proposals map[uint64]*PlacementMap
+
 	// Transaction substrate (see txn.go): the coordinator-side attested
-	// counter with its own authority, the decision log, and the txid
-	// allocator every session shares.
+	// counter with its own authority, the decision log, and the id
+	// allocator / stability tracker every session (and handoff) shares.
 	coordAuth *trusted.HMACAuthority
 	arbiter   txn.Arbiter
 	txnLog    *txn.AttestationLog
+	stability *txn.StabilityTracker
 	newTxID   func() uint64
 }
 
@@ -82,7 +105,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.Shards >= int(txn.CoordinatorNamespace) {
 		return nil, fmt.Errorf("shard: %d shards exceeds the counter namespace space", cfg.Shards)
 	}
-	c := &Cluster{router: NewRouter(cfg.Shards)}
+	c := &Cluster{
+		placement: UniformPlacement(cfg.Shards),
+		proposals: make(map[uint64]*PlacementMap),
+	}
 	seed := cfg.Group.Seed
 	if seed == 0 {
 		seed = 42
@@ -98,7 +124,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	})
 	c.arbiter = txn.Arbiter{TC: trusted.Namespaced(coordTC, txn.CoordinatorNamespace), Q: txn.DecisionCounter}
 	c.txnLog = txn.NewLog(txn.VerifierFor(c.coordAuth, txn.CoordinatorNamespace))
-	c.newTxID = txn.SequentialTxIDs(0)
+	// Transaction and handoff ids share one allocator, so their decisions
+	// share the shards' idempotency/poisoning table and one stability
+	// watermark governs compaction for both.
+	c.stability = txn.NewStabilityTracker(0)
+	c.newTxID = c.stability.Allocate
 	for s := 0; s < cfg.Shards; s++ {
 		gcfg := cfg.Group
 		if gcfg.Seed == 0 {
@@ -119,11 +149,58 @@ func NewCluster(cfg Config) (*Cluster, error) {
 // Shards returns the number of groups.
 func (c *Cluster) Shards() int { return len(c.groups) }
 
-// ShardFor maps a key to its owning group index.
-func (c *Cluster) ShardFor(key uint64) int { return c.router.ShardFor(key) }
+// ShardFor maps a key to its owning group index under the current epoch.
+func (c *Cluster) ShardFor(key uint64) int { return c.Placement().ShardFor(key) }
 
-// Router returns the cluster's keyspace router.
-func (c *Cluster) Router() Router { return c.router }
+// Placement returns the currently installed placement map (immutable; a
+// rebalance installs a successor rather than mutating it).
+func (c *Cluster) Placement() *PlacementMap {
+	c.placeMu.Lock()
+	defer c.placeMu.Unlock()
+	return c.placement
+}
+
+// installPlacement activates a successor map. Epochs are strictly
+// monotone: a regression (or a duplicate epoch) is rejected, so a stale or
+// replayed flip can never roll ownership back.
+func (c *Cluster) installPlacement(pm *PlacementMap) error {
+	c.placeMu.Lock()
+	defer c.placeMu.Unlock()
+	if pm.Epoch() <= c.placement.Epoch() {
+		return fmt.Errorf("shard: placement epoch %d does not advance current epoch %d",
+			pm.Epoch(), c.placement.Epoch())
+	}
+	if pm.Groups() != len(c.groups) {
+		return fmt.Errorf("shard: placement routes %d groups, cluster has %d", pm.Groups(), len(c.groups))
+	}
+	c.placement = pm
+	return nil
+}
+
+// registerProposal records the successor map a handoff proposes, keyed by
+// its handoff id, so in-doubt resolution can re-derive what a published
+// placement digest stands for.
+func (c *Cluster) registerProposal(hid uint64, pm *PlacementMap) {
+	c.placeMu.Lock()
+	c.proposals[hid] = pm
+	c.placeMu.Unlock()
+}
+
+// proposal looks a registered proposal up.
+func (c *Cluster) proposal(hid uint64) *PlacementMap {
+	c.placeMu.Lock()
+	defer c.placeMu.Unlock()
+	return c.proposals[hid]
+}
+
+// settleHandoff drops a settled handoff's proposal and advances the
+// stability tracker past its id.
+func (c *Cluster) settleHandoff(hid uint64) {
+	c.placeMu.Lock()
+	delete(c.proposals, hid)
+	c.placeMu.Unlock()
+	c.stability.Done(hid)
+}
 
 // Group exposes one shard's group (tests, failure injection).
 func (c *Cluster) Group(s int) *Group { return c.groups[s] }
@@ -173,18 +250,25 @@ func (c *Cluster) Stats() Stats {
 
 // Session is one client identity's routing handle: it holds a client
 // endpoint in every group and sends each operation to the shard that owns
-// its key.
+// its key under the session's cached placement epoch. When a shard's store
+// answers WrongShard (the range was handed away) or RangeMigrating (a
+// handoff is in flight) the session refreshes its placement from the
+// cluster and retries transparently, so callers never observe an epoch
+// flip beyond a latency blip.
 type Session struct {
 	c       *Cluster
 	id      types.ClientID
 	clients []*runtime.Client
 	coord   *txn.Coordinator
+
+	pmMu sync.Mutex
+	pm   *PlacementMap
 }
 
 // Session attaches client id to every group. The id must be listed in the
 // group template's Clients.
 func (c *Cluster) Session(id types.ClientID) *Session {
-	s := &Session{c: c, id: id}
+	s := &Session{c: c, id: id, pm: c.Placement()}
 	for _, g := range c.groups {
 		s.clients = append(s.clients, g.NewClient(id))
 	}
@@ -193,29 +277,97 @@ func (c *Cluster) Session(id types.ClientID) *Session {
 		Log:      c.txnLog,
 		NewTxID:  c.newTxID,
 		Submit:   s.submitShard,
-		ShardFor: c.router.ShardFor,
+		ShardFor: func(key uint64) int { return s.placement().ShardFor(key) },
+		Done:     c.stability.Done,
 	})
 	return s
 }
 
+// placement returns the session's cached map.
+func (s *Session) placement() *PlacementMap {
+	s.pmMu.Lock()
+	defer s.pmMu.Unlock()
+	return s.pm
+}
+
+// refreshPlacement re-reads the cluster's installed map into the cache and
+// returns it.
+func (s *Session) refreshPlacement() *PlacementMap {
+	pm := s.c.Placement()
+	s.pmMu.Lock()
+	if pm.Epoch() > s.pm.Epoch() {
+		s.pm = pm
+	} else {
+		pm = s.pm
+	}
+	s.pmMu.Unlock()
+	return pm
+}
+
+// Epoch returns the placement epoch the session currently routes by.
+func (s *Session) Epoch() uint64 { return s.placement().Epoch() }
+
+// Routing retry envelope: how long a session keeps retrying an operation
+// that hits a frozen (mid-handoff) or released range before giving up. A
+// runtime handoff completes in well under a second; the envelope is
+// generous so a slow flip surfaces as latency, not spurious errors.
+const (
+	routeRetryDelay = 5 * time.Millisecond
+	routeRetryMax   = 600 // ≈3s of retries
+)
+
 // Do routes one operation to the shard owning op.Key and executes it there —
-// the single-shard fast path: exactly one consensus group is touched.
+// the single-shard fast path: exactly one consensus group is touched. Stale
+// placement (WrongShard) and in-flight handoffs (RangeMigrating) are
+// retried through refreshed epochs. The signals are in-band result bytes:
+// for a raw OpRead a stored value equal to one of them would be mistaken
+// for a routing signal — use Get (framed) rather than Do(OpRead) when
+// values are untrusted.
 func (s *Session) Do(ctx context.Context, op *kvstore.Op) ([]byte, error) {
-	shardIdx := s.c.router.ShardFor(op.Key)
-	g := s.c.groups[shardIdx]
-	g.noteSubmit()
-	start := time.Now()
-	res, seq, err := s.clients[shardIdx].SubmitSeq(ctx, op.Encode())
+	for attempt := 0; ; attempt++ {
+		pm := s.placement()
+		res, err := s.submitShard(ctx, pm.ShardFor(op.Key), op)
+		if err != nil {
+			return nil, err
+		}
+		switch string(res) {
+		case kvstore.WrongShard, kvstore.RangeMigrating:
+		default:
+			return res, nil
+		}
+		if attempt >= routeRetryMax {
+			return nil, fmt.Errorf("shard: key %d unroutable after %d retries at epoch %d (last: %s)",
+				op.Key, attempt, pm.Epoch(), res)
+		}
+		// A newer epoch may already be installed (retry immediately through
+		// it); otherwise the handoff has not flipped yet — wait briefly.
+		if s.refreshPlacement().Epoch() == pm.Epoch() {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(routeRetryDelay):
+			}
+		}
+	}
+}
+
+// Get reads one key (read-committed; a key under a pending transaction
+// intent serves its committed fallback, like MultiGet). It uses the framed
+// intent-aware read internally so stored values can never alias the
+// routing-retry signals a raw OpRead result could.
+func (s *Session) Get(ctx context.Context, key uint64) ([]byte, error) {
+	res, err := s.Do(ctx, kvstore.EncodeTxnRead(key))
 	if err != nil {
 		return nil, err
 	}
-	g.noteCommit(seq, time.Since(start))
-	return res, nil
-}
-
-// Get reads one key.
-func (s *Session) Get(ctx context.Context, key uint64) ([]byte, error) {
-	return s.Do(ctx, &kvstore.Op{Code: kvstore.OpRead, Key: key})
+	rr, err := kvstore.DecodeTxnRead(res)
+	if err != nil {
+		return nil, err
+	}
+	if !rr.Found {
+		return []byte("NOTFOUND"), nil
+	}
+	return rr.Value, nil
 }
 
 // Put overwrites one key. A key held by a pending transaction intent
@@ -259,80 +411,90 @@ func writeOutcome(key uint64, res []byte, err error) error {
 // read at versions that never coexisted; use Txn for atomic writes).
 func (s *Session) MultiGet(ctx context.Context, keys []uint64) (map[uint64]kvstore.ReadResult, ShardVector, error) {
 	fence := s.c.Watermarks()
-	parts := s.c.router.Partition(keys)
 	versions := make(ShardVector, len(s.c.groups))
-
-	type shardRead struct {
-		shard  int
-		values map[uint64]kvstore.ReadResult
-		asOf   types.SeqNum
-		err    error
-	}
-	results := make(chan shardRead, len(parts))
-	for shardIdx, shardKeys := range parts {
-		go func(shardIdx int, shardKeys []uint64) {
-			out := shardRead{shard: shardIdx, values: make(map[uint64]kvstore.ReadResult, len(shardKeys))}
-			g := s.c.groups[shardIdx]
-			// Submit the shard's reads concurrently: the client library
-			// tracks each outstanding request and the primary batches them,
-			// so the whole read set usually costs one consensus round.
-			type keyRead struct {
-				key uint64
-				val kvstore.ReadResult
-				seq types.SeqNum
-				err error
-			}
-			reads := make(chan keyRead, len(shardKeys))
-			for _, k := range shardKeys {
-				go func(k uint64) {
-					g.noteSubmit()
-					start := time.Now()
-					raw, seq, err := s.clients[shardIdx].SubmitSeq(ctx, kvstore.EncodeTxnRead(k).Encode())
-					var rr kvstore.ReadResult
-					if err == nil {
-						g.noteCommit(seq, time.Since(start))
-						rr, err = kvstore.DecodeTxnRead(raw)
-					}
-					reads <- keyRead{key: k, val: rr, seq: seq, err: err}
-				}(k)
-			}
-			for range shardKeys {
-				r := <-reads
-				if r.err != nil {
-					if out.err == nil {
-						out.err = fmt.Errorf("shard %d key %d: %w", shardIdx, r.key, r.err)
-					}
-					continue
-				}
-				out.values[r.key] = r.val
-				if r.seq > out.asOf {
-					out.asOf = r.seq
-				}
-			}
-			results <- out
-		}(shardIdx, shardKeys)
-	}
-
+	touched := make(map[int]bool)
 	values := make(map[uint64]kvstore.ReadResult, len(keys))
-	var firstErr error
-	for range parts {
-		r := <-results
-		if r.err != nil && firstErr == nil {
-			firstErr = r.err
-			continue
-		}
-		for k, v := range r.values {
-			values[k] = v
-		}
-		versions[r.shard] = r.asOf
+
+	type keyRead struct {
+		key   uint64
+		shard int
+		raw   []byte
+		seq   types.SeqNum
+		err   error
 	}
-	if firstErr != nil {
-		return nil, nil, firstErr
+	// A round reads every pending key through the session's current
+	// placement; keys answered WrongShard (their range moved under this
+	// call's feet) re-run in the next round through a refreshed epoch.
+	pending := keys
+	for attempt := 0; len(pending) > 0; attempt++ {
+		pm := s.placement()
+		parts := pm.Partition(pending)
+		reads := make(chan keyRead, len(pending))
+		issued := 0
+		// Issue in ascending shard order (then per-shard input order) so
+		// the request sequence is deterministic; per-key submissions still
+		// run concurrently — the client library tracks each outstanding
+		// request and the primary batches them, so a shard's whole read
+		// set usually costs one consensus round.
+		for _, shardIdx := range SortedShards(parts) {
+			for _, k := range parts[shardIdx] {
+				issued++
+				go func(shardIdx int, k uint64) {
+					raw, seq, err := s.submitShardSeq(ctx, shardIdx, kvstore.EncodeTxnRead(k))
+					reads <- keyRead{key: k, shard: shardIdx, raw: raw, seq: seq, err: err}
+				}(shardIdx, k)
+			}
+		}
+		var stale []uint64
+		var firstErr error
+		for i := 0; i < issued; i++ {
+			r := <-reads
+			if r.err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("shard %d key %d: %w", r.shard, r.key, r.err)
+				}
+				continue
+			}
+			touched[r.shard] = true
+			if r.seq > versions[r.shard] {
+				versions[r.shard] = r.seq
+			}
+			if string(r.raw) == kvstore.WrongShard || string(r.raw) == kvstore.RangeMigrating {
+				stale = append(stale, r.key)
+				continue
+			}
+			rr, err := kvstore.DecodeTxnRead(r.raw)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("shard %d key %d: %w", r.shard, r.key, err)
+				}
+				continue
+			}
+			values[r.key] = rr
+		}
+		if firstErr != nil {
+			return nil, nil, firstErr
+		}
+		if len(stale) > 0 {
+			if attempt >= routeRetryMax {
+				return nil, nil, fmt.Errorf("shard: %d keys unroutable after %d retries at epoch %d",
+					len(stale), attempt, pm.Epoch())
+			}
+			if s.refreshPlacement().Epoch() == pm.Epoch() {
+				select {
+				case <-ctx.Done():
+					return nil, nil, ctx.Err()
+				case <-time.After(routeRetryDelay):
+				}
+			}
+		}
+		sortKeys(stale)
+		pending = stale
 	}
 	// Shards this call did not read report the fence itself: nothing newer
 	// was observed, nothing older can be claimed.
 	for i := range versions {
-		if _, read := parts[i]; !read {
+		if !touched[i] {
 			versions[i] = fence[i]
 		}
 	}
@@ -343,4 +505,9 @@ func (s *Session) MultiGet(ctx context.Context, keys []uint64) (map[uint64]kvsto
 		return nil, nil, fmt.Errorf("shard: read versions %v regressed below fence %v", versions, fence)
 	}
 	return values, versions, nil
+}
+
+// sortKeys orders a key slice ascending (deterministic retry rounds).
+func sortKeys(keys []uint64) {
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 }

@@ -28,7 +28,7 @@ func testConfig(shards int) Config {
 			Engine:         ecfg,
 			NewProtocol:    func(cfg engine.Config) engine.Protocol { return flexibft.New(cfg) },
 			Replies:        f + 1,
-			Clients:        []types.ClientID{1},
+			Clients:        []types.ClientID{1, 2},
 			TrustedProfile: trusted.ProfileSGXEnclave,
 			Records:        10_000,
 		},
@@ -36,10 +36,10 @@ func testConfig(shards int) Config {
 }
 
 // keysOnShard returns `count` keys owned by the given shard.
-func keysOnShard(r Router, shard, count int) []uint64 {
+func keysOnShard(pm *PlacementMap, shard, count int) []uint64 {
 	var out []uint64
 	for k := uint64(0); len(out) < count; k++ {
-		if r.ShardFor(k) == shard {
+		if pm.ShardFor(k) == shard {
 			out = append(out, k)
 		}
 	}
@@ -61,7 +61,7 @@ func TestSingleShardIsolation(t *testing.T) {
 	defer cancel()
 
 	target := 1
-	for _, k := range keysOnShard(c.Router(), target, 12) {
+	for _, k := range keysOnShard(c.Placement(), target, 12) {
 		if err := sess.Put(ctx, k, []byte("v")); err != nil {
 			t.Fatalf("put key %d: %v", k, err)
 		}
@@ -101,7 +101,7 @@ func TestCrossShardMultiGet(t *testing.T) {
 	want := make(map[uint64][]byte)
 	var keys []uint64
 	for s := 0; s < shards; s++ {
-		for i, k := range keysOnShard(c.Router(), s, 3) {
+		for i, k := range keysOnShard(c.Placement(), s, 3) {
 			v := []byte(fmt.Sprintf("shard%d-key%d", s, i))
 			if err := sess.Put(ctx, k, v); err != nil {
 				t.Fatalf("put: %v", err)
@@ -149,7 +149,7 @@ func TestShardedCommitDivergence(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	for s := 0; s < shards; s++ {
-		for _, k := range keysOnShard(c.Router(), s, 4) {
+		for _, k := range keysOnShard(c.Placement(), s, 4) {
 			if err := sess.Put(ctx, k, []byte("x")); err != nil {
 				t.Fatal(err)
 			}

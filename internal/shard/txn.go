@@ -2,12 +2,14 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
 	"flexitrust/internal/kvstore"
 	"flexitrust/internal/txn"
+	"flexitrust/internal/types"
 )
 
 // Cross-shard transactions: the sharded cluster owns one transaction
@@ -20,18 +22,26 @@ import (
 // replicated inside each shard.
 
 // submitShard executes op on one specific group (bypassing key routing —
-// transaction decisions target shards, not keys) and maintains the group's
-// watermark and metrics like the single-shard fast path does.
+// transaction decisions and handoff operations target shards, not keys)
+// and maintains the group's watermark and metrics like the single-shard
+// fast path does.
 func (s *Session) submitShard(ctx context.Context, shardIdx int, op *kvstore.Op) ([]byte, error) {
+	res, _, err := s.submitShardSeq(ctx, shardIdx, op)
+	return res, err
+}
+
+// submitShardSeq is submitShard exposing the consensus sequence the reply
+// quorum committed at (MultiGet's version vector needs it).
+func (s *Session) submitShardSeq(ctx context.Context, shardIdx int, op *kvstore.Op) ([]byte, types.SeqNum, error) {
 	g := s.c.groups[shardIdx]
 	g.noteSubmit()
 	start := time.Now()
 	res, seq, err := s.clients[shardIdx].SubmitSeq(ctx, op.Encode())
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	g.noteCommit(seq, time.Since(start))
-	return res, nil
+	return res, seq, nil
 }
 
 // Txn executes writes as one atomic cross-shard transaction: intents
@@ -42,9 +52,42 @@ func (s *Session) Txn(ctx context.Context, writes []kvstore.TxnWrite) (*txn.Resu
 	return s.TxnWithOptions(ctx, writes, txn.Options{})
 }
 
-// TxnWithOptions is Txn with crash injection (recovery tests).
+// TxnWithOptions is Txn with crash injection (recovery tests). A
+// transaction voted down because the session's placement was stale — a
+// participant answered WrongShard or RangeMigrating for a moved or
+// mid-handoff range — is transparently retried (as a fresh transaction id)
+// through a refreshed placement epoch; crash-injected executions are never
+// retried.
 func (s *Session) TxnWithOptions(ctx context.Context, writes []kvstore.TxnWrite, opts txn.Options) (*txn.Result, error) {
-	return s.coord.Execute(ctx, writes, opts)
+	for attempt := 0; ; attempt++ {
+		res, err := s.coord.Execute(ctx, writes, opts)
+		injected := opts.CrashAt != txn.PhaseNone || opts.DriveOnly != nil
+		if injected || !errors.Is(err, txn.ErrAborted) || !votesPlacementStale(res) || attempt >= routeRetryMax {
+			return res, err
+		}
+		pm := s.placement()
+		if s.refreshPlacement().Epoch() == pm.Epoch() {
+			select {
+			case <-ctx.Done():
+				return res, err
+			case <-time.After(routeRetryDelay):
+			}
+		}
+	}
+}
+
+// votesPlacementStale reports whether a vote named a stale-placement
+// refusal.
+func votesPlacementStale(res *txn.Result) bool {
+	if res == nil {
+		return false
+	}
+	for _, v := range res.Votes {
+		if v == kvstore.WrongShard || v == kvstore.RangeMigrating {
+			return true
+		}
+	}
+	return false
 }
 
 // MultiPut atomically upserts a set of keys that may span shards — the
@@ -60,18 +103,27 @@ func (s *Session) MultiPut(ctx context.Context, writes map[uint64][]byte) error 
 	return err
 }
 
-// ResolveTxn settles an in-doubt transaction (a coordinator that vanished
-// mid-flight): the attestation log's published decision wins; with none,
-// the arbiter mints an abort. The winning decision is then driven to every
-// shard — idempotent for shards that already decided, and poisoning for
-// shards whose Prepare never arrived. Call it only after the in-doubt
-// timeout: resolving a live coordinator's transaction aborts work it would
-// have committed (safe — the first published decision still governs — just
-// wasteful).
+// ResolveTxn settles an in-doubt transaction or range handoff (a
+// coordinator that vanished mid-flight): the attestation log's published
+// decision wins; with none, the arbiter mints an abort. A resolved
+// placement commit first re-installs the proposed map (verified against
+// the published placement digest) so routing flips with it. The winning
+// decision is then driven to every shard — idempotent for shards that
+// already decided, and poisoning for shards whose Prepare/Freeze never
+// arrived. Call it only after the in-doubt timeout: resolving a live
+// coordinator's transaction aborts work it would have committed (safe —
+// the first published decision still governs — just wasteful).
 func (s *Session) ResolveTxn(ctx context.Context, txid uint64) (txn.Decision, error) {
 	d, err := txn.ResolveInDoubt(s.c.txnLog, s.c.arbiter, txid)
 	if err != nil {
 		return d, err
+	}
+	if d.Commit && d.IsPlacement() {
+		if pm := s.c.proposal(txid); pm != nil && pm.Digest() == d.Placement {
+			// An already-superseded epoch fails monotonicity; that only
+			// means someone installed it (or a successor) before us.
+			_ = s.c.installPlacement(pm)
+		}
 	}
 	errs := make(chan error, len(s.c.groups))
 	for idx := range s.c.groups {
@@ -86,8 +138,47 @@ func (s *Session) ResolveTxn(ctx context.Context, txid uint64) (txn.Decision, er
 			first = fmt.Errorf("shard: driving resolved txn %d: %w", txid, err)
 		}
 	}
+	if first == nil {
+		s.c.settleHandoff(txid)
+		s.refreshPlacement()
+	}
 	return d, first
 }
+
+// CompactTxnHistory gossips the stability watermark — the oldest
+// transaction/handoff id any coordinator may still retry — to every shard
+// and prunes the attestation log below it. Shards drop their per-id
+// decision history at or below the watermark; late retries naming a pruned
+// id are refused deterministically (kvstore.TxnStale) instead of re-acted.
+// Returns the watermark driven.
+func (s *Session) CompactTxnHistory(ctx context.Context) (uint64, error) {
+	wm := s.c.stability.Stable()
+	if wm == 0 {
+		return 0, nil
+	}
+	s.c.txnLog.Compact(wm)
+	errs := make(chan error, len(s.c.groups))
+	for idx := range s.c.groups {
+		go func(idx int) {
+			res, err := s.submitShard(ctx, idx, kvstore.EncodeTxnCompact(wm))
+			if err == nil && string(res) != "OK" {
+				err = fmt.Errorf("compaction refused: %s", res)
+			}
+			errs <- err
+		}(idx)
+	}
+	var first error
+	for range s.c.groups {
+		if err := <-errs; err != nil && first == nil {
+			first = fmt.Errorf("shard: compacting to watermark %d: %w", wm, err)
+		}
+	}
+	return wm, first
+}
+
+// StabilityWatermark returns the current stability watermark (the id
+// CompactTxnHistory would gossip now).
+func (c *Cluster) StabilityWatermark() uint64 { return c.stability.Stable() }
 
 // TxnLog exposes the cluster's decision log (tests, monitoring).
 func (c *Cluster) TxnLog() *txn.AttestationLog { return c.txnLog }

@@ -14,10 +14,10 @@ import (
 
 // freshKeysOnShard returns `count` keys owned by the given shard that lie
 // above the store's preloaded records (so "exists" is observable).
-func freshKeysOnShard(r Router, shard, count int, records uint64) []uint64 {
+func freshKeysOnShard(pm *PlacementMap, shard, count int, records uint64) []uint64 {
 	var out []uint64
 	for k := records; len(out) < count; k++ {
-		if r.ShardFor(k) == shard {
+		if pm.ShardFor(k) == shard {
 			out = append(out, k)
 		}
 	}
@@ -43,8 +43,8 @@ func newTxnFixture(t *testing.T) *txnFixture {
 
 // keyPair picks the i-th fresh key on each shard.
 func (f *txnFixture) keyPair(i int) (uint64, uint64) {
-	k0 := freshKeysOnShard(f.c.Router(), 0, i+1, 10_000)[i]
-	k1 := freshKeysOnShard(f.c.Router(), 1, i+1, 10_000)[i]
+	k0 := freshKeysOnShard(f.c.Placement(), 0, i+1, 10_000)[i]
+	k1 := freshKeysOnShard(f.c.Placement(), 1, i+1, 10_000)[i]
 	return k0, k1
 }
 

@@ -54,6 +54,9 @@ type MultiCluster struct {
 	// txnDriver, when attached, runs cross-group two-phase-commit clients
 	// inside the same kernel (see txndriver.go).
 	txnDriver *TxnDriver
+	// rebDriver, when attached, runs a live range handoff between two
+	// groups inside the same kernel (see rebalancedriver.go).
+	rebDriver *RebalanceDriver
 }
 
 // group is one consensus group hosted on a MultiCluster: its replicas, its
@@ -242,9 +245,9 @@ func (mc *MultiCluster) Run(warmup, measure time.Duration) []Results {
 		ramp = time.Millisecond
 	}
 	for _, g := range mc.groups {
-		// A clientless pool still starts when a transaction driver is
+		// A clientless pool still starts when an external driver is
 		// attached: external requests lean on the pool's resend sweep.
-		if g.cfg.Clients > 0 || mc.txnDriver != nil {
+		if g.cfg.Clients > 0 || mc.txnDriver != nil || mc.rebDriver != nil {
 			g.pool.start(ramp)
 		}
 		g.pool.collector.SetWindow(warmup, warmup+measure)
@@ -252,6 +255,9 @@ func (mc *MultiCluster) Run(warmup, measure time.Duration) []Results {
 	if mc.txnDriver != nil {
 		mc.txnDriver.start(ramp)
 		mc.txnDriver.collector.SetWindow(warmup, warmup+measure)
+	}
+	if mc.rebDriver != nil {
+		mc.rebDriver.start(ramp, warmup, measure)
 	}
 	mc.runUntil(warmup + measure)
 	out := make([]Results, len(mc.groups))

@@ -13,11 +13,26 @@ import (
 // Decision is one transaction's published outcome: the attested counter
 // statement binding DecisionDigest(txid, commit) is what makes it a
 // decision rather than a claim.
+//
+// A decision whose Placement digest is non-zero is a PLACEMENT decision —
+// the commit point of a shard-rebalance handoff. Its attestation binds
+// PlacementDecisionDigest(txid, epoch, placement) instead: committing it
+// flips keyspace ownership to the placement map with that digest at that
+// epoch. Placement commits additionally claim their epoch first-wins in
+// the log, so two handoffs (or a Byzantine orchestrator minting two maps)
+// can never both activate a placement for the same epoch.
 type Decision struct {
 	TxID   uint64
 	Commit bool
-	Att    *types.Attestation
+	// Epoch and Placement mark a placement decision (see above); both are
+	// zero for ordinary transaction decisions and for aborts.
+	Epoch     uint64
+	Placement types.Digest
+	Att       *types.Attestation
 }
+
+// IsPlacement reports whether d is a placement (rebalance) decision.
+func (d Decision) IsPlacement() bool { return d.Placement != (types.Digest{}) }
 
 // DecisionDigest is the digest a decision attestation binds: a domain tag,
 // the outcome, and the transaction id. Binding the outcome means a commit
@@ -31,6 +46,18 @@ func DecisionDigest(txid uint64, commit bool) types.Digest {
 	var id [8]byte
 	binary.BigEndian.PutUint64(id[:], txid)
 	return crypto.HashConcat([]byte("flexitrust/txn-decision"), []byte{tag}, id[:])
+}
+
+// PlacementDecisionDigest is the digest a placement (rebalance) commit
+// binds: a domain tag, the handoff id, the new epoch, and the digest of the
+// new placement map. Binding the map digest means the attestation commits
+// ONE specific ownership assignment; binding the epoch means it cannot
+// activate that assignment at any other point of the placement history.
+func PlacementDecisionDigest(txid, epoch uint64, placement types.Digest) types.Digest {
+	var nums [16]byte
+	binary.BigEndian.PutUint64(nums[0:8], txid)
+	binary.BigEndian.PutUint64(nums[8:16], epoch)
+	return crypto.HashConcat([]byte("flexitrust/txn-placement"), nums[:], placement[:])
 }
 
 // Arbiter is the coordinator's trusted counter: deciding a transaction is
@@ -48,6 +75,12 @@ func (a Arbiter) Decide(txid uint64, commit bool) (*types.Attestation, error) {
 	return a.TC.AppendF(a.Q, DecisionDigest(txid, commit))
 }
 
+// DecidePlacement mints the commit attestation of a placement change — the
+// single attested counter access a rebalance handoff costs.
+func (a Arbiter) DecidePlacement(txid, epoch uint64, placement types.Digest) (*types.Attestation, error) {
+	return a.TC.AppendF(a.Q, PlacementDecisionDigest(txid, epoch, placement))
+}
+
 // Accesses exposes the underlying component's access counter (the
 // one-access-per-decision accounting).
 func (a Arbiter) Accesses() uint64 { return a.TC.Accesses() }
@@ -58,15 +91,34 @@ func (a Arbiter) Accesses() uint64 { return a.TC.Accesses() }
 // its trusted component to sign.
 var ErrBadAttestation = errors.New("txn: decision attestation failed verification")
 
+// ErrEpochClaimed is returned by Publish for a placement commit whose epoch
+// already has a winning placement decision under a different handoff id —
+// the log-level guarantee that no two handoffs can both activate an
+// ownership map for the same epoch, even if a Byzantine orchestrator mints
+// attestations for both.
+var ErrEpochClaimed = errors.New("txn: epoch already claimed by another placement decision")
+
+// ErrBelowWatermark is returned when an operation names a transaction id at
+// or below the log's stability watermark: its decision history was
+// compacted away and the request is refused rather than re-decided.
+var ErrBelowWatermark = errors.New("txn: transaction id below the stability watermark")
+
 // AttestationLog is the decision bulletin board: at most one decision per
 // transaction id, first verified publication wins, late and losing
-// publishers adopt the recorded decision. In a distributed deployment this
-// is itself a small replicated service (or a slot in a config shard); the
-// in-process form keeps the same interface and first-wins semantics.
+// publishers adopt the recorded decision. Placement decisions additionally
+// claim their epoch first-wins. In a distributed deployment this is itself
+// a small replicated service (or a slot in a config shard); the in-process
+// form keeps the same interface and first-wins semantics.
 type AttestationLog struct {
 	mu        sync.Mutex
 	decisions map[uint64]Decision
-	verify    func(Decision) bool
+	// epochs maps a placement epoch to the handoff id whose commit claimed
+	// it. Placement decisions survive compaction — they are the live
+	// configuration history, one entry per epoch, not per-transaction
+	// bookkeeping.
+	epochs map[uint64]uint64
+	stable uint64
+	verify func(Decision) bool
 }
 
 // NewLog builds a log that accepts only decisions passing verify (see
@@ -75,19 +127,29 @@ func NewLog(verify func(Decision) bool) *AttestationLog {
 	if verify == nil {
 		panic("txn: NewLog requires a verifier")
 	}
-	return &AttestationLog{decisions: make(map[uint64]Decision), verify: verify}
+	return &AttestationLog{decisions: make(map[uint64]Decision),
+		epochs: make(map[uint64]uint64), verify: verify}
 }
 
 // VerifierFor builds the standard decision verifier: the attestation must
 // be signed by the coordinator component known to auth (remapped into its
 // counter namespace, the form the proof was minted over) and must bind
-// exactly DecisionDigest(TxID, Commit).
+// exactly the decision's digest — DecisionDigest(TxID, Commit) for
+// transaction decisions and aborts, PlacementDecisionDigest for placement
+// commits (a placement abort is an ordinary abort: nothing changes hands).
 func VerifierFor(auth *trusted.HMACAuthority, ns uint16) func(Decision) bool {
 	return func(d Decision) bool {
 		if d.Att == nil || d.TxID == 0 {
 			return false
 		}
-		if d.Att.Digest != DecisionDigest(d.TxID, d.Commit) {
+		if d.IsPlacement() {
+			if !d.Commit || d.Epoch == 0 {
+				return false
+			}
+			if d.Att.Digest != PlacementDecisionDigest(d.TxID, d.Epoch, d.Placement) {
+				return false
+			}
+		} else if d.Att.Digest != DecisionDigest(d.TxID, d.Commit) {
 			return false
 		}
 		return auth.Verify(trusted.MapAttestation(d.Att, ns))
@@ -96,7 +158,9 @@ func VerifierFor(auth *trusted.HMACAuthority, ns uint16) func(Decision) bool {
 
 // Publish records d if its id is undecided and its attestation verifies.
 // The returned Decision is the one on record afterwards — d itself when it
-// won, the earlier publication when it lost the race (callers adopt it).
+// won, the earlier publication when it lost the race (callers adopt it). A
+// placement commit whose epoch was already claimed by a different handoff
+// is rejected with ErrEpochClaimed (its publisher must abort its handoff).
 func (l *AttestationLog) Publish(d Decision) (Decision, error) {
 	if !l.verify(d) {
 		return Decision{}, ErrBadAttestation
@@ -105,6 +169,15 @@ func (l *AttestationLog) Publish(d Decision) (Decision, error) {
 	defer l.mu.Unlock()
 	if won, ok := l.decisions[d.TxID]; ok {
 		return won, nil
+	}
+	if d.TxID <= l.stable {
+		return Decision{}, ErrBelowWatermark
+	}
+	if d.IsPlacement() {
+		if winner, claimed := l.epochs[d.Epoch]; claimed && winner != d.TxID {
+			return Decision{}, ErrEpochClaimed
+		}
+		l.epochs[d.Epoch] = d.TxID
 	}
 	l.decisions[d.TxID] = d
 	return d, nil
@@ -120,7 +193,34 @@ func (l *AttestationLog) Lookup(txid uint64) (Decision, bool) {
 	return d, ok
 }
 
-// Len returns the number of decided transactions.
+// Compact prunes transaction decisions at or below the stability watermark
+// (the oldest id a coordinator may still retry, gossiped alongside the
+// commit watermark). Placement decisions are exempt: they are the
+// cluster's ownership history, one per epoch. Lookups below the watermark
+// are afterwards refused by ResolveInDoubt rather than treated as
+// undecided.
+func (l *AttestationLog) Compact(stable uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if stable <= l.stable {
+		return
+	}
+	l.stable = stable
+	for id, d := range l.decisions {
+		if id <= stable && !d.IsPlacement() {
+			delete(l.decisions, id)
+		}
+	}
+}
+
+// Stable returns the watermark the log was last compacted to.
+func (l *AttestationLog) Stable() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stable
+}
+
+// Len returns the number of decided transactions currently retained.
 func (l *AttestationLog) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()

@@ -1,0 +1,63 @@
+package txn
+
+import "sync"
+
+// StabilityTracker allocates transaction/handoff ids and derives the
+// STABILITY WATERMARK: the highest id W such that every id ≤ W has been
+// fully settled (decision driven to every participant), so no correct
+// coordinator can retry a Prepare, decision or handoff operation naming an
+// id at or below W. Gossiping W to the shards (kvstore's OpTxnCompact) lets
+// them prune their per-id decision history, and the AttestationLog prunes
+// its transaction decisions below it — closing the unbounded-growth hole
+// the ROADMAP tracked, while late retries below the watermark are refused
+// deterministically (TxnStale) instead of re-acted.
+type StabilityTracker struct {
+	mu       sync.Mutex
+	next     uint64
+	inflight map[uint64]struct{}
+}
+
+// NewStabilityTracker builds a tracker allocating ids from start+1 (0 is
+// never a valid id).
+func NewStabilityTracker(start uint64) *StabilityTracker {
+	return &StabilityTracker{next: start, inflight: make(map[uint64]struct{})}
+}
+
+// Allocate hands out the next id and marks it in flight: the watermark
+// cannot pass it until Done is called.
+func (t *StabilityTracker) Allocate() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next++
+	t.inflight[t.next] = struct{}{}
+	return t.next
+}
+
+// Done marks an id fully settled (its decision was driven to every
+// participant — by its coordinator or by in-doubt resolution). Idempotent.
+func (t *StabilityTracker) Done(id uint64) {
+	t.mu.Lock()
+	delete(t.inflight, id)
+	t.mu.Unlock()
+}
+
+// Stable returns the current watermark: the highest id below every
+// in-flight id (or the highest allocated id when nothing is in flight).
+func (t *StabilityTracker) Stable() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	stable := t.next
+	for id := range t.inflight {
+		if id-1 < stable {
+			stable = id - 1
+		}
+	}
+	return stable
+}
+
+// InFlight returns the number of unsettled ids (tests, monitoring).
+func (t *StabilityTracker) InFlight() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.inflight)
+}

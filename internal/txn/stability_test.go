@@ -1,0 +1,172 @@
+package txn
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"flexitrust/internal/crypto"
+	"flexitrust/internal/kvstore"
+	"flexitrust/internal/types"
+)
+
+// TestStabilityTrackerWatermark: the watermark trails the oldest unsettled
+// id, never passes an in-flight one, and catches up when gaps settle out of
+// order.
+func TestStabilityTrackerWatermark(t *testing.T) {
+	tr := NewStabilityTracker(0)
+	if got := tr.Stable(); got != 0 {
+		t.Fatalf("fresh tracker stable=%d", got)
+	}
+	a, b, c := tr.Allocate(), tr.Allocate(), tr.Allocate()
+	if a != 1 || b != 2 || c != 3 {
+		t.Fatalf("ids %d %d %d", a, b, c)
+	}
+	if got := tr.Stable(); got != 0 {
+		t.Fatalf("stable %d with all in flight", got)
+	}
+	tr.Done(b) // out of order: 1 still pending blocks the watermark
+	if got := tr.Stable(); got != 0 {
+		t.Fatalf("stable %d with id 1 in flight", got)
+	}
+	tr.Done(a)
+	if got := tr.Stable(); got != 2 {
+		t.Fatalf("stable %d, want 2 (id 3 still in flight)", got)
+	}
+	tr.Done(c)
+	tr.Done(c) // idempotent
+	if got := tr.Stable(); got != 3 {
+		t.Fatalf("stable %d, want 3", got)
+	}
+	if tr.InFlight() != 0 {
+		t.Fatalf("inflight %d", tr.InFlight())
+	}
+}
+
+// TestCoordinatorAdvancesStability: Execute marks settled transactions Done
+// (including vote-aborts), but never crash-injected or partially driven
+// ones — those settle through resolution.
+func TestCoordinatorAdvancesStability(t *testing.T) {
+	h := newHarness(t, 2)
+	tr := NewStabilityTracker(0)
+	h.coord.cfg.NewTxID = tr.Allocate
+	h.coord.cfg.Done = tr.Done
+
+	if _, err := h.coord.Execute(context.Background(), twoShardWrites("a"), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Stable(); got != 1 {
+		t.Fatalf("stable %d after settled commit, want 1", got)
+	}
+	// A write set that fails at encode time (oversized value) reached no
+	// shard: its id settles immediately instead of stalling the watermark
+	// forever.
+	huge := []kvstore.TxnWrite{{Key: keyShard0, Code: kvstore.OpInsert, Value: make([]byte, 1<<17)}}
+	if _, err := h.coord.Execute(context.Background(), huge, Options{}); err == nil {
+		t.Fatal("oversized write set accepted")
+	}
+	if got := tr.Stable(); got != 2 {
+		t.Fatalf("stable %d after encode failure, want 2 (id settled)", got)
+	}
+	// Crash injection leaves the id in flight.
+	res, err := h.coord.Execute(context.Background(), twoShardWrites("b"), Options{CrashAt: PhaseVoted})
+	if !errors.Is(err, ErrCoordinatorCrashed) {
+		t.Fatal(err)
+	}
+	if got := tr.Stable(); got != 2 {
+		t.Fatalf("stable %d advanced past an in-doubt txn", got)
+	}
+	// Resolution settles it; the resolver reports Done.
+	if _, err := ResolveInDoubt(h.log, h.arb, res.TxID); err != nil {
+		t.Fatal(err)
+	}
+	tr.Done(res.TxID)
+	if got := tr.Stable(); got != 3 {
+		t.Fatalf("stable %d after resolution, want 3", got)
+	}
+}
+
+// TestLogCompaction: compaction prunes transaction decisions at or below
+// the watermark but keeps placement decisions (the ownership history), and
+// ResolveInDoubt refuses pruned ids instead of minting bogus aborts.
+func TestLogCompaction(t *testing.T) {
+	h := newHarness(t, 2)
+	// Two ordinary decisions and one placement decision.
+	att1, _ := h.arb.Decide(1, true)
+	att2, _ := h.arb.Decide(2, false)
+	place := crypto.HashConcat([]byte("map"))
+	att3, _ := h.arb.DecidePlacement(3, 2, place)
+	for _, d := range []Decision{
+		{TxID: 1, Commit: true, Att: att1},
+		{TxID: 2, Commit: false, Att: att2},
+		{TxID: 3, Commit: true, Epoch: 2, Placement: place, Att: att3},
+	} {
+		if _, err := h.log.Publish(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.log.Compact(3)
+	if h.log.Stable() != 3 {
+		t.Fatalf("stable %d", h.log.Stable())
+	}
+	if h.log.Len() != 1 {
+		t.Fatalf("log retains %d decisions, want 1 (the placement)", h.log.Len())
+	}
+	if d, ok := h.log.Lookup(3); !ok || !d.IsPlacement() {
+		t.Fatalf("placement decision pruned: %v %v", d, ok)
+	}
+	if _, err := ResolveInDoubt(h.log, h.arb, 2); !errors.Is(err, ErrBelowWatermark) {
+		t.Fatalf("resolve of pruned id: %v", err)
+	}
+	// Re-publication below the watermark is refused too.
+	if _, err := h.log.Publish(Decision{TxID: 1, Commit: true, Att: att1}); !errors.Is(err, ErrBelowWatermark) {
+		t.Fatalf("re-publish below watermark: %v", err)
+	}
+	// Compaction never regresses.
+	h.log.Compact(1)
+	if h.log.Stable() != 3 {
+		t.Fatalf("stable regressed to %d", h.log.Stable())
+	}
+}
+
+// TestPlacementDecisionVerification: placement commits must carry a
+// matching placement attestation; epoch claims are first-wins; placement
+// "aborts" (placement set, commit false) never verify.
+func TestPlacementDecisionVerification(t *testing.T) {
+	h := newHarness(t, 2)
+	place := crypto.HashConcat([]byte("map-a"))
+	att, err := h.arb.DecidePlacement(5, 7, place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong epoch, wrong digest, wrong outcome: all rejected.
+	bad := []Decision{
+		{TxID: 5, Commit: true, Epoch: 8, Placement: place, Att: att},
+		{TxID: 5, Commit: true, Epoch: 7, Placement: crypto.HashConcat([]byte("map-b")), Att: att},
+		{TxID: 5, Commit: false, Epoch: 7, Placement: place, Att: att},
+		{TxID: 5, Commit: true, Epoch: 0, Placement: place, Att: att},
+	}
+	for i, d := range bad {
+		if _, err := h.log.Publish(d); !errors.Is(err, ErrBadAttestation) {
+			t.Fatalf("bad decision %d published: %v", i, err)
+		}
+	}
+	if _, err := h.log.Publish(Decision{TxID: 5, Commit: true, Epoch: 7, Placement: place, Att: att}); err != nil {
+		t.Fatal(err)
+	}
+	// A second handoff claiming epoch 7 loses outright.
+	place2 := crypto.HashConcat([]byte("map-c"))
+	att2, _ := h.arb.DecidePlacement(6, 7, place2)
+	if _, err := h.log.Publish(Decision{TxID: 6, Commit: true, Epoch: 7, Placement: place2, Att: att2}); !errors.Is(err, ErrEpochClaimed) {
+		t.Fatalf("conflicting epoch claim: %v", err)
+	}
+	// Re-publishing the winner is idempotent (adopts the record).
+	d, err := h.log.Publish(Decision{TxID: 5, Commit: true, Epoch: 7, Placement: place, Att: att})
+	if err != nil || d.TxID != 5 {
+		t.Fatalf("idempotent republish: %v %v", d, err)
+	}
+	var zero types.Digest
+	if d.Placement == zero {
+		t.Fatal("recorded decision lost its placement")
+	}
+}

@@ -118,6 +118,12 @@ type Config struct {
 	Submit func(ctx context.Context, shard int, op *kvstore.Op) ([]byte, error)
 	// ShardFor maps a key to its owning shard.
 	ShardFor func(key uint64) int
+	// Done, when non-nil, is told when a transaction is fully settled —
+	// its decision driven to every participant — so the stability
+	// watermark (decision-history compaction) can advance past its id. It
+	// is NOT called when a crash injection leaves the transaction in
+	// doubt; in-doubt resolution settles it instead.
+	Done func(txid uint64)
 }
 
 // Options tunes one Execute call (crash injection for recovery tests).
@@ -184,27 +190,34 @@ func (c *Coordinator) Execute(ctx context.Context, writes []kvstore.TxnWrite, op
 	for s, ws := range parts {
 		res.Shards = append(res.Shards, s)
 		// Encode up front: an oversized write set fails loudly here, before
-		// any participant installs an intent.
+		// any participant installs an intent. Nothing reached any shard, so
+		// the id is settled immediately — leaking it in-flight would stall
+		// the stability watermark (and with it compaction) forever.
 		op, err := kvstore.EncodeTxnPrepare(txid, ws)
 		if err != nil {
+			if c.cfg.Done != nil {
+				c.cfg.Done(txid)
+			}
 			return nil, err
 		}
 		prepares[s] = op
 	}
 	sort.Ints(res.Shards)
 
-	// Phase 1: fan the per-shard prepares out concurrently.
+	// Phase 1: fan the per-shard prepares out concurrently, issued in
+	// ascending shard order so the request sequence (and simulated
+	// timelines) is reproducible across runs.
 	type vote struct {
 		shard int
 		res   string
 		err   error
 	}
 	votes := make(chan vote, len(parts))
-	for s, op := range prepares {
+	for _, s := range res.Shards {
 		go func(s int, op *kvstore.Op) {
 			v, err := c.cfg.Submit(ctx, s, op)
 			votes <- vote{shard: s, res: string(v), err: err}
-		}(s, op)
+		}(s, prepares[s])
 	}
 	commit := true
 	var voteErr error
@@ -249,8 +262,13 @@ func (c *Coordinator) Execute(ctx context.Context, writes []kvstore.TxnWrite, op
 
 	// Phase 2: drive the decision to the participants (concurrently;
 	// idempotent on the shards, so retries and recovery may overlap).
-	if err := c.drive(ctx, decision, parts, opts.DriveOnly); err != nil {
+	if err := c.drive(ctx, decision, res.Shards, parts, opts.DriveOnly); err != nil {
 		return res, err
+	}
+	// Fully driven (an injected partial drive keeps the id in flight): the
+	// stability watermark may advance past this id.
+	if opts.DriveOnly == nil && c.cfg.Done != nil {
+		c.cfg.Done(txid)
 	}
 	if voteErr != nil {
 		return res, fmt.Errorf("%w: %v", ErrAborted, voteErr)
@@ -261,12 +279,12 @@ func (c *Coordinator) Execute(ctx context.Context, writes []kvstore.TxnWrite, op
 	return res, nil
 }
 
-// drive sends the decision to every participant shard in parts (restricted
-// to `only` when non-nil).
-func (c *Coordinator) drive(ctx context.Context, d Decision, parts map[int][]kvstore.TxnWrite, only map[int]bool) error {
-	errs := make(chan error, len(parts))
+// drive sends the decision to every participant shard (ascending order,
+// restricted to `only` when non-nil).
+func (c *Coordinator) drive(ctx context.Context, d Decision, shards []int, parts map[int][]kvstore.TxnWrite, only map[int]bool) error {
+	errs := make(chan error, len(shards))
 	n := 0
-	for s, ws := range parts {
+	for _, s := range shards {
 		if only != nil && !only[s] {
 			continue
 		}
@@ -277,7 +295,7 @@ func (c *Coordinator) drive(ctx context.Context, d Decision, parts map[int][]kvs
 				err = fmt.Errorf("txn %d: decision on shard %d: %w", d.TxID, s, err)
 			}
 			errs <- err
-		}(s, ws[0].Key)
+		}(s, parts[s][0].Key)
 	}
 	var first error
 	for i := 0; i < n; i++ {
@@ -298,6 +316,12 @@ func (c *Coordinator) drive(ctx context.Context, d Decision, parts map[int][]kvs
 func ResolveInDoubt(log *AttestationLog, arb Arbiter, txid uint64) (Decision, error) {
 	if d, ok := log.Lookup(txid); ok {
 		return d, nil
+	}
+	// Below the stability watermark the decision history is compacted: the
+	// id was settled long ago, so minting a recovery abort would be both
+	// wrong and unverifiable. Refuse rather than guess.
+	if txid <= log.Stable() {
+		return Decision{}, fmt.Errorf("txn %d: %w (stable=%d)", txid, ErrBelowWatermark, log.Stable())
 	}
 	att, err := arb.Decide(txid, false)
 	if err != nil {

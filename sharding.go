@@ -39,23 +39,41 @@ type ShardOptions struct {
 }
 
 // ShardedCluster is a running sharded deployment. Operations are routed to
-// the shard owning their key (single-shard fast path); cross-shard reads go
-// through ShardSession.MultiGet, which is fenced by per-shard commit
-// watermarks (read-committed) and reports keys blocked by a pending
-// transaction intent explicitly. Cross-shard writes are atomic through
+// the shard owning their key under the cluster's epoch-versioned placement
+// map (single-shard fast path); cross-shard reads go through
+// ShardSession.MultiGet, which is fenced by per-shard commit watermarks
+// (read-committed) and reports keys blocked by a pending transaction
+// intent explicitly. Cross-shard writes are atomic through
 // ShardSession.MultiPut / ShardSession.Txn: two-phase commit over the
 // groups with the cluster's attested counter as the commit-point arbiter
-// (see the package docs' "Cross-shard transactions" section).
+// (see the package docs' "Cross-shard transactions" section). Hash ranges
+// migrate live between groups through ShardSession.Rebalance (see
+// "Elastic placement & rebalancing").
 type ShardedCluster struct {
 	inner *shard.Cluster
 	opts  ShardOptions
 }
 
-// ShardSession is a client identity's routing handle into every shard.
+// ShardSession is a client identity's routing handle into every shard. It
+// routes by its cached placement epoch and transparently retries through
+// refreshed epochs when a range moves under it.
 type ShardSession = shard.Session
 
 // ShardVector is the per-shard version vector a MultiGet was read at.
 type ShardVector = shard.ShardVector
+
+// KeyRange is a contiguous interval of the 64-bit key-HASH space (both
+// ends inclusive) — the unit of placement and rebalancing. Ranges are over
+// kvstore.KeyHash values, not raw keys.
+type KeyRange = shard.Range
+
+// PlacementMap is the epoch-versioned assignment of hash ranges to
+// consensus groups (immutable; rebalancing installs successors).
+type PlacementMap = shard.PlacementMap
+
+// RebalanceResult reports one live range handoff's outcome
+// (ShardSession.Rebalance).
+type RebalanceResult = shard.RebalanceResult
 
 // TxnWrite is one write of a cross-shard transaction (ShardSession.Txn):
 // Code is OpUpdate-style (key must exist) when built with UpdateWrite, or
@@ -121,8 +139,24 @@ func (c *ShardedCluster) Session(id ClientID) *ShardSession { return c.inner.Ses
 // Shards returns the number of consensus groups.
 func (c *ShardedCluster) Shards() int { return c.inner.Shards() }
 
-// ShardFor maps a key to its owning group index (deterministic).
+// ShardFor maps a key to its owning group index under the current
+// placement epoch.
 func (c *ShardedCluster) ShardFor(key uint64) int { return c.inner.ShardFor(key) }
+
+// HashKey returns the canonical 64-bit hash of a store key — the value
+// KeyRange placement intervals are expressed over (kvstore.KeyHash).
+func HashKey(key uint64) uint64 { return kvstore.KeyHash(key) }
+
+// TxnLogLen returns the number of decisions the cluster's attestation log
+// currently retains (shrinks under ShardSession.CompactTxnHistory).
+func (c *ShardedCluster) TxnLogLen() int { return c.inner.TxnLog().Len() }
+
+// Placement returns the installed placement map.
+func (c *ShardedCluster) Placement() *PlacementMap { return c.inner.Placement() }
+
+// PlacementEpoch returns the installed placement's epoch (starts at 1;
+// every committed rebalance advances it).
+func (c *ShardedCluster) PlacementEpoch() uint64 { return c.inner.Placement().Epoch() }
 
 // Watermarks snapshots every shard's committed-sequence watermark.
 func (c *ShardedCluster) Watermarks() ShardVector { return c.inner.Watermarks() }

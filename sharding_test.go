@@ -145,3 +145,79 @@ func TestShardedClusterTransactions(t *testing.T) {
 		t.Fatalf("updated key reads %q, %v", got, err)
 	}
 }
+
+// TestShardedClusterRebalancing exercises the documented elastic-placement
+// surface: a live range migration between two shards, a stale session
+// transparently re-routing through the new epoch, and decision-history
+// compaction afterwards.
+func TestShardedClusterRebalancing(t *testing.T) {
+	cluster, err := NewShardedCluster(ShardOptions{
+		Shards:    2,
+		Protocol:  FlexiBFT,
+		F:         1,
+		Clients:   []ClientID{1, 2},
+		BatchSize: 4,
+		Records:   1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if cluster.PlacementEpoch() != 1 {
+		t.Fatalf("fresh cluster at epoch %d", cluster.PlacementEpoch())
+	}
+
+	// Migrate the lower half of shard 0's range; find fresh keys inside it.
+	full := cluster.Placement().GroupRanges(0)[0]
+	r := KeyRange{Start: full.Start, End: full.Start + (full.End-full.Start)/2}
+	var keys []uint64
+	for k := uint64(1000); len(keys) < 2; k++ {
+		if r.Contains(HashKey(k)) {
+			keys = append(keys, k)
+		}
+	}
+	mover, stale := cluster.Session(1), cluster.Session(2)
+	for i, k := range keys {
+		if err := mover.Insert(ctx, k, []byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	res, err := mover.Rebalance(ctx, r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed || res.Epoch != 2 || res.Moved < len(keys) {
+		t.Fatalf("rebalance result: %+v", res)
+	}
+	if cluster.PlacementEpoch() != 2 {
+		t.Fatalf("cluster epoch %d after migration", cluster.PlacementEpoch())
+	}
+	if cluster.ShardFor(keys[0]) != 1 {
+		t.Fatalf("moved key %d still routes to shard %d", keys[0], cluster.ShardFor(keys[0]))
+	}
+
+	// The stale session cached epoch 1; it re-routes transparently.
+	for i, k := range keys {
+		got, err := stale.Get(ctx, k)
+		if err != nil || !bytes.Equal(got, []byte(fmt.Sprintf("r%d", i))) {
+			t.Fatalf("stale read of key %d = %q, %v", k, got, err)
+		}
+	}
+	if stale.Epoch() != 2 {
+		t.Fatalf("stale session still at epoch %d", stale.Epoch())
+	}
+	if err := stale.Put(ctx, keys[0], []byte("post-flip")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Compaction shrinks the decision history to the placement record.
+	if _, err := mover.CompactTxnHistory(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n := cluster.TxnLogLen(); n != 1 {
+		t.Fatalf("log retains %d decisions after compaction, want 1 (the placement)", n)
+	}
+}
