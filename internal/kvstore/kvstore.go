@@ -258,13 +258,20 @@ func (s *Store) Apply(opBytes []byte) []byte {
 		if s.stagedIn(op.Key) {
 			return []byte(RangeMigrating)
 		}
-		// Deterministic short scan over the contiguous key space.
+		// Deterministic short scan over the contiguous key space. Keys whose
+		// interval was released (their records were deleted on handoff
+		// commit — the lazy default would fabricate a value the destination
+		// may have diverged from) or is inbound-staged (not owned yet) are
+		// omitted rather than counted.
 		n := int(op.Count)
 		if n > 64 {
 			n = 64
 		}
 		found := 0
 		for k := op.Key; k < op.Key+uint64(n); k++ {
+			if s.releasedKey(k) || s.stagedIn(k) {
+				continue
+			}
 			if s.exists(k) {
 				found++
 			}

@@ -325,6 +325,16 @@ func (s *Store) applyRangeFreeze(payload []byte) []byte {
 			return []byte(TxnConflict)
 		}
 	}
+	// An inbound stage means this store does not own the interval yet: the
+	// staged records only become visible when that handoff commits. Freezing
+	// over it would export the pre-handoff state (losing the migrated
+	// records on the new destination) or, worse, race the commit into
+	// doubly-owned keys — refuse until the earlier handoff decides.
+	for _, st := range s.inbound {
+		if st.r.Overlaps(r) {
+			return []byte(RangeMigrating)
+		}
+	}
 	// Keys under a pending transaction intent cannot migrate: the 2PC
 	// decision must land on the store that owns them.
 	for k := range s.intents {
@@ -377,20 +387,13 @@ func (s *Store) applyRangeInstall(payload []byte) []byte {
 		}
 		return []byte(TxnAborted)
 	}
-	st := s.inbound[hid]
-	if st == nil {
-		st = &rangeStage{r: r, chunks: make(map[uint32]bool), recs: make(map[uint64][]byte)}
-		s.inbound[hid] = st
-	} else if st.r != r {
-		return []byte("ERR")
-	}
-	if st.chunks[chunk] {
-		return []byte(RangeStaged) // resent chunk: idempotent
-	}
+	// Parse and validate the whole chunk before touching any state: ops are
+	// attacker-reachable (they execute for any client), and a stage
+	// registered for a malformed chunk would lock the claimed range behind
+	// RangeMigrating under a handoff id that may never be decided. The count
+	// field is bounded by what the payload could possibly hold before the
+	// allocation trusts it.
 	rest := payload[32:]
-	// The count field is attacker-reachable (ops execute for any client):
-	// bound the allocation by what the payload could possibly hold before
-	// trusting it.
 	if n > len(rest)/10 {
 		return []byte("ERR")
 	}
@@ -410,6 +413,16 @@ func (s *Store) applyRangeInstall(payload []byte) []byte {
 	}
 	if len(rest) != 0 {
 		return []byte("ERR")
+	}
+	st := s.inbound[hid]
+	if st == nil {
+		st = &rangeStage{r: r, chunks: make(map[uint32]bool), recs: make(map[uint64][]byte)}
+		s.inbound[hid] = st
+	} else if st.r != r {
+		return []byte("ERR")
+	}
+	if st.chunks[chunk] {
+		return []byte(RangeStaged) // resent chunk: idempotent
 	}
 	st.chunks[chunk] = true
 	for _, rec := range recs {

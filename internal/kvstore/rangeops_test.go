@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"testing"
 )
@@ -326,6 +327,93 @@ func TestTxnCompactPrunesAndRefuses(t *testing.T) {
 	prep4, _ := EncodeTxnPrepare(4, []TxnWrite{{Key: k, Code: OpUpdate, Value: []byte("w")}})
 	if res := apply(s, prep4); res != TxnPrepared {
 		t.Fatalf("fresh prepare: %s", res)
+	}
+}
+
+// TestRangeFreezeRefusesInboundOverlap: a freeze over a range this store is
+// still staging inbound must refuse. If it succeeded, the export would miss
+// the staged records (they apply only on commit), so a chained handoff
+// A→B→C racing B's commit would either lose every migrated record or leave
+// the interval doubly owned.
+func TestRangeFreezeRefusesInboundOverlap(t *testing.T) {
+	s := New(0)
+	k := keyInRange(t, lowerHalf, 100)
+	op, err := EncodeRangeInstall(1, lowerHalf, 0, []RangeRecord{{Key: k, Value: []byte("migrated")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := apply(s, op); res != RangeStaged {
+		t.Fatalf("install: %s", res)
+	}
+	// A second handoff tries to move the same (or an overlapping) interval
+	// onward before the first decides: refused, nothing claimed.
+	if res := string(s.Apply(EncodeRangeFreeze(2, lowerHalf).Encode())); res != RangeMigrating {
+		t.Fatalf("freeze over inbound stage: %s", res)
+	}
+	part := HashRange{Start: lowerHalf.End / 2, End: lowerHalf.End + 10}
+	if res := string(s.Apply(EncodeRangeFreeze(3, part).Encode())); res != RangeMigrating {
+		t.Fatalf("freeze over partial inbound overlap: %s", res)
+	}
+	// Once the inbound handoff commits, the onward freeze succeeds and the
+	// export carries the migrated record — no window where it is invisible.
+	if res := apply(s, EncodeTxnDecision(true, 1, 0)); res != TxnCommitted {
+		t.Fatalf("commit: %s", res)
+	}
+	recs, ok := DecodeRangeExport(s.Apply(EncodeRangeFreeze(2, lowerHalf).Encode()))
+	if !ok || len(recs) != 1 || recs[0].Key != k {
+		t.Fatalf("onward freeze after commit: ok=%v recs=%v", ok, recs)
+	}
+}
+
+// TestRangeInstallMalformedChunkLeavesNoStage: a chunk that fails payload
+// validation must not register a stage — otherwise the claimed range refuses
+// all reads/writes under a handoff id that may never be decided.
+func TestRangeInstallMalformedChunkLeavesNoStage(t *testing.T) {
+	s := New(0)
+	k := keyInRange(t, lowerHalf, 100)
+	good, err := EncodeRangeInstall(4, lowerHalf, 0, []RangeRecord{{Key: k, Value: []byte("v")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the record bytes so the claimed count overruns the payload.
+	bad := &Op{Code: OpRangeInstall, Value: good.Value[:len(good.Value)-1]}
+	if res := apply(s, bad); res != "ERR" {
+		t.Fatalf("truncated chunk: %s", res)
+	}
+	// No stage was left behind: the range still accepts plain writes, and a
+	// valid resend of the same chunk (same hid) stages normally.
+	if res := apply(s, &Op{Code: OpInsert, Key: k, Value: []byte("w")}); res != "OK" {
+		t.Fatalf("write after malformed install: %s", res)
+	}
+	if res := apply(s, good); res != RangeStaged {
+		t.Fatalf("valid install after malformed one: %s", res)
+	}
+}
+
+// TestScanSkipsReleasedKeys: a scan iterating into a released interval must
+// omit those keys rather than serve their lazy defaults — the records were
+// deleted on handoff commit and the destination is authoritative.
+func TestScanSkipsReleasedKeys(t *testing.T) {
+	s := New(1000) // lazy defaults exist for keys 0..999
+	s.Apply(EncodeRangeFreeze(1, lowerHalf).Encode())
+	apply(s, EncodeTxnDecision(true, 1, 0)) // release lowerHalf
+	start := keyOutsideRange(t, lowerHalf, 0)
+	const count = 32
+	want := 0
+	for k := start; k < start+count; k++ {
+		if !lowerHalf.Contains(KeyHash(k)) && k < 1000 {
+			want++
+		}
+	}
+	if want == 0 || want == count {
+		t.Fatalf("degenerate split: want=%d of %d", want, count)
+	}
+	res := s.Apply((&Op{Code: OpScan, Key: start, Count: count}).Encode())
+	if len(res) != 4 {
+		t.Fatalf("scan result: %s", res)
+	}
+	if got := int(binary.BigEndian.Uint32(res)); got != want {
+		t.Fatalf("scan counted %d keys, want %d (released keys must be omitted)", got, want)
 	}
 }
 
