@@ -9,7 +9,7 @@
 //	benchrunner -list
 //
 // Experiments: fig1, fig5, fig6i, fig6ii, fig6iv, fig6vi, fig7, fig8, fig9,
-// shard, txn, rebalance.
+// shard, txn, rebalance, failover.
 package main
 
 import (
@@ -60,6 +60,8 @@ func experiments() []experiment {
 			func(s harness.Scale) string { return harness.FigTxnScaling(shardCounts, s) }},
 		{"rebalance", "live shard rebalancing: mid-workload range handoff with an attested placement flip, FlexiBFT vs MinBFT",
 			func(s harness.Scale) string { return harness.FigRebalance(shardCounts, s) }},
+		{"failover", "per-shard failover: primary crash mid-workload, health-driven evacuation as an attested placement change, FlexiBFT vs MinBFT",
+			func(s harness.Scale) string { return harness.FigFailover(shardCounts, s) }},
 	}
 }
 
@@ -84,7 +86,7 @@ func main() {
 	full := flag.Bool("full", false, "publication-scale windows (slower)")
 	scaleFlag := flag.Int("scale", 4, "window divisor for quick runs (ignored with -full; larger = shorter)")
 	mode := flag.String("mode", "shared", "shard-experiment simulation mode: 'shared' runs all groups in one kernel (the analytic 'merged' mode was removed)")
-	shards := flag.String("shards", "", "comma-separated shard counts for -exp shard / txn / rebalance (defaults 1,2,4,8 / 4 / 4)")
+	shards := flag.String("shards", "", "comma-separated shard counts for -exp shard / txn / rebalance / failover (defaults 1,2,4,8 / 4 / 4 / 4)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -117,7 +119,7 @@ func main() {
 		}
 		ran = true
 		start := time.Now()
-		if e.name == "shard" || e.name == "txn" || e.name == "rebalance" {
+		if e.name == "shard" || e.name == "txn" || e.name == "rebalance" || e.name == "failover" {
 			fmt.Println("simulation mode: shared-kernel (all groups in one discrete-event kernel, deterministic seeds)")
 		}
 		fmt.Println(e.run(scale))

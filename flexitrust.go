@@ -153,8 +153,48 @@
 // rounds and the flip access, so the range stays unavailable materially
 // longer.
 //
-// Per-shard failover orchestration remains open (ROADMAP.md); the epoch
-// bump is its natural substrate.
+// # Per-shard failover
+//
+// Each group runs its own view-change machinery, and the sharded cluster
+// surfaces it: ShardedCluster.Health (and ShardSession.Health) samples
+// every group's {view, primary, stalled-since, commit watermark} through a
+// progress probe on each replica's event goroutine and classifies groups
+// Healthy, ViewChanging or Stalled. Routing is health-aware — a session
+// briefly defers to an in-progress election instead of piling requests
+// onto a dead primary (then submits anyway, since client resends are what
+// drive a stalled election), fails fast with ErrShardDegraded once a group
+// is Stalled past the threshold (ShardOptions.StallTimeout), reports a
+// degraded shard's keys explicitly in MultiGet (ReadResult.Unavailable)
+// rather than blocking the whole read, and a cross-shard transaction with
+// a Stalled participant aborts before any intent installs:
+//
+//	for _, h := range cluster.Health() {
+//	    fmt.Println(h.Group, h.State, h.View, h.PrimaryUp)
+//	}
+//
+// A failover is not new machinery — it is a placement change.
+// ShardedCluster.Failover evacuates a degraded group's ranges to the
+// healthy groups through Session.Rebalance: each range's epoch bump is
+// bound to ONE attested counter access published to the same
+// first-wins-per-id-and-per-epoch attestation log, so two orchestrators
+// racing to fail the same group over can never both re-point a range, and
+// an orchestrator crash at any boundary resolves through the log with
+// zero lost and zero doubly-owned keys. The evacuation's freeze rides the
+// degraded group's own consensus — its resends are exactly what push the
+// surviving backups into the view change — so evacuating a merely
+// primary-less group also heals it. Recovery timeouts plumb through
+// ShardOptions (ViewChangeTimeout, ClientRetry, StallTimeout); per-group
+// view numbers and the cluster view-change count surface in Stats.
+//
+// The mid-failure cost is measured on the shared kernel (`benchrunner
+// -exp failover`, examples/failover, harness.FigFailover): group 0's
+// primary is killed mid-workload and probe writers in its range surface
+// the outage end to end — stalled until the election, refused while the
+// range is frozen, serving again once the attested flip lands. Under the
+// same timeout budget FlexiBFT's outage and crash→flip window are
+// measurably shorter: MinBFT's new primary re-proposes and drains the
+// crash backlog one host-sequenced instance at a time, paying stream
+// drains against every co-hosted group (TestFailoverRecoveryContrast).
 //
 // The measurement side lives under internal/harness and is exposed through
 // cmd/benchrunner and the repository-root benchmarks.
@@ -264,6 +304,13 @@ type ClusterOptions struct {
 	BatchTimeout time.Duration
 	// Records sizes the key-value store (default 600k).
 	Records int
+	// ViewChangeTimeout is how long a replica waits on a stalled request
+	// before suspecting its primary (default 500ms).
+	ViewChangeTimeout time.Duration
+	// ClientRetry is the client library's re-broadcast interval for
+	// unresolved requests (default 1s); failover is resend-driven, so set
+	// it near ViewChangeTimeout for snappy recovery.
+	ClientRetry time.Duration
 	// EmulateTrustedLatency sleeps the trusted component's hardware access
 	// cost (hardware-faithful demos; off by default).
 	EmulateTrustedLatency bool
@@ -292,12 +339,16 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 	if opts.BatchTimeout > 0 {
 		ecfg.BatchTimeout = opts.BatchTimeout
 	}
+	if opts.ViewChangeTimeout > 0 {
+		ecfg.ViewChangeTimeout = opts.ViewChangeTimeout
+	}
 	inner, err := runtime.NewCluster(runtime.ClusterConfig{
 		N: n, F: opts.F,
 		Engine:           ecfg,
 		NewProtocol:      constructor(opts.Protocol),
 		Replies:          opts.Protocol.Replies(n, opts.F),
 		Clients:          opts.Clients,
+		ClientRetry:      opts.ClientRetry,
 		TrustedProfile:   trusted.ProfileSGXEnclave,
 		KeepLog:          trustedKeepLog(opts.Protocol),
 		EmulateTCLatency: opts.EmulateTrustedLatency,

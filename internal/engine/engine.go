@@ -84,6 +84,36 @@ type Protocol interface {
 	OnTimer(id types.TimerID)
 }
 
+// Status is a replica's consensus position, exposed for health monitoring:
+// which view it is in (and therefore which replica it believes is primary),
+// whether a view change is in progress, and how far execution has advanced.
+// Protocols built on protocols/common report it through StatusReporter; the
+// substrates (runtime.Node, the simulator) read it on the replica's event
+// context so it never races with handlers.
+type Status struct {
+	// View is the replica's current view; Primary is the view's leader.
+	View    types.View
+	Primary types.ReplicaID
+	// InViewChange reports that the replica has abandoned View's primary
+	// and is voting for a successor view.
+	InViewChange bool
+	// LastExecuted is the highest consensus sequence number applied to the
+	// state machine — the replica's commit progress.
+	LastExecuted types.SeqNum
+	// ViewChanges counts the views this replica has installed (0 while the
+	// genesis view holds) — churn here is the degradation signal per-shard
+	// health monitoring aggregates.
+	ViewChanges uint64
+}
+
+// StatusReporter is implemented by protocols that expose their consensus
+// position (every protocol embedding protocols/common.Base does). Status
+// must only be called from within the replica's event context, like any
+// other protocol entry point.
+type StatusReporter interface {
+	Status() Status
+}
+
 // Config carries the cluster- and protocol-level parameters shared by all
 // protocols.
 type Config struct {

@@ -162,6 +162,12 @@ type ReadResult struct {
 	// BlockedBy is the id of the transaction holding an intent on the key
 	// (0 when none is pending).
 	BlockedBy uint64
+	// Unavailable marks a key that was NOT read because its owning shard is
+	// degraded (stalled consensus). It is set by the routing layer, never by
+	// the store: a cross-shard read reports the shards it could not reach
+	// explicitly instead of blocking on them. Value/Found/BlockedBy are
+	// meaningless when set.
+	Unavailable bool
 }
 
 // DecodeTxnRead parses an OpTxnRead result.

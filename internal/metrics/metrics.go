@@ -19,6 +19,7 @@ type Collector struct {
 	windowEnd   time.Duration // 0 = open
 	completed   uint64        // completions inside the measurement window
 	totalDone   uint64        // completions overall
+	viewChanges uint64        // consensus views installed (degradation signal)
 	latencies   []time.Duration
 	maxSamples  int
 }
@@ -56,6 +57,14 @@ func (c *Collector) Completed() uint64 { return c.completed }
 
 // TotalDone returns all completions regardless of window.
 func (c *Collector) TotalDone() uint64 { return c.totalDone }
+
+// SetViewChanges records how many consensus views the measured group has
+// installed — primary-failure churn, carried alongside the throughput
+// counters so degradation is visible wherever throughput is reported.
+func (c *Collector) SetViewChanges(n uint64) { c.viewChanges = n }
+
+// ViewChanges returns the recorded view-change count (summed by Merge).
+func (c *Collector) ViewChanges() uint64 { return c.viewChanges }
 
 // Throughput returns in-window completions per second given the window
 // length actually observed.
@@ -113,6 +122,7 @@ func Merge(cs ...*Collector) *Collector {
 		}
 		out.completed += c.completed
 		out.totalDone += c.totalDone
+		out.viewChanges += c.viewChanges
 		total += len(c.latencies)
 	}
 	// When the pooled samples exceed the budget, thin each input by the same

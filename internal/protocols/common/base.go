@@ -72,6 +72,9 @@ type Base struct {
 	// closed-loop bursts synchronize into throughput-destroying waves.
 	StableWindowAnchor bool
 
+	// viewChanges counts views installed after genesis (health monitoring).
+	viewChanges uint64
+
 	// inProgress dedups requests between arrival and execution.
 	inProgress map[types.RequestKey]bool
 	// forwarded counts requests sent to the primary that have not executed.
@@ -171,6 +174,18 @@ func (b *Base) PrimaryID() types.ReplicaID { return types.Primary(b.View, b.Cfg.
 
 // IsPrimary reports whether this replica leads the current view.
 func (b *Base) IsPrimary() bool { return b.Env.ID() == b.PrimaryID() }
+
+// Status implements engine.StatusReporter: the replica's consensus position
+// for health monitoring. Call only from within the replica's event context.
+func (b *Base) Status() engine.Status {
+	return engine.Status{
+		View:         b.View,
+		Primary:      b.PrimaryID(),
+		InViewChange: b.InViewChange,
+		LastExecuted: b.Exec.LastExecuted(),
+		ViewChanges:  b.viewChanges,
+	}
+}
 
 // HandleRequest routes a client request: the primary batches it, backups
 // forward it to the primary and arm the progress timer that triggers view
@@ -404,6 +419,7 @@ func (b *Base) EnterView(v types.View) {
 	}
 	b.View = v
 	b.InViewChange = false
+	b.viewChanges++
 	b.Env.CancelTimer(types.TimerID{Kind: types.TimerViewChange, View: v})
 	b.Env.CancelTimer(types.TimerID{Kind: types.TimerViewChange})
 	b.forwarded = 0

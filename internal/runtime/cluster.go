@@ -2,6 +2,8 @@ package runtime
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"flexitrust/internal/crypto"
 	"flexitrust/internal/engine"
@@ -19,6 +21,12 @@ type ClusterConfig struct {
 	Replies int
 	// Clients lists client ids to provision keys for.
 	Clients []types.ClientID
+	// ClientRetry is the client library's re-broadcast interval for
+	// unresolved requests (default 1s). Primary-failure recovery is driven
+	// by it: the re-broadcast is what makes backups suspect a dead primary,
+	// so deployments that want snappy failover set it near the engine's
+	// ViewChangeTimeout.
+	ClientRetry time.Duration
 	// TrustedProfile / KeepLog configure the trusted components.
 	TrustedProfile   trusted.Profile
 	KeepLog          bool
@@ -32,8 +40,14 @@ type ClusterConfig struct {
 // libraries, all real goroutines over the hub transport with real Ed25519
 // signatures — the quickstart and integration-test substrate.
 type Cluster struct {
-	Hub     *transport.Hub
+	Hub *transport.Hub
+	// Nodes is the replica set. RestartReplica swaps entries while health
+	// probes read them concurrently, so concurrent readers must go through
+	// Node(r)/Probe/ReplicaStatus (which take nodesMu) rather than
+	// indexing Nodes directly; direct indexing is fine for tests and
+	// single-threaded setup/teardown.
 	Nodes   []*Node
+	nodesMu sync.RWMutex
 	Keyring *crypto.Keyring
 	Auth    *trusted.HMACAuthority
 	cfg     ClusterConfig
@@ -77,16 +91,86 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	return c, nil
 }
 
+// N returns the cluster's replication factor; F its fault threshold.
+func (c *Cluster) N() int { return c.cfg.N }
+
+// F returns the cluster's fault threshold.
+func (c *Cluster) F() int { return c.cfg.F }
+
+// Node returns replica r's current node, safely against a concurrent
+// RestartReplica swap.
+func (c *Cluster) Node(r types.ReplicaID) *Node {
+	c.nodesMu.RLock()
+	defer c.nodesMu.RUnlock()
+	return c.Nodes[r]
+}
+
+// StopReplica fail-stops replica r (idempotent). The failure-injection
+// counterpart of RestartReplica; the remaining replicas view-change around
+// a stopped primary as long as at most F replicas are down.
+func (c *Cluster) StopReplica(r types.ReplicaID) { c.Node(r).Stop() }
+
+// RestartReplica replaces a stopped replica with a fresh node under the
+// same identity, keys and transport address. The restarted replica rejoins
+// the protocol from genesis state: it participates in view changes and
+// forwards requests immediately, but its state machine restarts empty, so
+// its replies must not be counted toward matching-response quorums until it
+// observes a stable checkpoint — with at most F replicas restarted at once,
+// quorums never need it. Restarting a running replica is a no-op.
+func (c *Cluster) RestartReplica(r types.ReplicaID) {
+	c.nodesMu.Lock()
+	defer c.nodesMu.Unlock()
+	old := c.Nodes[r]
+	if !old.Stopped() {
+		return
+	}
+	old.cfg.Transport.Close()
+	tp := c.Hub.Attach(transport.ReplicaAddr(int32(r)), 0)
+	cfg := old.cfg
+	cfg.Transport = tp
+	c.Nodes[r] = NewNode(cfg)
+}
+
+// ReplicaStatus probes replica r's consensus position; ok is false when the
+// replica is down.
+func (c *Cluster) ReplicaStatus(r types.ReplicaID) (engine.Status, bool) {
+	return c.Node(r).Status()
+}
+
+// ReplicaProbe is one replica's entry in a cluster progress probe.
+type ReplicaProbe struct {
+	ID types.ReplicaID
+	// Up reports whether the replica answered; Status is meaningful only
+	// when Up.
+	Up     bool
+	Status engine.Status
+}
+
+// Probe snapshots every replica's consensus position — the cluster-level
+// progress probe per-shard health monitoring samples.
+func (c *Cluster) Probe() []ReplicaProbe {
+	c.nodesMu.RLock()
+	nodes := append([]*Node(nil), c.Nodes...)
+	c.nodesMu.RUnlock()
+	out := make([]ReplicaProbe, len(nodes))
+	for i, n := range nodes {
+		st, up := n.Status()
+		out[i] = ReplicaProbe{ID: types.ReplicaID(i), Up: up, Status: st}
+	}
+	return out
+}
+
 // NewClient attaches a client library for one of the provisioned ids.
 func (c *Cluster) NewClient(id types.ClientID) *Client {
 	tp := c.Hub.Attach(transport.ClientAddr(uint64(id)), 0)
 	return NewClient(ClientConfig{
-		ID:        id,
-		N:         c.cfg.N,
-		F:         c.cfg.F,
-		Transport: tp,
-		Keyring:   c.Keyring,
-		Replies:   c.cfg.Replies,
+		ID:         id,
+		N:          c.cfg.N,
+		F:          c.cfg.F,
+		Transport:  tp,
+		Keyring:    c.Keyring,
+		Replies:    c.cfg.Replies,
+		RetryEvery: c.cfg.ClientRetry,
 	})
 }
 

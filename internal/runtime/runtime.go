@@ -182,6 +182,39 @@ func (n *Node) DigestSnapshot() (types.Digest, uint64) {
 	return n.store.StateDigest(), n.store.Applied()
 }
 
+// Stopped reports whether the node has been fail-stopped.
+func (n *Node) Stopped() bool {
+	select {
+	case <-n.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// Status reports the protocol's consensus position (view, primary,
+// view-change state, execution progress), read on the node's event goroutine
+// so it never races with handlers. ok is false when the node is stopped —
+// a down replica has no position, which is exactly the signal health
+// monitoring wants — or when the protocol does not report status.
+func (n *Node) Status() (engine.Status, bool) {
+	sr, reports := n.proto.(engine.StatusReporter)
+	if !reports {
+		return engine.Status{}, false
+	}
+	ch := make(chan engine.Status, 1)
+	select {
+	case n.events <- func() { ch <- sr.Status() }:
+		select {
+		case st := <-ch:
+			return st, true
+		case <-n.stop:
+		}
+	case <-n.stop:
+	}
+	return engine.Status{}, false
+}
+
 // TrustedComponent exposes the node's trusted component.
 func (n *Node) TrustedComponent() trusted.Component { return n.tc }
 

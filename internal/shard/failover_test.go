@@ -1,0 +1,419 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"flexitrust/internal/kvstore"
+	"flexitrust/internal/txn"
+)
+
+// failoverConfig is testConfig tuned for snappy recovery: short view-change
+// timeout, client resends near it, and a stall threshold small enough for
+// tests to observe Stalled without waiting seconds.
+func failoverConfig(shards int, stallAfter time.Duration) Config {
+	cfg := testConfig(shards)
+	cfg.Group.Engine.ViewChangeTimeout = 150 * time.Millisecond
+	cfg.Group.ClientRetry = 200 * time.Millisecond
+	cfg.Health = HealthConfig{StallAfter: stallAfter, ProbeEvery: time.Millisecond}
+	return cfg
+}
+
+// waitForState polls the monitor until group g reaches the wanted state.
+func waitForState(t *testing.T, c *Cluster, g int, want GroupState, within time.Duration) GroupHealth {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		h := c.Monitor().Sample()[g]
+		if h.State == want {
+			return h
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("group %d stuck at %v (want %v): %+v", g, h.State, want, h)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestHealthMonitorClassifiesPrimaryFailure: a fresh cluster is Healthy;
+// killing a group's primary moves it through ViewChanging (primary down)
+// and, because nothing is driving the election, to Stalled once the stall
+// threshold passes; traffic then drives the view change and the group
+// returns to Healthy with its view advanced.
+func TestHealthMonitorClassifiesPrimaryFailure(t *testing.T) {
+	c, err := NewCluster(failoverConfig(2, 300*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	sess := c.Session(1)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	for _, h := range c.Health() {
+		if h.State != GroupHealthy {
+			t.Fatalf("fresh group %d is %v, want healthy", h.Group, h.State)
+		}
+	}
+	key := freshKeysOnShard(c.Placement(), 0, 1, 50_000)[0]
+	if err := sess.Insert(ctx, key, []byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+
+	c.Group(0).Runtime().StopReplica(0)
+	h := waitForState(t, c, 0, GroupViewChanging, 2*time.Second)
+	if h.PrimaryUp {
+		t.Fatalf("primary reported up after stop: %+v", h)
+	}
+	// No traffic: the election never starts, and the degradation clock
+	// escalates the classification to Stalled.
+	h = waitForState(t, c, 0, GroupStalled, 2*time.Second)
+	if h.StalledFor < 300*time.Millisecond {
+		t.Fatalf("stalled classification with StalledFor=%v", h.StalledFor)
+	}
+	// With the group Stalled, single-key operations fail fast and name it.
+	if _, err := sess.Get(ctx, key); !errors.Is(err, ErrShardDegraded) {
+		t.Fatalf("Get against stalled group = %v, want ErrShardDegraded", err)
+	}
+	// A cross-shard read reports the degraded shard's keys explicitly and
+	// still serves the healthy shard.
+	other := freshKeysOnShard(c.Placement(), 1, 1, 50_000)[0]
+	if err := sess.Insert(ctx, other, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	vals, _, err := sess.MultiGet(ctx, []uint64{key, other})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vals[key].Unavailable {
+		t.Fatalf("degraded shard's key not reported unavailable: %+v", vals[key])
+	}
+	if vals[other].Unavailable || !bytes.Equal(vals[other].Value, []byte("ok")) {
+		t.Fatalf("healthy shard's key misread: %+v", vals[other])
+	}
+	// And a cross-shard transaction touching the stalled group fails fast
+	// without installing intents anywhere.
+	_, err = sess.Txn(ctx, []kvstore.TxnWrite{
+		{Key: key, Code: kvstore.OpInsert, Value: []byte("x")},
+		{Key: other, Code: kvstore.OpInsert, Value: []byte("y")},
+	})
+	if !errors.Is(err, ErrShardDegraded) {
+		t.Fatalf("txn with stalled participant = %v, want ErrShardDegraded", err)
+	}
+	if rr, _, err := sess.MultiGet(ctx, []uint64{other}); err != nil || rr[other].BlockedBy != 0 {
+		t.Fatalf("healthy participant holds an intent after fail-fast: %+v, %v", rr[other], err)
+	}
+
+	// Drive the election directly (the orchestrator's freeze would do the
+	// same): the group recovers and the monitor follows.
+	go func() {
+		op := &kvstore.Op{Code: kvstore.OpUpdate, Key: key, Value: []byte("post")}
+		_, _ = sess.submitShard(ctx, 0, op)
+	}()
+	h = waitForState(t, c, 0, GroupHealthy, 10*time.Second)
+	if h.View == 0 || h.ViewChanges == 0 {
+		t.Fatalf("recovered without advancing the view: %+v", h)
+	}
+	st := c.Stats()
+	if st.ViewChanges == 0 {
+		t.Fatalf("cluster stats report no view changes: %+v", st)
+	}
+	if ps := st.PerShard[0]; ps.View == 0 || ps.ViewChanges == 0 {
+		t.Fatalf("per-shard stats missed the view change: %+v", ps)
+	}
+}
+
+// TestSessionsRideThroughPrimaryFailure: concurrent writers keep committing
+// across a primary kill — the health-aware routing defers to the election
+// instead of erroring, and every acknowledged write is durable.
+func TestSessionsRideThroughPrimaryFailure(t *testing.T) {
+	c, err := NewCluster(failoverConfig(2, 2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	sess := c.Session(1)
+
+	keys := freshKeysOnShard(c.Placement(), 0, 40, 50_000)
+	var wg sync.WaitGroup
+	errs := make(chan error, len(keys))
+	written := make(chan uint64, len(keys))
+	half := len(keys) / 2
+	write := func(ks []uint64) {
+		defer wg.Done()
+		for _, k := range ks {
+			if err := sess.Insert(ctx, k, []byte(fmt.Sprintf("v%d", k))); err != nil {
+				errs <- fmt.Errorf("key %d: %w", k, err)
+				return
+			}
+			written <- k
+		}
+	}
+	wg.Add(1)
+	go write(keys[:half])
+	// Let the first writer get going, then kill the primary mid-stream.
+	time.Sleep(50 * time.Millisecond)
+	c.Group(0).Runtime().StopReplica(0)
+	wg.Add(1)
+	go write(keys[half:])
+	wg.Wait()
+	close(errs)
+	close(written)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Every acknowledged write is readable after the view change.
+	for k := range written {
+		got, err := sess.Get(ctx, k)
+		if err != nil {
+			t.Fatalf("key %d after failover: %v", k, err)
+		}
+		if want := []byte(fmt.Sprintf("v%d", k)); !bytes.Equal(got, want) {
+			t.Fatalf("key %d = %q, want %q", k, got, want)
+		}
+	}
+	if h := c.Monitor().Sample()[0]; h.ViewChanges == 0 {
+		t.Fatalf("no view change recorded riding through the failure: %+v", h)
+	}
+}
+
+// TestFailoverEvacuatesStalledGroup kills a shard's primary mid-workload
+// and runs the orchestrator once the group classifies Stalled: the group's
+// ranges evacuate to the healthy groups (each placement change exactly one
+// attested access), the evacuation itself driving the wedged group's view
+// change, and a post-failover key census finds every committed key exactly
+// once.
+func TestFailoverEvacuatesStalledGroup(t *testing.T) {
+	c, err := NewCluster(failoverConfig(3, 250*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	sess := c.Session(1)
+
+	// Commit a census population across all shards.
+	var keys []uint64
+	for g := 0; g < 3; g++ {
+		keys = append(keys, freshKeysOnShard(c.Placement(), g, 6, 50_000)...)
+	}
+	for _, k := range keys {
+		if err := sess.Insert(ctx, k, []byte(fmt.Sprintf("v%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c.Group(0).Runtime().StopReplica(0)
+	waitForState(t, c, 0, GroupStalled, 3*time.Second)
+
+	// Background writers on the healthy shards ride through undisturbed.
+	var wg sync.WaitGroup
+	bgErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i, k := range freshKeysOnShard(c.Placement(), 1, 10, 200_000) {
+			if err := sess.Insert(ctx, k, []byte(fmt.Sprintf("bg%d", i))); err != nil {
+				select {
+				case bgErr <- err:
+				default:
+				}
+				return
+			}
+		}
+	}()
+
+	before := c.Arbiter().Accesses()
+	epochBefore := c.Placement().Epoch()
+	res, err := NewFailoverOrchestrator(sess).RunOnce(ctx)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-bgErr:
+		t.Fatalf("healthy-shard writer disturbed by evacuation: %v", err)
+	default:
+	}
+	if len(res) != 1 || res[0].Group != 0 || len(res[0].Handoffs) == 0 {
+		t.Fatalf("unexpected orchestration result %+v", res)
+	}
+	for _, h := range res[0].Handoffs {
+		if !h.Committed {
+			t.Fatalf("evacuation handoff %d did not commit: %+v", h.HandoffID, h)
+		}
+	}
+	// Exactly one attested access per placement change.
+	if got, want := c.Arbiter().Accesses()-before, uint64(len(res[0].Handoffs)); got != want {
+		t.Fatalf("evacuation cost %d attested accesses for %d placement changes", got, want)
+	}
+	if e := c.Placement().Epoch(); e != epochBefore+uint64(len(res[0].Handoffs)) {
+		t.Fatalf("epoch %d after %d handoffs from %d", e, len(res[0].Handoffs), epochBefore)
+	}
+	if ranges := c.Placement().GroupRanges(0); len(ranges) != 0 {
+		t.Fatalf("evacuated group still owns %v", ranges)
+	}
+
+	// Census: every committed key readable, owned by exactly one group,
+	// and no key routes to the evacuated group.
+	for _, k := range keys {
+		if g := c.ShardFor(k); g == 0 {
+			t.Fatalf("key %d still routed to evacuated group", k)
+		}
+		got, err := sess.Get(ctx, k)
+		if err != nil {
+			t.Fatalf("key %d after evacuation: %v", k, err)
+		}
+		if want := []byte(fmt.Sprintf("v%d", k)); !bytes.Equal(got, want) {
+			t.Fatalf("key %d = %q after evacuation, want %q", k, got, want)
+		}
+		owners := ownersAcrossGroups(ctx, t, sess, c, k)
+		if len(owners) != 1 {
+			t.Fatalf("key %d owned by groups %v after evacuation", k, owners)
+		}
+	}
+	// The evacuation's traffic drove the wedged group's election: it is
+	// healthy again (and range-less).
+	waitForState(t, c, 0, GroupHealthy, 5*time.Second)
+}
+
+// ownersAcrossGroups reports which groups serve a committed value for key.
+func ownersAcrossGroups(ctx context.Context, t *testing.T, sess *Session, c *Cluster, key uint64) []int {
+	t.Helper()
+	var owners []int
+	for g := 0; g < c.Shards(); g++ {
+		res, err := sess.submitShard(ctx, g, &kvstore.Op{Code: kvstore.OpRead, Key: key})
+		if err != nil {
+			t.Fatalf("census read of key %d on group %d: %v", key, g, err)
+		}
+		if s := string(res); s != kvstore.WrongShard && s != "NOTFOUND" {
+			owners = append(owners, g)
+		}
+	}
+	return owners
+}
+
+// TestFailoverAtomicityUnderCrash injects an orchestrator crash at every
+// handoff boundary during an evacuation of a primary-less group and
+// resolves the in-doubt handoff: ownership stays all-or-nothing at every
+// boundary, with zero lost and zero doubly-owned keys.
+func TestFailoverAtomicityUnderCrash(t *testing.T) {
+	for _, phase := range []txn.Phase{txn.PhaseVoted, txn.PhaseAttested, txn.PhasePublished} {
+		phase := phase
+		t.Run(phase.String(), func(t *testing.T) {
+			c, err := NewCluster(failoverConfig(2, 250*time.Millisecond))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Stop()
+			ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+			defer cancel()
+			sess := c.Session(1)
+			keys := freshKeysOnShard(c.Placement(), 0, 4, 50_000)
+			for _, k := range keys {
+				if err := sess.Insert(ctx, k, []byte(fmt.Sprintf("v%d", k))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			c.Group(0).Runtime().StopReplica(0)
+			waitForState(t, c, 0, GroupStalled, 3*time.Second)
+
+			orch := NewFailoverOrchestrator(sess)
+			res, err := orch.EvacuateGroup(ctx, 0, FailoverOptions{CrashAt: phase})
+			if !errors.Is(err, txn.ErrCoordinatorCrashed) {
+				t.Fatalf("injected crash at %v returned %v", phase, err)
+			}
+			if len(res.Handoffs) == 0 {
+				t.Fatal("crashed evacuation reported no handoff")
+			}
+			hid := res.Handoffs[len(res.Handoffs)-1].HandoffID
+			d, err := sess.ResolveTxn(ctx, hid)
+			if err != nil {
+				t.Fatalf("resolving in-doubt evacuation handoff: %v", err)
+			}
+			// Before publication recovery aborts; after it the published
+			// commit governs.
+			wantCommit := phase == txn.PhasePublished
+			if d.Commit != wantCommit {
+				t.Fatalf("crash at %v resolved commit=%v, want %v", phase, d.Commit, wantCommit)
+			}
+			wantOwner := 0
+			if wantCommit {
+				wantOwner = 1
+			}
+			for _, k := range keys {
+				owners := ownersAcrossGroups(ctx, t, sess, c, k)
+				if len(owners) != 1 || owners[0] != wantOwner {
+					t.Fatalf("crash at %v: key %d owned by %v, want [%d]", phase, k, owners, wantOwner)
+				}
+				got, err := sess.Get(ctx, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := []byte(fmt.Sprintf("v%d", k)); !bytes.Equal(got, want) {
+					t.Fatalf("crash at %v: key %d = %q, want %q", phase, k, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentOrchestratorsCannotBothRePoint: two orchestrators race to
+// evacuate the same degraded group toward different destinations; the
+// first-wins-per-epoch attestation log lets exactly one placement change
+// activate per epoch, so afterwards each range has exactly one owner and
+// every key exactly one home.
+func TestConcurrentOrchestratorsCannotBothRePoint(t *testing.T) {
+	c, err := NewCluster(failoverConfig(3, 250*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	sessA, sessB := c.Session(1), c.Session(2)
+	keys := freshKeysOnShard(c.Placement(), 0, 4, 50_000)
+	for _, k := range keys {
+		if err := sessA.Insert(ctx, k, []byte(fmt.Sprintf("v%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Group(0).Runtime().StopReplica(0)
+	waitForState(t, c, 0, GroupStalled, 3*time.Second)
+
+	var wg sync.WaitGroup
+	run := func(s *Session, dest int) {
+		defer wg.Done()
+		// Races surface as ErrEpochClaimed internally; EvacuateGroup
+		// absorbs them and converges, so both orchestrators return clean.
+		if _, err := NewFailoverOrchestrator(s).EvacuateGroup(ctx, 0, FailoverOptions{Destinations: []int{dest}}); err != nil {
+			t.Errorf("orchestrator to %d: %v", dest, err)
+		}
+	}
+	wg.Add(2)
+	go run(sessA, 1)
+	go run(sessB, 2)
+	wg.Wait()
+
+	if ranges := c.Placement().GroupRanges(0); len(ranges) != 0 {
+		t.Fatalf("group 0 still owns %v after racing evacuations", ranges)
+	}
+	for _, k := range keys {
+		owners := ownersAcrossGroups(ctx, t, sessA, c, k)
+		if len(owners) != 1 {
+			t.Fatalf("key %d owned by groups %v after racing evacuations", k, owners)
+		}
+		got, err := sessA.Get(ctx, k)
+		if err != nil || !bytes.Equal(got, []byte(fmt.Sprintf("v%d", k))) {
+			t.Fatalf("key %d = %q, %v after racing evacuations", k, got, err)
+		}
+	}
+}

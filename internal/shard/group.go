@@ -23,6 +23,7 @@ type Group struct {
 	mu        sync.Mutex
 	collector *metrics.Collector
 	submitted uint64
+	inflight  int
 	start     time.Time
 }
 
@@ -56,11 +57,54 @@ func (g *Group) noteCommit(seq types.SeqNum, latency time.Duration) {
 	g.mu.Unlock()
 }
 
-// noteSubmit counts an operation routed to this shard.
+// noteSubmit counts an operation routed to this shard and marks it in
+// flight; the paired noteDone (deferred by the submitter, error or not)
+// retires it. The health monitor reads the in-flight count as "demand": a
+// group with operations in flight but no commit progress is stalling real
+// work.
 func (g *Group) noteSubmit() {
 	g.mu.Lock()
 	g.submitted++
+	g.inflight++
 	g.mu.Unlock()
+}
+
+// noteDone retires an in-flight operation (committed or failed).
+func (g *Group) noteDone() {
+	g.mu.Lock()
+	g.inflight--
+	g.mu.Unlock()
+}
+
+// inflightOps returns the number of operations currently in flight.
+func (g *Group) inflightOps() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inflight
+}
+
+// probeViews samples the group's replicas for the highest installed view
+// and view-change count (down replicas excluded).
+func (g *Group) probeViews() (view types.View, viewChanges uint64) {
+	for _, p := range g.inner.Probe() {
+		if !p.Up {
+			continue
+		}
+		if p.Status.View > view {
+			view = p.Status.View
+		}
+		if p.Status.ViewChanges > viewChanges {
+			viewChanges = p.Status.ViewChanges
+		}
+	}
+	return view, viewChanges
+}
+
+// committedOps returns the group's client-observed commit count.
+func (g *Group) committedOps() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.collector.TotalDone()
 }
 
 // Watermark returns the shard's committed-sequence watermark.
@@ -74,28 +118,41 @@ type GroupStats struct {
 	Watermark types.SeqNum  // highest committed consensus sequence observed
 	MeanLat   time.Duration // mean client-observed latency
 	P99Lat    time.Duration
+	// View is the highest view any up replica has installed; ViewChanges
+	// counts installed views after genesis — a group that keeps electing
+	// primaries is degrading even when throughput looks plausible.
+	View        types.View
+	ViewChanges uint64
 }
 
-// Stats snapshots the group's counters.
+// Stats snapshots the group's counters (including a live view probe).
 func (g *Group) Stats() GroupStats {
+	view, vcs := g.probeViews()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return GroupStats{
-		Shard:     g.Index,
-		Submitted: g.submitted,
-		Committed: g.collector.TotalDone(),
-		Watermark: g.watermark.Load(),
-		MeanLat:   g.collector.MeanLatency(),
-		P99Lat:    g.collector.Percentile(99),
+		Shard:       g.Index,
+		Submitted:   g.submitted,
+		Committed:   g.collector.TotalDone(),
+		Watermark:   g.watermark.Load(),
+		MeanLat:     g.collector.MeanLatency(),
+		P99Lat:      g.collector.Percentile(99),
+		View:        view,
+		ViewChanges: vcs,
 	}
 }
 
 // snapshotCollector copies the group's collector under its lock so
-// cluster-level merging never races with concurrent Record calls.
+// cluster-level merging never races with concurrent Record calls. The copy
+// carries the group's current view-change count so metrics.Merge can sum
+// degradation alongside throughput.
 func (g *Group) snapshotCollector() *metrics.Collector {
+	_, vcs := g.probeViews()
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return metrics.Merge(g.collector)
+	snap := metrics.Merge(g.collector)
+	snap.SetViewChanges(vcs)
+	return snap
 }
 
 // Stop halts every replica in the group.

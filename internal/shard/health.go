@@ -1,0 +1,275 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"flexitrust/internal/types"
+)
+
+// Per-shard health: every group runs its own view-change machinery, but a
+// sharded deployment needs a cluster-level view of it — which groups are
+// committing, which are electing a new primary, and which have been wedged
+// long enough that sessions should stop waiting on them (and an orchestrator
+// should consider evacuating their ranges, see failover.go).
+//
+// The HealthMonitor samples each group's replicas through the runtime's
+// progress probe (runtime.Cluster.Probe → engine.Status, read on each
+// replica's event goroutine) and classifies every group:
+//
+//	Healthy       a commit quorum of replicas is up, the primary answers,
+//	              no view change is in flight, and in-flight operations are
+//	              making progress.
+//	ViewChanging  the primary is down or a replica reports an in-progress
+//	              view change — the group is expected to recover by itself;
+//	              sessions back off briefly instead of submitting blind.
+//	Stalled       the group cannot currently commit (fewer than n−f
+//	              replicas up), or it has been degraded / not progressing
+//	              for at least StallAfter — sessions fail fast with
+//	              ErrShardDegraded and the failover orchestrator may
+//	              evacuate its ranges.
+//
+// Classification is advisory: it gates routing and orchestration policy,
+// never safety. Safety stays with the placement layer's attested epoch flips
+// (a mis-classified group loses nothing — at worst an evacuation is
+// attempted that the first-wins log would serialize anyway).
+
+// ErrShardDegraded marks an operation refused fast because its target group
+// is classified Stalled. Callers can errors.Is against it and either retry
+// later, read other shards, or trigger failover orchestration.
+var ErrShardDegraded = errors.New("shard: group degraded")
+
+// ErrUnroutable marks an operation whose placement never converged: the
+// session exhausted its routing retries with the store still answering
+// WrongShard/RangeMigrating through every refreshed epoch.
+var ErrUnroutable = errors.New("shard: placement never converged")
+
+// GroupState classifies one group's health.
+type GroupState int
+
+// The health states, in increasing order of degradation.
+const (
+	// GroupHealthy: committing normally.
+	GroupHealthy GroupState = iota
+	// GroupViewChanging: electing a new primary; expected to recover.
+	GroupViewChanging
+	// GroupStalled: unable to commit, or degraded beyond StallAfter.
+	GroupStalled
+)
+
+// String implements fmt.Stringer.
+func (s GroupState) String() string {
+	switch s {
+	case GroupHealthy:
+		return "healthy"
+	case GroupViewChanging:
+		return "view-changing"
+	case GroupStalled:
+		return "stalled"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// GroupHealth is one group's classified health sample.
+type GroupHealth struct {
+	Group int
+	State GroupState
+	// View is the highest view any up replica reports; Primary is that
+	// view's leader and PrimaryUp whether it answered the probe.
+	View      types.View
+	Primary   types.ReplicaID
+	PrimaryUp bool
+	// ReplicasUp counts replicas that answered the probe (of N).
+	ReplicasUp int
+	// Watermark is the group's committed-sequence watermark; ViewChanges
+	// the number of views installed after genesis (churn signal).
+	Watermark   types.SeqNum
+	ViewChanges uint64
+	// StalledFor is how long the group has been degraded or without
+	// progress under demand (zero when Healthy).
+	StalledFor time.Duration
+}
+
+// HealthConfig tunes the monitor.
+type HealthConfig struct {
+	// StallAfter is the failover threshold: a group degraded (or not
+	// progressing while operations are in flight) for at least this long is
+	// classified Stalled. Default: 4× the group's ViewChangeTimeout — long
+	// enough for an ordinary view change plus its escalation round.
+	StallAfter time.Duration
+	// ProbeEvery rate-limits sampling: a Check within ProbeEvery of the
+	// last sample answers from cache (default 2ms). Every session on the
+	// hot path consults the monitor, so probes must not be per-operation.
+	ProbeEvery time.Duration
+}
+
+// HealthMonitor tracks per-group {view, primary, stalled-since, commit
+// watermark} and classifies groups. One monitor serves the whole cluster;
+// it is safe for concurrent use.
+type HealthMonitor struct {
+	c   *Cluster
+	cfg HealthConfig
+
+	// probeMu serializes actual probe sweeps (and guards prog); mu guards
+	// only the published cache, so readers on the routing hot path never
+	// wait behind a probe's event-goroutine round trips.
+	probeMu sync.Mutex
+	prog    []groupProgress
+
+	mu        sync.Mutex
+	last      []GroupHealth
+	sampledAt time.Time
+}
+
+// groupProgress is the monitor's per-group memory between samples.
+type groupProgress struct {
+	committed     uint64    // client-observed commits at last advance
+	lastAdvance   time.Time // when commits last advanced (or demand ceased)
+	degradedSince time.Time // when the group left Healthy (zero if healthy)
+}
+
+// newHealthMonitor wires the monitor; defaults derive from the group
+// template's view-change timeout.
+func newHealthMonitor(c *Cluster, cfg HealthConfig, vcTimeout time.Duration) *HealthMonitor {
+	if cfg.StallAfter <= 0 {
+		if vcTimeout <= 0 {
+			vcTimeout = 500 * time.Millisecond
+		}
+		cfg.StallAfter = 4 * vcTimeout
+	}
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = 2 * time.Millisecond
+	}
+	now := time.Now()
+	m := &HealthMonitor{c: c, cfg: cfg, prog: make([]groupProgress, len(c.groups))}
+	for i := range m.prog {
+		m.prog[i].lastAdvance = now
+	}
+	return m
+}
+
+// StallAfter returns the monitor's failover threshold.
+func (m *HealthMonitor) StallAfter() time.Duration { return m.cfg.StallAfter }
+
+// Check returns group g's latest classification, sampling if the cache is
+// older than ProbeEvery. It is the per-operation routing gate, so the
+// cached path is one mutex acquisition and no allocation.
+func (m *HealthMonitor) Check(g int) GroupHealth {
+	m.mu.Lock()
+	if m.last != nil && time.Since(m.sampledAt) < m.cfg.ProbeEvery {
+		h := m.last[g]
+		m.mu.Unlock()
+		return h
+	}
+	m.mu.Unlock()
+	return m.sample(false)[g]
+}
+
+// Sample probes every group now and returns the classifications.
+func (m *HealthMonitor) Sample() []GroupHealth { return m.sample(true) }
+
+// cached returns a copy of the published cache when it is fresh enough.
+func (m *HealthMonitor) cached(force bool) []GroupHealth {
+	if force {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.last == nil || time.Since(m.sampledAt) >= m.cfg.ProbeEvery {
+		return nil
+	}
+	return append([]GroupHealth(nil), m.last...)
+}
+
+// sample returns per-group health, probing unless a cached sample is
+// fresh. Probes run outside the cache lock: concurrent callers queue on
+// probeMu (where the re-check usually answers them from the sweep that
+// just finished) instead of convoying every routing decision behind
+// event-goroutine round trips.
+func (m *HealthMonitor) sample(force bool) []GroupHealth {
+	if out := m.cached(force); out != nil {
+		return out
+	}
+	m.probeMu.Lock()
+	defer m.probeMu.Unlock()
+	if out := m.cached(force); out != nil {
+		return out
+	}
+	now := time.Now()
+	out := make([]GroupHealth, len(m.c.groups))
+	for gi, g := range m.c.groups {
+		out[gi] = m.classify(gi, g, now)
+	}
+	m.mu.Lock()
+	m.last = append(m.last[:0], out...)
+	m.sampledAt = now
+	m.mu.Unlock()
+	return out
+}
+
+// classify probes one group and folds the sample into its progress memory.
+func (m *HealthMonitor) classify(gi int, g *Group, now time.Time) GroupHealth {
+	rt := g.Runtime()
+	n, f := rt.N(), rt.F()
+	h := GroupHealth{Group: gi, Watermark: g.Watermark()}
+	probes := rt.Probe()
+	inVC := false
+	for i := range probes {
+		p := &probes[i]
+		if !p.Up {
+			continue
+		}
+		h.ReplicasUp++
+		if p.Status.View >= h.View {
+			h.View = p.Status.View
+		}
+		if p.Status.ViewChanges > h.ViewChanges {
+			h.ViewChanges = p.Status.ViewChanges
+		}
+		inVC = inVC || p.Status.InViewChange
+	}
+	h.Primary = types.Primary(h.View, n)
+	if int(h.Primary) < len(probes) {
+		h.PrimaryUp = probes[h.Primary].Up
+	}
+
+	// Progress: commits advancing — or nothing in flight — resets the
+	// stall clock; demand without progress lets it run.
+	pr := &m.prog[gi]
+	committed := g.committedOps()
+	if committed > pr.committed || g.inflightOps() == 0 {
+		pr.committed = committed
+		pr.lastAdvance = now
+	}
+	noProgress := now.Sub(pr.lastAdvance)
+
+	// Base state, then escalation: a group degraded (view-changing or
+	// progress-less under demand) for StallAfter is Stalled. Recovery is
+	// automatic — the next healthy sample resets both clocks.
+	switch {
+	case h.ReplicasUp < n-f:
+		h.State = GroupStalled // cannot commit until replicas return
+	case inVC || !h.PrimaryUp:
+		h.State = GroupViewChanging
+	default:
+		h.State = GroupHealthy
+	}
+	if h.State == GroupHealthy && noProgress < m.cfg.StallAfter {
+		pr.degradedSince = time.Time{}
+		return h
+	}
+	if pr.degradedSince.IsZero() {
+		pr.degradedSince = now
+	}
+	h.StalledFor = now.Sub(pr.degradedSince)
+	if sf := noProgress; sf > h.StalledFor {
+		h.StalledFor = sf
+	}
+	if h.StalledFor >= m.cfg.StallAfter {
+		h.State = GroupStalled
+	}
+	return h
+}

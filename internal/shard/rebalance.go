@@ -36,6 +36,12 @@ import (
 // reads are served by the source throughout. Sessions on the old epoch
 // retry transparently through the refreshed placement.
 
+// ErrRangeBusy marks a handoff refused because its range is already
+// claimed — frozen by a concurrent handoff, under an undecided inbound
+// stage, or released since the proposal was derived. The range's fate is
+// another handoff's to decide; retry after it settles.
+var ErrRangeBusy = errors.New("shard: range claimed by a concurrent handoff")
+
 // RebalanceOptions tunes one handoff (crash injection mirrors txn.Options;
 // the boundaries map onto the same txn.Phase values).
 type RebalanceOptions struct {
@@ -94,7 +100,12 @@ func (s *Session) RebalanceWithOptions(ctx context.Context, r Range, to int, opt
 	}
 	recs, ok := kvstore.DecodeRangeExport(raw)
 	if !ok {
-		return res, s.abortHandoff(ctx, res, fmt.Errorf("freeze on group %d refused: %s", src, raw))
+		cause := fmt.Errorf("freeze on group %d refused: %s", src, raw)
+		switch string(raw) {
+		case kvstore.TxnConflict, kvstore.RangeMigrating, kvstore.WrongShard:
+			cause = fmt.Errorf("freeze on group %d refused (%s): %w", src, raw, ErrRangeBusy)
+		}
+		return res, s.abortHandoff(ctx, res, cause)
 	}
 	res.Moved = len(recs)
 

@@ -29,8 +29,20 @@
 //     the destination, ONE attested counter access binding the new
 //     placement's digest and epoch as the commit point — reusing the
 //     transaction layer's decision log, id space and recovery machinery.
+//   - Health (health.go) is the cluster-level view of each group's
+//     view-change machinery: the HealthMonitor probes every replica's
+//     consensus position and classifies groups Healthy / ViewChanging /
+//     Stalled. Sessions route by it — deferring briefly to elections,
+//     failing fast (ErrShardDegraded) against stalled groups, reporting
+//     degraded shards explicitly in cross-shard reads.
+//   - Failover (failover.go) turns a Stalled classification into a
+//     placement change: the FailoverOrchestrator evacuates the group's
+//     ranges to healthy groups through the rebalancing substrate, each
+//     epoch bump bound to one attested access in the first-wins-per-epoch
+//     log so concurrent orchestrators can never both re-point a range.
 //   - Aggregate metrics merge per-shard throughput and latency into
-//     cluster-level numbers (metrics.Merge).
+//     cluster-level numbers (metrics.Merge), including per-group view
+//     numbers and view-change counts.
 //
 // The simulation substrate is served by this package too: Aggregate sums
 // the per-group results that one shared discrete-event kernel
@@ -42,13 +54,12 @@
 // txn.go here and internal/txn): Session.Txn / Session.MultiPut run
 // two-phase commit over the groups with the cluster's attested counter as
 // the commit-point arbiter, and MultiGet reports keys blocked by a pending
-// transaction intent explicitly. What sharding still does not provide:
-// per-shard primary failover orchestration (ROADMAP.md) — the epoch-bump
-// machinery here is its natural substrate.
+// transaction intent explicitly.
 package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -71,11 +82,15 @@ type Config struct {
 	// Engine.TrustedNamespace are derived per shard from it: shard s runs
 	// with Seed+s*7919 and namespace s+1.
 	Group runtime.ClusterConfig
+	// Health tunes the per-shard health monitor (stall threshold, probe
+	// rate); zero values derive defaults from Group.Engine.ViewChangeTimeout.
+	Health HealthConfig
 }
 
 // Cluster is a running sharded deployment.
 type Cluster struct {
 	groups []*Group
+	mon    *HealthMonitor
 
 	// Placement state: the installed epoch-versioned ownership map plus
 	// the proposals in-flight handoffs registered (in-doubt resolution
@@ -143,8 +158,15 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 		c.groups = append(c.groups, g)
 	}
+	c.mon = newHealthMonitor(c, cfg.Health, cfg.Group.Engine.ViewChangeTimeout)
 	return c, nil
 }
+
+// Monitor returns the cluster's per-shard health monitor.
+func (c *Cluster) Monitor() *HealthMonitor { return c.mon }
+
+// Health samples (rate-limited) every group's health classification.
+func (c *Cluster) Health() []GroupHealth { return c.mon.sample(false) }
 
 // Shards returns the number of groups.
 func (c *Cluster) Shards() int { return len(c.groups) }
@@ -231,6 +253,10 @@ type Stats struct {
 	Committed uint64
 	MeanLat   time.Duration
 	P99Lat    time.Duration
+	// ViewChanges is the cluster-wide count of installed views after
+	// genesis (summed over groups by metrics.Merge) — nonzero means some
+	// shard lost a primary during the run.
+	ViewChanges uint64
 }
 
 // Stats merges every group's counters (metrics.Merge pools the samples).
@@ -245,6 +271,7 @@ func (c *Cluster) Stats() Stats {
 	st.Committed = merged.TotalDone()
 	st.MeanLat = merged.MeanLatency()
 	st.P99Lat = merged.Percentile(99)
+	st.ViewChanges = merged.ViewChanges()
 	return st
 }
 
@@ -279,8 +306,25 @@ func (c *Cluster) Session(id types.ClientID) *Session {
 		Submit:   s.submitShard,
 		ShardFor: func(key uint64) int { return s.placement().ShardFor(key) },
 		Done:     c.stability.Done,
+		Health:   s.participantHealth,
 	})
 	return s
+}
+
+// participantHealth is the coordinator's health gate: a Stalled participant
+// fails the transaction fast (ErrShardDegraded) before any intent installs;
+// view-changing participants rank after healthy ones in the prepare
+// fan-out.
+func (s *Session) participantHealth(g int) (int, error) {
+	switch h := s.c.mon.Check(g); h.State {
+	case GroupStalled:
+		return 0, fmt.Errorf("group stalled for %v (view %d, %d replicas up): %w",
+			h.StalledFor.Round(time.Millisecond), h.View, h.ReplicasUp, ErrShardDegraded)
+	case GroupViewChanging:
+		return 1, nil
+	default:
+		return 0, nil
+	}
 }
 
 // placement returns the session's cached map.
@@ -307,26 +351,71 @@ func (s *Session) refreshPlacement() *PlacementMap {
 // Epoch returns the placement epoch the session currently routes by.
 func (s *Session) Epoch() uint64 { return s.placement().Epoch() }
 
+// Health samples (rate-limited) every group's health classification — the
+// per-shard {view, primary, stalled-since, watermark} surface sessions
+// route by.
+func (s *Session) Health() []GroupHealth { return s.c.Health() }
+
 // Routing retry envelope: how long a session keeps retrying an operation
 // that hits a frozen (mid-handoff) or released range before giving up. A
 // runtime handoff completes in well under a second; the envelope is
 // generous so a slow flip surfaces as latency, not spurious errors.
+// viewChangeGrace bounds how long a session defers to an in-progress view
+// change before submitting anyway — the submission's client resends are
+// what drive a primary election that has not started yet, so the grace
+// must run out rather than spin.
 const (
 	routeRetryDelay = 5 * time.Millisecond
 	routeRetryMax   = 600 // ≈3s of retries
+	viewChangeGrace = 20  // × routeRetryDelay ≈100ms of election deference
 )
+
+// gateHealth applies health-aware routing for group g. A Stalled group
+// fails fast with ErrShardDegraded — the caller gets a diagnosis now
+// instead of a context deadline later. A ViewChanging group is given a
+// short grace to finish electing (the request would only pile onto a dead
+// primary); when the grace runs out the operation proceeds anyway, because
+// submitted traffic is exactly what triggers backup suspicion when the
+// election has not started.
+func (s *Session) gateHealth(ctx context.Context, g int) error {
+	for wait := 0; ; wait++ {
+		h := s.c.mon.Check(g)
+		switch {
+		case h.State == GroupStalled:
+			return fmt.Errorf("shard: group %d stalled for %v (view %d, %d/%d replicas up, primary up: %v): %w",
+				g, h.StalledFor.Round(time.Millisecond), h.View, h.ReplicasUp,
+				s.c.groups[g].Runtime().N(), h.PrimaryUp, ErrShardDegraded)
+		case h.State == GroupViewChanging && wait < viewChangeGrace:
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(routeRetryDelay):
+			}
+		default:
+			return nil
+		}
+	}
+}
 
 // Do routes one operation to the shard owning op.Key and executes it there —
 // the single-shard fast path: exactly one consensus group is touched. Stale
 // placement (WrongShard) and in-flight handoffs (RangeMigrating) are
-// retried through refreshed epochs. The signals are in-band result bytes:
-// for a raw OpRead a stored value equal to one of them would be mistaken
-// for a routing signal — use Get (framed) rather than Do(OpRead) when
-// values are untrusted.
+// retried through refreshed epochs; routing is health-aware (gateHealth):
+// a mid-election group is deferred to briefly and a Stalled group fails
+// fast with ErrShardDegraded. When the placement never converges the
+// retry loop stops with ErrUnroutable rather than spinning to the context
+// deadline. The signals are in-band result bytes: for a raw OpRead a
+// stored value equal to one of them would be mistaken for a routing
+// signal — use Get (framed) rather than Do(OpRead) when values are
+// untrusted.
 func (s *Session) Do(ctx context.Context, op *kvstore.Op) ([]byte, error) {
 	for attempt := 0; ; attempt++ {
 		pm := s.placement()
-		res, err := s.submitShard(ctx, pm.ShardFor(op.Key), op)
+		target := pm.ShardFor(op.Key)
+		if err := s.gateHealth(ctx, target); err != nil {
+			return nil, fmt.Errorf("shard: key %d: %w", op.Key, err)
+		}
+		res, err := s.submitShard(ctx, target, op)
 		if err != nil {
 			return nil, err
 		}
@@ -336,8 +425,8 @@ func (s *Session) Do(ctx context.Context, op *kvstore.Op) ([]byte, error) {
 			return res, nil
 		}
 		if attempt >= routeRetryMax {
-			return nil, fmt.Errorf("shard: key %d unroutable after %d retries at epoch %d (last: %s)",
-				op.Key, attempt, pm.Epoch(), res)
+			return nil, fmt.Errorf("shard: key %d still answered %s by group %d after %d retries at epoch %d: %w",
+				op.Key, res, target, attempt, pm.Epoch(), ErrUnroutable)
 		}
 		// A newer epoch may already be installed (retry immediately through
 		// it); otherwise the handoff has not flipped yet — wait briefly.
@@ -404,11 +493,15 @@ func writeOutcome(key uint64, res []byte, err error) error {
 // ReadResult carries the blocking transaction id (BlockedBy) alongside the
 // read-committed fallback value, so callers can distinguish "current" from
 // "a transaction is about to change this" (and resolve the transaction if
-// its coordinator died — Session.ResolveTxn). The returned ShardVector
-// reports, per shard, the highest consensus sequence among this call's
-// reads — the version the result was read at. Reads of different shards are
-// issued concurrently; there is no cross-shard snapshot (two shards may be
-// read at versions that never coexisted; use Txn for atomic writes).
+// its coordinator died — Session.ResolveTxn). Routing is health-aware:
+// keys owned by a Stalled group are NOT read and NOT silently dropped —
+// their ReadResult comes back with Unavailable set, so a cross-shard read
+// degrades explicitly per shard instead of blocking whole on one wedged
+// group. The returned ShardVector reports, per shard, the highest
+// consensus sequence among this call's reads — the version the result was
+// read at (a degraded shard reports its fence). Reads of different shards
+// are issued concurrently; there is no cross-shard snapshot (two shards
+// may be read at versions that never coexisted; use Txn for atomic writes).
 func (s *Session) MultiGet(ctx context.Context, keys []uint64) (map[uint64]kvstore.ReadResult, ShardVector, error) {
 	fence := s.c.Watermarks()
 	versions := make(ShardVector, len(s.c.groups))
@@ -437,6 +530,17 @@ func (s *Session) MultiGet(ctx context.Context, keys []uint64) (map[uint64]kvsto
 		// request and the primary batches them, so a shard's whole read
 		// set usually costs one consensus round.
 		for _, shardIdx := range SortedShards(parts) {
+			if err := s.gateHealth(ctx, shardIdx); err != nil {
+				if !errors.Is(err, ErrShardDegraded) {
+					return nil, nil, err
+				}
+				// Degraded shard: report its keys explicitly instead of
+				// blocking the whole read on a wedged group.
+				for _, k := range parts[shardIdx] {
+					values[k] = kvstore.ReadResult{Unavailable: true}
+				}
+				continue
+			}
 			for _, k := range parts[shardIdx] {
 				issued++
 				go func(shardIdx int, k uint64) {
@@ -477,8 +581,8 @@ func (s *Session) MultiGet(ctx context.Context, keys []uint64) (map[uint64]kvsto
 		}
 		if len(stale) > 0 {
 			if attempt >= routeRetryMax {
-				return nil, nil, fmt.Errorf("shard: %d keys unroutable after %d retries at epoch %d",
-					len(stale), attempt, pm.Epoch())
+				return nil, nil, fmt.Errorf("shard: %d keys still unrouted after %d retries at epoch %d: %w",
+					len(stale), attempt, pm.Epoch(), ErrUnroutable)
 			}
 			if s.refreshPlacement().Epoch() == pm.Epoch() {
 				select {

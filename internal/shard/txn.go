@@ -35,6 +35,7 @@ func (s *Session) submitShard(ctx context.Context, shardIdx int, op *kvstore.Op)
 func (s *Session) submitShardSeq(ctx context.Context, shardIdx int, op *kvstore.Op) ([]byte, types.SeqNum, error) {
 	g := s.c.groups[shardIdx]
 	g.noteSubmit()
+	defer g.noteDone()
 	start := time.Now()
 	res, seq, err := s.clients[shardIdx].SubmitSeq(ctx, op.Encode())
 	if err != nil {

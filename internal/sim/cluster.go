@@ -60,6 +60,11 @@ type Results struct {
 	Events     uint64
 	Resends    uint64
 	CertsSent  uint64
+	// FinalView / ViewChanges report the group's consensus view position at
+	// the end of the run (highest over its live replicas): nonzero view
+	// changes mean the group lost a primary mid-run.
+	FinalView   types.View
+	ViewChanges uint64
 }
 
 // String renders a result row.

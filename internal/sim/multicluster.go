@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"flexitrust/internal/engine"
 	"flexitrust/internal/kvstore"
 	"flexitrust/internal/trusted"
 	"flexitrust/internal/types"
@@ -57,6 +58,9 @@ type MultiCluster struct {
 	// rebDriver, when attached, runs a live range handoff between two
 	// groups inside the same kernel (see rebalancedriver.go).
 	rebDriver *RebalanceDriver
+	// failDriver, when attached, injects a primary crash and drives the
+	// failover evacuation inside the same kernel (see failoverdriver.go).
+	failDriver *FailoverDriver
 }
 
 // group is one consensus group hosted on a MultiCluster: its replicas, its
@@ -231,6 +235,25 @@ func (mc *MultiCluster) Machines() int { return len(mc.machines) }
 // Machine exposes machine i (contention accounting, white-box tests).
 func (mc *MultiCluster) Machine(i int) *Machine { return mc.machines[i] }
 
+// CrashReplica fail-stops replica r of group g at virtual time `at`: it no
+// longer processes or sends anything. Only the one logical replica crashes;
+// co-hosted replicas of other groups on the same machine keep running (a
+// process failure, not a machine failure).
+func (mc *MultiCluster) CrashReplica(g int, r types.ReplicaID, at time.Duration) {
+	grp := mc.groups[g]
+	grp.scheduleFunc(at, func() { grp.replicas[r].crashed = true })
+}
+
+// RecoverReplica un-crashes replica r of group g at virtual time `at`: the
+// replica resumes with its pre-crash protocol and store state intact
+// (fail-recover with stable storage). Timers that fired while it was down
+// were dropped, so a recovered replica reacts to inbound traffic, not to
+// its own stale alarms.
+func (mc *MultiCluster) RecoverReplica(g int, r types.ReplicaID, at time.Duration) {
+	grp := mc.groups[g]
+	grp.scheduleFunc(at, func() { grp.replicas[r].crashed = false })
+}
+
 // Now returns current virtual time.
 func (mc *MultiCluster) Now() time.Duration { return mc.now }
 
@@ -247,7 +270,7 @@ func (mc *MultiCluster) Run(warmup, measure time.Duration) []Results {
 	for _, g := range mc.groups {
 		// A clientless pool still starts when an external driver is
 		// attached: external requests lean on the pool's resend sweep.
-		if g.cfg.Clients > 0 || mc.txnDriver != nil || mc.rebDriver != nil {
+		if g.cfg.Clients > 0 || mc.txnDriver != nil || mc.rebDriver != nil || mc.failDriver != nil {
 			g.pool.start(ramp)
 		}
 		g.pool.collector.SetWindow(warmup, warmup+measure)
@@ -258,6 +281,9 @@ func (mc *MultiCluster) Run(warmup, measure time.Duration) []Results {
 	}
 	if mc.rebDriver != nil {
 		mc.rebDriver.start(ramp, warmup, measure)
+	}
+	if mc.failDriver != nil {
+		mc.failDriver.start(ramp, warmup, measure)
 	}
 	mc.runUntil(warmup + measure)
 	out := make([]Results, len(mc.groups))
@@ -270,16 +296,42 @@ func (mc *MultiCluster) Run(warmup, measure time.Duration) []Results {
 // results summarizes the group's measurement window.
 func (g *group) results(measure time.Duration) Results {
 	col := g.pool.collector
+	view, vcs := g.viewStats()
 	return Results{
-		Throughput: col.Throughput(measure),
-		MeanLat:    col.MeanLatency(),
-		P50Lat:     col.Percentile(50),
-		P99Lat:     col.Percentile(99),
-		Completed:  col.Completed(),
-		Events:     g.events,
-		Resends:    g.pool.resends,
-		CertsSent:  g.pool.certsSent,
+		Throughput:  col.Throughput(measure),
+		MeanLat:     col.MeanLatency(),
+		P50Lat:      col.Percentile(50),
+		P99Lat:      col.Percentile(99),
+		Completed:   col.Completed(),
+		Events:      g.events,
+		Resends:     g.pool.resends,
+		CertsSent:   g.pool.certsSent,
+		FinalView:   view,
+		ViewChanges: vcs,
 	}
+}
+
+// viewStats probes the group's live replicas for the highest installed
+// view and view-change count. The kernel is idle when this runs (between
+// events or after the run), so reading protocol state is safe.
+func (g *group) viewStats() (view types.View, viewChanges uint64) {
+	for _, rn := range g.replicas {
+		if rn.crashed {
+			continue
+		}
+		sr, ok := rn.proto.(engine.StatusReporter)
+		if !ok {
+			continue
+		}
+		st := sr.Status()
+		if st.View > view {
+			view = st.View
+		}
+		if st.ViewChanges > viewChanges {
+			viewChanges = st.ViewChanges
+		}
+	}
+	return view, viewChanges
 }
 
 // --- group-local scheduling and topology helpers ---

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"encoding/binary"
+	"sort"
 	"time"
 
 	"flexitrust/internal/crypto"
@@ -356,20 +357,34 @@ func (p *clientPool) onCertTimer(seq types.SeqNum) {
 }
 
 // onSweep re-broadcasts requests that have waited longer than RetryTimeout.
+// Due requests are re-sent in (client, reqno) order: each send draws link
+// jitter from the group's RNG, so sweeping in map order would make
+// failure-recovery timelines nondeterministic across runs of one seed.
 func (p *clientPool) onSweep() {
 	cutoff := p.g.now() - p.policy.RetryTimeout
+	var due []*poolTxn
 	for _, txn := range p.txns {
 		last := txn.sent
 		if txn.lastResend > last {
 			last = txn.lastResend
 		}
 		if last <= cutoff {
-			txn.lastResend = p.g.now()
-			p.resends++
-			resend := &types.ClientResend{Request: txn.req}
-			for idx := range p.g.replicas {
-				p.sendTo(idx, resend)
-			}
+			due = append(due, txn)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool {
+		a, b := due[i].req, due[j].req
+		if a.Client != b.Client {
+			return a.Client < b.Client
+		}
+		return a.ReqNo < b.ReqNo
+	})
+	for _, txn := range due {
+		txn.lastResend = p.g.now()
+		p.resends++
+		resend := &types.ClientResend{Request: txn.req}
+		for idx := range p.g.replicas {
+			p.sendTo(idx, resend)
 		}
 	}
 	p.armSweep()

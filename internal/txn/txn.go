@@ -124,6 +124,17 @@ type Config struct {
 	// is NOT called when a crash injection leaves the transaction in
 	// doubt; in-doubt resolution settles it instead.
 	Done func(txid uint64)
+	// Health, when non-nil, is consulted for every participant shard
+	// before phase 1. A returned error fails the transaction fast — no
+	// intent is installed anywhere and the id is settled immediately
+	// (sharded deployments return a ShardDegraded error for a stalled
+	// participant, sparing the healthy participants a prepare that could
+	// only end in a recovery abort). The returned rank orders the phase-1
+	// fan-out's ISSUE order — lower ranks are launched first, so healthy
+	// groups' prepares go out ahead of a view-changing group's; the
+	// prepares still run concurrently, so this is a deterministic launch
+	// order, not an ordering of intent installation.
+	Health func(shard int) (rank int, err error)
 }
 
 // Options tunes one Execute call (crash injection for recovery tests).
@@ -204,16 +215,38 @@ func (c *Coordinator) Execute(ctx context.Context, writes []kvstore.TxnWrite, op
 	}
 	sort.Ints(res.Shards)
 
+	// Health gate: a stalled participant fails the transaction before any
+	// intent is installed — participants stay untouched, so the id settles
+	// immediately rather than leaking into the in-doubt path. Healthy
+	// participants rank ahead of view-changing ones in the phase-1 launch
+	// order (the prepares themselves run concurrently).
+	order := res.Shards
+	if c.cfg.Health != nil {
+		order = append([]int(nil), res.Shards...)
+		ranks := make(map[int]int, len(order))
+		for _, s := range order {
+			rank, err := c.cfg.Health(s)
+			if err != nil {
+				if c.cfg.Done != nil {
+					c.cfg.Done(txid)
+				}
+				return nil, fmt.Errorf("txn %d: participant shard %d: %w", txid, s, err)
+			}
+			ranks[s] = rank
+		}
+		sort.SliceStable(order, func(i, j int) bool { return ranks[order[i]] < ranks[order[j]] })
+	}
+
 	// Phase 1: fan the per-shard prepares out concurrently, issued in
-	// ascending shard order so the request sequence (and simulated
-	// timelines) is reproducible across runs.
+	// health-then-ascending shard order so the request sequence (and
+	// simulated timelines) is reproducible across runs.
 	type vote struct {
 		shard int
 		res   string
 		err   error
 	}
 	votes := make(chan vote, len(parts))
-	for _, s := range res.Shards {
+	for _, s := range order {
 		go func(s int, op *kvstore.Op) {
 			v, err := c.cfg.Submit(ctx, s, op)
 			votes <- vote{shard: s, res: string(v), err: err}

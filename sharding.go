@@ -34,6 +34,21 @@ type ShardOptions struct {
 	BatchTimeout time.Duration
 	// Records sizes each group's key-value store (default 600k).
 	Records int
+	// ViewChangeTimeout is how long a replica waits on a stalled request
+	// before suspecting its primary (default 500ms). Failover latency is
+	// bounded below by it; deployments that want snappy recovery tune it
+	// here instead of reaching into internal/engine.
+	ViewChangeTimeout time.Duration
+	// ClientRetry is the client library's re-broadcast interval for
+	// unresolved requests (default 1s). Primary-failure recovery is
+	// resend-driven — the re-broadcast is what makes backups suspect a
+	// dead primary — so set it near ViewChangeTimeout for fast failover.
+	ClientRetry time.Duration
+	// StallTimeout is the health monitor's failover threshold: a group
+	// degraded (or not progressing under demand) this long classifies
+	// Stalled — sessions fail fast against it and Failover may evacuate
+	// its ranges. Default: 4× ViewChangeTimeout.
+	StallTimeout time.Duration
 	// Verbose enables replica logging.
 	Verbose bool
 }
@@ -75,6 +90,39 @@ type PlacementMap = shard.PlacementMap
 // (ShardSession.Rebalance).
 type RebalanceResult = shard.RebalanceResult
 
+// GroupHealth is one shard's classified health sample (ShardSession.Health
+// / ShardedCluster.Health): current view, primary, replicas up, commit
+// watermark and the Healthy / ViewChanging / Stalled classification.
+type GroupHealth = shard.GroupHealth
+
+// GroupState classifies one shard's health.
+type GroupState = shard.GroupState
+
+// The health states.
+const (
+	// GroupHealthy: the shard is committing normally.
+	GroupHealthy = shard.GroupHealthy
+	// GroupViewChanging: the shard is electing a new primary; sessions
+	// back off briefly and ride through.
+	GroupViewChanging = shard.GroupViewChanging
+	// GroupStalled: the shard is degraded past the stall threshold;
+	// sessions fail fast with ErrShardDegraded and Failover may evacuate
+	// its ranges.
+	GroupStalled = shard.GroupStalled
+)
+
+// FailoverResult reports one failover evacuation (ShardedCluster.Failover):
+// the evacuated group and the attested handoff of each of its ranges.
+type FailoverResult = shard.FailoverResult
+
+// ErrShardDegraded marks an operation refused fast because its target
+// shard is classified Stalled (errors.Is-comparable).
+var ErrShardDegraded = shard.ErrShardDegraded
+
+// ErrUnroutable marks an operation whose placement never converged after
+// exhausting the session's routing retries (errors.Is-comparable).
+var ErrUnroutable = shard.ErrUnroutable
+
 // TxnWrite is one write of a cross-shard transaction (ShardSession.Txn):
 // Code is OpUpdate-style (key must exist) when built with UpdateWrite, or
 // blind-upsert when built with InsertWrite.
@@ -113,6 +161,9 @@ func NewShardedCluster(opts ShardOptions) (*ShardedCluster, error) {
 	if opts.BatchTimeout > 0 {
 		ecfg.BatchTimeout = opts.BatchTimeout
 	}
+	if opts.ViewChangeTimeout > 0 {
+		ecfg.ViewChangeTimeout = opts.ViewChangeTimeout
+	}
 	inner, err := shard.NewCluster(shard.Config{
 		Shards: opts.Shards,
 		Group: runtime.ClusterConfig{
@@ -121,11 +172,13 @@ func NewShardedCluster(opts ShardOptions) (*ShardedCluster, error) {
 			NewProtocol:    constructor(opts.Protocol),
 			Replies:        opts.Protocol.Replies(n, opts.F),
 			Clients:        opts.Clients,
+			ClientRetry:    opts.ClientRetry,
 			TrustedProfile: trusted.ProfileSGXEnclave,
 			KeepLog:        trustedKeepLog(opts.Protocol),
 			Records:        opts.Records,
 			Verbose:        opts.Verbose,
 		},
+		Health: shard.HealthConfig{StallAfter: opts.StallTimeout},
 	})
 	if err != nil {
 		return nil, err
@@ -161,8 +214,35 @@ func (c *ShardedCluster) PlacementEpoch() uint64 { return c.inner.Placement().Ep
 // Watermarks snapshots every shard's committed-sequence watermark.
 func (c *ShardedCluster) Watermarks() ShardVector { return c.inner.Watermarks() }
 
-// Stats aggregates per-shard throughput/latency into cluster-level numbers.
+// Stats aggregates per-shard throughput/latency into cluster-level numbers
+// (including per-group view numbers and the cluster view-change count).
 func (c *ShardedCluster) Stats() shard.Stats { return c.inner.Stats() }
+
+// Health samples (rate-limited) every shard's health classification.
+func (c *ShardedCluster) Health() []GroupHealth { return c.inner.Health() }
+
+// StopReplica fail-stops replica r of shard s (failure injection; the
+// group's remaining replicas elect a new primary when the stopped one led).
+func (c *ShardedCluster) StopReplica(s int, r ReplicaID) {
+	c.inner.Group(s).Runtime().StopReplica(r)
+}
+
+// RestartReplica restarts a stopped replica of shard s under its original
+// identity and keys (see runtime.Cluster.RestartReplica for the state
+// caveats).
+func (c *ShardedCluster) RestartReplica(s int, r ReplicaID) {
+	c.inner.Group(s).Runtime().RestartReplica(r)
+}
+
+// Failover evacuates every range shard `group` owns to the currently
+// healthy shards, through sess's identity: each range moves as one attested
+// placement change (exactly one attested counter access, first-wins per
+// epoch — two concurrent failovers can never both re-point a range). The
+// evacuation's own traffic drives a wedged group's view change, so a group
+// that is merely primary-less recovers as its data leaves.
+func (c *ShardedCluster) Failover(ctx context.Context, sess *ShardSession, group int) (*FailoverResult, error) {
+	return shard.NewFailoverOrchestrator(sess).EvacuateGroup(ctx, group, shard.FailoverOptions{})
+}
 
 // Stop halts every group.
 func (c *ShardedCluster) Stop() { c.inner.Stop() }
@@ -181,6 +261,6 @@ func DoOp(ctx context.Context, s *ShardSession, op []byte) ([]byte, error) {
 // ShardStateDigest returns replica r of group s's state-machine digest
 // (read on the replica's event goroutine, so it is safe while running).
 func (c *ShardedCluster) ShardStateDigest(s int, r ReplicaID) Digest {
-	d, _ := c.inner.Group(s).Runtime().Nodes[r].DigestSnapshot()
+	d, _ := c.inner.Group(s).Runtime().Node(r).DigestSnapshot()
 	return d
 }

@@ -221,3 +221,92 @@ func TestShardedClusterRebalancing(t *testing.T) {
 		t.Fatalf("log retains %d decisions after compaction, want 1 (the placement)", n)
 	}
 }
+
+// TestShardedClusterFailover exercises the public failover surface: health
+// classification of a primary kill, health-aware riding through, and
+// ShardedCluster.Failover evacuating the stalled shard's ranges as
+// attested placement changes with every key keeping exactly one home.
+func TestShardedClusterFailover(t *testing.T) {
+	cluster, err := NewShardedCluster(ShardOptions{
+		Shards:            3,
+		Protocol:          FlexiBFT,
+		F:                 1,
+		Clients:           []ClientID{1},
+		BatchSize:         4,
+		Records:           1000,
+		ViewChangeTimeout: 150 * time.Millisecond,
+		ClientRetry:       200 * time.Millisecond,
+		StallTimeout:      250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	sess := cluster.Session(1)
+
+	for _, h := range cluster.Health() {
+		if h.State != GroupHealthy {
+			t.Fatalf("fresh shard %d classified %v", h.Group, h.State)
+		}
+	}
+	// Fresh keys per shard, above the preloaded records.
+	var keys []uint64
+	for s := 0; s < cluster.Shards(); s++ {
+		for k := uint64(1000); ; k++ {
+			if cluster.ShardFor(k) == s {
+				keys = append(keys, k)
+				break
+			}
+		}
+	}
+	for i, k := range keys {
+		if err := sess.Insert(ctx, k, []byte(fmt.Sprintf("f%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cluster.StopReplica(0, 0)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if h := cluster.Health()[0]; h.State == GroupStalled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard 0 never classified stalled: %+v", cluster.Health()[0])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	epochBefore := cluster.PlacementEpoch()
+	res, err := cluster.Failover(ctx, sess, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Group != 0 || len(res.Handoffs) == 0 {
+		t.Fatalf("failover result %+v", res)
+	}
+	if got := cluster.PlacementEpoch(); got != epochBefore+uint64(len(res.Handoffs)) {
+		t.Fatalf("epoch %d after %d evacuating handoffs from %d", got, len(res.Handoffs), epochBefore)
+	}
+	if rs := cluster.Placement().GroupRanges(0); len(rs) != 0 {
+		t.Fatalf("evacuated shard still owns %v", rs)
+	}
+	for i, k := range keys {
+		if cluster.ShardFor(k) == 0 {
+			t.Fatalf("key %d still routes to the evacuated shard", k)
+		}
+		got, err := sess.Get(ctx, k)
+		if err != nil || !bytes.Equal(got, []byte(fmt.Sprintf("f%d", i))) {
+			t.Fatalf("key %d = %q, %v after failover", k, got, err)
+		}
+	}
+	// The evacuation's traffic drove the wedged shard's election; stats
+	// surface the view change.
+	if st := cluster.Stats(); st.ViewChanges == 0 {
+		t.Fatalf("stats report no view change after failover: %+v", st)
+	}
+	// A stopped replica can be brought back under its identity.
+	cluster.RestartReplica(0, 0)
+}
