@@ -6,6 +6,8 @@
 //	benchrunner -exp all            # every experiment, quick scale
 //	benchrunner -exp fig6i -full    # one experiment at publication scale
 //	benchrunner -exp shard -mode shared -scale 16 -shards 1,4   # CI smoke
+//	benchrunner -bench-out BENCH_baseline.json -scale 16        # record baseline
+//	benchrunner -bench-validate BENCH_baseline.json             # schema check
 //	benchrunner -list
 //
 // Experiments: fig1, fig5, fig6i, fig6ii, fig6iv, fig6vi, fig7, fig8, fig9,
@@ -88,7 +90,25 @@ func main() {
 	mode := flag.String("mode", "shared", "shard-experiment simulation mode: 'shared' runs all groups in one kernel (the analytic 'merged' mode was removed)")
 	shards := flag.String("shards", "", "comma-separated shard counts for -exp shard / txn / rebalance / failover (defaults 1,2,4,8 / 4 / 4 / 4)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	benchOut := flag.String("bench-out", "", "run the BENCH baseline matrix at -scale and write flexitrust-bench/v1 JSON to this path ('-' = stdout)")
+	benchValidate := flag.String("bench-validate", "", "validate an existing flexitrust-bench/v1 baseline file and exit")
 	flag.Parse()
+
+	if *benchValidate != "" {
+		data, err := os.ReadFile(*benchValidate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		b, err := harness.ValidateBench(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: ok (%s, %d entries, scale %d, seed %d)\n",
+			*benchValidate, b.Schema, len(b.Entries), b.Scale, b.Seed)
+		return
+	}
 
 	if *list {
 		for _, e := range experiments() {
@@ -111,6 +131,28 @@ func main() {
 	}
 	if *full {
 		scale = 1
+	}
+	if *benchOut != "" {
+		start := time.Now()
+		b, err := harness.CollectBench(scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		out, err := b.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *benchOut == "-" {
+			os.Stdout.Write(out)
+		} else if err := os.WriteFile(*benchOut, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench baseline: %d entries in %v\n",
+			len(b.Entries), time.Since(start).Round(time.Millisecond))
+		return
 	}
 	ran := false
 	for _, e := range experiments() {

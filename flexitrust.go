@@ -196,6 +196,56 @@
 // crash backlog one host-sequenced instance at a time, paying stream
 // drains against every co-hosted group (TestFailoverRecoveryContrast).
 //
+// # Observability
+//
+// ShardOptions.Observe switches on the cluster-wide observability layer
+// (internal/obs; zero dependencies, nil-safe throughout) and
+// ShardedCluster.Observe hands out its hub. Four streams share one causal
+// sequence:
+//
+// Request tracing. Every routed operation can carry a span tree, sampled
+// deterministically (every k-th request at ObserveOptions.SampleRate, so
+// runs reproduce). The span taxonomy is layer/name: a single-shard op is
+// session/do → consensus/submit (health-gate outcomes are annotations on
+// the parent); a cross-shard read is session/multiget with a
+// session/read-round child per routing round; a cross-shard
+// transaction is txn/2pc → txn/prepare → txn/decide (annotated with the
+// attested counter value that bound the decision) → txn/drive; a live
+// migration is placement/rebalance → placement/freeze → placement/install
+// → placement/decide → placement/drive. A complete trace ends in a reply:
+// every span Ended, the root annotated with the outcome
+// (TraceRecord.Complete). Traces land in a fixed-size ring —
+// Observer.Tracer().Snapshot(), .JSON(), .Dump().
+//
+// Metrics. A named registry (Observer.Metrics) of counters, gauges and
+// log-linear histograms. The registered names live in internal/obs
+// (registry.go): shard_op_latency_ns{group=G}, multiget_fanout,
+// txn_phase_prepare_ns / txn_phase_decide_ns / txn_phase_drive_ns,
+// rebalance_window_ns, health_transitions{group=G}, err_shard_degraded,
+// err_unroutable, route_retries, exec_batch_requests. Histograms cap their
+// sample cost and report Truncated when percentiles are estimates.
+//
+// Attested-access audit. Every state-changing trusted-counter access
+// (replica consensus counters, the transaction coordinator's arbiter)
+// emits an AuditRecord; transaction and placement commit points emit an
+// AuditDecision. The online checker enforces the paper's invariants as
+// the stream arrives: per-counter monotonicity (a re-minted value is a
+// rollback — the Section 6 attack raises a counter-regression alarm, see
+// internal/byz), at most one attested decision per transaction id
+// (a second is replay or equivocation), and exactly ONE attested access
+// behind every decision digest. Alarms() empty is the healthy state; the
+// audit never blocks the data path.
+//
+// Control-plane journal. View changes, health transitions, placement
+// epoch flips and evacuations (Observer.Journal().Events()), stamped from
+// the same sequence as the audit stream — an epoch flip is always ordered
+// after the attested decision that authorized it.
+//
+// The recorded perf baseline (BENCH_baseline.json at the repository root,
+// schema flexitrust-bench/v1) pins the headline experiments at fixed seeds
+// and scales; regenerate with `benchrunner -bench-out`, check with
+// `benchrunner -bench-validate`.
+//
 // The measurement side lives under internal/harness and is exposed through
 // cmd/benchrunner and the repository-root benchmarks.
 package flexitrust

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"flexitrust/internal/crypto"
+	"flexitrust/internal/obs"
 	"flexitrust/internal/trusted"
 	"flexitrust/internal/types"
 )
@@ -161,6 +162,13 @@ type Config struct {
 	// can never alias one another's counters; see trusted.Namespaced. All
 	// replicas of one group must use the same namespace.
 	TrustedNamespace uint16
+
+	// Observer, when non-nil, enables the cluster-wide observability
+	// layer for this instance: the hosting environment instruments the
+	// replica's raw trusted component with it (audit records for every
+	// attested access) and records execution metrics. Nil disables
+	// observation at zero cost; see internal/obs.
+	Observer *obs.Observer
 }
 
 // DefaultConfig returns the paper's standard setup for a given f: batch size

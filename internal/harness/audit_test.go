@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"testing"
+
+	"flexitrust/internal/obs"
+	"flexitrust/internal/sim"
+)
+
+// TestAuditSilentOnCleanRuns attaches the audit stream to an honest run of
+// every publicly exposed protocol and asserts it never alarms: counters on
+// every host advance monotonically, so the checker's rollback and
+// double-mint rules must have zero false positives on clean consensus.
+// The trusted protocols must also actually feed the stream (nonzero
+// accesses); the untrusted baselines run with no trusted component, so for
+// them the test pins the stream at zero.
+func TestAuditSilentOnCleanRuns(t *testing.T) {
+	trustedProtos := map[string]bool{
+		"Flexi-BFT": true, "Flexi-ZZ": true, "MinBFT": true, "MinZZ": true,
+		"Pbft": false, "Zyzzyva": false,
+	}
+	for _, name := range []string{"Flexi-BFT", "Flexi-ZZ", "MinBFT", "MinZZ", "Pbft", "Zyzzyva"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := DefaultOptions()
+			opts.F = 1
+			opts.Clients = 64
+			Scale(16).apply(&opts)
+			cfg := GroupConfig(spec, opts)
+			o := obs.New(obs.Config{})
+			cfg.Obs = o
+			res := sim.NewCluster(cfg).Run(opts.Warmup, opts.Measure)
+
+			if res.Completed == 0 {
+				t.Fatalf("%s committed nothing; clean run broken", name)
+			}
+			if alarms := o.Audit().Alarms(); len(alarms) != 0 {
+				t.Fatalf("%s: audit raised %d alarms on an honest run: %v",
+					name, len(alarms), alarms)
+			}
+			accesses := o.Audit().TotalAccesses()
+			if trustedProtos[name] && accesses == 0 {
+				t.Fatalf("%s uses trusted counters but the audit stream saw no accesses", name)
+			}
+			if !trustedProtos[name] && accesses != 0 {
+				t.Fatalf("%s runs untrusted but the audit stream saw %d accesses", name, accesses)
+			}
+		})
+	}
+}

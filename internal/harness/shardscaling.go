@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"flexitrust/internal/engine"
+	"flexitrust/internal/obs"
 	"flexitrust/internal/shard"
 	"flexitrust/internal/sim"
 )
@@ -54,9 +55,29 @@ func ShardScalingPoint(protocol string, shards int, scale Scale) (sim.Results, e
 	return shard.Aggregate(per), nil
 }
 
+// ShardScalingPointObserved is ShardScalingPoint with an observer attached
+// to the shared kernel. Virtual-time throughput is identical either way —
+// the observer costs real CPU, not simulated time — so the obs-enabled
+// benchmark variant compares wall-clock ns/op against the unobserved
+// baseline (acceptance: <5% at default sampling).
+func ShardScalingPointObserved(protocol string, shards int, scale Scale, o *obs.Observer) (sim.Results, error) {
+	per, err := shardScalingGroupsObserved(protocol, shards, scale, o)
+	if err != nil {
+		return sim.Results{}, err
+	}
+	return shard.Aggregate(per), nil
+}
+
 // ShardScalingGroups runs the shared-kernel deployment and returns the
 // per-group results (group g at index g).
 func ShardScalingGroups(protocol string, shards int, scale Scale) ([]sim.Results, error) {
+	return shardScalingGroupsObserved(protocol, shards, scale, nil)
+}
+
+// shardScalingGroupsObserved is ShardScalingGroups with an optional
+// observer attached to the shared kernel (nil = unobserved); the bench
+// baseline uses it to count attested accesses through the audit stream.
+func shardScalingGroupsObserved(protocol string, shards int, scale Scale, o *obs.Observer) ([]sim.Results, error) {
 	spec, err := ByName(protocol)
 	if err != nil {
 		return nil, err
@@ -78,7 +99,7 @@ func ShardScalingGroups(protocol string, shards int, scale Scale) ([]sim.Results
 		}
 		groups[g] = GroupConfig(spec, o)
 	}
-	mc := sim.NewMultiCluster(sim.MultiConfig{Seed: master, Groups: groups})
+	mc := sim.NewMultiCluster(sim.MultiConfig{Seed: master, Groups: groups, Obs: o})
 	return mc.Run(opts.Warmup, opts.Measure), nil
 }
 

@@ -5,11 +5,17 @@
 package metrics
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"time"
 )
+
+// ErrWindowMismatch is returned by Merge for collectors whose measurement
+// windows differ: their completion counters cover different spans of
+// experiment time, so summing them would compare incomparables.
+var ErrWindowMismatch = errors.New("metrics: cannot merge collectors with mismatched measurement windows")
 
 // Collector accumulates per-transaction completions. Not safe for concurrent
 // use; the simulator is single-threaded and the runtime wraps it in the
@@ -22,10 +28,12 @@ type Collector struct {
 	viewChanges uint64        // consensus views installed (degradation signal)
 	latencies   []time.Duration
 	maxSamples  int
+	dropped     uint64 // in-window samples lost to the maxSamples cap
 }
 
 // NewCollector creates a collector that records latency samples up to
-// maxSamples (reservoir-free cap; beyond it only counters advance).
+// maxSamples (reservoir-free cap; beyond it only counters advance and
+// Dropped counts the loss).
 func NewCollector(maxSamples int) *Collector {
 	if maxSamples <= 0 {
 		maxSamples = 1 << 20
@@ -49,6 +57,8 @@ func (c *Collector) Record(now, latency time.Duration) {
 	c.completed++
 	if len(c.latencies) < c.maxSamples {
 		c.latencies = append(c.latencies, latency)
+	} else {
+		c.dropped++
 	}
 }
 
@@ -57,6 +67,19 @@ func (c *Collector) Completed() uint64 { return c.completed }
 
 // TotalDone returns all completions regardless of window.
 func (c *Collector) TotalDone() uint64 { return c.totalDone }
+
+// SampledCount returns the number of latency samples actually retained —
+// the population Percentile and MeanLatency answer from.
+func (c *Collector) SampledCount() int { return len(c.latencies) }
+
+// Dropped returns how many in-window completions lost their latency
+// sample to the maxSamples cap.
+func (c *Collector) Dropped() uint64 { return c.dropped }
+
+// Truncated reports whether any latency samples were dropped: percentile
+// and mean estimates then describe only the first SampledCount()
+// completions of the window, not all of them.
+func (c *Collector) Truncated() bool { return c.dropped > 0 }
 
 // SetViewChanges records how many consensus views the measured group has
 // installed — primary-failure churn, carried alongside the throughput
@@ -104,31 +127,48 @@ func (c *Collector) Percentile(p float64) time.Duration {
 	return sorted[idx]
 }
 
+// Clone returns an independent copy of the collector — snapshot reads use
+// it so callers can keep recording into the original.
+func (c *Collector) Clone() *Collector {
+	out := *c
+	out.latencies = append([]time.Duration(nil), c.latencies...)
+	return &out
+}
+
 // Merge combines several collectors — one per shard in a sharded deployment —
 // into a single cluster-level collector: completion counters are summed and
 // latency samples pooled (capped at the merged collector's sample budget), so
-// Throughput/MeanLatency/Percentile answer for the cluster as a whole. The
-// inputs keep their measurement windows; the merged collector adopts the
-// first input's window for any further Record calls.
-func Merge(cs ...*Collector) *Collector {
+// Throughput/MeanLatency/Percentile answer for the cluster as a whole. All
+// inputs must share one measurement window (it becomes the output's window);
+// merging collectors whose windows differ would sum counters covering
+// different spans of experiment time, so it is rejected with
+// ErrWindowMismatch instead of silently producing incomparable totals.
+func Merge(cs ...*Collector) (*Collector, error) {
 	out := NewCollector(0)
 	total := 0
-	for i, c := range cs {
+	first := true
+	for _, c := range cs {
 		if c == nil {
 			continue
 		}
-		if i == 0 {
+		if first {
 			out.windowStart, out.windowEnd = c.windowStart, c.windowEnd
+			first = false
+		} else if c.windowStart != out.windowStart || c.windowEnd != out.windowEnd {
+			return nil, fmt.Errorf("%w: [%v, %v) vs [%v, %v)", ErrWindowMismatch,
+				out.windowStart, out.windowEnd, c.windowStart, c.windowEnd)
 		}
 		out.completed += c.completed
 		out.totalDone += c.totalDone
 		out.viewChanges += c.viewChanges
+		out.dropped += c.dropped
 		total += len(c.latencies)
 	}
 	// When the pooled samples exceed the budget, thin each input by the same
 	// stride rather than truncating later inputs wholesale — every shard must
 	// keep contributing to the merged percentiles, or a slow late shard would
-	// silently vanish from the cluster tail.
+	// silently vanish from the cluster tail. Thinned-away samples count as
+	// dropped so the merged percentiles report as truncated estimates.
 	stride := 1
 	if total > out.maxSamples {
 		stride = (total + out.maxSamples - 1) / out.maxSamples
@@ -140,14 +180,22 @@ func Merge(cs ...*Collector) *Collector {
 		for i := 0; i < len(c.latencies); i += stride {
 			out.latencies = append(out.latencies, c.latencies[i])
 		}
+		if stride > 1 {
+			out.dropped += uint64(len(c.latencies) - (len(c.latencies)+stride-1)/stride)
+		}
 	}
-	return out
+	return out, nil
 }
 
-// Summary is a human-readable result row.
+// Summary is a human-readable result row. Truncated sample sets are
+// marked: their percentiles are estimates over the retained samples only.
 func (c *Collector) Summary(windowLen time.Duration) string {
-	return fmt.Sprintf("throughput=%.0f txn/s mean_lat=%s p50=%s p99=%s n=%d",
+	trunc := ""
+	if c.Truncated() {
+		trunc = fmt.Sprintf(" (truncated: %d samples dropped)", c.dropped)
+	}
+	return fmt.Sprintf("throughput=%.0f txn/s mean_lat=%s p50=%s p99=%s n=%d%s",
 		c.Throughput(windowLen), c.MeanLatency().Round(time.Microsecond),
 		c.Percentile(50).Round(time.Microsecond), c.Percentile(99).Round(time.Microsecond),
-		c.completed)
+		c.completed, trunc)
 }

@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"errors"
+	"strings"
 	"testing"
 	"time"
 )
@@ -102,7 +104,10 @@ func TestMergeAggregatesShards(t *testing.T) {
 	for i := 0; i < 30; i++ {
 		b.Record(time.Millisecond, 3*time.Millisecond)
 	}
-	m := Merge(a, b)
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if m.Completed() != 40 || m.TotalDone() != 40 {
 		t.Fatalf("merged counters wrong: %d/%d", m.Completed(), m.TotalDone())
 	}
@@ -117,7 +122,104 @@ func TestMergeAggregatesShards(t *testing.T) {
 		t.Fatalf("merged p99 %v", got)
 	}
 	// Merging nothing (or nils) must not panic.
-	if Merge().Completed() != 0 || Merge(nil, a).Completed() != 10 {
-		t.Fatal("degenerate merges wrong")
+	empty, err := Merge()
+	if err != nil || empty.Completed() != 0 {
+		t.Fatalf("empty merge: %v %d", err, empty.Completed())
+	}
+	withNil, err := Merge(nil, a)
+	if err != nil || withNil.Completed() != 10 {
+		t.Fatalf("nil-tolerant merge: %v", err)
+	}
+}
+
+// TestMergeRejectsMismatchedWindows checks that collectors measuring
+// different spans of experiment time cannot be summed.
+func TestMergeRejectsMismatchedWindows(t *testing.T) {
+	a := NewCollector(0)
+	b := NewCollector(0)
+	a.SetWindow(0, time.Second)
+	b.SetWindow(time.Second, 2*time.Second)
+	if _, err := Merge(a, b); !errors.Is(err, ErrWindowMismatch) {
+		t.Fatalf("want ErrWindowMismatch, got %v", err)
+	}
+	// Identical windows merge fine, whichever collector comes first.
+	b.SetWindow(0, time.Second)
+	if _, err := Merge(b, a); err != nil {
+		t.Fatal(err)
+	}
+	// A nil leading collector must not bypass the check.
+	c := NewCollector(0)
+	c.SetWindow(time.Millisecond, time.Second)
+	if _, err := Merge(nil, a, c); !errors.Is(err, ErrWindowMismatch) {
+		t.Fatalf("want ErrWindowMismatch after nil, got %v", err)
+	}
+}
+
+// TestPercentileEdgeCases covers the empty-collector and single-sample
+// queries the harness can hit on short or degraded runs.
+func TestPercentileEdgeCases(t *testing.T) {
+	c := NewCollector(0)
+	if c.Percentile(50) != 0 || c.Percentile(99) != 0 || c.MeanLatency() != 0 {
+		t.Fatal("empty collector should answer zero percentiles")
+	}
+	m, err := Merge(c)
+	if err != nil || m.Percentile(99) != 0 {
+		t.Fatalf("empty merged collector: %v %v", err, m.Percentile(99))
+	}
+	c.Record(0, 7*time.Millisecond)
+	for _, p := range []float64{0.1, 50, 99, 100} {
+		if got := c.Percentile(p); got != 7*time.Millisecond {
+			t.Fatalf("single-sample p%v = %v", p, got)
+		}
+	}
+}
+
+// TestTruncationIsSignaled checks that sample loss beyond maxSamples is
+// visible instead of silently skewing percentiles.
+func TestTruncationIsSignaled(t *testing.T) {
+	c := NewCollector(4)
+	for i := 0; i < 10; i++ {
+		c.Record(0, time.Duration(i)*time.Millisecond)
+	}
+	if c.Truncated() != true || c.Dropped() != 6 || c.SampledCount() != 4 {
+		t.Fatalf("truncated=%v dropped=%d sampled=%d", c.Truncated(), c.Dropped(), c.SampledCount())
+	}
+	if c.Completed() != 10 {
+		t.Fatalf("completed = %d", c.Completed())
+	}
+	if s := c.Summary(time.Second); !strings.Contains(s, "truncated") {
+		t.Fatalf("summary should flag truncation: %q", s)
+	}
+	// Merge carries the truncation signal through, and stride thinning
+	// itself counts as truncation.
+	big := NewCollector(0)
+	for i := 0; i < 10; i++ {
+		big.Record(0, time.Millisecond)
+	}
+	m, err := Merge(c, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Truncated() {
+		t.Fatal("merged collector should inherit truncation")
+	}
+	clean := NewCollector(0)
+	clean.Record(0, time.Millisecond)
+	if m2, err := Merge(clean); err != nil || m2.Truncated() {
+		t.Fatalf("clean merge should not be truncated: %v", err)
+	}
+}
+
+// TestCloneIsIndependent checks snapshot copies do not alias samples.
+func TestCloneIsIndependent(t *testing.T) {
+	c := NewCollector(0)
+	c.Record(0, time.Millisecond)
+	snap := c.Clone()
+	c.Record(0, 5*time.Millisecond)
+	if snap.SampledCount() != 1 || c.SampledCount() != 2 {
+		t.Fatalf("clone aliases samples: %d/%d", snap.SampledCount(), c.SampledCount())
+	}
+	if snap.Percentile(99) != time.Millisecond {
+		t.Fatalf("clone p99 = %v", snap.Percentile(99))
 	}
 }

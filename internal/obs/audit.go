@@ -1,0 +1,317 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"flexitrust/internal/types"
+)
+
+// Attested-access audit stream. Every state-changing access to a trusted
+// component observed through an instrumented wrapper (see InstrumentTC)
+// emits an AccessRecord; the decision layers (txn.Arbiter) additionally
+// emit a DecisionRecord for each commit point they mint. An online
+// checker turns the paper's headline invariants into runtime alarms:
+//
+//   - per-namespace monotonicity: within one (host, counter) pair the
+//     attested value must strictly increase within an epoch and the epoch
+//     itself never regress — a Byzantine host replaying its component
+//     state (Snapshot/Restore rollback) re-mints an old value and trips
+//     this immediately;
+//   - exactly one attested access per decision: a txn/placement/failover
+//     decision's digest must have been attested exactly once when the
+//     decision is recorded, and no decision id may be decided twice — a
+//     coordinator minting both a commit and an abort (equivocation), or
+//     minting the same outcome twice after a rollback, raises an alarm.
+//
+// Only namespaces registered with RegisterDecisionNamespace are tracked
+// per-digest, so the digest table is bounded by decision traffic, not by
+// consensus throughput.
+type Audit struct {
+	o  *Observer
+	mu sync.Mutex
+
+	ring  []AccessRecord
+	head  int
+	n     int
+	total uint64
+
+	decisions []DecisionRecord
+	alarms    []Alarm
+
+	counters   map[counterKey]counterState
+	decisionNS map[uint16]bool
+	digests    map[types.Digest]int
+	decided    map[decisionKey]types.Digest
+}
+
+func newAudit(o *Observer, buffer int) *Audit {
+	return &Audit{
+		o:          o,
+		ring:       make([]AccessRecord, buffer),
+		counters:   make(map[counterKey]counterState),
+		decisionNS: make(map[uint16]bool),
+		digests:    make(map[types.Digest]int),
+		decided:    make(map[decisionKey]types.Digest),
+	}
+}
+
+// AccessKind distinguishes the state-changing trusted-component
+// operations an audit record can describe.
+type AccessKind uint8
+
+const (
+	// AccessAppendF is an internally-incremented append (AppendF).
+	AccessAppendF AccessKind = iota
+	// AccessAppend is a host-sequenced append (Append).
+	AccessAppend
+	// AccessCreate is a counter (re-)creation at a higher epoch.
+	AccessCreate
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case AccessAppendF:
+		return "appendf"
+	case AccessAppend:
+		return "append"
+	case AccessCreate:
+		return "create"
+	}
+	return "unknown"
+}
+
+// AccessRecord is one successful state-changing access to a trusted
+// component: which counter, what it attested, and which layer drove it.
+type AccessRecord struct {
+	// Seq orders the record in the shared causal sequence (interleaved
+	// with journal events).
+	Seq  uint64          `json:"seq"`
+	Kind AccessKind      `json:"kind"`
+	Host types.ReplicaID `json:"host"`
+	// Namespace and Counter decompose the wire identifier: Namespace is
+	// the owning tier (a shard's group, or txn.CoordinatorNamespace),
+	// Counter the instance-local identifier.
+	Namespace uint16 `json:"namespace"`
+	Counter   uint32 `json:"counter"`
+	Epoch     uint32 `json:"epoch"`
+	Value     uint64 `json:"value"`
+	// Digest is the statement the attestation binds.
+	Digest types.Digest `json:"digest"`
+	// Layer names the instrumentation point ("replica", "coordinator",
+	// "sim-machine", ...).
+	Layer string `json:"layer"`
+}
+
+// DecisionKind distinguishes what a decision record decided.
+type DecisionKind uint8
+
+const (
+	// DecisionTxn is a cross-shard transaction commit/abort.
+	DecisionTxn DecisionKind = iota
+	// DecisionPlacement is a placement (rebalance/failover) commit.
+	DecisionPlacement
+)
+
+func (k DecisionKind) String() string {
+	if k == DecisionPlacement {
+		return "placement"
+	}
+	return "txn"
+}
+
+// DecisionRecord marks one decision's attested commit point: the digest
+// it bound, minted by exactly one counter access.
+type DecisionRecord struct {
+	Seq    uint64       `json:"seq"`
+	Kind   DecisionKind `json:"kind"`
+	TxID   uint64       `json:"txid"`
+	Commit bool         `json:"commit"`
+	// Epoch is the claimed placement epoch (placement decisions only).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Digest is the decision digest the attestation bound; it links the
+	// record to its AccessRecord.
+	Digest types.Digest `json:"digest"`
+	// Value is the attested counter value at the commit point.
+	Value uint64 `json:"value"`
+}
+
+// Alarm is one audit invariant violation.
+type Alarm struct {
+	Seq     uint64 `json:"seq"`
+	Message string `json:"message"`
+}
+
+type counterKey struct {
+	host types.ReplicaID
+	q    uint32 // wire identifier (namespace << 16 | local)
+}
+
+type counterState struct {
+	epoch uint32
+	value uint64
+}
+
+type decisionKey struct {
+	kind DecisionKind
+	txid uint64
+}
+
+// RegisterDecisionNamespace marks a counter namespace as minting
+// decisions: its accesses are tracked per-digest so the
+// one-access-per-decision invariant can be checked online.
+func (a *Audit) RegisterDecisionNamespace(ns uint16) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.decisionNS[ns] = true
+}
+
+// Access records one successful state-changing component access and runs
+// the monotonicity checks. Callers fill everything but Seq.
+func (a *Audit) Access(rec AccessRecord) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rec.Seq = a.o.nextSeq()
+	a.total++
+	if a.n < len(a.ring) {
+		a.ring[(a.head+a.n)%len(a.ring)] = rec
+		a.n++
+	} else {
+		a.ring[a.head] = rec
+		a.head = (a.head + 1) % len(a.ring)
+	}
+
+	key := counterKey{host: rec.Host, q: uint32(rec.Namespace)<<16 | (rec.Counter & 0xFFFF)}
+	st, known := a.counters[key]
+	switch {
+	case !known:
+		a.counters[key] = counterState{epoch: rec.Epoch, value: rec.Value}
+	case rec.Epoch < st.epoch:
+		a.alarmLocked("epoch regression on host %d ns %d q %d: epoch %d after %d",
+			rec.Host, rec.Namespace, rec.Counter, rec.Epoch, st.epoch)
+	case rec.Epoch == st.epoch && rec.Value <= st.value:
+		a.alarmLocked("counter regression on host %d ns %d q %d: value %d after %d — rollback or double-mint",
+			rec.Host, rec.Namespace, rec.Counter, rec.Value, st.value)
+	default:
+		a.counters[key] = counterState{epoch: rec.Epoch, value: rec.Value}
+	}
+
+	if a.decisionNS[rec.Namespace] {
+		a.digests[rec.Digest]++
+		if n := a.digests[rec.Digest]; n > 1 {
+			a.alarmLocked("decision digest %x attested %d times on host %d ns %d — replayed commit point",
+				rec.Digest[:4], n, rec.Host, rec.Namespace)
+		}
+	}
+}
+
+// Decision records one decision's commit point and checks the
+// exactly-one-access invariant: the decision digest must have exactly one
+// attested access on record, and a decision id may be decided once.
+func (a *Audit) Decision(rec DecisionRecord) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rec.Seq = a.o.nextSeq()
+	a.decisions = append(a.decisions, rec)
+
+	key := decisionKey{kind: rec.Kind, txid: rec.TxID}
+	if prev, done := a.decided[key]; done {
+		detail := "replayed decision"
+		if prev != rec.Digest {
+			detail = "conflicting outcomes — equivocation"
+		}
+		a.alarmLocked("second attested decision for %s id %d: %s", rec.Kind, rec.TxID, detail)
+		return
+	}
+	a.decided[key] = rec.Digest
+	if n := a.digests[rec.Digest]; n != 1 {
+		a.alarmLocked("%s decision %d has %d attested accesses (want exactly 1)",
+			rec.Kind, rec.TxID, n)
+	}
+}
+
+func (a *Audit) alarmLocked(format string, args ...any) {
+	a.alarms = append(a.alarms, Alarm{Seq: a.o.nextSeq(), Message: fmt.Sprintf(format, args...)})
+}
+
+// TotalAccesses returns the number of access records observed (including
+// any evicted from the ring).
+func (a *Audit) TotalAccesses() uint64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+// Records copies the retained access records, oldest first.
+func (a *Audit) Records() []AccessRecord {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]AccessRecord, 0, a.n)
+	for i := 0; i < a.n; i++ {
+		out = append(out, a.ring[(a.head+i)%len(a.ring)])
+	}
+	return out
+}
+
+// Decisions copies the recorded decision commit points.
+func (a *Audit) Decisions() []DecisionRecord {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]DecisionRecord(nil), a.decisions...)
+}
+
+// Alarms copies the raised alarms; an empty result is the healthy state.
+func (a *Audit) Alarms() []Alarm {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Alarm(nil), a.alarms...)
+}
+
+// AccessesForDigest returns how many attested accesses bound the given
+// digest (decision namespaces only — others are not tracked per-digest).
+func (a *Audit) AccessesForDigest(d types.Digest) int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.digests[d]
+}
+
+// String summarizes the stream: totals and any alarms.
+func (a *Audit) String() string {
+	if a == nil {
+		return "audit: disabled\n"
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit: %d accesses, %d decisions, %d alarms\n",
+		a.total, len(a.decisions), len(a.alarms))
+	for _, al := range a.alarms {
+		fmt.Fprintf(&b, "  ALARM seq=%d %s\n", al.Seq, al.Message)
+	}
+	return b.String()
+}

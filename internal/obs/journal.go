@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Control-plane event journal: view changes, health transitions, epoch
+// flips, evacuations. Events draw sequence numbers from the Observer's
+// shared causal sequence, so a journal entry can be ordered against the
+// audit stream — "the epoch flip at seq 41 happened after the placement
+// decision's attested access at seq 40" is a statement the records
+// themselves support.
+type Journal struct {
+	o  *Observer
+	mu sync.Mutex
+
+	ring  []Event
+	head  int
+	n     int
+	total uint64
+}
+
+func newJournal(o *Observer, buffer int) *Journal {
+	return &Journal{o: o, ring: make([]Event, buffer)}
+}
+
+// EventKind classifies a control-plane event.
+type EventKind uint8
+
+const (
+	// EventViewChange is a consensus group changing views.
+	EventViewChange EventKind = iota
+	// EventHealthTransition is the health monitor reclassifying a group.
+	EventHealthTransition
+	// EventEpochFlip is a new placement map being installed.
+	EventEpochFlip
+	// EventEvacuation is a failover orchestrator moving ranges off a
+	// degraded group.
+	EventEvacuation
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventViewChange:
+		return "view-change"
+	case EventHealthTransition:
+		return "health-transition"
+	case EventEpochFlip:
+		return "epoch-flip"
+	case EventEvacuation:
+		return "evacuation"
+	}
+	return "unknown"
+}
+
+// Event is one control-plane occurrence.
+type Event struct {
+	// Seq orders the event in the shared causal sequence (interleaved
+	// with audit records).
+	Seq  uint64        `json:"seq"`
+	At   time.Duration `json:"at_ns"`
+	Kind EventKind     `json:"kind"`
+	// Group is the consensus group concerned, -1 for cluster-wide events.
+	Group  int    `json:"group"`
+	Detail string `json:"detail"`
+}
+
+// Record appends an event, stamping its time and causal sequence.
+func (j *Journal) Record(kind EventKind, group int, format string, args ...any) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ev := Event{Seq: j.o.nextSeq(), At: j.o.Now(), Kind: kind, Group: group,
+		Detail: fmt.Sprintf(format, args...)}
+	j.total++
+	if j.n < len(j.ring) {
+		j.ring[(j.head+j.n)%len(j.ring)] = ev
+		j.n++
+	} else {
+		j.ring[j.head] = ev
+		j.head = (j.head + 1) % len(j.ring)
+	}
+}
+
+// Events copies the retained events, oldest first.
+func (j *Journal) Events() []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Event, 0, j.n)
+	for i := 0; i < j.n; i++ {
+		out = append(out, j.ring[(j.head+i)%len(j.ring)])
+	}
+	return out
+}
+
+// Total returns the number of events recorded (including evicted ones).
+func (j *Journal) Total() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.total
+}
+
+// String renders the retained events, one per line.
+func (j *Journal) String() string {
+	var b strings.Builder
+	for _, ev := range j.Events() {
+		group := fmt.Sprintf("group %d", ev.Group)
+		if ev.Group < 0 {
+			group = "cluster"
+		}
+		fmt.Fprintf(&b, "seq=%d %v %s %s: %s\n", ev.Seq, ev.At, ev.Kind, group, ev.Detail)
+	}
+	return b.String()
+}

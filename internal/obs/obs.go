@@ -1,0 +1,151 @@
+// Package obs is the cluster-wide observability layer: request tracing,
+// a metrics registry, an attested-access audit stream with an online
+// checker, and a control-plane event journal. It has no dependencies
+// outside the standard library and the repo's own trusted/types packages,
+// and every entry point is nil-safe: a component handed a nil *Observer
+// (observability disabled) pays a nil check and nothing else.
+//
+// The four surfaces share one Observer so their records are causally
+// ordered against each other: audit records and journal events draw from
+// a single sequence counter, and spans stamp times from the same clock.
+// In the discrete-event simulator that clock is virtual time, which makes
+// sim traces deterministic and replayable.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes an Observer.
+type Config struct {
+	// SampleRate is the fraction of requests that get a full span tree,
+	// in [0,1]. Sampling is deterministic (an accumulator, not a PRNG):
+	// rate 1/64 samples exactly every 64th trace. 0 means DefaultSampleRate;
+	// use a negative rate to disable tracing entirely.
+	SampleRate float64
+	// TraceBuffer is the capacity of the completed-trace ring buffer
+	// (default DefaultTraceBuffer). Oldest traces are evicted first.
+	TraceBuffer int
+	// AuditBuffer caps the retained audit access records (default
+	// DefaultAuditBuffer); the checker's verdicts never depend on the
+	// buffer — its state is incremental and survives eviction.
+	AuditBuffer int
+	// JournalBuffer caps retained control-plane events (default
+	// DefaultJournalBuffer).
+	JournalBuffer int
+	// Clock supplies timestamps as offsets from an arbitrary epoch. Nil
+	// means wall time since the Observer's creation. The simulator
+	// substitutes virtual time (see (*Observer).SetClock).
+	Clock func() time.Duration
+}
+
+// Default buffer and sampling parameters.
+const (
+	DefaultSampleRate    = 1.0 / 64
+	DefaultTraceBuffer   = 256
+	DefaultAuditBuffer   = 1 << 16
+	DefaultJournalBuffer = 1 << 12
+)
+
+// Observer owns the four observability surfaces. The zero value is not
+// usable; build one with New. A nil *Observer is the disabled layer:
+// every method on it (and on the nil sub-surfaces it returns) is a no-op.
+type Observer struct {
+	clock atomic.Pointer[func() time.Duration]
+	// seq is the shared causal sequence: audit records and journal events
+	// each take the next value, so the two streams interleave in a single
+	// total order.
+	seq atomic.Uint64
+
+	tracer  *Tracer
+	metrics *Registry
+	audit   *Audit
+	journal *Journal
+}
+
+// New builds an Observer with the given configuration.
+func New(cfg Config) *Observer {
+	if cfg.SampleRate == 0 {
+		cfg.SampleRate = DefaultSampleRate
+	}
+	if cfg.TraceBuffer <= 0 {
+		cfg.TraceBuffer = DefaultTraceBuffer
+	}
+	if cfg.AuditBuffer <= 0 {
+		cfg.AuditBuffer = DefaultAuditBuffer
+	}
+	if cfg.JournalBuffer <= 0 {
+		cfg.JournalBuffer = DefaultJournalBuffer
+	}
+	o := &Observer{}
+	clock := cfg.Clock
+	if clock == nil {
+		start := time.Now()
+		clock = func() time.Duration { return time.Since(start) }
+	}
+	o.clock.Store(&clock)
+	o.tracer = newTracer(o, cfg.SampleRate, cfg.TraceBuffer)
+	o.metrics = newRegistry()
+	o.audit = newAudit(o, cfg.AuditBuffer)
+	o.journal = newJournal(o, cfg.JournalBuffer)
+	return o
+}
+
+// SetClock replaces the timestamp source — the simulator points it at
+// virtual time after the kernel exists. Safe to call concurrently with
+// observation, though normally called once before traffic starts.
+func (o *Observer) SetClock(clock func() time.Duration) {
+	if o == nil || clock == nil {
+		return
+	}
+	o.clock.Store(&clock)
+}
+
+// Now returns the current observation timestamp (offset from the clock's
+// epoch). Zero on a nil Observer.
+func (o *Observer) Now() time.Duration {
+	if o == nil {
+		return 0
+	}
+	return (*o.clock.Load())()
+}
+
+// nextSeq returns the next value of the shared causal sequence.
+func (o *Observer) nextSeq() uint64 { return o.seq.Add(1) }
+
+// Tracer returns the request-tracing surface (nil on a nil Observer; a
+// nil Tracer's methods are no-ops and StartTrace returns a nil Span).
+func (o *Observer) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.tracer
+}
+
+// Metrics returns the metrics registry (nil on a nil Observer; a nil
+// Registry hands out no-op instruments).
+func (o *Observer) Metrics() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.metrics
+}
+
+// Audit returns the attested-access audit stream (nil on a nil Observer;
+// a nil Audit's methods are no-ops).
+func (o *Observer) Audit() *Audit {
+	if o == nil {
+		return nil
+	}
+	return o.audit
+}
+
+// Journal returns the control-plane event journal (nil on a nil
+// Observer; a nil Journal's methods are no-ops).
+func (o *Observer) Journal() *Journal {
+	if o == nil {
+		return nil
+	}
+	return o.journal
+}

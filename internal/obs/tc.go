@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"sync"
+
+	"flexitrust/internal/trusted"
+	"flexitrust/internal/types"
+)
+
+// InstrumentTC wraps a trusted component so every successful
+// state-changing access (AppendF/Append/Create) emits an audit record.
+// Wrap the RAW component, below any trusted.Namespaced view: the wrapper
+// sees wire identifiers and decomposes them into (namespace, local
+// counter), which is exactly the attribution the audit stream wants —
+// shard groups and the transaction coordinator show up under their own
+// namespaces even though they share one physical component.
+//
+// Read-only operations (Lookup, Current) and Snapshot/Restore pass
+// through unrecorded: a Byzantine host would not run honest
+// instrumentation around its rollback, so the checker detects rollbacks
+// from the re-minted counter values, not from seeing the Restore.
+//
+// A nil Observer returns inner unchanged, so call sites need no branch.
+func (o *Observer) InstrumentTC(inner trusted.Component, layer string) trusted.Component {
+	if o == nil || inner == nil {
+		return inner
+	}
+	return &instrumentedTC{inner: inner, o: o, layer: layer}
+}
+
+type instrumentedTC struct {
+	// mu makes mint-and-record atomic: without it two concurrent mints
+	// could record in the opposite order of their counter values and
+	// raise a false monotonicity alarm.
+	mu    sync.Mutex
+	inner trusted.Component
+	o     *Observer
+	layer string
+}
+
+func (t *instrumentedTC) record(kind AccessKind, q uint32, att *types.Attestation) {
+	if att == nil {
+		return
+	}
+	t.o.Audit().Access(AccessRecord{
+		Kind:      kind,
+		Host:      t.inner.Host(),
+		Namespace: uint16(q >> 16),
+		Counter:   q & 0xFFFF,
+		Epoch:     att.Epoch,
+		Value:     att.Value,
+		Digest:    att.Digest,
+		Layer:     t.layer,
+	})
+}
+
+func (t *instrumentedTC) Host() types.ReplicaID    { return t.inner.Host() }
+func (t *instrumentedTC) Profile() trusted.Profile { return t.inner.Profile() }
+
+// AppendF implements trusted.Component.
+func (t *instrumentedTC) AppendF(q uint32, x types.Digest) (*types.Attestation, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	att, err := t.inner.AppendF(q, x)
+	if err == nil {
+		t.record(AccessAppendF, q, att)
+	}
+	return att, err
+}
+
+// Append implements trusted.Component.
+func (t *instrumentedTC) Append(q uint32, kNew uint64, x types.Digest) (*types.Attestation, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	att, err := t.inner.Append(q, kNew, x)
+	if err == nil {
+		t.record(AccessAppend, q, att)
+	}
+	return att, err
+}
+
+// Create implements trusted.Component.
+func (t *instrumentedTC) Create(q uint32, k uint64) (*types.Attestation, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	att, err := t.inner.Create(q, k)
+	if err == nil {
+		t.record(AccessCreate, q, att)
+	}
+	return att, err
+}
+
+// Lookup implements trusted.Component (read-only, unrecorded).
+func (t *instrumentedTC) Lookup(q uint32, k uint64) (*types.Attestation, error) {
+	return t.inner.Lookup(q, k)
+}
+
+// Current implements trusted.Component (read-only, unrecorded).
+func (t *instrumentedTC) Current(q uint32) (uint32, uint64, error) {
+	return t.inner.Current(q)
+}
+
+func (t *instrumentedTC) Accesses() uint64               { return t.inner.Accesses() }
+func (t *instrumentedTC) LogSize() int                   { return t.inner.LogSize() }
+func (t *instrumentedTC) Snapshot() *trusted.State       { return t.inner.Snapshot() }
+func (t *instrumentedTC) Restore(s *trusted.State) error { return t.inner.Restore(s) }

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Request tracing: a sampled span tree per request. A trace is started at
+// the request's entry layer (a Session operation, a 2PC coordinator, a
+// rebalance handoff); layers below attach child spans and annotations.
+// Sampling is decided once, at the root — an unsampled request costs one
+// mutex-guarded accumulator bump and returns a nil *Span whose methods
+// all no-op, so instrumented code never branches on whether tracing is on.
+//
+// Completed (and still-open) sampled traces live in a fixed-size ring
+// buffer, oldest evicted first, inspectable as a text tree (Dump), as
+// structured records (Snapshot), or as JSON.
+type Tracer struct {
+	o    *Observer
+	mu   sync.Mutex
+	rate float64
+	acc  float64
+
+	ring []*trace
+	head int // index of the oldest retained trace
+	n    int
+
+	nextID  uint64
+	started uint64
+	sampled uint64
+}
+
+func newTracer(o *Observer, rate float64, buffer int) *Tracer {
+	return &Tracer{o: o, rate: rate, ring: make([]*trace, buffer)}
+}
+
+// trace is one sampled request's span tree. Spans are appended in start
+// order; span ids are 1-based indices into the slice, so parent links
+// always point backwards.
+type trace struct {
+	id    uint64
+	spans []*Span
+}
+
+// Span is one timed step of a sampled request. A nil *Span (unsampled
+// request, or tracing disabled) accepts every method as a no-op.
+type Span struct {
+	tr     *Tracer
+	trace  *trace
+	id     uint32
+	parent uint32 // 0 = root
+	layer  string
+	name   string
+	start  time.Duration
+	end    time.Duration
+	ended  bool
+	notes  []string
+}
+
+// StartTrace begins a new trace rooted at a span in the given layer,
+// applying the sampling decision. It returns nil — a valid no-op span —
+// when the request is not sampled or the Tracer is nil.
+func (t *Tracer) StartTrace(layer, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.started++
+	t.acc += t.rate
+	if t.acc < 1 {
+		return nil
+	}
+	t.acc--
+	t.sampled++
+	t.nextID++
+	tr := &trace{id: t.nextID}
+	s := &Span{tr: t, trace: tr, id: 1, layer: layer, name: name, start: t.o.Now()}
+	tr.spans = append(tr.spans, s)
+	// Retain the trace immediately so in-flight requests are visible in
+	// dumps; the ring evicts oldest-first.
+	if t.n < len(t.ring) {
+		t.ring[(t.head+t.n)%len(t.ring)] = tr
+		t.n++
+	} else {
+		t.ring[t.head] = tr
+		t.head = (t.head + 1) % len(t.ring)
+	}
+	return s
+}
+
+// Child starts a sub-span under s in the given layer. Nil-safe.
+func (s *Span) Child(layer, name string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	c := &Span{tr: s.tr, trace: s.trace, id: uint32(len(s.trace.spans) + 1),
+		parent: s.id, layer: layer, name: name, start: s.tr.o.Now()}
+	s.trace.spans = append(s.trace.spans, c)
+	return c
+}
+
+// Annotate attaches a formatted note to the span. Nil-safe.
+func (s *Span) Annotate(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	s.notes = append(s.notes, fmt.Sprintf(format, args...))
+}
+
+// End closes the span, stamping its end time. Ending twice is harmless
+// (the first end wins). Nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if !s.ended {
+		s.ended = true
+		s.end = s.tr.o.Now()
+	}
+}
+
+// TraceID returns the id of the trace the span belongs to (0 for a nil
+// span), letting other record streams reference the trace.
+func (s *Span) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.trace.id
+}
+
+// Started returns the number of StartTrace calls (sampled or not).
+func (t *Tracer) Started() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.started
+}
+
+// Sampled returns the number of traces that were actually sampled.
+func (t *Tracer) Sampled() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sampled
+}
+
+// SpanRecord is the exported form of one span.
+type SpanRecord struct {
+	ID      uint32   `json:"id"`
+	Parent  uint32   `json:"parent,omitempty"`
+	Layer   string   `json:"layer"`
+	Name    string   `json:"name"`
+	StartNs int64    `json:"start_ns"`
+	EndNs   int64    `json:"end_ns"`
+	Ended   bool     `json:"ended"`
+	Notes   []string `json:"notes,omitempty"`
+}
+
+// TraceRecord is the exported form of one trace: its spans in start
+// order, ids 1-based with parent 0 marking the root.
+type TraceRecord struct {
+	ID    uint64       `json:"trace_id"`
+	Spans []SpanRecord `json:"spans"`
+}
+
+// Complete reports whether every span in the trace has ended — the span
+// tree ran to a reply rather than being abandoned mid-request.
+func (tr TraceRecord) Complete() bool {
+	if len(tr.Spans) == 0 {
+		return false
+	}
+	for _, s := range tr.Spans {
+		if !s.Ended {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot copies the retained traces, oldest first.
+func (t *Tracer) Snapshot() []TraceRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceRecord, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		tr := t.ring[(t.head+i)%len(t.ring)]
+		rec := TraceRecord{ID: tr.id, Spans: make([]SpanRecord, 0, len(tr.spans))}
+		for _, s := range tr.spans {
+			rec.Spans = append(rec.Spans, SpanRecord{
+				ID: s.id, Parent: s.parent, Layer: s.layer, Name: s.name,
+				StartNs: int64(s.start), EndNs: int64(s.end), Ended: s.ended,
+				Notes: append([]string(nil), s.notes...),
+			})
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// JSON renders the retained traces as a JSON array of TraceRecords.
+func (t *Tracer) JSON() ([]byte, error) {
+	return json.Marshal(t.Snapshot())
+}
+
+// Dump renders the retained traces as an indented text tree, one block
+// per trace. Empty string when nothing was sampled.
+func (t *Tracer) Dump() string {
+	var b strings.Builder
+	for _, tr := range t.Snapshot() {
+		state := "complete"
+		if !tr.Complete() {
+			state = "open"
+		}
+		fmt.Fprintf(&b, "trace %d (%d spans, %s)\n", tr.ID, len(tr.Spans), state)
+		depth := make(map[uint32]int, len(tr.Spans))
+		for _, s := range tr.Spans {
+			d := 1
+			if s.Parent != 0 {
+				d = depth[s.Parent] + 1
+			}
+			depth[s.ID] = d
+			dur := "open"
+			if s.Ended {
+				dur = time.Duration(s.EndNs - s.StartNs).String()
+			}
+			fmt.Fprintf(&b, "%s[%s] %s %s", strings.Repeat("  ", d), s.Layer, s.Name, dur)
+			if len(s.Notes) > 0 {
+				fmt.Fprintf(&b, " — %s", strings.Join(s.Notes, "; "))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

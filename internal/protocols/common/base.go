@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"flexitrust/internal/engine"
+	"flexitrust/internal/obs"
 	"flexitrust/internal/types"
 )
 
@@ -420,6 +421,12 @@ func (b *Base) EnterView(v types.View) {
 	b.View = v
 	b.InViewChange = false
 	b.viewChanges++
+	if v != 0 {
+		// Shard groups run in trusted namespace s+1; standalone clusters
+		// (namespace 0) journal as cluster-wide.
+		b.Cfg.Observer.Journal().Record(obs.EventViewChange, int(b.Cfg.TrustedNamespace)-1,
+			"replica %d installed view %d", b.Env.ID(), v)
+	}
 	b.Env.CancelTimer(types.TimerID{Kind: types.TimerViewChange, View: v})
 	b.Env.CancelTimer(types.TimerID{Kind: types.TimerViewChange})
 	b.forwarded = 0

@@ -38,11 +38,13 @@ type Client struct {
 	pending map[uint64]*pendingReq
 }
 
-// outcome is a resolved transaction: its result value and the consensus
-// sequence number the quorum committed it at (sharding watermarks need it).
+// outcome is a resolved transaction: its result value, the consensus
+// sequence number the quorum committed it at (sharding watermarks need
+// it), and the view it executed in (request traces annotate it).
 type outcome struct {
 	value []byte
 	seq   types.SeqNum
+	view  types.View
 }
 
 // pendingReq tracks one outstanding transaction.
@@ -75,6 +77,14 @@ func (c *Client) Submit(ctx context.Context, op []byte) ([]byte, error) {
 // number the reply quorum committed it at. Sharded deployments use it to
 // maintain per-shard commit watermarks.
 func (c *Client) SubmitSeq(ctx context.Context, op []byte) ([]byte, types.SeqNum, error) {
+	res, seq, _, err := c.SubmitObserved(ctx, op)
+	return res, seq, err
+}
+
+// SubmitObserved executes op and returns, beyond SubmitSeq, the view the
+// reply quorum executed it in — the "view at execution" a request trace
+// records.
+func (c *Client) SubmitObserved(ctx context.Context, op []byte) ([]byte, types.SeqNum, types.View, error) {
 	c.mu.Lock()
 	c.nextReq++
 	req := &types.ClientRequest{
@@ -109,7 +119,7 @@ func (c *Client) SubmitSeq(ctx context.Context, op []byte) ([]byte, types.SeqNum
 	for {
 		select {
 		case res := <-p.done:
-			return res.value, res.seq, nil
+			return res.value, res.seq, res.view, nil
 		case <-retry.C:
 			// Complain to everyone; replicas answer from their caches or
 			// forward to the primary (and may trigger a view change).
@@ -119,7 +129,7 @@ func (c *Client) SubmitSeq(ctx context.Context, op []byte) ([]byte, types.SeqNum
 				c.cfg.Transport.Send(transport.ReplicaAddr(int32(i)), resend)
 			}
 		case <-ctx.Done():
-			return nil, 0, fmt.Errorf("client %d request %d: %w", c.cfg.ID, req.ReqNo, ctx.Err())
+			return nil, 0, 0, fmt.Errorf("client %d request %d: %w", c.cfg.ID, req.ReqNo, ctx.Err())
 		}
 	}
 }
@@ -156,7 +166,8 @@ func (c *Client) onEnvelope(env *wire.Envelope) {
 				c.primary = types.Primary(resp.View, c.cfg.N)
 			}
 			select {
-			case p.done <- outcome{value: append([]byte(nil), res.Value...), seq: resp.Seq}:
+			case p.done <- outcome{value: append([]byte(nil), res.Value...),
+				seq: resp.Seq, view: resp.View}:
 			default:
 			}
 		}

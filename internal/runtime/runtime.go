@@ -17,6 +17,7 @@ import (
 	"flexitrust/internal/crypto"
 	"flexitrust/internal/engine"
 	"flexitrust/internal/kvstore"
+	"flexitrust/internal/obs"
 	"flexitrust/internal/transport"
 	"flexitrust/internal/trusted"
 	"flexitrust/internal/types"
@@ -88,8 +89,11 @@ func NewNode(cfg NodeConfig) *Node {
 	})
 	// Protocol code sees instance-local counter ids; the namespaced view
 	// isolates them inside the component (sharded deployments co-hosting
-	// several protocol instances per process).
-	n.tcView = trusted.Namespaced(n.tc, cfg.Engine.TrustedNamespace)
+	// several protocol instances per process). The observability wrapper,
+	// when enabled, sits between the two: it sees wire identifiers, so
+	// audit records attribute each attested access to its namespace.
+	n.tcView = trusted.Namespaced(cfg.Engine.Observer.InstrumentTC(n.tc, "replica"),
+		cfg.Engine.TrustedNamespace)
 	n.proto = cfg.NewProtocol(cfg.Engine)
 	cfg.Transport.SetHandler(n.onEnvelope)
 	n.wg.Add(1)
@@ -313,8 +317,13 @@ func (n *Node) Crypto() crypto.Provider { return n.suite }
 
 // Execute implements engine.Env.
 func (n *Node) Execute(_ types.SeqNum, b *types.Batch) []types.Result {
+	n.cfg.Engine.Observer.Metrics().Histogram(obs.MExecBatch).Observe(int64(len(b.Requests)))
 	return n.store.ApplyBatch(b)
 }
+
+// Observe returns the node's observability layer (nil when disabled) —
+// the status/obs endpoint a supervisor reads alongside Status.
+func (n *Node) Observe() *obs.Observer { return n.cfg.Engine.Observer }
 
 // StateDigest implements engine.Env.
 func (n *Node) StateDigest() types.Digest { return n.store.StateDigest() }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"flexitrust/internal/obs"
 	"flexitrust/internal/txn"
 )
 
@@ -91,6 +92,11 @@ func (o *FailoverOrchestrator) RunOnce(ctx context.Context) ([]FailoverResult, e
 // ranges g still owns.
 func (o *FailoverOrchestrator) EvacuateGroup(ctx context.Context, g int, opts FailoverOptions) (*FailoverResult, error) {
 	res := &FailoverResult{Group: g}
+	jrn := o.s.c.obs.Journal()
+	jrn.Record(obs.EventEvacuation, g, "evacuation started")
+	defer func() {
+		jrn.Record(obs.EventEvacuation, g, "evacuation finished: %d ranges re-pointed", len(res.Handoffs))
+	}()
 	for race := 0; ; race++ {
 		dests, err := o.destinations(g, opts)
 		if err != nil {

@@ -150,7 +150,7 @@ func (g *Group) snapshotCollector() *metrics.Collector {
 	_, vcs := g.probeViews()
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	snap := metrics.Merge(g.collector)
+	snap := g.collector.Clone()
 	snap.SetViewChanges(vcs)
 	return snap
 }

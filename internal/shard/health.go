@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"flexitrust/internal/obs"
 	"flexitrust/internal/types"
 )
 
@@ -204,10 +205,39 @@ func (m *HealthMonitor) sample(force bool) []GroupHealth {
 		out[gi] = m.classify(gi, g, now)
 	}
 	m.mu.Lock()
+	transitions := m.diffStates(out)
 	m.last = append(m.last[:0], out...)
 	m.sampledAt = now
 	m.mu.Unlock()
+	for _, t := range transitions {
+		m.c.obs.Journal().Record(obs.EventHealthTransition, t.group,
+			"health: %v -> %v", t.from, t.to)
+		m.c.obs.Metrics().Counter(obs.GroupLabel(obs.MHealthTransitions, t.group)).Inc()
+	}
 	return out
+}
+
+// stateTransition is one group's health flip between consecutive samples.
+type stateTransition struct {
+	group    int
+	from, to GroupState
+}
+
+// diffStates compares a fresh sample against the published cache (caller
+// holds mu). A group's very first sample counts as a transition only when
+// it is already degraded — booting Healthy is the expected baseline.
+func (m *HealthMonitor) diffStates(out []GroupHealth) []stateTransition {
+	var ts []stateTransition
+	for gi := range out {
+		prev := GroupHealthy
+		if gi < len(m.last) {
+			prev = m.last[gi].State
+		}
+		if out[gi].State != prev {
+			ts = append(ts, stateTransition{group: gi, from: prev, to: out[gi].State})
+		}
+	}
+	return ts
 }
 
 // classify probes one group and folds the sample into its progress memory.

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"flexitrust/internal/kvstore"
+	"flexitrust/internal/obs"
 	"flexitrust/internal/txn"
 )
 
@@ -93,8 +95,17 @@ func (s *Session) RebalanceWithOptions(ctx context.Context, r Range, to int, opt
 	s.c.registerProposal(hid, next)
 	res := &RebalanceResult{HandoffID: hid, From: src, To: to, Epoch: next.Epoch(), Placement: next}
 
-	// Prepare, source side: freeze the range and collect its export.
+	span := s.c.obs.Tracer().StartTrace("placement", "rebalance")
+	defer span.End()
+	span.Annotate("handoff %d: range %v from group %d to group %d (epoch %d)", hid, r, src, to, next.Epoch())
+
+	// Prepare, source side: freeze the range and collect its export. The
+	// freeze opens the write-unavailability window the MRebalanceWindow
+	// histogram measures; it closes at the routing flip.
+	frozen := time.Now()
+	freezeSpan := span.Child("placement", "freeze")
 	raw, err := s.submitShard(ctx, src, kvstore.EncodeRangeFreeze(hid, r))
+	freezeSpan.End()
 	if err != nil {
 		return res, s.abortHandoff(ctx, res, fmt.Errorf("freeze on group %d: %w", src, err))
 	}
@@ -108,39 +119,51 @@ func (s *Session) RebalanceWithOptions(ctx context.Context, r Range, to int, opt
 		return res, s.abortHandoff(ctx, res, cause)
 	}
 	res.Moved = len(recs)
+	freezeSpan.Annotate("%d records exported", len(recs))
 
 	// Prepare, destination side: stage the export chunk by chunk through
 	// the destination's consensus.
 	chunks := kvstore.ChunkRangeRecords(recs)
 	res.Chunks = len(chunks)
+	installSpan := span.Child("placement", "install")
+	installSpan.Annotate("%d chunks to group %d", len(chunks), to)
 	for i, chunk := range chunks {
 		op, err := kvstore.EncodeRangeInstall(hid, r, uint32(i), chunk)
 		if err != nil {
+			installSpan.End()
 			return res, s.abortHandoff(ctx, res, err)
 		}
 		iraw, err := s.submitShard(ctx, to, op)
 		if err != nil {
+			installSpan.End()
 			return res, s.abortHandoff(ctx, res, fmt.Errorf("install chunk %d on group %d: %w", i, to, err))
 		}
 		if string(iraw) != kvstore.RangeStaged {
+			installSpan.End()
 			return res, s.abortHandoff(ctx, res, fmt.Errorf("install chunk %d on group %d refused: %s", i, to, iraw))
 		}
 	}
+	installSpan.End()
 	if opts.CrashAt == txn.PhaseVoted {
 		return res, fmt.Errorf("%w at %v (handoff %d)", txn.ErrCoordinatorCrashed, txn.PhaseVoted, hid)
 	}
 
 	// Commit point: one attested counter access binds the new placement.
+	decideSpan := span.Child("placement", "decide")
 	att, err := s.c.arbiter.DecidePlacement(hid, next.Epoch(), next.Digest())
 	if err != nil {
+		decideSpan.End()
 		return res, fmt.Errorf("handoff %d: arbiter: %w", hid, err)
 	}
+	decideSpan.Annotate("attested counter value %d binds epoch %d", att.Value, next.Epoch())
 	if opts.CrashAt == txn.PhaseAttested {
+		decideSpan.End()
 		return res, fmt.Errorf("%w at %v (handoff %d)", txn.ErrCoordinatorCrashed, txn.PhaseAttested, hid)
 	}
 	d, err := s.c.txnLog.Publish(txn.Decision{
 		TxID: hid, Commit: true, Epoch: next.Epoch(), Placement: next.Digest(), Att: att,
 	})
+	decideSpan.End()
 	if errors.Is(err, txn.ErrEpochClaimed) {
 		// Another handoff activated this epoch first: our flip loses whole.
 		return res, s.abortHandoff(ctx, res, err)
@@ -157,10 +180,16 @@ func (s *Session) RebalanceWithOptions(ctx context.Context, r Range, to int, opt
 		// Activate routing before the drive: sessions hitting WrongShard on
 		// the source must find the successor epoch to retry through.
 		_ = s.c.installPlacement(next)
+		// The flip reopens the range for writes: the window closes here.
+		s.c.obs.Metrics().Histogram(obs.MRebalanceWindow).ObserveDuration(time.Since(frozen))
+		span.Annotate("committed: epoch %d active", next.Epoch())
 	}
 
 	// Drive the decision to both groups.
-	if err := s.driveHandoff(ctx, hid, res.Committed, src, to, opts.DriveOnly); err != nil {
+	driveSpan := span.Child("placement", "drive")
+	err = s.driveHandoff(ctx, hid, res.Committed, src, to, opts.DriveOnly)
+	driveSpan.End()
+	if err != nil {
 		return res, err
 	}
 	if opts.DriveOnly != nil {

@@ -67,6 +67,7 @@ import (
 
 	"flexitrust/internal/kvstore"
 	"flexitrust/internal/metrics"
+	"flexitrust/internal/obs"
 	"flexitrust/internal/runtime"
 	"flexitrust/internal/trusted"
 	"flexitrust/internal/txn"
@@ -85,12 +86,18 @@ type Config struct {
 	// Health tunes the per-shard health monitor (stall threshold, probe
 	// rate); zero values derive defaults from Group.Engine.ViewChangeTimeout.
 	Health HealthConfig
+	// Obs, when non-nil, enables cluster-wide observability: request
+	// traces through sessions and coordinators, an audit record per
+	// attested counter access on every replica and on the coordinator
+	// component, and control-plane journal events. Nil disables it.
+	Obs *obs.Observer
 }
 
 // Cluster is a running sharded deployment.
 type Cluster struct {
 	groups []*Group
 	mon    *HealthMonitor
+	obs    *obs.Observer
 
 	// Placement state: the installed epoch-versioned ownership map plus
 	// the proposals in-flight handoffs registered (in-doubt resolution
@@ -123,6 +130,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		placement: UniformPlacement(cfg.Shards),
 		proposals: make(map[uint64]*PlacementMap),
+		obs:       cfg.Obs,
 	}
 	seed := cfg.Group.Seed
 	if seed == 0 {
@@ -137,7 +145,16 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		Profile:  cfg.Group.TrustedProfile,
 		Attestor: c.coordAuth.For(0),
 	})
-	c.arbiter = txn.Arbiter{TC: trusted.Namespaced(coordTC, txn.CoordinatorNamespace), Q: txn.DecisionCounter}
+	// The observability wrapper sits under the coordinator namespace view
+	// (like a replica's) so its audit records carry the coordinator
+	// namespace; registering that namespace arms the checker's
+	// exactly-one-access-per-decision accounting.
+	c.arbiter = txn.Arbiter{
+		TC:  trusted.Namespaced(cfg.Obs.InstrumentTC(coordTC, "coordinator"), txn.CoordinatorNamespace),
+		Q:   txn.DecisionCounter,
+		Obs: cfg.Obs,
+	}
+	cfg.Obs.Audit().RegisterDecisionNamespace(txn.CoordinatorNamespace)
 	c.txnLog = txn.NewLog(txn.VerifierFor(c.coordAuth, txn.CoordinatorNamespace))
 	// Transaction and handoff ids share one allocator, so their decisions
 	// share the shards' idempotency/poisoning table and one stability
@@ -151,6 +168,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 		gcfg.Seed += int64(s) * 7919
 		gcfg.Engine.TrustedNamespace = uint16(s + 1)
+		gcfg.Engine.Observer = cfg.Obs
 		g, err := newGroup(s, gcfg)
 		if err != nil {
 			c.Stop()
@@ -164,6 +182,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 
 // Monitor returns the cluster's per-shard health monitor.
 func (c *Cluster) Monitor() *HealthMonitor { return c.mon }
+
+// Observe returns the cluster's observability layer (nil when disabled).
+func (c *Cluster) Observe() *obs.Observer { return c.obs }
 
 // Health samples (rate-limited) every group's health classification.
 func (c *Cluster) Health() []GroupHealth { return c.mon.sample(false) }
@@ -196,6 +217,8 @@ func (c *Cluster) installPlacement(pm *PlacementMap) error {
 		return fmt.Errorf("shard: placement routes %d groups, cluster has %d", pm.Groups(), len(c.groups))
 	}
 	c.placement = pm
+	c.obs.Journal().Record(obs.EventEpochFlip, -1, "placement epoch %d installed (digest %v)",
+		pm.Epoch(), pm.Digest())
 	return nil
 }
 
@@ -267,7 +290,12 @@ func (c *Cluster) Stats() Stats {
 		st.PerShard = append(st.PerShard, g.Stats())
 		collectors = append(collectors, g.snapshotCollector())
 	}
-	merged := metrics.Merge(collectors...)
+	// Every group collector is built identically (same open window), so a
+	// window mismatch here is a programming error, not a runtime state.
+	merged, err := metrics.Merge(collectors...)
+	if err != nil {
+		panic(err)
+	}
 	st.Committed = merged.TotalDone()
 	st.MeanLat = merged.MeanLatency()
 	st.P99Lat = merged.Percentile(99)
@@ -307,6 +335,7 @@ func (c *Cluster) Session(id types.ClientID) *Session {
 		ShardFor: func(key uint64) int { return s.placement().ShardFor(key) },
 		Done:     c.stability.Done,
 		Health:   s.participantHealth,
+		Obs:      c.obs,
 	})
 	return s
 }
@@ -318,6 +347,7 @@ func (c *Cluster) Session(id types.ClientID) *Session {
 func (s *Session) participantHealth(g int) (int, error) {
 	switch h := s.c.mon.Check(g); h.State {
 	case GroupStalled:
+		s.c.obs.Metrics().Counter(obs.MDegradedErrors).Inc()
 		return 0, fmt.Errorf("group stalled for %v (view %d, %d replicas up): %w",
 			h.StalledFor.Round(time.Millisecond), h.View, h.ReplicasUp, ErrShardDegraded)
 	case GroupViewChanging:
@@ -377,15 +407,20 @@ const (
 // primary); when the grace runs out the operation proceeds anyway, because
 // submitted traffic is exactly what triggers backup suspicion when the
 // election has not started.
-func (s *Session) gateHealth(ctx context.Context, g int) error {
+func (s *Session) gateHealth(ctx context.Context, g int, span *obs.Span) error {
 	for wait := 0; ; wait++ {
 		h := s.c.mon.Check(g)
 		switch {
 		case h.State == GroupStalled:
+			s.c.obs.Metrics().Counter(obs.MDegradedErrors).Inc()
+			span.Annotate("health gate: group %d stalled", g)
 			return fmt.Errorf("shard: group %d stalled for %v (view %d, %d/%d replicas up, primary up: %v): %w",
 				g, h.StalledFor.Round(time.Millisecond), h.View, h.ReplicasUp,
 				s.c.groups[g].Runtime().N(), h.PrimaryUp, ErrShardDegraded)
 		case h.State == GroupViewChanging && wait < viewChangeGrace:
+			if wait == 0 {
+				span.Annotate("health gate: deferring to view change on group %d", g)
+			}
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
@@ -409,25 +444,36 @@ func (s *Session) gateHealth(ctx context.Context, g int) error {
 // signal — use Get (framed) rather than Do(OpRead) when values are
 // untrusted.
 func (s *Session) Do(ctx context.Context, op *kvstore.Op) ([]byte, error) {
+	span := s.c.obs.Tracer().StartTrace("session", "do")
+	defer span.End()
+	span.Annotate("key %d", op.Key)
 	for attempt := 0; ; attempt++ {
 		pm := s.placement()
 		target := pm.ShardFor(op.Key)
-		if err := s.gateHealth(ctx, target); err != nil {
+		span.Annotate("route: shard %d at epoch %d", target, pm.Epoch())
+		if err := s.gateHealth(ctx, target, span); err != nil {
 			return nil, fmt.Errorf("shard: key %d: %w", op.Key, err)
 		}
-		res, err := s.submitShard(ctx, target, op)
+		sub := span.Child("consensus", "submit")
+		res, seq, view, err := s.submitShardSeq(ctx, target, op)
 		if err != nil {
+			sub.End()
 			return nil, err
 		}
+		sub.Annotate("shard %d committed seq %d in view %d", target, seq, view)
+		sub.End()
 		switch string(res) {
 		case kvstore.WrongShard, kvstore.RangeMigrating:
 		default:
+			span.Annotate("reply: %d bytes", len(res))
 			return res, nil
 		}
 		if attempt >= routeRetryMax {
+			s.c.obs.Metrics().Counter(obs.MUnroutableErrors).Inc()
 			return nil, fmt.Errorf("shard: key %d still answered %s by group %d after %d retries at epoch %d: %w",
 				op.Key, res, target, attempt, pm.Epoch(), ErrUnroutable)
 		}
+		s.c.obs.Metrics().Counter(obs.MRouteRetries).Inc()
 		// A newer epoch may already be installed (retry immediately through
 		// it); otherwise the handoff has not flipped yet — wait briefly.
 		if s.refreshPlacement().Epoch() == pm.Epoch() {
@@ -503,6 +549,9 @@ func writeOutcome(key uint64, res []byte, err error) error {
 // are issued concurrently; there is no cross-shard snapshot (two shards
 // may be read at versions that never coexisted; use Txn for atomic writes).
 func (s *Session) MultiGet(ctx context.Context, keys []uint64) (map[uint64]kvstore.ReadResult, ShardVector, error) {
+	span := s.c.obs.Tracer().StartTrace("session", "multiget")
+	defer span.End()
+	span.Annotate("%d keys", len(keys))
 	fence := s.c.Watermarks()
 	versions := make(ShardVector, len(s.c.groups))
 	touched := make(map[int]bool)
@@ -522,6 +571,13 @@ func (s *Session) MultiGet(ctx context.Context, keys []uint64) (map[uint64]kvsto
 	for attempt := 0; len(pending) > 0; attempt++ {
 		pm := s.placement()
 		parts := pm.Partition(pending)
+		if attempt == 0 {
+			// Fan-out width: distinct shards the read set spans under the
+			// placement the call started with.
+			s.c.obs.Metrics().Histogram(obs.MMultiGetFanout).Observe(int64(len(parts)))
+		}
+		round := span.Child("session", "read-round")
+		round.Annotate("epoch %d: %d keys over %d shards", pm.Epoch(), len(pending), len(parts))
 		reads := make(chan keyRead, len(pending))
 		issued := 0
 		// Issue in ascending shard order (then per-shard input order) so
@@ -530,12 +586,14 @@ func (s *Session) MultiGet(ctx context.Context, keys []uint64) (map[uint64]kvsto
 		// request and the primary batches them, so a shard's whole read
 		// set usually costs one consensus round.
 		for _, shardIdx := range SortedShards(parts) {
-			if err := s.gateHealth(ctx, shardIdx); err != nil {
+			if err := s.gateHealth(ctx, shardIdx, round); err != nil {
 				if !errors.Is(err, ErrShardDegraded) {
+					round.End()
 					return nil, nil, err
 				}
 				// Degraded shard: report its keys explicitly instead of
 				// blocking the whole read on a wedged group.
+				round.Annotate("shard %d degraded: %d keys unavailable", shardIdx, len(parts[shardIdx]))
 				for _, k := range parts[shardIdx] {
 					values[k] = kvstore.ReadResult{Unavailable: true}
 				}
@@ -544,7 +602,7 @@ func (s *Session) MultiGet(ctx context.Context, keys []uint64) (map[uint64]kvsto
 			for _, k := range parts[shardIdx] {
 				issued++
 				go func(shardIdx int, k uint64) {
-					raw, seq, err := s.submitShardSeq(ctx, shardIdx, kvstore.EncodeTxnRead(k))
+					raw, seq, _, err := s.submitShardSeq(ctx, shardIdx, kvstore.EncodeTxnRead(k))
 					reads <- keyRead{key: k, shard: shardIdx, raw: raw, seq: seq, err: err}
 				}(shardIdx, k)
 			}
@@ -577,21 +635,28 @@ func (s *Session) MultiGet(ctx context.Context, keys []uint64) (map[uint64]kvsto
 			values[r.key] = rr
 		}
 		if firstErr != nil {
+			round.End()
 			return nil, nil, firstErr
 		}
 		if len(stale) > 0 {
+			round.Annotate("%d keys stale, retrying", len(stale))
 			if attempt >= routeRetryMax {
+				s.c.obs.Metrics().Counter(obs.MUnroutableErrors).Inc()
+				round.End()
 				return nil, nil, fmt.Errorf("shard: %d keys still unrouted after %d retries at epoch %d: %w",
 					len(stale), attempt, pm.Epoch(), ErrUnroutable)
 			}
+			s.c.obs.Metrics().Counter(obs.MRouteRetries).Inc()
 			if s.refreshPlacement().Epoch() == pm.Epoch() {
 				select {
 				case <-ctx.Done():
+					round.End()
 					return nil, nil, ctx.Err()
 				case <-time.After(routeRetryDelay):
 				}
 			}
 		}
+		round.End()
 		sortKeys(stale)
 		pending = stale
 	}

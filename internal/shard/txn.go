@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"flexitrust/internal/kvstore"
+	"flexitrust/internal/obs"
 	"flexitrust/internal/txn"
 	"flexitrust/internal/types"
 )
@@ -26,23 +27,26 @@ import (
 // and maintains the group's watermark and metrics like the single-shard
 // fast path does.
 func (s *Session) submitShard(ctx context.Context, shardIdx int, op *kvstore.Op) ([]byte, error) {
-	res, _, err := s.submitShardSeq(ctx, shardIdx, op)
+	res, _, _, err := s.submitShardSeq(ctx, shardIdx, op)
 	return res, err
 }
 
 // submitShardSeq is submitShard exposing the consensus sequence the reply
-// quorum committed at (MultiGet's version vector needs it).
-func (s *Session) submitShardSeq(ctx context.Context, shardIdx int, op *kvstore.Op) ([]byte, types.SeqNum, error) {
+// quorum committed at (MultiGet's version vector needs it) and the view it
+// executed in (request traces annotate it).
+func (s *Session) submitShardSeq(ctx context.Context, shardIdx int, op *kvstore.Op) ([]byte, types.SeqNum, types.View, error) {
 	g := s.c.groups[shardIdx]
 	g.noteSubmit()
 	defer g.noteDone()
 	start := time.Now()
-	res, seq, err := s.clients[shardIdx].SubmitSeq(ctx, op.Encode())
+	res, seq, view, err := s.clients[shardIdx].SubmitObserved(ctx, op.Encode())
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
-	g.noteCommit(seq, time.Since(start))
-	return res, seq, nil
+	lat := time.Since(start)
+	g.noteCommit(seq, lat)
+	s.c.obs.Metrics().Histogram(obs.GroupLabel(obs.MShardOpLatency, shardIdx)).ObserveDuration(lat)
+	return res, seq, view, nil
 }
 
 // Txn executes writes as one atomic cross-shard transaction: intents

@@ -6,6 +6,7 @@ import (
 
 	"flexitrust/internal/engine"
 	"flexitrust/internal/metrics"
+	"flexitrust/internal/obs"
 	"flexitrust/internal/trusted"
 	"flexitrust/internal/types"
 	"flexitrust/internal/workload"
@@ -40,6 +41,8 @@ type Config struct {
 	Seed int64
 	// Trace enables per-replica debug logging.
 	Trace bool
+	// Obs, when non-nil, observes the deployment (see MultiConfig.Obs).
+	Obs *obs.Observer
 }
 
 // DefaultPolicy returns the f+1 matching-reply rule with standard timeouts.
@@ -65,6 +68,9 @@ type Results struct {
 	// changes mean the group lost a primary mid-run.
 	FinalView   types.View
 	ViewChanges uint64
+	// Truncated reports that the collector dropped latency samples past its
+	// cap: MeanLat/P50Lat/P99Lat are estimates over the retained samples.
+	Truncated bool
 }
 
 // String renders a result row.
@@ -102,7 +108,7 @@ const jitterMax = 100 * time.Microsecond
 
 // NewCluster builds the cluster; protocols are initialized immediately.
 func NewCluster(cfg Config) *Cluster {
-	mc := NewMultiCluster(MultiConfig{Seed: cfg.Seed, Groups: []Config{cfg}})
+	mc := NewMultiCluster(MultiConfig{Seed: cfg.Seed, Groups: []Config{cfg}, Obs: cfg.Obs})
 	return &Cluster{mc: mc, g: mc.groups[0]}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"flexitrust/internal/crypto"
 	"flexitrust/internal/kvstore"
+	"flexitrust/internal/obs"
 	"flexitrust/internal/trusted"
 	"flexitrust/internal/txn"
 	"flexitrust/internal/types"
@@ -149,6 +150,7 @@ func (mc *MultiCluster) AttachFailoverDriver(cfg FailoverDriverConfig) *Failover
 	for _, m := range mc.machines {
 		d.arb = append(d.arb, trusted.Namespaced(m.tc, txn.CoordinatorNamespace))
 	}
+	mc.obsv.Audit().RegisterDecisionNamespace(txn.CoordinatorNamespace)
 	mc.failDriver = d
 	return d
 }
@@ -303,9 +305,16 @@ func (d *FailoverDriver) startEvacuation() {
 func (d *FailoverDriver) decide() {
 	mi := d.cfg.To % len(d.mc.machines)
 	finish := d.mc.machines[mi].tcAccess(d.mc.now, d.tenant, d.cfg.HostSeqCommitPoint)
-	if _, err := d.arb[mi].AppendF(txn.DecisionCounter, txn.PlacementDecisionDigest(d.hid, d.epoch+1, d.placementDigest())); err != nil {
+	att, err := d.arb[mi].AppendF(txn.DecisionCounter, txn.PlacementDecisionDigest(d.hid, d.epoch+1, d.placementDigest()))
+	if err != nil {
 		panic("sim: failover placement decision append failed: " + err.Error())
 	}
+	d.mc.obsv.Audit().Decision(obs.DecisionRecord{
+		Kind: obs.DecisionPlacement, TxID: d.hid, Commit: true, Epoch: d.epoch + 1,
+		Digest: att.Digest, Value: att.Value,
+	})
+	d.mc.obsv.Journal().Record(obs.EventEvacuation, d.cfg.Group,
+		"sim failover %d evacuates range to group %d at epoch %d", d.hid, d.cfg.To, d.epoch+1)
 	d.tcAccesses++
 	d.mc.schedule(&event{at: finish, kind: evFunc, fn: func() {
 		d.flipAt = d.mc.now

@@ -7,6 +7,7 @@ import (
 
 	"flexitrust/internal/engine"
 	"flexitrust/internal/kvstore"
+	"flexitrust/internal/obs"
 	"flexitrust/internal/trusted"
 	"flexitrust/internal/types"
 	"flexitrust/internal/workload"
@@ -39,6 +40,13 @@ type MultiConfig struct {
 	// assumes; stacking every primary on machine 0 would measure CPU
 	// skew, not trusted-component discipline).
 	Placement func(group, replica int) int
+
+	// Obs, when non-nil, observes the deployment: every machine's trusted
+	// component is instrumented (the audit stream sees each attested
+	// access), view changes journal through it, and its clock is rebound
+	// to the kernel's virtual time so spans and events order by simulated
+	// time, not wall time.
+	Obs *obs.Observer
 }
 
 // MultiCluster is a fully assembled multi-group deployment: S consensus
@@ -52,6 +60,7 @@ type MultiCluster struct {
 	machines  []*Machine
 	auth      *trusted.HMACAuthority
 	placement func(group, replica int) int
+	obsv      *obs.Observer
 	// txnDriver, when attached, runs cross-group two-phase-commit clients
 	// inside the same kernel (see txndriver.go).
 	txnDriver *TxnDriver
@@ -171,14 +180,27 @@ func NewMultiCluster(mcfg MultiConfig) *MultiCluster {
 		auth:      trusted.NewHMACAuthority(mcfg.Seed+1, numMachines),
 		placement: placement,
 	}
+	if mcfg.Obs != nil {
+		mc.obsv = mcfg.Obs
+		// Spans, audit records and journal events timestamp in virtual time.
+		mcfg.Obs.SetClock(func() time.Duration { return mc.now })
+		for i := range groups {
+			if groups[i].Engine.Observer == nil {
+				groups[i].Engine.Observer = mcfg.Obs
+			}
+		}
+	}
 	hw := groups[0]
 	for m := 0; m < numMachines; m++ {
-		tc := trusted.New(trusted.Config{
+		var tc trusted.Component = trusted.New(trusted.Config{
 			Host:     types.ReplicaID(m),
 			Profile:  hw.TrustedProfile,
 			KeepLog:  keepLog,
 			Attestor: mc.auth.For(types.ReplicaID(m)),
 		})
+		// Instrument below the namespaced views so every co-hosted group's
+		// attested accesses land in the audit stream with namespace intact.
+		tc = mcfg.Obs.InstrumentTC(tc, "sim-machine")
 		mc.machines = append(mc.machines, newMachine(m, hw.Cost.Workers, hw.Cost.TCStreamHandoff, hw.Cost.TCSign, tc))
 	}
 	for gi, gcfg := range groups {
@@ -228,6 +250,9 @@ func newGroup(mc *MultiCluster, gi int, cfg Config) *group {
 
 // Groups returns the number of co-hosted consensus groups.
 func (mc *MultiCluster) Groups() int { return len(mc.groups) }
+
+// Observe returns the deployment's observer (nil when none was attached).
+func (mc *MultiCluster) Observe() *obs.Observer { return mc.obsv }
 
 // Machines returns the number of simulated machines.
 func (mc *MultiCluster) Machines() int { return len(mc.machines) }
@@ -308,6 +333,7 @@ func (g *group) results(measure time.Duration) Results {
 		CertsSent:   g.pool.certsSent,
 		FinalView:   view,
 		ViewChanges: vcs,
+		Truncated:   col.Truncated(),
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"flexitrust/internal/crypto"
 	"flexitrust/internal/kvstore"
+	"flexitrust/internal/obs"
 	"flexitrust/internal/trusted"
 	"flexitrust/internal/txn"
 	"flexitrust/internal/types"
@@ -147,6 +148,7 @@ func (mc *MultiCluster) AttachRebalanceDriver(cfg RebalanceDriverConfig) *Rebala
 	for _, m := range mc.machines {
 		d.arb = append(d.arb, trusted.Namespaced(m.tc, txn.CoordinatorNamespace))
 	}
+	mc.obsv.Audit().RegisterDecisionNamespace(txn.CoordinatorNamespace)
 	mc.rebDriver = d
 	return d
 }
@@ -266,9 +268,15 @@ func (d *RebalanceDriver) startHandoff() {
 func (d *RebalanceDriver) decide() {
 	mi := d.cfg.From % len(d.mc.machines)
 	finish := d.mc.machines[mi].tcAccess(d.mc.now, d.tenant, d.cfg.HostSeqCommitPoint)
-	if _, err := d.arb[mi].AppendF(txn.DecisionCounter, txn.PlacementDecisionDigest(d.hid, d.epoch+1, d.placementDigest())); err != nil {
+	att, err := d.arb[mi].AppendF(txn.DecisionCounter, txn.PlacementDecisionDigest(d.hid, d.epoch+1, d.placementDigest()))
+	if err != nil {
 		panic("sim: placement decision append failed: " + err.Error())
 	}
+	d.mc.obsv.Audit().Decision(obs.DecisionRecord{
+		Kind: obs.DecisionPlacement, TxID: d.hid, Commit: true, Epoch: d.epoch + 1,
+		Digest: att.Digest, Value: att.Value,
+	})
+	d.mc.obsv.Journal().Record(obs.EventEpochFlip, -1, "sim handoff %d flips to epoch %d", d.hid, d.epoch+1)
 	d.tcAccesses++
 	d.mc.schedule(&event{at: finish, kind: evFunc, fn: func() {
 		// The placement is irrevocable once attested+published: probes

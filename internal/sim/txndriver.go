@@ -6,6 +6,7 @@ import (
 
 	"flexitrust/internal/kvstore"
 	"flexitrust/internal/metrics"
+	"flexitrust/internal/obs"
 	"flexitrust/internal/trusted"
 	"flexitrust/internal/txn"
 	"flexitrust/internal/types"
@@ -106,6 +107,7 @@ func (mc *MultiCluster) AttachTxnDriver(cfg TxnDriverConfig) *TxnDriver {
 	for _, m := range mc.machines {
 		d.arb = append(d.arb, trusted.Namespaced(m.tc, txn.CoordinatorNamespace))
 	}
+	mc.obsv.Audit().RegisterDecisionNamespace(txn.CoordinatorNamespace)
 	mc.txnDriver = d
 	return d
 }
@@ -196,9 +198,13 @@ func (d *TxnDriver) onVote(st *driverTxn, vote string) {
 	// machine, serialized on (and occupying) the machine's TC timeline.
 	mi := st.coord % len(d.mc.machines)
 	finish := d.mc.machines[mi].tcAccess(d.mc.now, d.tenant, d.cfg.HostSeqCommitPoint)
-	if _, err := d.arb[mi].AppendF(txn.DecisionCounter, txn.DecisionDigest(st.txid, commit)); err != nil {
+	att, err := d.arb[mi].AppendF(txn.DecisionCounter, txn.DecisionDigest(st.txid, commit))
+	if err != nil {
 		panic("sim: decision append failed: " + err.Error())
 	}
+	d.mc.obsv.Audit().Decision(obs.DecisionRecord{
+		Kind: obs.DecisionTxn, TxID: st.txid, Commit: commit, Digest: att.Digest, Value: att.Value,
+	})
 	d.tcAccesses++
 	d.decisions++
 	if commit {

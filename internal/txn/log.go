@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"flexitrust/internal/crypto"
+	"flexitrust/internal/obs"
 	"flexitrust/internal/trusted"
 	"flexitrust/internal/types"
 )
@@ -67,18 +68,33 @@ func PlacementDecisionDigest(txid, epoch uint64, placement types.Digest) types.D
 type Arbiter struct {
 	TC trusted.Component
 	Q  uint32
+	// Obs, when non-nil, receives a DecisionRecord for every minted
+	// decision; paired with an instrumented component underneath TC, the
+	// audit checker verifies each decision cost exactly one attested
+	// access.
+	Obs *obs.Observer
 }
 
 // Decide mints the decision attestation for txid — the single attested
 // counter access the commit point costs.
 func (a Arbiter) Decide(txid uint64, commit bool) (*types.Attestation, error) {
-	return a.TC.AppendF(a.Q, DecisionDigest(txid, commit))
+	att, err := a.TC.AppendF(a.Q, DecisionDigest(txid, commit))
+	if err == nil {
+		a.Obs.Audit().Decision(obs.DecisionRecord{Kind: obs.DecisionTxn,
+			TxID: txid, Commit: commit, Digest: att.Digest, Value: att.Value})
+	}
+	return att, err
 }
 
 // DecidePlacement mints the commit attestation of a placement change — the
 // single attested counter access a rebalance handoff costs.
 func (a Arbiter) DecidePlacement(txid, epoch uint64, placement types.Digest) (*types.Attestation, error) {
-	return a.TC.AppendF(a.Q, PlacementDecisionDigest(txid, epoch, placement))
+	att, err := a.TC.AppendF(a.Q, PlacementDecisionDigest(txid, epoch, placement))
+	if err == nil {
+		a.Obs.Audit().Decision(obs.DecisionRecord{Kind: obs.DecisionPlacement,
+			TxID: txid, Commit: true, Epoch: epoch, Digest: att.Digest, Value: att.Value})
+	}
+	return att, err
 }
 
 // Accesses exposes the underlying component's access counter (the

@@ -48,6 +48,7 @@ import (
 	"sync"
 
 	"flexitrust/internal/kvstore"
+	"flexitrust/internal/obs"
 	"flexitrust/internal/types"
 )
 
@@ -124,6 +125,10 @@ type Config struct {
 	// is NOT called when a crash injection leaves the transaction in
 	// doubt; in-doubt resolution settles it instead.
 	Done func(txid uint64)
+	// Obs, when non-nil, traces each transaction (prepare/decide/drive
+	// spans) and records 2PC phase timings. The decision's audit record
+	// is emitted by the Arbiter, not here.
+	Obs *obs.Observer
 	// Health, when non-nil, is consulted for every participant shard
 	// before phase 1. A returned error fails the transaction fast — no
 	// intent is installed anywhere and the id is settled immediately
@@ -215,6 +220,10 @@ func (c *Coordinator) Execute(ctx context.Context, writes []kvstore.TxnWrite, op
 	}
 	sort.Ints(res.Shards)
 
+	span := c.cfg.Obs.Tracer().StartTrace("txn", "2pc")
+	defer span.End()
+	span.Annotate("txid %d shards %v", txid, res.Shards)
+
 	// Health gate: a stalled participant fails the transaction before any
 	// intent is installed — participants stay untouched, so the id settles
 	// immediately rather than leaking into the in-doubt path. Healthy
@@ -230,6 +239,7 @@ func (c *Coordinator) Execute(ctx context.Context, writes []kvstore.TxnWrite, op
 				if c.cfg.Done != nil {
 					c.cfg.Done(txid)
 				}
+				span.Annotate("health gate failed on shard %d: %v", s, err)
 				return nil, fmt.Errorf("txn %d: participant shard %d: %w", txid, s, err)
 			}
 			ranks[s] = rank
@@ -245,6 +255,8 @@ func (c *Coordinator) Execute(ctx context.Context, writes []kvstore.TxnWrite, op
 		res   string
 		err   error
 	}
+	prepSpan := span.Child("txn", "prepare")
+	prepStart := c.cfg.Obs.Now()
 	votes := make(chan vote, len(parts))
 	for _, s := range order {
 		go func(s int, op *kvstore.Op) {
@@ -263,6 +275,7 @@ func (c *Coordinator) Execute(ctx context.Context, writes []kvstore.TxnWrite, op
 			if voteErr == nil {
 				voteErr = fmt.Errorf("txn %d: prepare on shard %d: %w", txid, v.shard, v.err)
 			}
+			prepSpan.Annotate("shard %d: %v", v.shard, v.err)
 			continue
 		}
 		res.Votes[v.shard] = v.res
@@ -270,34 +283,51 @@ func (c *Coordinator) Execute(ctx context.Context, writes []kvstore.TxnWrite, op
 			commit = false
 		}
 	}
+	prepSpan.Annotate("votes %v", res.Votes)
+	prepSpan.End()
+	c.cfg.Obs.Metrics().Histogram(obs.MTxnPhasePrepare).ObserveDuration(c.cfg.Obs.Now() - prepStart)
 	if opts.CrashAt == PhaseVoted {
 		return res, fmt.Errorf("%w at %v (txn %d)", ErrCoordinatorCrashed, PhaseVoted, txid)
 	}
 
 	// Commit point: exactly one attested counter access decides.
+	decideSpan := span.Child("txn", "decide")
+	decideStart := c.cfg.Obs.Now()
 	att, err := c.cfg.Arbiter.Decide(txid, commit)
 	if err != nil {
+		decideSpan.End()
 		return res, fmt.Errorf("txn %d: arbiter: %w", txid, err)
 	}
+	decideSpan.Annotate("attested commit=%v counter=%d", commit, att.Value)
 	if opts.CrashAt == PhaseAttested {
+		decideSpan.End()
 		return res, fmt.Errorf("%w at %v (txn %d)", ErrCoordinatorCrashed, PhaseAttested, txid)
 	}
 	decision, err := c.cfg.Log.Publish(Decision{TxID: txid, Commit: commit, Att: att})
 	if err != nil {
+		decideSpan.End()
 		return res, fmt.Errorf("txn %d: publish: %w", txid, err)
 	}
+	decideSpan.End()
+	c.cfg.Obs.Metrics().Histogram(obs.MTxnPhaseDecide).ObserveDuration(c.cfg.Obs.Now() - decideStart)
 	// First-wins: if recovery published before us, its decision governs.
 	res.Committed = decision.Commit
 	res.Attestation = decision.Att
+	span.Annotate("published commit=%v", decision.Commit)
 	if opts.CrashAt == PhasePublished {
 		return res, fmt.Errorf("%w at %v (txn %d)", ErrCoordinatorCrashed, PhasePublished, txid)
 	}
 
 	// Phase 2: drive the decision to the participants (concurrently;
 	// idempotent on the shards, so retries and recovery may overlap).
+	driveSpan := span.Child("txn", "drive")
+	driveStart := c.cfg.Obs.Now()
 	if err := c.drive(ctx, decision, res.Shards, parts, opts.DriveOnly); err != nil {
+		driveSpan.End()
 		return res, err
 	}
+	driveSpan.End()
+	c.cfg.Obs.Metrics().Histogram(obs.MTxnPhaseDrive).ObserveDuration(c.cfg.Obs.Now() - driveStart)
 	// Fully driven (an injected partial drive keeps the id in flight): the
 	// stability watermark may advance past this id.
 	if opts.DriveOnly == nil && c.cfg.Done != nil {

@@ -1,0 +1,68 @@
+package flexitrust
+
+import (
+	"flexitrust/internal/obs"
+)
+
+// Observability re-exports: the public names for the internal/obs layer a
+// sharded deployment exposes through ShardedCluster.Observe. See the
+// "Observability" section of the package documentation in flexitrust.go for
+// the span taxonomy, the audit invariants and the metric name registry.
+
+// Observer is a deployment's observability hub: request tracer, metrics
+// registry, attested-access audit stream and control-plane event journal.
+// Every accessor is nil-safe — a disabled deployment hands out a nil
+// Observer and all instrumentation no-ops.
+type Observer = obs.Observer
+
+// TraceRecord is one sampled request trace: its spans, parent links and
+// annotations (Observer.Tracer().Snapshot()).
+type TraceRecord = obs.TraceRecord
+
+// SpanRecord is one span of a trace: layer, name, timing and annotations.
+type SpanRecord = obs.SpanRecord
+
+// MetricsSnapshot is a point-in-time copy of every counter, gauge and
+// histogram in the registry (Observer.Metrics().Snapshot()).
+type MetricsSnapshot = obs.MetricsSnapshot
+
+// HistogramStats summarizes one histogram: count, mean, min/max, p50/p99.
+type HistogramStats = obs.HistogramStats
+
+// AuditRecord is one attested trusted-counter access in the audit stream:
+// host, namespace, counter, attested value and the digest it bound.
+type AuditRecord = obs.AccessRecord
+
+// AuditDecision marks one transaction/placement decision's attested commit
+// point in the audit stream.
+type AuditDecision = obs.DecisionRecord
+
+// AuditAlarm is one audit invariant violation (counter regression, replayed
+// or equivocated decision, wrong access count per decision). An empty
+// Alarms() slice is the healthy state.
+type AuditAlarm = obs.Alarm
+
+// JournalEvent is one control-plane event (view change, health transition,
+// placement epoch flip, evacuation), causally ordered against the audit
+// stream by its shared sequence number.
+type JournalEvent = obs.Event
+
+// ObserveOptions configures a sharded deployment's observability
+// (ShardOptions.Observe). The zero value disables it — no observer is
+// created and every instrumentation point no-ops.
+type ObserveOptions struct {
+	// Enabled switches observability on.
+	Enabled bool
+	// SampleRate is the fraction of requests traced, in (0, 1]; 0 uses the
+	// default (1/64). Sampling is deterministic (every k-th request), so
+	// runs are reproducible.
+	SampleRate float64
+	// TraceBuffer is the number of most-recent sampled traces retained
+	// (default 256).
+	TraceBuffer int
+}
+
+// Observe returns the cluster's observer, or nil when ShardOptions.Observe
+// was not enabled. The returned Observer's accessors (Tracer, Metrics,
+// Audit, Journal) are nil-safe either way.
+func (c *ShardedCluster) Observe() *Observer { return c.inner.Observe() }

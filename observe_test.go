@@ -1,0 +1,177 @@
+package flexitrust
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"flexitrust/internal/obs"
+)
+
+// TestShardedClusterObservability is the acceptance test for the
+// observability layer: a real sharded runtime (goroutine replicas, signed
+// messages, attested counters) drives writes, reads, one cross-shard
+// transaction and one live rebalance with tracing at sample rate 1.0 and
+// the audit stream attached — then asserts complete span trees ending in a
+// reply, exactly one attested access behind the transaction decision and
+// behind the placement flip, zero audit alarms, and the control-plane
+// journal recording the epoch flip causally after the decision.
+func TestShardedClusterObservability(t *testing.T) {
+	cluster, err := NewShardedCluster(ShardOptions{
+		Shards:    2,
+		Protocol:  FlexiBFT,
+		F:         1,
+		Clients:   []ClientID{1},
+		BatchSize: 4,
+		Records:   1000,
+		Observe:   ObserveOptions{Enabled: true, SampleRate: 1.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	o := cluster.Observe()
+	if o == nil {
+		t.Fatal("Observe() returned nil on an observability-enabled cluster")
+	}
+	sess := cluster.Session(1)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// Writes across both shards, and a read back.
+	const keys = 8
+	for k := uint64(0); k < keys; k++ {
+		if err := sess.Put(ctx, k, []byte(fmt.Sprintf("v%d", k))); err != nil {
+			t.Fatalf("put %d: %v", k, err)
+		}
+	}
+	if got, err := sess.Get(ctx, 3); err != nil || !bytes.Equal(got, []byte("v3")) {
+		t.Fatalf("get 3 = %q, %v", got, err)
+	}
+
+	// One cross-shard transaction: fresh keys, one per shard.
+	txnKeys := map[int]uint64{}
+	for k := uint64(1000); len(txnKeys) < 2; k++ {
+		if _, ok := txnKeys[cluster.ShardFor(k)]; !ok {
+			txnKeys[cluster.ShardFor(k)] = k
+		}
+	}
+	if err := sess.MultiPut(ctx, map[uint64][]byte{
+		txnKeys[0]: []byte("txn-0"),
+		txnKeys[1]: []byte("txn-1"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// One live rebalance: half of shard 0's range moves to shard 1.
+	full := cluster.Placement().GroupRanges(0)[0]
+	r := KeyRange{Start: full.Start, End: full.Start + (full.End-full.Start)/2}
+	res, err := sess.Rebalance(ctx, r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed || res.Epoch != 2 {
+		t.Fatalf("rebalance result: %+v", res)
+	}
+
+	// --- Traces: everything sampled, every span tree complete. ---
+	traces := o.Tracer().Snapshot()
+	if len(traces) == 0 {
+		t.Fatal("no traces captured at sample rate 1.0")
+	}
+	roots := map[string]int{} // "layer/name" of each trace's root
+	for _, tr := range traces {
+		if !tr.Complete() {
+			t.Fatalf("trace %d has unfinished spans: %+v", tr.ID, tr.Spans)
+		}
+		root := tr.Spans[0]
+		if root.Parent != 0 {
+			t.Fatalf("trace %d: first span is not the root: %+v", tr.ID, root)
+		}
+		roots[root.Layer+"/"+root.Name]++
+	}
+	for _, want := range []string{"session/do", "txn/2pc", "placement/rebalance"} {
+		if roots[want] == 0 {
+			t.Fatalf("no trace rooted at %q; roots seen: %v", want, roots)
+		}
+	}
+	// A routed op's tree ends in a reply: root annotated with the reply,
+	// consensus child holding the committed sequence.
+	foundReply := false
+	for _, tr := range traces {
+		root := tr.Spans[0]
+		if root.Layer != "session" || root.Name != "do" {
+			continue
+		}
+		for _, note := range root.Notes {
+			if strings.HasPrefix(note, "reply:") {
+				foundReply = true
+			}
+		}
+	}
+	if !foundReply {
+		t.Fatal("no session/do trace carries a reply annotation")
+	}
+	if o.Tracer().Dump() == "" {
+		t.Fatal("trace dump is empty")
+	}
+
+	// --- Audit: zero alarms, exactly one attested access per decision. ---
+	if alarms := o.Audit().Alarms(); len(alarms) != 0 {
+		t.Fatalf("audit raised %d alarms on a clean run: %v", len(alarms), alarms)
+	}
+	var txnDecisions, placementDecisions int
+	for _, d := range o.Audit().Decisions() {
+		switch d.Kind {
+		case obs.DecisionTxn:
+			txnDecisions++
+		case obs.DecisionPlacement:
+			placementDecisions++
+			if d.Epoch != 2 {
+				t.Fatalf("placement decision claims epoch %d, want 2", d.Epoch)
+			}
+		}
+		if n := o.Audit().AccessesForDigest(d.Digest); n != 1 {
+			t.Fatalf("%s decision %d cost %d attested accesses, want exactly 1", d.Kind, d.TxID, n)
+		}
+	}
+	if txnDecisions != 1 {
+		t.Fatalf("audit recorded %d txn decisions, want exactly 1 (the MultiPut)", txnDecisions)
+	}
+	if placementDecisions != 1 {
+		t.Fatalf("audit recorded %d placement decisions, want exactly 1 (the rebalance)", placementDecisions)
+	}
+
+	// --- Journal: the epoch flip is recorded after its attested decision. ---
+	var flip *JournalEvent
+	for _, ev := range o.Journal().Events() {
+		if ev.Kind == obs.EventEpochFlip {
+			ev := ev
+			flip = &ev
+		}
+	}
+	if flip == nil {
+		t.Fatal("journal has no epoch-flip event for the rebalance")
+	}
+	for _, d := range o.Audit().Decisions() {
+		if d.Kind == obs.DecisionPlacement && flip.Seq < d.Seq {
+			t.Fatalf("epoch flip (seq %d) journaled before its attested decision (seq %d)",
+				flip.Seq, d.Seq)
+		}
+	}
+
+	// --- Metrics: the routed-op latency histograms saw the traffic. ---
+	snap := o.Metrics().Snapshot()
+	var opCount uint64
+	for name, h := range snap.Histograms {
+		if strings.HasPrefix(name, obs.MShardOpLatency) {
+			opCount += h.Count
+		}
+	}
+	if opCount == 0 {
+		t.Fatalf("no %s samples recorded; histograms: %v", obs.MShardOpLatency, snap.Histograms)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"flexitrust/internal/engine"
 	"flexitrust/internal/kvstore"
+	"flexitrust/internal/obs"
 	"flexitrust/internal/runtime"
 	"flexitrust/internal/shard"
 	"flexitrust/internal/trusted"
@@ -49,6 +50,10 @@ type ShardOptions struct {
 	// Stalled — sessions fail fast against it and Failover may evacuate
 	// its ranges. Default: 4× ViewChangeTimeout.
 	StallTimeout time.Duration
+	// Observe enables cluster-wide observability: request tracing, the
+	// metrics registry, the attested-access audit stream and the
+	// control-plane event journal (see ShardedCluster.Observe).
+	Observe ObserveOptions
 	// Verbose enables replica logging.
 	Verbose bool
 }
@@ -164,6 +169,13 @@ func NewShardedCluster(opts ShardOptions) (*ShardedCluster, error) {
 	if opts.ViewChangeTimeout > 0 {
 		ecfg.ViewChangeTimeout = opts.ViewChangeTimeout
 	}
+	var observer *obs.Observer
+	if opts.Observe.Enabled {
+		observer = obs.New(obs.Config{
+			SampleRate:  opts.Observe.SampleRate,
+			TraceBuffer: opts.Observe.TraceBuffer,
+		})
+	}
 	inner, err := shard.NewCluster(shard.Config{
 		Shards: opts.Shards,
 		Group: runtime.ClusterConfig{
@@ -179,6 +191,7 @@ func NewShardedCluster(opts ShardOptions) (*ShardedCluster, error) {
 			Verbose:        opts.Verbose,
 		},
 		Health: shard.HealthConfig{StallAfter: opts.StallTimeout},
+		Obs:    observer,
 	})
 	if err != nil {
 		return nil, err
