@@ -11,13 +11,20 @@
 //	benchrunner -list
 //
 // Experiments: fig1, fig5, fig6i, fig6ii, fig6iv, fig6vi, fig7, fig8, fig9,
-// shard, txn, rebalance, failover.
+// shard, txn, rebalance, failover, qc.
+//
+// Profiling: -cpuprofile / -memprofile write pprof data covering whatever
+// the invocation runs (experiments or the baseline matrix), e.g.
+//
+//	benchrunner -exp qc -scale 16 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -64,6 +71,8 @@ func experiments() []experiment {
 			func(s harness.Scale) string { return harness.FigRebalance(shardCounts, s) }},
 		{"failover", "per-shard failover: primary crash mid-workload, health-driven evacuation as an attested placement change, FlexiBFT vs MinBFT",
 			func(s harness.Scale) string { return harness.FigFailover(shardCounts, s) }},
+		{"qc", "aggregated quorum certificates + off-thread verification A/B, QC on vs off at 1 and 4 shards",
+			func(s harness.Scale) string { return harness.FigQC(shardCounts, s).String() }},
 	}
 }
 
@@ -92,7 +101,37 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	benchOut := flag.String("bench-out", "", "run the BENCH baseline matrix at -scale and write flexitrust-bench/v1 JSON to this path ('-' = stdout)")
 	benchValidate := flag.String("bench-validate", "", "validate an existing flexitrust-bench/v1 baseline file and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the run to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this path")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *benchValidate != "" {
 		data, err := os.ReadFile(*benchValidate)

@@ -241,6 +241,41 @@
 // the same sequence as the audit stream — an epoch flip is always ordered
 // after the attested decision that authorized it.
 //
+// # Hot-path performance
+//
+// Two structural optimizations keep public-key cryptography off the
+// consensus event loop (both default-on, gated by engine.Config.EnableQC so
+// `benchrunner -exp qc` can A/B them under identical seeds):
+//
+// Aggregated quorum certificates. When a replica completes a vote quorum it
+// assembles a crypto.QuorumCert — slot coordinates, batch (and, for the
+// speculative protocols, history) digest, and a signer bitmap, with a
+// canonical versioned wire encoding that also carries one signature per
+// signer for individually-signed deployments. The certificate rides in
+// view-change PreparedProofs, so a NewView validator performs ONE
+// structural/batched check (Provider.VerifyQC) per slot instead of
+// re-verifying 2f+1 loose votes; Zyzzyva-family replicas likewise check a
+// client commit certificate's response set as one QC.
+//
+// Off-thread batched verification. Signature and attestation checks run off
+// the replica's single event goroutine — crypto.VerifyPool worker
+// goroutines in the real runtime, scheduled completion events in the
+// simulator (charged at the amortized batch-verification cost
+// sim.CostModel.VerifyBatchN rather than the inline DSVerify cost) — with
+// the completion delivered back to the event loop as an ordinary event that
+// re-checks protocol state before acting. A bounded memo of verified
+// (statement, signer) pairs (crypto.VerifyMemo) makes re-proposed batches,
+// resent votes and view-change replays one-time costs; only successes are
+// cached. Request digests are computed once and memoized on the request
+// (crypto.RequestDigest), so admission, batching, proposal and execution
+// share one SHA-256 evaluation.
+//
+// The attested-access discipline is untouched: verification is read-only,
+// so each decision still binds to exactly one trusted-counter access and
+// the audit checker stays alarm-free. Watch sig_verifies_total,
+// sig_verify_cache_hits, verify_pool_depth and the qc_size histogram in the
+// metrics registry; profile with `benchrunner -cpuprofile/-memprofile`.
+//
 // The recorded perf baseline (BENCH_baseline.json at the repository root,
 // schema flexitrust-bench/v1) pins the headline experiments at fixed seeds
 // and scales; regenerate with `benchrunner -bench-out`, check with

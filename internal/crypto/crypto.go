@@ -42,8 +42,14 @@ func HashConcat(parts ...[]byte) types.Digest {
 }
 
 // RequestDigest computes the canonical digest of a client request
-// (client id, request number, operation bytes).
+// (client id, request number, operation bytes). The digest is memoized on
+// the request: the batcher, the batch-digest check on delivery and the
+// response path all ask for it, so it is computed once per request per
+// process and answered from the request's cache thereafter.
 func RequestDigest(r *types.ClientRequest) types.Digest {
+	if d, ok := r.CachedDigest(); ok {
+		return d
+	}
 	h := sha256.New()
 	var hdr [16]byte
 	binary.BigEndian.PutUint64(hdr[0:8], uint64(r.Client))
@@ -52,6 +58,7 @@ func RequestDigest(r *types.ClientRequest) types.Digest {
 	h.Write(r.Op)
 	var d types.Digest
 	h.Sum(d[:0])
+	r.MemoizeDigest(d)
 	return d
 }
 
@@ -87,6 +94,10 @@ type Provider interface {
 	MAC(peer types.ReplicaID, payload []byte) []byte
 	// CheckMAC verifies an authenticator received from peer.
 	CheckMAC(peer types.ReplicaID, payload, mac []byte) bool
+	// VerifyQC validates an aggregated quorum certificate against the
+	// given vote quorum: structural checks (bitmap width, signer count)
+	// plus batch verification of any carried signatures.
+	VerifyQC(qc *QuorumCert, quorum int) bool
 }
 
 // Keyring holds the long-term keys of every replica and client in a cluster.
@@ -220,4 +231,26 @@ func (s *Suite) CheckMAC(peer types.ReplicaID, payload, mac []byte) bool {
 	m := hmac.New(sha256.New, s.ring.macKey(s.self, peer))
 	m.Write(payload)
 	return hmac.Equal(m.Sum(nil), mac)
+}
+
+// VerifyQC implements Provider: the certificate must pass its structural
+// Check against this keyring's cluster size, and every carried signature
+// must verify over the certificate payload under the matching signer's key.
+// An empty signature list is accepted — it is the transport-authenticated
+// form, whose trust rests on the attested proposal the certificate
+// accompanies.
+func (s *Suite) VerifyQC(qc *QuorumCert, quorum int) bool {
+	if qc == nil || qc.Check(s.ring.n, quorum) != nil {
+		return false
+	}
+	if len(qc.Sigs) == 0 {
+		return true
+	}
+	payload := qc.Payload()
+	for i, signer := range qc.Signers() {
+		if !s.Verify(signer, payload, qc.Sigs[i]) {
+			return false
+		}
+	}
+	return true
 }

@@ -1,0 +1,65 @@
+package crypto
+
+import (
+	"testing"
+
+	"flexitrust/internal/types"
+)
+
+// The request-digest memo is a hot-path win because the same request is
+// digested at admission, at batching, at proposal and at execution. The
+// benchmarks quantify the gap; the test pins the memoized value to the
+// computed one.
+
+func benchRequests(n int) []*types.ClientRequest {
+	reqs := make([]*types.ClientRequest, n)
+	for i := range reqs {
+		reqs[i] = &types.ClientRequest{
+			Client: types.ClientID(i % 16),
+			ReqNo:  uint64(i),
+			Op:     []byte("PUT key-00000000 value-0000000000000000"),
+		}
+	}
+	return reqs
+}
+
+func TestRequestDigestMemoized(t *testing.T) {
+	r := benchRequests(1)[0]
+	if _, ok := r.CachedDigest(); ok {
+		t.Fatal("fresh request claims a cached digest")
+	}
+	first := RequestDigest(r)
+	cached, ok := r.CachedDigest()
+	if !ok || cached != first {
+		t.Fatalf("digest not memoized: ok=%v cached=%x first=%x", ok, cached, first)
+	}
+	if again := RequestDigest(r); again != first {
+		t.Fatalf("memoized digest %x differs from computed %x", again, first)
+	}
+}
+
+func BenchmarkRequestDigestCold(b *testing.B) {
+	reqs := benchRequests(b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RequestDigest(reqs[i])
+	}
+}
+
+func BenchmarkRequestDigestMemoized(b *testing.B) {
+	r := benchRequests(1)[0]
+	RequestDigest(r) // warm the memo
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RequestDigest(r)
+	}
+}
+
+func BenchmarkBatchDigestMemoized(b *testing.B) {
+	reqs := benchRequests(64)
+	BatchDigest(reqs) // warm every request's memo
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BatchDigest(reqs)
+	}
+}

@@ -1,0 +1,214 @@
+package crypto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"flexitrust/internal/types"
+)
+
+// Aggregated quorum certificates. A QuorumCert compresses a vote quorum for
+// one consensus slot into a single transferable record: the batch (and,
+// for speculative protocols, history) digest, the slot coordinates, a
+// signer bitmap, and optionally one signature per signer. A replica that has
+// assembled a quorum forwards the certificate; receivers validate it once
+// (Provider.VerifyQC) instead of re-checking n loose vote messages.
+//
+// Signature policy mirrors the repository's authentication model: protocol
+// votes are transport-MAC-authenticated (and anchored by the slot's trusted
+// attestation or primary signature, which travels beside the certificate in
+// a PreparedProof), so in-protocol certificates carry the voter bitmap with
+// an empty signature list. The encoding also supports the fully signed form
+// — one signature per set bit, verified as a batch by Provider.VerifyQC —
+// for deployments whose votes are individually signed.
+
+// qcVersion tags the canonical wire encoding.
+const qcVersion = 1
+
+// qcMaxBitmap bounds the signer bitmap (512 replicas — far above the f ≤ 32
+// range the paper evaluates) so a malformed length field cannot drive
+// allocation.
+const qcMaxBitmap = 64
+
+// qcMaxSig bounds one carried signature's length.
+const qcMaxSig = 512
+
+// QuorumCert is an aggregated vote certificate for one consensus slot.
+type QuorumCert struct {
+	View    types.View
+	Seq     types.SeqNum
+	Digest  types.Digest // batch digest the quorum voted for
+	History types.Digest // cumulative history digest (speculative protocols; zero otherwise)
+	// Bitmap has bit i set when replica i is in the certificate's signer
+	// set; its width fixes the cluster size it was built for.
+	Bitmap []byte
+	// Sigs is empty (transport-authenticated votes) or holds exactly one
+	// signature per set bit, in ascending replica order, each over Payload().
+	Sigs [][]byte
+}
+
+// NewQuorumCert returns an empty certificate for a cluster of n replicas.
+func NewQuorumCert(view types.View, seq types.SeqNum, digest, history types.Digest, n int) *QuorumCert {
+	return &QuorumCert{
+		View: view, Seq: seq, Digest: digest, History: history,
+		Bitmap: make([]byte, (n+7)/8),
+	}
+}
+
+// AssembleQC builds the certificate aggregating voters for one slot.
+func AssembleQC(view types.View, seq types.SeqNum, digest, history types.Digest,
+	n int, voters []types.ReplicaID) *QuorumCert {
+	qc := NewQuorumCert(view, seq, digest, history, n)
+	for _, r := range voters {
+		qc.SetSigner(r)
+	}
+	return qc
+}
+
+// SetSigner marks replica r as a member of the signer set.
+func (qc *QuorumCert) SetSigner(r types.ReplicaID) {
+	if i := int(r); i >= 0 && i < len(qc.Bitmap)*8 {
+		qc.Bitmap[i/8] |= 1 << (i % 8)
+	}
+}
+
+// HasSigner reports whether replica r is in the signer set.
+func (qc *QuorumCert) HasSigner(r types.ReplicaID) bool {
+	i := int(r)
+	return i >= 0 && i < len(qc.Bitmap)*8 && qc.Bitmap[i/8]&(1<<(i%8)) != 0
+}
+
+// SignerCount returns the number of replicas in the signer set.
+func (qc *QuorumCert) SignerCount() int {
+	n := 0
+	for _, b := range qc.Bitmap {
+		n += bits.OnesCount8(b)
+	}
+	return n
+}
+
+// Signers returns the signer set in ascending replica order.
+func (qc *QuorumCert) Signers() []types.ReplicaID {
+	out := make([]types.ReplicaID, 0, qc.SignerCount())
+	for i := 0; i < len(qc.Bitmap)*8; i++ {
+		if qc.Bitmap[i/8]&(1<<(i%8)) != 0 {
+			out = append(out, types.ReplicaID(i))
+		}
+	}
+	return out
+}
+
+// Payload returns the canonical statement the certificate's signatures
+// cover: version, view, seq, batch digest, history digest.
+func (qc *QuorumCert) Payload() []byte {
+	buf := make([]byte, 0, 1+8+8+32+32)
+	buf = append(buf, qcVersion)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(qc.View))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(qc.Seq))
+	buf = append(buf, qc.Digest[:]...)
+	buf = append(buf, qc.History[:]...)
+	return buf
+}
+
+// Check validates the certificate's structure against a cluster of n
+// replicas and a vote quorum: bitmap width matching n, no signer bits at or
+// above n, signer count reaching the quorum, and a signature list that is
+// either empty or aligned with the signer set.
+func (qc *QuorumCert) Check(n, quorum int) error {
+	if qc == nil {
+		return fmt.Errorf("qc: nil certificate")
+	}
+	if want := (n + 7) / 8; len(qc.Bitmap) != want {
+		return fmt.Errorf("qc: bitmap is %d bytes, want %d for n=%d", len(qc.Bitmap), want, n)
+	}
+	for i := n; i < len(qc.Bitmap)*8; i++ {
+		if qc.Bitmap[i/8]&(1<<(i%8)) != 0 {
+			return fmt.Errorf("qc: signer bit %d set beyond cluster size %d", i, n)
+		}
+	}
+	count := qc.SignerCount()
+	if count < quorum {
+		return fmt.Errorf("qc: %d signers below quorum %d", count, quorum)
+	}
+	if len(qc.Sigs) != 0 && len(qc.Sigs) != count {
+		return fmt.Errorf("qc: %d signatures for %d signers", len(qc.Sigs), count)
+	}
+	return nil
+}
+
+// Encode renders the certificate in its canonical wire form:
+//
+//	version(1) | view(8) | seq(8) | digest(32) | history(32) |
+//	bitmapLen(2) | bitmap | sigCount(2) | { sigLen(2) | sig }...
+func (qc *QuorumCert) Encode() []byte {
+	size := 1 + 8 + 8 + 32 + 32 + 2 + len(qc.Bitmap) + 2
+	for _, s := range qc.Sigs {
+		size += 2 + len(s)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, qcVersion)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(qc.View))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(qc.Seq))
+	buf = append(buf, qc.Digest[:]...)
+	buf = append(buf, qc.History[:]...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(qc.Bitmap)))
+	buf = append(buf, qc.Bitmap...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(qc.Sigs)))
+	for _, s := range qc.Sigs {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(s)))
+		buf = append(buf, s...)
+	}
+	return buf
+}
+
+// DecodeQuorumCert parses a canonical encoding, rejecting unknown versions,
+// truncated or oversized fields, signature lists inconsistent with the
+// signer bitmap, and trailing bytes.
+func DecodeQuorumCert(data []byte) (*QuorumCert, error) {
+	const fixed = 1 + 8 + 8 + 32 + 32 + 2
+	if len(data) < fixed {
+		return nil, fmt.Errorf("qc: %d bytes, shorter than fixed header", len(data))
+	}
+	if data[0] != qcVersion {
+		return nil, fmt.Errorf("qc: unknown version %d", data[0])
+	}
+	qc := &QuorumCert{
+		View: types.View(binary.BigEndian.Uint64(data[1:9])),
+		Seq:  types.SeqNum(binary.BigEndian.Uint64(data[9:17])),
+	}
+	copy(qc.Digest[:], data[17:49])
+	copy(qc.History[:], data[49:81])
+	bmLen := int(binary.BigEndian.Uint16(data[81:83]))
+	if bmLen == 0 || bmLen > qcMaxBitmap {
+		return nil, fmt.Errorf("qc: bitmap length %d out of range [1,%d]", bmLen, qcMaxBitmap)
+	}
+	rest := data[83:]
+	if len(rest) < bmLen+2 {
+		return nil, fmt.Errorf("qc: truncated bitmap")
+	}
+	qc.Bitmap = append([]byte(nil), rest[:bmLen]...)
+	sigCount := int(binary.BigEndian.Uint16(rest[bmLen : bmLen+2]))
+	rest = rest[bmLen+2:]
+	if sigCount != 0 && sigCount != qc.SignerCount() {
+		return nil, fmt.Errorf("qc: %d signatures declared for %d signers", sigCount, qc.SignerCount())
+	}
+	for i := 0; i < sigCount; i++ {
+		if len(rest) < 2 {
+			return nil, fmt.Errorf("qc: truncated signature %d length", i)
+		}
+		sl := int(binary.BigEndian.Uint16(rest[:2]))
+		if sl == 0 || sl > qcMaxSig {
+			return nil, fmt.Errorf("qc: signature %d length %d out of range [1,%d]", i, sl, qcMaxSig)
+		}
+		if len(rest) < 2+sl {
+			return nil, fmt.Errorf("qc: truncated signature %d", i)
+		}
+		qc.Sigs = append(qc.Sigs, append([]byte(nil), rest[2:2+sl]...))
+		rest = rest[2+sl:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("qc: %d trailing bytes", len(rest))
+	}
+	return qc, nil
+}

@@ -1,0 +1,184 @@
+package crypto
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+
+	"flexitrust/internal/types"
+)
+
+// goldenQC is the reference certificate for the wire-format tests: view 3,
+// seq 42, a recognizable batch digest, zero history, signers {0, 1, 3} of a
+// 4-replica cluster, no signatures.
+func goldenQC() *QuorumCert {
+	var d types.Digest
+	copy(d[:], []byte{0xDE, 0xAD, 0xBE, 0xEF})
+	return AssembleQC(3, 42, d, types.ZeroDigest, 4, []types.ReplicaID{0, 1, 3})
+}
+
+// goldenQCHex is the canonical encoding of goldenQC, written out byte for
+// byte. If this test breaks, the wire format changed: bump qcVersion.
+const goldenQCHex = "01" + // version
+	"0000000000000003" + // view
+	"000000000000002a" + // seq
+	"deadbeef" + "00000000000000000000000000000000000000000000000000000000" + // digest
+	"0000000000000000000000000000000000000000000000000000000000000000" + // history
+	"0001" + // bitmap length
+	"0b" + // bitmap: signers 0,1,3
+	"0000" // signature count
+
+func TestQuorumCertGoldenEncoding(t *testing.T) {
+	want, err := hex.DecodeString(goldenQCHex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := goldenQC().Encode()
+	if !bytes.Equal(got, want) {
+		t.Fatalf("encoding drifted from golden vector:\n  got  %x\n  want %x", got, want)
+	}
+	qc, err := DecodeQuorumCert(want)
+	if err != nil {
+		t.Fatalf("golden vector does not decode: %v", err)
+	}
+	if qc.View != 3 || qc.Seq != 42 || qc.SignerCount() != 3 ||
+		!qc.HasSigner(0) || !qc.HasSigner(1) || qc.HasSigner(2) || !qc.HasSigner(3) {
+		t.Fatalf("golden decode mismatch: %+v", qc)
+	}
+	if err := qc.Check(4, 3); err != nil {
+		t.Fatalf("golden certificate fails structural check: %v", err)
+	}
+}
+
+func TestQuorumCertRoundTripWithSignatures(t *testing.T) {
+	qc := goldenQC()
+	qc.Sigs = [][]byte{
+		bytes.Repeat([]byte{1}, 64),
+		bytes.Repeat([]byte{2}, 64),
+		bytes.Repeat([]byte{3}, 64),
+	}
+	got, err := DecodeQuorumCert(qc.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.View != qc.View || got.Seq != qc.Seq || got.Digest != qc.Digest ||
+		got.History != qc.History || !bytes.Equal(got.Bitmap, qc.Bitmap) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, qc)
+	}
+	if len(got.Sigs) != 3 {
+		t.Fatalf("sigs = %d, want 3", len(got.Sigs))
+	}
+	for i := range qc.Sigs {
+		if !bytes.Equal(got.Sigs[i], qc.Sigs[i]) {
+			t.Fatalf("sig %d mismatch", i)
+		}
+	}
+	if err := got.Check(4, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuorumCertDecodeRejectsMalformed(t *testing.T) {
+	golden, _ := hex.DecodeString(goldenQCHex)
+	mut := func(f func(b []byte) []byte) []byte {
+		return f(append([]byte(nil), golden...))
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"truncated header", golden[:40]},
+		{"unknown version", mut(func(b []byte) []byte { b[0] = 2; return b })},
+		{"zero bitmap length", mut(func(b []byte) []byte { b[81], b[82] = 0, 0; return b })},
+		{"oversized bitmap length", mut(func(b []byte) []byte { b[81], b[82] = 0xFF, 0xFF; return b })},
+		{"truncated bitmap", golden[:len(golden)-3]},
+		{"trailing bytes", append(append([]byte(nil), golden...), 0x00)},
+		// Declares one signature for three signers.
+		{"sig count below signer count", mut(func(b []byte) []byte {
+			b[len(b)-1] = 1
+			return append(b, 0, 4, 1, 2, 3, 4)
+		})},
+		// Declares the right count but truncates the signature bytes.
+		{"truncated signature", mut(func(b []byte) []byte {
+			b[len(b)-1] = 3
+			return append(b, 0, 64, 1, 2)
+		})},
+		{"zero-length signature", mut(func(b []byte) []byte {
+			b[len(b)-1] = 3
+			return append(b, 0, 0, 0, 0, 0, 0)
+		})},
+	}
+	for _, tc := range cases {
+		if qc, err := DecodeQuorumCert(tc.data); err == nil {
+			t.Errorf("%s: accepted as %+v", tc.name, qc)
+		}
+	}
+}
+
+func TestQuorumCertCheckRejects(t *testing.T) {
+	if err := (*QuorumCert)(nil).Check(4, 3); err == nil {
+		t.Error("nil certificate passed")
+	}
+	// Bitmap sized for the wrong cluster.
+	if err := goldenQC().Check(16, 3); err == nil {
+		t.Error("bitmap for n=4 passed a check against n=16")
+	}
+	// Signer bit beyond the cluster: bit 5 in a 5-replica cluster's byte.
+	var d types.Digest
+	qc := AssembleQC(0, 1, d, d, 5, []types.ReplicaID{0, 1, 2, 5})
+	qc.Bitmap[0] |= 1 << 6
+	if err := qc.Check(5, 3); err == nil {
+		t.Error("signer bit beyond cluster size passed")
+	}
+	// Signer count below quorum.
+	qc = AssembleQC(0, 1, d, d, 4, []types.ReplicaID{0, 1})
+	if err := qc.Check(4, 3); err == nil {
+		t.Error("2 signers passed a quorum-3 check")
+	}
+	// Signature list misaligned with the signer set.
+	qc = goldenQC()
+	qc.Sigs = [][]byte{{1}}
+	if err := qc.Check(4, 3); err == nil {
+		t.Error("1 signature for 3 signers passed")
+	}
+}
+
+// TestSuiteVerifyQC exercises the fully signed form end to end: each signer
+// signs the certificate payload with its real key.
+func TestSuiteVerifyQC(t *testing.T) {
+	ring := testKeyring(t)
+	verifier := NewSuite(ring, 2)
+	qc := goldenQC()
+	for _, r := range qc.Signers() {
+		qc.Sigs = append(qc.Sigs, NewSuite(ring, r).Sign(qc.Payload()))
+	}
+	if !verifier.VerifyQC(qc, 3) {
+		t.Fatal("valid signed certificate rejected")
+	}
+	if verifier.VerifyQC(qc, 4) {
+		t.Fatal("3-signer certificate passed a quorum-4 check")
+	}
+	// Swap two signatures: each still verifies under some key, but not the
+	// one the bitmap position assigns.
+	qc.Sigs[0], qc.Sigs[1] = qc.Sigs[1], qc.Sigs[0]
+	if verifier.VerifyQC(qc, 3) {
+		t.Fatal("certificate with swapped signatures accepted")
+	}
+	qc.Sigs[0], qc.Sigs[1] = qc.Sigs[1], qc.Sigs[0]
+	// Tamper with the statement after signing.
+	qc.Seq++
+	if verifier.VerifyQC(qc, 3) {
+		t.Fatal("certificate with tampered seq accepted")
+	}
+	qc.Seq--
+	// Bitmap-only certificates (transport-authenticated votes) pass on
+	// structure alone.
+	qc.Sigs = nil
+	if !verifier.VerifyQC(qc, 3) {
+		t.Fatal("bitmap-only certificate rejected")
+	}
+	if verifier.VerifyQC(nil, 1) {
+		t.Fatal("nil certificate accepted")
+	}
+}

@@ -48,6 +48,16 @@ type Env interface {
 	// VerifyAttestation checks an attestation produced by any replica's
 	// trusted component (and charges one signature verification).
 	VerifyAttestation(a *types.Attestation) bool
+	// VerifyAttestationAsync checks an attestation off the event goroutine
+	// when the environment supports it (the runtime's crypto.VerifyPool,
+	// the simulator's modeled batch verifier), delivering done(ok) back as
+	// an ordinary event; environments without a pool — and configurations
+	// with EnableQC off — call done synchronously. Verified attestations
+	// are memoized, so resends and catch-up replays complete immediately.
+	// done runs in the replica's event context either way and must
+	// re-check any protocol state it depends on: events may have been
+	// processed between submission and completion.
+	VerifyAttestationAsync(a *types.Attestation, done func(ok bool))
 	// Crypto returns the signing/verification provider for this replica.
 	Crypto() crypto.Provider
 
@@ -163,6 +173,14 @@ type Config struct {
 	// replicas of one group must use the same namespace.
 	TrustedNamespace uint16
 
+	// EnableQC turns on the hot-path verification subsystem: aggregated
+	// quorum certificates on the prepare/commit and view-change paths,
+	// memoized attestation/signature verification, and off-thread batched
+	// verification via VerifyAttestationAsync. Off, protocols fall back to
+	// inline per-message verification — the pre-QC behavior — which the
+	// `benchrunner -exp qc` experiment uses as its control arm.
+	EnableQC bool
+
 	// Observer, when non-nil, enables the cluster-wide observability
 	// layer for this instance: the hosting environment instruments the
 	// replica's raw trusted component with it (audit records for every
@@ -184,6 +202,7 @@ func DefaultConfig(n, f int) Config {
 		CheckpointEvery:   100,
 		ViewChangeTimeout: 500 * time.Millisecond,
 		CaptureSnapshots:  true,
+		EnableQC:          true,
 	}
 }
 

@@ -24,22 +24,23 @@ func newStubEnv() *stubEnv {
 	return &stubEnv{store: kvstore.New(100), timers: make(map[types.TimerID]time.Duration)}
 }
 
-func (s *stubEnv) ID() types.ReplicaID                        { return s.id }
-func (s *stubEnv) Send(types.ReplicaID, types.Message)        {}
-func (s *stubEnv) Broadcast(types.Message)                    {}
-func (s *stubEnv) Respond(*types.Response)                    {}
-func (s *stubEnv) SendClient(types.ClientID, types.Message)   {}
-func (s *stubEnv) SetTimer(id types.TimerID, d time.Duration) { s.timers[id] = d }
-func (s *stubEnv) CancelTimer(id types.TimerID)               { delete(s.timers, id) }
-func (s *stubEnv) Now() time.Duration                         { return 0 }
-func (s *stubEnv) Trusted() trusted.Component                 { return nil }
-func (s *stubEnv) VerifyAttestation(*types.Attestation) bool  { return true }
-func (s *stubEnv) Crypto() crypto.Provider                    { return nil }
-func (s *stubEnv) StateDigest() types.Digest                  { return s.store.StateDigest() }
-func (s *stubEnv) SnapshotState() any                         { return s.store.Snapshot() }
-func (s *stubEnv) RestoreState(v any)                         { s.store.Restore(v.(*kvstore.Snapshot)) }
-func (s *stubEnv) Defer(fn func())                            { fn() }
-func (s *stubEnv) Logf(string, ...any)                        {}
+func (s *stubEnv) ID() types.ReplicaID                                          { return s.id }
+func (s *stubEnv) Send(types.ReplicaID, types.Message)                          {}
+func (s *stubEnv) Broadcast(types.Message)                                      {}
+func (s *stubEnv) Respond(*types.Response)                                      {}
+func (s *stubEnv) SendClient(types.ClientID, types.Message)                     {}
+func (s *stubEnv) SetTimer(id types.TimerID, d time.Duration)                   { s.timers[id] = d }
+func (s *stubEnv) CancelTimer(id types.TimerID)                                 { delete(s.timers, id) }
+func (s *stubEnv) Now() time.Duration                                           { return 0 }
+func (s *stubEnv) Trusted() trusted.Component                                   { return nil }
+func (s *stubEnv) VerifyAttestation(*types.Attestation) bool                    { return true }
+func (s *stubEnv) VerifyAttestationAsync(_ *types.Attestation, done func(bool)) { done(true) }
+func (s *stubEnv) Crypto() crypto.Provider                                      { return nil }
+func (s *stubEnv) StateDigest() types.Digest                                    { return s.store.StateDigest() }
+func (s *stubEnv) SnapshotState() any                                           { return s.store.Snapshot() }
+func (s *stubEnv) RestoreState(v any)                                           { s.store.Restore(v.(*kvstore.Snapshot)) }
+func (s *stubEnv) Defer(fn func())                                              { fn() }
+func (s *stubEnv) Logf(string, ...any)                                          {}
 func (s *stubEnv) Execute(seq types.SeqNum, b *types.Batch) []types.Result {
 	s.executed = append(s.executed, seq)
 	return s.store.ApplyBatch(b)

@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"fmt"
+
+	"flexitrust/internal/engine"
+	"flexitrust/internal/shard"
+	"flexitrust/internal/sim"
+)
+
+// QC hot-path experiment: the same shard-scaling deployment run twice per
+// point — aggregated quorum certificates plus off-thread batched signature
+// verification on (the default), then off — so the effect of the PR's
+// hot-path changes is measured under the identical seed, load and
+// co-location contention rather than asserted. The off configuration charges
+// every attestation check at the full inline DSVerify cost and never
+// consults the verify memo, reproducing the pre-QC cost structure.
+
+// qcExpProtocols are the two protocol families the baseline matrix tracks:
+// one parallel trust-bft (per-instance quorum votes, the main QC
+// beneficiary) and one sequential USIG protocol (memo-dominated).
+var qcExpProtocols = []string{"Flexi-BFT", "MinBFT"}
+
+// qcExpShards compares the uncontended single-group deployment against the
+// 4-way co-located one, where verification stalls on the shared machines
+// are the most expensive.
+var qcExpShards = []int{1, 4}
+
+// QCPoint measures one (protocol, shards, enable) configuration and returns
+// the aggregated cluster-level result.
+func QCPoint(protocol string, shards int, scale Scale, enable bool) (sim.Results, error) {
+	per, err := shardScalingGroupsTweaked(protocol, shards, scale, nil,
+		func(cfg *engine.Config) { cfg.EnableQC = enable })
+	if err != nil {
+		return sim.Results{}, err
+	}
+	return shard.Aggregate(per), nil
+}
+
+// FigQC runs the A/B comparison and renders one row per configuration with
+// the QC-on speedup called out.
+func FigQC(shards []int, scale Scale) *Table {
+	if len(shards) == 0 {
+		shards = qcExpShards
+	}
+	t := &Table{Title: fmt.Sprintf(
+		"QC + off-thread verification A/B (shared kernel): f=%d, %d clients/shard",
+		shardScalingF, shardScalingClientsPerShard)}
+	for _, name := range qcExpProtocols {
+		for _, s := range shards {
+			on, err := QCPoint(name, s, scale, true)
+			if err != nil {
+				continue
+			}
+			off, err := QCPoint(name, s, scale, false)
+			if err != nil {
+				continue
+			}
+			speedup := 0.0
+			if off.Throughput > 0 {
+				speedup = on.Throughput / off.Throughput
+			}
+			t.Rows = append(t.Rows,
+				Row{Label: name, Params: fmt.Sprintf("shards=%d qc=off", s), Result: off},
+				Row{Label: name, Params: fmt.Sprintf("shards=%d qc=on %.2fx", s, speedup), Result: on},
+			)
+		}
+	}
+	return t
+}

@@ -78,6 +78,15 @@ func ShardScalingGroups(protocol string, shards int, scale Scale) ([]sim.Results
 // observer attached to the shared kernel (nil = unobserved); the bench
 // baseline uses it to count attested accesses through the audit stream.
 func shardScalingGroupsObserved(protocol string, shards int, scale Scale, o *obs.Observer) ([]sim.Results, error) {
+	return shardScalingGroupsTweaked(protocol, shards, scale, o, nil)
+}
+
+// shardScalingGroupsTweaked additionally composes tweak into every group's
+// engine configuration (after the per-group namespace assignment), letting
+// experiments toggle engine features — the QC A/B comparison flips
+// EnableQC this way — without forking the deployment logic.
+func shardScalingGroupsTweaked(protocol string, shards int, scale Scale,
+	o *obs.Observer, tweak func(*engine.Config)) ([]sim.Results, error) {
 	spec, err := ByName(protocol)
 	if err != nil {
 		return nil, err
@@ -96,6 +105,9 @@ func shardScalingGroupsObserved(protocol string, shards int, scale Scale, o *obs
 		o.Seed = sim.SubSeed(master, g)
 		o.EngineTweak = func(cfg *engine.Config) {
 			cfg.TrustedNamespace = uint16(g + 1)
+			if tweak != nil {
+				tweak(cfg)
+			}
 		}
 		groups[g] = GroupConfig(spec, o)
 	}

@@ -47,6 +47,18 @@ const (
 	// MExecBatch (histogram, unitless): requests per executed batch on a
 	// replica.
 	MExecBatch = "exec_batch_requests"
+	// MSigVerifies (counter): signature/attestation verifications actually
+	// performed (memo misses) on the consensus path.
+	MSigVerifies = "sig_verifies_total"
+	// MSigVerifyCacheHits (counter): verifications answered from the
+	// verified-statement memo without touching crypto.
+	MSigVerifyCacheHits = "sig_verify_cache_hits"
+	// MVerifyPoolDepth (gauge): verifications queued or running in the
+	// off-thread verify pool.
+	MVerifyPoolDepth = "verify_pool_depth"
+	// MQCSize (histogram, unitless): signer count of each assembled quorum
+	// certificate.
+	MQCSize = "qc_size"
 )
 
 // GroupLabel qualifies a metric name with a per-group (per-shard) label.

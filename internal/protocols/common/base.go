@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"time"
 
+	"flexitrust/internal/crypto"
 	"flexitrust/internal/engine"
 	"flexitrust/internal/obs"
 	"flexitrust/internal/types"
@@ -83,6 +84,12 @@ type Base struct {
 	lastExecAt time.Duration
 	vcVotes    map[types.View]map[types.ReplicaID]*types.ViewChange
 	nvSent     map[types.View]bool
+
+	// sigMemo caches verified protocol signatures (view-change votes, the
+	// speculative primaries' batch signatures) so NewView processing and
+	// catch-up replays never re-pay a verification; lazily created, only
+	// consulted when Cfg.EnableQC.
+	sigMemo *crypto.VerifyMemo
 
 	// stableSnapshot supports speculative rollback: the state snapshot at
 	// the last stable checkpoint (only kept when CaptureSnapshots).
@@ -263,12 +270,44 @@ func (b *Base) maybeCheckpoint(seq types.SeqNum, _ *types.Batch) {
 	b.Env.Broadcast(ck)
 }
 
-// HandleCheckpoint folds in a peer's checkpoint vote.
+// HandleCheckpoint folds in a peer's checkpoint vote. Attested checkpoints
+// verify off the event goroutine: CheckpointTracker.Add is idempotent and
+// order-insensitive, so folding the vote in from the completion event is
+// safe regardless of what committed in between.
 func (b *Base) HandleCheckpoint(ck *types.Checkpoint) {
-	if ck.Attest != nil && !b.Env.VerifyAttestation(ck.Attest) {
+	if ck.Attest == nil {
+		b.Ckpt.Add(ck)
 		return
 	}
-	b.Ckpt.Add(ck)
+	b.Env.VerifyAttestationAsync(ck.Attest, func(ok bool) {
+		if ok {
+			b.Ckpt.Add(ck)
+		}
+	})
+}
+
+// VerifySigMemo checks signer's signature over payload like
+// Crypto().Verify, but remembers successes (when Cfg.EnableQC) so the same
+// statement — a view-change vote re-carried inside a NewView, a resent
+// speculative proposal — verifies once per process.
+func (b *Base) VerifySigMemo(signer types.ReplicaID, payload, sig []byte) bool {
+	if !b.Cfg.EnableQC {
+		return b.Env.Crypto().Verify(signer, payload, sig)
+	}
+	if b.sigMemo == nil {
+		b.sigMemo = crypto.NewVerifyMemo(0)
+	}
+	key := crypto.SigMemoKey(signer, crypto.HashBytes(payload))
+	if b.sigMemo.Seen(key) {
+		b.Cfg.Observer.Metrics().Counter(obs.MSigVerifyCacheHits).Inc()
+		return true
+	}
+	b.Cfg.Observer.Metrics().Counter(obs.MSigVerifies).Inc()
+	if !b.Env.Crypto().Verify(signer, payload, sig) {
+		return false
+	}
+	b.sigMemo.Record(key)
+	return true
 }
 
 // promoteSnapshot retains the snapshot matching the new stable checkpoint
@@ -346,7 +385,7 @@ func (b *Base) HandleViewChange(vc *types.ViewChange) {
 	if vc.NewView <= b.View {
 		return
 	}
-	if !b.Env.Crypto().Verify(vc.Replica, viewChangePayload(vc), vc.Sig) {
+	if !b.VerifySigMemo(vc.Replica, viewChangePayload(vc), vc.Sig) {
 		return
 	}
 	if !b.Hooks.ValidateViewChange(vc) {
@@ -399,7 +438,9 @@ func (b *Base) HandleNewView(from types.ReplicaID, nv *types.NewView) {
 		if vc.NewView != nv.View || seen[vc.Replica] {
 			return
 		}
-		if !b.Env.Crypto().Verify(vc.Replica, viewChangePayload(vc), vc.Sig) {
+		// Memoized: votes this replica already verified when they arrived
+		// as loose ViewChange messages are free here.
+		if !b.VerifySigMemo(vc.Replica, viewChangePayload(vc), vc.Sig) {
 			return
 		}
 		seen[vc.Replica] = true

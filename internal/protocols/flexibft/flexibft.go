@@ -19,7 +19,9 @@
 package flexibft
 
 import (
+	"flexitrust/internal/crypto"
 	"flexitrust/internal/engine"
+	"flexitrust/internal/obs"
 	"flexitrust/internal/protocols/common"
 	"flexitrust/internal/types"
 )
@@ -51,6 +53,10 @@ type Protocol struct {
 	// curEpoch is the expected counter incarnation; it advances when a new
 	// primary Create()s a fresh counter after a view change.
 	curEpoch uint32
+	// qcs holds the encoded quorum certificate assembled when each slot
+	// committed (EnableQC); carried in view-change prepared proofs and
+	// GC'd at stable checkpoints.
+	qcs map[types.SeqNum][]byte
 }
 
 // New constructs a Flexi-BFT replica for cfg.
@@ -59,6 +65,7 @@ func New(cfg engine.Config) *Protocol {
 		preprepares: make(map[types.SeqNum]*types.Preprepare),
 		prepares:    engine.NewQuorumSet(),
 		committed:   make(map[types.SeqNum]bool),
+		qcs:         make(map[types.SeqNum][]byte),
 	}
 	p.Cfg = cfg
 	p.VCQuorum = cfg.VoteQuorum2f1()
@@ -116,31 +123,56 @@ func (p *Protocol) ProposeBatch(b *types.Batch) {
 
 // validAttest checks a Preprepare's attestation binding.
 func (p *Protocol) validAttest(from types.ReplicaID, pp *types.Preprepare) bool {
+	return p.attestShape(from, pp) && p.Env.VerifyAttestation(pp.Attest)
+}
+
+// attestShape checks the structural binding of a Preprepare's attestation
+// (everything except the cryptographic verification).
+func (p *Protocol) attestShape(from types.ReplicaID, pp *types.Preprepare) bool {
 	a := pp.Attest
 	if a == nil || a.Replica != from || a.Counter != counterID || a.Epoch != p.curEpoch {
 		return false
 	}
-	if types.SeqNum(a.Value) != pp.Seq || a.Digest != pp.Batch.Digest {
-		return false
-	}
-	return p.Env.VerifyAttestation(a)
+	return types.SeqNum(a.Value) == pp.Seq && a.Digest == pp.Batch.Digest
 }
 
-// onPreprepare handles the primary's proposal at a backup.
+// onPreprepare handles the primary's proposal at a backup. With EnableQC
+// the attestation verification runs off the event goroutine: the parallel
+// window keeps many proposals in flight, which is exactly the concurrency a
+// batched verifier amortizes across. The continuation re-runs every guard —
+// commits, checkpoints, or a view change may have landed in between.
 func (p *Protocol) onPreprepare(from types.ReplicaID, pp *types.Preprepare) {
+	if !p.preprepareGuards(from, pp) || !p.attestShape(from, pp) {
+		return
+	}
+	if p.Cfg.EnableQC {
+		p.Env.VerifyAttestationAsync(pp.Attest, func(ok bool) {
+			if ok && p.preprepareGuards(from, pp) && pp.Attest.Epoch == p.curEpoch {
+				p.acceptAndVote(from, pp)
+			}
+		})
+		return
+	}
+	if !p.Env.VerifyAttestation(pp.Attest) {
+		return
+	}
+	p.acceptAndVote(from, pp)
+}
+
+// preprepareGuards are the stateful admission checks for a proposal,
+// re-run after asynchronous verification completes.
+func (p *Protocol) preprepareGuards(from types.ReplicaID, pp *types.Preprepare) bool {
 	if p.InViewChange || pp.View != p.View || from != p.PrimaryID() {
-		return
+		return false
 	}
-	if existing, ok := p.preprepares[pp.Seq]; ok {
-		_ = existing // duplicate (the attested counter makes conflicts impossible)
-		return
+	if _, ok := p.preprepares[pp.Seq]; ok {
+		return false // duplicate (the attested counter makes conflicts impossible)
 	}
-	if pp.Seq <= p.Ckpt.StableSeq() || p.committed[pp.Seq] {
-		return
-	}
-	if !p.validAttest(from, pp) {
-		return
-	}
+	return pp.Seq > p.Ckpt.StableSeq() && !p.committed[pp.Seq]
+}
+
+// acceptAndVote records the proposal and emits this replica's vote.
+func (p *Protocol) acceptAndVote(from types.ReplicaID, pp *types.Preprepare) {
 	p.accept(pp)
 	// Count the primary's proposal as its vote, then add ours.
 	p.addPrepare(&types.Prepare{View: pp.View, Seq: pp.Seq, Digest: pp.Batch.Digest, Replica: from})
@@ -173,6 +205,12 @@ func (p *Protocol) addPrepare(m *types.Prepare) {
 		return
 	}
 	p.committed[m.Seq] = true
+	if p.Cfg.EnableQC {
+		qc := crypto.AssembleQC(m.View, m.Seq, m.Digest, types.ZeroDigest,
+			p.Cfg.N, p.prepares.Voters(m.View, m.Seq, m.Digest))
+		p.qcs[m.Seq] = qc.Encode()
+		p.Cfg.Observer.Metrics().Histogram(obs.MQCSize).Observe(int64(qc.SignerCount()))
+	}
 	p.Exec.Commit(m.Seq, pp.Batch)
 	p.Batcher.Kick() // sequential variant: next instance may proceed
 }
@@ -202,18 +240,28 @@ func (p *Protocol) BuildViewChange(v types.View) *types.ViewChange {
 	vc := &types.ViewChange{StableSeq: p.Ckpt.StableSeq()}
 	for seq, pp := range p.preprepares {
 		if seq > vc.StableSeq {
-			vc.Prepared = append(vc.Prepared, &types.PreparedProof{Preprepare: pp})
+			vc.Prepared = append(vc.Prepared, &types.PreparedProof{Preprepare: pp, QC: p.qcs[seq]})
 		}
 	}
 	return vc
 }
 
-// ValidateViewChange implements common.Hooks.
+// ValidateViewChange implements common.Hooks. Attestation re-checks hit the
+// verification memo for every slot this replica already processed; attached
+// quorum certificates must decode and pass one VerifyQC against the 2f+1
+// vote quorum.
 func (p *Protocol) ValidateViewChange(vc *types.ViewChange) bool {
 	for _, pr := range vc.Prepared {
 		pp := pr.Preprepare
 		if pp == nil || pp.Attest == nil || !p.Env.VerifyAttestation(pp.Attest) {
 			return false
+		}
+		if len(pr.QC) != 0 {
+			qc, err := crypto.DecodeQuorumCert(pr.QC)
+			if err != nil || qc.Seq != pp.Seq || qc.Digest != pp.Batch.Digest ||
+				!p.Env.Crypto().VerifyQC(qc, p.Cfg.VoteQuorum2f1()) {
+				return false
+			}
 		}
 	}
 	return true
@@ -322,6 +370,11 @@ func (p *Protocol) OnStableCheckpoint(seq types.SeqNum) {
 	for s := range p.committed {
 		if s <= seq {
 			delete(p.committed, s)
+		}
+	}
+	for s := range p.qcs {
+		if s <= seq {
+			delete(p.qcs, s)
 		}
 	}
 }

@@ -25,7 +25,9 @@
 package flexizz
 
 import (
+	"flexitrust/internal/crypto"
 	"flexitrust/internal/engine"
+	"flexitrust/internal/obs"
 	"flexitrust/internal/protocols/common"
 	"flexitrust/internal/types"
 )
@@ -63,6 +65,10 @@ type Protocol struct {
 	// instance before proposing the next.
 	acks      *engine.QuorumSet
 	lastAcked types.SeqNum
+
+	// qcs holds encoded quorum certificates assembled from the sequential
+	// ablation's 2f+1 acknowledgement quorums (2f acks plus the primary).
+	qcs map[types.SeqNum][]byte
 }
 
 // New constructs a Flexi-ZZ replica for cfg.
@@ -71,6 +77,7 @@ func New(cfg engine.Config) *Protocol {
 		preprepares:    make(map[types.SeqNum]*types.Preprepare),
 		pendingForward: make(map[types.RequestKey]bool),
 		acks:           engine.NewQuorumSet(),
+		qcs:            make(map[types.SeqNum][]byte),
 	}
 	p.Cfg = cfg
 	p.VCQuorum = cfg.VoteQuorum2f1()
@@ -130,12 +137,12 @@ func (p *Protocol) ProposeBatch(b *types.Batch) {
 	p.Env.Defer(func() { p.Exec.Commit(seq, b) })
 }
 
-// onPreprepare speculatively executes the primary's proposal.
+// onPreprepare speculatively executes the primary's proposal. With QCs
+// enabled the attestation check runs off the event goroutine (batched,
+// amortized); the continuation re-validates the guards because the protocol
+// may have moved on (view change, checkpoint) while the check was in flight.
 func (p *Protocol) onPreprepare(from types.ReplicaID, pp *types.Preprepare) {
-	if p.InViewChange || pp.View != p.View || from != p.PrimaryID() {
-		return
-	}
-	if _, dup := p.preprepares[pp.Seq]; dup || pp.Seq <= p.Ckpt.StableSeq() {
+	if !p.preprepareGuards(from, pp) {
 		return
 	}
 	a := pp.Attest
@@ -143,9 +150,34 @@ func (p *Protocol) onPreprepare(from types.ReplicaID, pp *types.Preprepare) {
 		types.SeqNum(a.Value) != pp.Seq || a.Digest != pp.Batch.Digest {
 		return
 	}
+	if p.Cfg.EnableQC {
+		p.Env.VerifyAttestationAsync(a, func(ok bool) {
+			if ok && p.preprepareGuards(from, pp) && a.Epoch == p.curEpoch {
+				p.accept(pp)
+			}
+		})
+		return
+	}
 	if !p.Env.VerifyAttestation(a) {
 		return
 	}
+	p.accept(pp)
+}
+
+// preprepareGuards holds the cheap structural checks that must pass both
+// before verification is dispatched and again when its result lands.
+func (p *Protocol) preprepareGuards(from types.ReplicaID, pp *types.Preprepare) bool {
+	if p.InViewChange || pp.View != p.View || from != p.PrimaryID() {
+		return false
+	}
+	if _, dup := p.preprepares[pp.Seq]; dup || pp.Seq <= p.Ckpt.StableSeq() {
+		return false
+	}
+	return true
+}
+
+// accept installs a verified Preprepare and executes it speculatively.
+func (p *Protocol) accept(pp *types.Preprepare) {
 	p.preprepares[pp.Seq] = pp
 	for _, r := range pp.Batch.Requests {
 		delete(p.pendingForward, r.Key())
@@ -169,6 +201,14 @@ func (p *Protocol) onAck(from types.ReplicaID, m *types.Prepare) {
 	}
 	n := p.acks.Add(m.View, m.Seq, m.Digest, m.Replica)
 	if n >= 2*p.Cfg.F && m.Seq > p.lastAcked {
+		if p.Cfg.EnableQC {
+			if _, have := p.qcs[m.Seq]; !have {
+				voters := append(p.acks.Voters(m.View, m.Seq, m.Digest), p.Env.ID())
+				qc := crypto.AssembleQC(m.View, m.Seq, m.Digest, types.ZeroDigest, p.Cfg.N, voters)
+				p.qcs[m.Seq] = qc.Encode()
+				p.Cfg.Observer.Metrics().Histogram(obs.MQCSize).Observe(int64(qc.SignerCount()))
+			}
+		}
 		p.lastAcked = m.Seq
 		p.acks.GC(m.Seq)
 		p.Batcher.Kick()
@@ -333,6 +373,11 @@ func (p *Protocol) OnStableCheckpoint(seq types.SeqNum) {
 	for s := range p.preprepares {
 		if s <= seq {
 			delete(p.preprepares, s)
+		}
+	}
+	for s := range p.qcs {
+		if s <= seq {
+			delete(p.qcs, s)
 		}
 	}
 }

@@ -18,7 +18,9 @@
 package minbft
 
 import (
+	"flexitrust/internal/crypto"
 	"flexitrust/internal/engine"
+	"flexitrust/internal/obs"
 	"flexitrust/internal/protocols/common"
 	"flexitrust/internal/types"
 )
@@ -56,6 +58,10 @@ type Protocol struct {
 	buffered   map[types.SeqNum]*types.Preprepare
 	nextAccept types.SeqNum
 	curEpoch   uint32
+	// qcs holds the encoded quorum certificate assembled when each slot
+	// committed (EnableQC); carried as prepared-proof evidence in view
+	// changes and GC'd at stable checkpoints.
+	qcs map[types.SeqNum][]byte
 }
 
 // New constructs a MinBFT replica for cfg. Parallel is forced off: the
@@ -68,6 +74,7 @@ func New(cfg engine.Config) *Protocol {
 		committed:   make(map[types.SeqNum]bool),
 		buffered:    make(map[types.SeqNum]*types.Preprepare),
 		nextAccept:  1,
+		qcs:         make(map[types.SeqNum][]byte),
 	}
 	p.Cfg = cfg
 	p.VCQuorum = cfg.VoteQuorumF1()
@@ -174,12 +181,31 @@ func (p *Protocol) acceptInOrder(pp *types.Preprepare) {
 }
 
 // onPrepare verifies the sender's USIG attestation and tallies the vote.
+// With EnableQC, votes for already-decided slots are dropped before any
+// crypto — once f+1 votes committed a slot, the remaining f votes still in
+// flight used to cost a full attestation verification each — and the
+// remaining verifications run off the event goroutine in the verify pool.
 func (p *Protocol) onPrepare(from types.ReplicaID, m *types.Prepare) {
 	if m.View != p.View || m.Replica != from {
 		return
 	}
-	if m.Attest == nil || m.Attest.Replica != from || m.Attest.Digest != m.Digest ||
-		!p.Env.VerifyAttestation(m.Attest) {
+	if m.Attest == nil || m.Attest.Replica != from || m.Attest.Digest != m.Digest {
+		return
+	}
+	if p.Cfg.EnableQC {
+		if p.committed[m.Seq] || m.Seq <= p.Ckpt.StableSeq() {
+			return
+		}
+		p.Env.VerifyAttestationAsync(m.Attest, func(ok bool) {
+			// Re-check: events (commits, view changes) may have landed
+			// between submission and completion.
+			if ok && m.View == p.View && !p.committed[m.Seq] {
+				p.addPrepare(m)
+			}
+		})
+		return
+	}
+	if !p.Env.VerifyAttestation(m.Attest) {
 		return
 	}
 	p.addPrepare(m)
@@ -196,6 +222,12 @@ func (p *Protocol) addPrepare(m *types.Prepare) {
 		return
 	}
 	p.committed[m.Seq] = true
+	if p.Cfg.EnableQC {
+		qc := crypto.AssembleQC(m.View, m.Seq, m.Digest, types.ZeroDigest,
+			p.Cfg.N, p.prepares.Voters(m.View, m.Seq, m.Digest))
+		p.qcs[m.Seq] = qc.Encode()
+		p.Cfg.Observer.Metrics().Histogram(obs.MQCSize).Observe(int64(qc.SignerCount()))
+	}
 	p.Exec.Commit(m.Seq, pp.Batch)
 	p.Batcher.Kick() // sequential: the next instance may start
 }
@@ -217,23 +249,36 @@ func (p *Protocol) respond(seq types.SeqNum, batch *types.Batch, results []types
 // --- common.Hooks ---
 
 // BuildViewChange implements common.Hooks: attested Preprepares above the
-// stable checkpoint (each self-certifying).
+// stable checkpoint (each self-certifying), plus the slot's aggregated
+// quorum certificate where one was assembled — one compact record of the
+// f+1 vote quorum instead of loose Prepare evidence.
 func (p *Protocol) BuildViewChange(v types.View) *types.ViewChange {
 	vc := &types.ViewChange{StableSeq: p.Ckpt.StableSeq()}
 	for seq, pp := range p.preprepares {
 		if seq > vc.StableSeq {
-			vc.Prepared = append(vc.Prepared, &types.PreparedProof{Preprepare: pp})
+			vc.Prepared = append(vc.Prepared, &types.PreparedProof{Preprepare: pp, QC: p.qcs[seq]})
 		}
 	}
 	return vc
 }
 
-// ValidateViewChange implements common.Hooks.
+// ValidateViewChange implements common.Hooks. The attested Preprepare stays
+// the transferable proof (memoized verification makes the re-check nearly
+// free); any attached certificate must additionally decode and pass one
+// VerifyQC against the f+1 vote quorum.
 func (p *Protocol) ValidateViewChange(vc *types.ViewChange) bool {
 	for _, pr := range vc.Prepared {
 		if pr.Preprepare == nil || pr.Preprepare.Attest == nil ||
 			!p.Env.VerifyAttestation(pr.Preprepare.Attest) {
 			return false
+		}
+		if len(pr.QC) != 0 {
+			qc, err := crypto.DecodeQuorumCert(pr.QC)
+			if err != nil || qc.Seq != pr.Preprepare.Seq ||
+				qc.Digest != pr.Preprepare.Batch.Digest ||
+				!p.Env.Crypto().VerifyQC(qc, p.Cfg.VoteQuorumF1()) {
+				return false
+			}
 		}
 	}
 	return true
@@ -350,6 +395,11 @@ func (p *Protocol) OnStableCheckpoint(seq types.SeqNum) {
 	for s := range p.committed {
 		if s <= seq {
 			delete(p.committed, s)
+		}
+	}
+	for s := range p.qcs {
+		if s <= seq {
+			delete(p.qcs, s)
 		}
 	}
 }

@@ -10,7 +10,9 @@
 package pbft
 
 import (
+	"flexitrust/internal/crypto"
 	"flexitrust/internal/engine"
+	"flexitrust/internal/obs"
 	"flexitrust/internal/protocols/common"
 	"flexitrust/internal/types"
 )
@@ -56,6 +58,10 @@ type Protocol struct {
 	commits     *engine.QuorumSet
 	prepared    map[types.SeqNum]bool
 	committed   map[types.SeqNum]bool
+	// qcs holds the encoded prepare-quorum certificate per prepared slot
+	// (EnableQC): one compact record replacing the 2f+1 loose Prepares a
+	// PBFT prepared certificate classically carries.
+	qcs map[types.SeqNum][]byte
 }
 
 // New constructs a PBFT replica for cfg.
@@ -66,6 +72,7 @@ func New(cfg engine.Config) *Protocol {
 		commits:     engine.NewQuorumSet(),
 		prepared:    make(map[types.SeqNum]bool),
 		committed:   make(map[types.SeqNum]bool),
+		qcs:         make(map[types.SeqNum][]byte),
 	}
 	p.Cfg = cfg
 	p.VCQuorum = cfg.VoteQuorum2f1()
@@ -174,6 +181,12 @@ func (p *Protocol) addPrepare(m *types.Prepare, isPrimarySelf bool) {
 		return
 	}
 	p.prepared[m.Seq] = true
+	if p.Cfg.EnableQC {
+		qc := crypto.AssembleQC(m.View, m.Seq, m.Digest, types.ZeroDigest,
+			p.Cfg.N, p.prepares.Voters(m.View, m.Seq, m.Digest))
+		p.qcs[m.Seq] = qc.Encode()
+		p.Cfg.Observer.Metrics().Histogram(obs.MQCSize).Observe(int64(qc.SignerCount()))
+	}
 	allPhases := p.Trust.ReplicasAllPhases || (p.IsPrimary() && p.Trust.PrimaryAllPhases)
 	p.touchTC(allPhases, m.Digest)
 	c := &types.Commit{View: m.View, Seq: m.Seq, Digest: m.Digest, Replica: p.Env.ID()}
@@ -225,7 +238,9 @@ func (p *Protocol) respond(seq types.SeqNum, batch *types.Batch, results []types
 // --- common.Hooks ---
 
 // BuildViewChange implements common.Hooks: PBFT view changes carry prepared
-// certificates (Preprepare plus the 2f+1 Prepare vote set).
+// certificates. With EnableQC each is the Preprepare plus one aggregated
+// quorum certificate (assembled when the slot prepared); without, the
+// classic 2f+1 loose Prepare vote set.
 func (p *Protocol) BuildViewChange(v types.View) *types.ViewChange {
 	vc := &types.ViewChange{StableSeq: p.Ckpt.StableSeq()}
 	for seq, pp := range p.preprepares {
@@ -233,10 +248,14 @@ func (p *Protocol) BuildViewChange(v types.View) *types.ViewChange {
 			continue
 		}
 		proof := &types.PreparedProof{Preprepare: pp}
-		for _, r := range p.prepares.Voters(p.View, seq, pp.Batch.Digest) {
-			proof.Prepares = append(proof.Prepares, &types.Prepare{
-				View: p.View, Seq: seq, Digest: pp.Batch.Digest, Replica: r,
-			})
+		if qc, ok := p.qcs[seq]; ok && p.Cfg.EnableQC {
+			proof.QC = qc
+		} else {
+			for _, r := range p.prepares.Voters(p.View, seq, pp.Batch.Digest) {
+				proof.Prepares = append(proof.Prepares, &types.Prepare{
+					View: p.View, Seq: seq, Digest: pp.Batch.Digest, Replica: r,
+				})
+			}
 		}
 		vc.Prepared = append(vc.Prepared, proof)
 	}
@@ -244,10 +263,23 @@ func (p *Protocol) BuildViewChange(v types.View) *types.ViewChange {
 }
 
 // ValidateViewChange implements common.Hooks: each prepared certificate must
-// carry a 2f+1 vote set.
+// carry either an aggregated certificate that passes one VerifyQC at the
+// 2f+1 quorum, or the classic 2f+1 distinct-voter Prepare set.
 func (p *Protocol) ValidateViewChange(vc *types.ViewChange) bool {
 	for _, pr := range vc.Prepared {
-		if pr.Preprepare == nil || len(pr.Prepares) < p.Cfg.VoteQuorum2f1() {
+		if pr.Preprepare == nil {
+			return false
+		}
+		if len(pr.QC) != 0 {
+			qc, err := crypto.DecodeQuorumCert(pr.QC)
+			if err != nil || qc.Seq != pr.Preprepare.Seq ||
+				qc.Digest != pr.Preprepare.Batch.Digest ||
+				!p.Env.Crypto().VerifyQC(qc, p.Cfg.VoteQuorum2f1()) {
+				return false
+			}
+			continue
+		}
+		if len(pr.Prepares) < p.Cfg.VoteQuorum2f1() {
 			return false
 		}
 		seen := make(map[types.ReplicaID]bool, len(pr.Prepares))
@@ -349,6 +381,7 @@ func (p *Protocol) OnStableCheckpoint(seq types.SeqNum) {
 			delete(p.preprepares, s)
 			delete(p.prepared, s)
 			delete(p.committed, s)
+			delete(p.qcs, s)
 		}
 	}
 }

@@ -14,7 +14,9 @@
 package pbftea
 
 import (
+	"flexitrust/internal/crypto"
 	"flexitrust/internal/engine"
+	"flexitrust/internal/obs"
 	"flexitrust/internal/protocols/common"
 	"flexitrust/internal/types"
 )
@@ -63,6 +65,8 @@ type Protocol struct {
 	prepared    map[types.SeqNum]bool
 	committed   map[types.SeqNum]bool
 	curEpoch    uint32
+	// qcs holds the encoded commit-quorum certificate per slot (EnableQC).
+	qcs map[types.SeqNum][]byte
 }
 
 // New constructs a PBFT-EA replica. cfg.Parallel=false is classic PBFT-EA;
@@ -74,6 +78,7 @@ func New(cfg engine.Config) *Protocol {
 		commits:     engine.NewQuorumSet(),
 		prepared:    make(map[types.SeqNum]bool),
 		committed:   make(map[types.SeqNum]bool),
+		qcs:         make(map[types.SeqNum][]byte),
 	}
 	p.Cfg = cfg
 	p.VCQuorum = cfg.VoteQuorumF1()
@@ -126,10 +131,34 @@ func (p *Protocol) logAppend(q uint32, _ types.SeqNum, d types.Digest) (*types.A
 
 // validAttest checks an incoming message's attestation.
 func (p *Protocol) validAttest(from types.ReplicaID, a *types.Attestation, q uint32, d types.Digest) bool {
-	if a == nil || a.Replica != from || a.Counter != q || a.Digest != d {
-		return false
+	return attestShape(from, a, q, d) && p.Env.VerifyAttestation(a)
+}
+
+// attestShape is validAttest minus the cryptographic verification.
+func attestShape(from types.ReplicaID, a *types.Attestation, q uint32, d types.Digest) bool {
+	return a != nil && a.Replica == from && a.Counter == q && a.Digest == d
+}
+
+// verifyVoteAsync runs the vote attestation check off the event goroutine
+// when EnableQC (PBFT-EA pays a verification on *every* message — the exact
+// O(n)-serial pattern the pool amortizes), falling back to the inline path
+// otherwise. tally must re-check decision state: it runs as a later event.
+func (p *Protocol) verifyVoteAsync(from types.ReplicaID, a *types.Attestation, q uint32,
+	d types.Digest, tally func()) {
+	if !attestShape(from, a, q, d) {
+		return
 	}
-	return p.Env.VerifyAttestation(a)
+	if p.Cfg.EnableQC {
+		p.Env.VerifyAttestationAsync(a, func(ok bool) {
+			if ok {
+				tally()
+			}
+		})
+		return
+	}
+	if p.Env.VerifyAttestation(a) {
+		tally()
+	}
 }
 
 // ProposeBatch implements common.Hooks.
@@ -171,15 +200,22 @@ func (p *Protocol) onPreprepare(from types.ReplicaID, pp *types.Preprepare) {
 	p.addPrepare(prep)
 }
 
-// onPrepare verifies the attestation and tallies.
+// onPrepare verifies the attestation and tallies. Votes for slots that
+// already prepared (or fell below the stable checkpoint) drop before any
+// crypto when EnableQC: with f+1 sufficing, the f late votes per slot used
+// to cost a full verification each.
 func (p *Protocol) onPrepare(from types.ReplicaID, m *types.Prepare) {
 	if m.View != p.View || m.Replica != from {
 		return
 	}
-	if !p.validAttest(from, m.Attest, logPrepare, m.Digest) {
+	if p.Cfg.EnableQC && (p.prepared[m.Seq] || m.Seq <= p.Ckpt.StableSeq()) {
 		return
 	}
-	p.addPrepare(m)
+	p.verifyVoteAsync(from, m.Attest, logPrepare, m.Digest, func() {
+		if m.View == p.View && !p.prepared[m.Seq] {
+			p.addPrepare(m)
+		}
+	})
 }
 
 // addPrepare marks prepared on f+1 votes and enters the Commit phase.
@@ -203,15 +239,20 @@ func (p *Protocol) addPrepare(m *types.Prepare) {
 	p.addCommit(c)
 }
 
-// onCommit verifies and tallies.
+// onCommit verifies and tallies, with the same early-drop and off-thread
+// verification discipline as onPrepare.
 func (p *Protocol) onCommit(from types.ReplicaID, m *types.Commit) {
 	if m.View != p.View || m.Replica != from {
 		return
 	}
-	if !p.validAttest(from, m.Attest, logCommit, m.Digest) {
+	if p.Cfg.EnableQC && (p.committed[m.Seq] || m.Seq <= p.Ckpt.StableSeq()) {
 		return
 	}
-	p.addCommit(m)
+	p.verifyVoteAsync(from, m.Attest, logCommit, m.Digest, func() {
+		if m.View == p.View && !p.committed[m.Seq] {
+			p.addCommit(m)
+		}
+	})
 }
 
 // addCommit commits on f+1 votes.
@@ -225,6 +266,12 @@ func (p *Protocol) addCommit(m *types.Commit) {
 		return
 	}
 	p.committed[m.Seq] = true
+	if p.Cfg.EnableQC {
+		qc := crypto.AssembleQC(m.View, m.Seq, m.Digest, types.ZeroDigest,
+			p.Cfg.N, p.commits.Voters(m.View, m.Seq, m.Digest))
+		p.qcs[m.Seq] = qc.Encode()
+		p.Cfg.Observer.Metrics().Histogram(obs.MQCSize).Observe(int64(qc.SignerCount()))
+	}
 	p.Exec.Commit(m.Seq, pp.Batch)
 	p.Batcher.Kick()
 }
@@ -250,18 +297,28 @@ func (p *Protocol) BuildViewChange(v types.View) *types.ViewChange {
 	vc := &types.ViewChange{StableSeq: p.Ckpt.StableSeq()}
 	for seq, pp := range p.preprepares {
 		if seq > vc.StableSeq {
-			vc.Prepared = append(vc.Prepared, &types.PreparedProof{Preprepare: pp})
+			vc.Prepared = append(vc.Prepared, &types.PreparedProof{Preprepare: pp, QC: p.qcs[seq]})
 		}
 	}
 	return vc
 }
 
-// ValidateViewChange implements common.Hooks.
+// ValidateViewChange implements common.Hooks: attestation re-checks hit the
+// memo for already-seen slots; attached commit-quorum certificates must
+// decode and pass one VerifyQC.
 func (p *Protocol) ValidateViewChange(vc *types.ViewChange) bool {
 	for _, pr := range vc.Prepared {
 		if pr.Preprepare == nil || pr.Preprepare.Attest == nil ||
 			!p.Env.VerifyAttestation(pr.Preprepare.Attest) {
 			return false
+		}
+		if len(pr.QC) != 0 {
+			qc, err := crypto.DecodeQuorumCert(pr.QC)
+			if err != nil || qc.Seq != pr.Preprepare.Seq ||
+				qc.Digest != pr.Preprepare.Batch.Digest ||
+				!p.Env.Crypto().VerifyQC(qc, p.Cfg.VoteQuorumF1()) {
+				return false
+			}
 		}
 	}
 	return true
@@ -363,6 +420,7 @@ func (p *Protocol) OnStableCheckpoint(seq types.SeqNum) {
 			delete(p.preprepares, s)
 			delete(p.prepared, s)
 			delete(p.committed, s)
+			delete(p.qcs, s)
 		}
 	}
 }

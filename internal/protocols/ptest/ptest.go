@@ -215,6 +215,12 @@ func (e *Env) Trusted() trusted.Component { return e.TC }
 // VerifyAttestation implements engine.Env.
 func (e *Env) VerifyAttestation(a *types.Attestation) bool { return e.Auth.Verify(a) }
 
+// VerifyAttestationAsync implements engine.Env: ptest has no event loop to
+// hand completions back to, so the check runs synchronously.
+func (e *Env) VerifyAttestationAsync(a *types.Attestation, done func(bool)) {
+	done(e.Auth.Verify(a))
+}
+
 // Crypto implements engine.Env: structural crypto (always-valid signatures),
 // since ptest exercises protocol logic, not signature math.
 func (e *Env) Crypto() crypto.Provider { return trustingCrypto{} }
@@ -265,3 +271,4 @@ func (trustingCrypto) Verify(_ types.ReplicaID, _, _ []byte) bool      { return 
 func (trustingCrypto) VerifyClient(_ types.ClientID, _, _ []byte) bool { return true }
 func (trustingCrypto) MAC(_ types.ReplicaID, _ []byte) []byte          { return []byte("mac") }
 func (trustingCrypto) CheckMAC(_ types.ReplicaID, _, _ []byte) bool    { return true }
+func (trustingCrypto) VerifyQC(qc *crypto.QuorumCert, _ int) bool      { return qc != nil }

@@ -16,6 +16,7 @@ package zyzzyva
 import (
 	"flexitrust/internal/crypto"
 	"flexitrust/internal/engine"
+	"flexitrust/internal/obs"
 	"flexitrust/internal/protocols/common"
 	"flexitrust/internal/types"
 )
@@ -42,11 +43,18 @@ type Protocol struct {
 	preprepares map[types.SeqNum]*types.Preprepare
 	// history is the cumulative execution history digest h_k = H(h_{k-1}, d_k).
 	history types.Digest
+	// qcs holds the encoded quorum certificate assembled from the first valid
+	// commit certificate seen per slot: the 2f+1 matching speculative
+	// responses summarized as a signer bitmap over the history digest.
+	qcs map[types.SeqNum][]byte
 }
 
 // New constructs a Zyzzyva replica for cfg.
 func New(cfg engine.Config) *Protocol {
-	p := &Protocol{preprepares: make(map[types.SeqNum]*types.Preprepare)}
+	p := &Protocol{
+		preprepares: make(map[types.SeqNum]*types.Preprepare),
+		qcs:         make(map[types.SeqNum][]byte),
+	}
 	p.Cfg = cfg
 	p.VCQuorum = cfg.VoteQuorum2f1()
 	p.CkptQuorum = cfg.VoteQuorum2f1()
@@ -111,7 +119,7 @@ func (p *Protocol) onPreprepare(from types.ReplicaID, pp *types.Preprepare) {
 	if pp.Seq <= p.Ckpt.StableSeq() {
 		return
 	}
-	if !p.Env.Crypto().Verify(from, pp.Batch.Digest[:], pp.Sig) {
+	if !p.VerifySigMemo(from, pp.Batch.Digest[:], pp.Sig) {
 		return
 	}
 	p.preprepares[pp.Seq] = pp
@@ -137,10 +145,32 @@ func (p *Protocol) respond(seq types.SeqNum, batch *types.Batch, results []types
 }
 
 // onCommitCert acknowledges the client's 2f+1-matching-response certificate.
+// With QCs enabled the certificate's response set is checked as an aggregated
+// quorum certificate (one structural/batched check) instead of 2f+1
+// individual response comparisons.
 func (p *Protocol) onCommitCert(cc *types.CommitCert) {
 	pp, ok := p.preprepares[cc.Seq]
 	if !ok || pp.Batch.Digest != cc.Digest || cc.Seq > p.Exec.LastExecuted() {
 		return
+	}
+	// Certificates that carry the response set are summarized and checked as
+	// a QC; bare certificates (legacy clients, simulator) keep the original
+	// trust-the-local-execution path.
+	if p.Cfg.EnableQC && len(cc.Responses) > 0 {
+		if _, have := p.qcs[cc.Seq]; !have {
+			voters := make([]types.ReplicaID, 0, len(cc.Responses))
+			for _, r := range cc.Responses {
+				if r != nil && r.Digest == cc.Digest && r.History == cc.History {
+					voters = append(voters, r.Replica)
+				}
+			}
+			qc := crypto.AssembleQC(cc.View, cc.Seq, cc.Digest, cc.History, p.Cfg.N, voters)
+			if !p.Env.Crypto().VerifyQC(qc, p.Cfg.VoteQuorum2f1()) {
+				return
+			}
+			p.qcs[cc.Seq] = qc.Encode()
+			p.Cfg.Observer.Metrics().Histogram(obs.MQCSize).Observe(int64(qc.SignerCount()))
+		}
 	}
 	p.Env.SendClient(cc.Client, &types.LocalCommit{
 		Replica: p.Env.ID(), View: p.View, Seq: cc.Seq, Digest: cc.Digest, Client: cc.Client,
@@ -168,7 +198,7 @@ func (p *Protocol) ValidateViewChange(vc *types.ViewChange) bool {
 			return false
 		}
 		signer := types.Primary(pp.View, p.Cfg.N)
-		if !p.Env.Crypto().Verify(signer, pp.Batch.Digest[:], pp.Sig) {
+		if !p.VerifySigMemo(signer, pp.Batch.Digest[:], pp.Sig) {
 			return false
 		}
 	}
@@ -218,7 +248,7 @@ func (p *Protocol) BuildNewView(v types.View, vcs []*types.ViewChange) *types.Ne
 func (p *Protocol) ProcessNewView(nv *types.NewView) bool {
 	primary := types.Primary(nv.View, p.Cfg.N)
 	for _, pp := range nv.Proposals {
-		if !p.Env.Crypto().Verify(primary, pp.Batch.Digest[:], pp.Sig) {
+		if !p.VerifySigMemo(primary, pp.Batch.Digest[:], pp.Sig) {
 			return false
 		}
 	}
@@ -272,6 +302,11 @@ func (p *Protocol) OnStableCheckpoint(seq types.SeqNum) {
 	for s := range p.preprepares {
 		if s <= seq {
 			delete(p.preprepares, s)
+		}
+	}
+	for s := range p.qcs {
+		if s <= seq {
+			delete(p.qcs, s)
 		}
 	}
 }

@@ -61,6 +61,10 @@ type Node struct {
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 
+	// pool verifies attestations off the event goroutine (nil when the
+	// hot-path subsystem is disabled via Config.EnableQC).
+	pool *crypto.VerifyPool
+
 	timerMu  sync.Mutex
 	timerGen map[types.TimerID]uint64
 	timers   map[types.TimerID]*time.Timer
@@ -95,6 +99,9 @@ func NewNode(cfg NodeConfig) *Node {
 	n.tcView = trusted.Namespaced(cfg.Engine.Observer.InstrumentTC(n.tc, "replica"),
 		cfg.Engine.TrustedNamespace)
 	n.proto = cfg.NewProtocol(cfg.Engine)
+	if cfg.Engine.EnableQC {
+		n.pool = crypto.NewVerifyPool(2, 0, n.enqueue)
+	}
 	cfg.Transport.SetHandler(n.onEnvelope)
 	n.wg.Add(1)
 	go n.loop()
@@ -152,6 +159,11 @@ func (n *Node) Stop() {
 			t.Stop()
 		}
 		n.timerMu.Unlock()
+		if n.pool != nil {
+			// Drain in-flight verifications; their completions enqueue
+			// after stop and are dropped by enqueue.
+			n.pool.Close()
+		}
 		n.wg.Wait()
 	})
 }
@@ -309,7 +321,49 @@ func (n *Node) Trusted() trusted.Component {
 // VerifyAttestation implements engine.Env. Attestations minted through a
 // namespaced view are remapped to the form their proof binds before checking.
 func (n *Node) VerifyAttestation(a *types.Attestation) bool {
+	if a != nil && n.pool != nil {
+		key := crypto.AttestationMemoKey(a)
+		if n.pool.Memo().Seen(key) {
+			n.metric(obs.MSigVerifyCacheHits)
+			return true
+		}
+		n.metric(obs.MSigVerifies)
+		ok := n.cfg.Authority.Verify(trusted.MapAttestation(a, n.cfg.Engine.TrustedNamespace))
+		if ok {
+			n.pool.Memo().Record(key)
+		}
+		return ok
+	}
 	return n.cfg.Authority.Verify(trusted.MapAttestation(a, n.cfg.Engine.TrustedNamespace))
+}
+
+// VerifyAttestationAsync implements engine.Env: the check runs on the
+// verify pool's workers and done(ok) is enqueued back onto the event
+// goroutine; memo hits (and a disabled pool) complete synchronously.
+func (n *Node) VerifyAttestationAsync(a *types.Attestation, done func(ok bool)) {
+	if a == nil || n.pool == nil {
+		done(n.VerifyAttestation(a))
+		return
+	}
+	key := crypto.AttestationMemoKey(a)
+	if n.pool.Memo().Seen(key) {
+		n.metric(obs.MSigVerifyCacheHits)
+		done(true)
+		return
+	}
+	n.metric(obs.MSigVerifies)
+	n.cfg.Engine.Observer.Metrics().Gauge(obs.MVerifyPoolDepth).Set(n.pool.Depth() + 1)
+	n.pool.Submit(key, func() bool {
+		return n.cfg.Authority.Verify(trusted.MapAttestation(a, n.cfg.Engine.TrustedNamespace))
+	}, func(ok bool) {
+		n.cfg.Engine.Observer.Metrics().Gauge(obs.MVerifyPoolDepth).Set(n.pool.Depth())
+		done(ok)
+	})
+}
+
+// metric bumps a counter on the configured observer (nil-safe).
+func (n *Node) metric(name string) {
+	n.cfg.Engine.Observer.Metrics().Counter(name).Inc()
 }
 
 // Crypto implements engine.Env.

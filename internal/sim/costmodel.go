@@ -47,6 +47,20 @@ type CostModel struct {
 	TCStreamHandoff time.Duration
 	// ClientVerifyPerReq is the per-request client authenticator check.
 	ClientVerifyPerReq time.Duration
+	// VerifyQC is the cost of validating one aggregated quorum certificate
+	// (structural bitmap/quorum checks plus one aggregate check) — the
+	// replacement for n independent DSVerify charges on proof paths.
+	VerifyQC time.Duration
+	// VerifyBatchN is the amortized per-signature cost of verification
+	// performed by the off-thread pool: batched Ed25519 verification
+	// amortizes point decompression and scalar multiplication across the
+	// batch (ed25519consensus/dalek-class batch verifiers reach ~2-4x per
+	// signature), and the pool's workers run off the event goroutine, so
+	// the event thread is only charged the amortized share.
+	VerifyBatchN time.Duration
+	// VerifyMemoHit is the cost of answering a verification from the
+	// verified-statement memo (a map lookup).
+	VerifyMemoHit time.Duration
 }
 
 // DefaultCostModel returns the calibrated model described above.
@@ -64,6 +78,9 @@ func DefaultCostModel() CostModel {
 		TCSign:             50 * time.Microsecond,
 		TCStreamHandoff:    900 * time.Microsecond,
 		ClientVerifyPerReq: 1 * time.Microsecond,
+		VerifyQC:           40 * time.Microsecond,
+		VerifyBatchN:       15 * time.Microsecond,
+		VerifyMemoHit:      300 * time.Nanosecond,
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"flexitrust/internal/crypto"
 	"flexitrust/internal/engine"
 	"flexitrust/internal/kvstore"
+	"flexitrust/internal/obs"
 	"flexitrust/internal/trusted"
 	"flexitrust/internal/types"
 )
@@ -47,6 +48,10 @@ type replicaNode struct {
 	outbox     []simOut
 
 	cryptoProv *simCrypto
+
+	// memo caches verified attestation statements (lazily created; the
+	// simulator is single-threaded, so no construction race exists).
+	memo *crypto.VerifyMemo
 }
 
 // simOut is a buffered outbound message. depart is the in-handler virtual
@@ -228,7 +233,65 @@ func (r *replicaNode) Trusted() trusted.Component {
 // *machine* hosting the sending replica, so the logical replica identity is
 // remapped to the machine's before the key lookup.
 func (r *replicaNode) VerifyAttestation(a *types.Attestation) bool {
+	if a != nil && r.g.cfg.Engine.EnableQC {
+		key := crypto.AttestationMemoKey(a)
+		if r.verifyMemo().Seen(key) {
+			r.charge(r.g.cfg.Cost.VerifyMemoHit)
+			r.metrics().Counter(obs.MSigVerifyCacheHits).Inc()
+			return true
+		}
+		r.charge(r.g.cfg.Cost.DSVerify)
+		r.metrics().Counter(obs.MSigVerifies).Inc()
+		ok := r.attestValid(a)
+		if ok {
+			r.verifyMemo().Record(key)
+		}
+		return ok
+	}
 	r.charge(r.g.cfg.Cost.DSVerify)
+	return r.attestValid(a)
+}
+
+// VerifyAttestationAsync implements engine.Env. The simulator models the
+// runtime's verify pool in virtual time: the real (host-time-cheap) HMAC
+// check runs immediately, but the event goroutine is only charged the
+// amortized batched-verification share, with completion delivered as its
+// own worker event — exactly the shape of a pool handing results back to
+// the event loop. With EnableQC off this degrades to the synchronous
+// inline path.
+func (r *replicaNode) VerifyAttestationAsync(a *types.Attestation, done func(ok bool)) {
+	if a == nil || !r.g.cfg.Engine.EnableQC {
+		done(r.VerifyAttestation(a))
+		return
+	}
+	key := crypto.AttestationMemoKey(a)
+	if r.verifyMemo().Seen(key) {
+		r.charge(r.g.cfg.Cost.VerifyMemoHit)
+		r.metrics().Counter(obs.MSigVerifyCacheHits).Inc()
+		done(true)
+		return
+	}
+	ok := r.attestValid(a)
+	if ok {
+		r.verifyMemo().Record(key)
+	}
+	r.metrics().Counter(obs.MSigVerifies).Inc()
+	depth := r.metrics().Gauge(obs.MVerifyPoolDepth)
+	depth.Add(1)
+	r.g.scheduleFunc(r.g.now(), func() {
+		r.runHandler(func() {
+			depth.Add(-1)
+			r.charge(r.g.cfg.Cost.VerifyBatchN)
+			done(ok)
+		})
+	})
+}
+
+// attestValid performs the simulator's real attestation check (no cost
+// accounting): remap the namespaced view to the form the proof binds, remap
+// the logical replica identity to its hosting machine, and check the HMAC,
+// so forged attestations really are rejected.
+func (r *replicaNode) attestValid(a *types.Attestation) bool {
 	m := trusted.MapAttestation(a, r.g.cfg.Engine.TrustedNamespace)
 	if a != nil {
 		if mi := r.g.machineOf(int(a.Replica)); mi != int(a.Replica) {
@@ -238,6 +301,20 @@ func (r *replicaNode) VerifyAttestation(a *types.Attestation) bool {
 		}
 	}
 	return r.g.mc.auth.Verify(m)
+}
+
+// verifyMemo returns the replica's verified-statement memo.
+func (r *replicaNode) verifyMemo() *crypto.VerifyMemo {
+	if r.memo == nil {
+		r.memo = crypto.NewVerifyMemo(0)
+	}
+	return r.memo
+}
+
+// metrics returns the (nil-safe) metrics registry of the configured
+// observer.
+func (r *replicaNode) metrics() *obs.Registry {
+	return r.g.cfg.Engine.Observer.Metrics()
 }
 
 // Crypto implements engine.Env.
@@ -381,4 +458,18 @@ func (s *simCrypto) MAC(_ types.ReplicaID, _ []byte) []byte {
 func (s *simCrypto) CheckMAC(_ types.ReplicaID, _, _ []byte) bool {
 	s.node.charge(s.node.g.cfg.Cost.MACVerify)
 	return true
+}
+
+// VerifyQC implements crypto.Provider: one certificate check plus the
+// amortized batch-verification share per carried signature, against n loose
+// DSVerify charges without aggregation. The structural check is performed
+// for real — malformed bitmaps and sub-quorum signer sets are rejected even
+// in the accounting-only provider.
+func (s *simCrypto) VerifyQC(qc *crypto.QuorumCert, quorum int) bool {
+	s.node.charge(s.node.g.cfg.Cost.VerifyQC)
+	if qc == nil {
+		return false
+	}
+	s.node.charge(time.Duration(len(qc.Sigs)) * s.node.g.cfg.Cost.VerifyBatchN)
+	return qc.Check(s.node.g.cfg.Engine.N, quorum) == nil
 }

@@ -8,6 +8,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"sync/atomic"
 )
 
 // ReplicaID identifies a replica within a cluster. Replicas are numbered
@@ -148,10 +149,30 @@ type ClientRequest struct {
 	Op        []byte // serialized state-machine operation
 	Timestamp int64  // client send time (ns in simulation virtual time)
 	Sig       []byte // client signature over (Client, ReqNo, Op)
+
+	// digest caches the request's canonical digest (crypto.RequestDigest),
+	// computed once at batcher admission and reused by every later
+	// batch-digest or response-path computation over the same request.
+	// Unexported so it never crosses the wire (gob skips unexported fields);
+	// atomic because in-process transports deliver the same request object
+	// to several node goroutines.
+	digest atomic.Pointer[Digest]
 }
 
 // Type implements Message.
 func (*ClientRequest) Type() MsgType { return MsgClientRequest }
+
+// CachedDigest returns the memoized canonical digest, if one has been
+// computed for this in-memory request.
+func (r *ClientRequest) CachedDigest() (Digest, bool) {
+	if d := r.digest.Load(); d != nil {
+		return *d, true
+	}
+	return Digest{}, false
+}
+
+// MemoizeDigest records the request's canonical digest for reuse.
+func (r *ClientRequest) MemoizeDigest(d Digest) { r.digest.Store(&d) }
 
 // Key returns the unique identity of this request.
 func (r *ClientRequest) Key() RequestKey { return RequestKey{r.Client, r.ReqNo} }
@@ -276,6 +297,11 @@ func (*Checkpoint) Type() MsgType { return MsgCheckpoint }
 type PreparedProof struct {
 	Preprepare *Preprepare
 	Prepares   []*Prepare // 2f+1 (or f+1 for trust-bft) matching prepares
+	// QC, when non-empty, is a canonically encoded crypto.QuorumCert
+	// aggregating the vote set: one compact certificate checked once in
+	// place of the loose Prepares (which may then be omitted). types cannot
+	// import crypto, so the certificate travels pre-encoded.
+	QC []byte
 }
 
 // ViewChange asks to replace the primary of view NewView-1.

@@ -27,7 +27,8 @@ func sampleEnvelopes() []*Envelope {
 			Results: []types.Result{{Client: 7, ReqNo: 3, Value: []byte("OK")}}}},
 		{From: 0, Msg: &types.Checkpoint{Replica: 0, Seq: 100, StateDigest: types.Digest{4}, Attest: att}},
 		{From: 1, Msg: &types.ViewChange{Replica: 1, NewView: 2, StableSeq: 100,
-			Prepared: []*types.PreparedProof{{Preprepare: pp}}, Preprepares: []*types.Preprepare{pp}}},
+			Prepared:    []*types.PreparedProof{{Preprepare: pp, QC: []byte{0x01, 0xAB, 0xCD}}},
+			Preprepares: []*types.Preprepare{pp}}},
 		{From: 2, Msg: &types.NewView{View: 2, Proposals: []*types.Preprepare{pp}, CounterInit: att}},
 		{Client: 7, IsClient: true, Msg: &types.CommitCert{Client: 7, View: 1, Seq: 5, Digest: types.Digest{9}}},
 		{From: 1, Msg: &types.LocalCommit{Replica: 1, View: 1, Seq: 5, Client: 7}},
