@@ -8,6 +8,7 @@
 //	benchrunner -exp shard -mode shared -scale 16 -shards 1,4   # CI smoke
 //	benchrunner -bench-out BENCH_baseline.json -scale 16        # record baseline
 //	benchrunner -bench-validate BENCH_baseline.json             # schema check
+//	benchrunner -exp shard -scale 16 -obs-dump obs.json         # observability export per run
 //	benchrunner -list
 //
 // Experiments: fig1, fig5, fig6i, fig6ii, fig6iv, fig6vi, fig7, fig8, fig9,
@@ -20,6 +21,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -101,6 +103,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	benchOut := flag.String("bench-out", "", "run the BENCH baseline matrix at -scale and write flexitrust-bench/v1 JSON to this path ('-' = stdout)")
 	benchValidate := flag.String("bench-validate", "", "validate an existing flexitrust-bench/v1 baseline file and exit")
+	obsDump := flag.String("obs-dump", "", "write a JSON array of flexitrust-obs/v1 exports (one per shared-kernel run of the shard/txn/rebalance/failover/qc experiments) to this path ('-' = stdout)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the run to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this path")
 	flag.Parse()
@@ -193,6 +196,9 @@ func main() {
 			len(b.Entries), time.Since(start).Round(time.Millisecond))
 		return
 	}
+	if *obsDump != "" {
+		harness.EnableObsDump()
+	}
 	ran := false
 	for _, e := range experiments() {
 		if *exp != "all" && *exp != e.name {
@@ -209,5 +215,24 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *exp)
 		os.Exit(2)
+	}
+	if *obsDump != "" {
+		exports := harness.TakeObsDumps()
+		if len(exports) == 0 {
+			fmt.Fprintln(os.Stderr, "obs-dump: no shared-kernel runs executed (only shard/txn/rebalance/failover/qc contribute exports)")
+		}
+		data, err := json.MarshalIndent(exports, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if *obsDump == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*obsDump, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "obs-dump: %d exports\n", len(exports))
 	}
 }

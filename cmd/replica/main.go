@@ -8,9 +8,18 @@
 // Then drive it with cmd/client. All nodes must share -seed (it derives the
 // deterministic keyring and attestation authority, standing in for the key
 // distribution ceremony a production deployment would run).
+//
+// Operator surface: -admin starts an HTTP listener serving /metrics
+// (Prometheus text; ?format=json for the flexitrust-obs/v1 document),
+// /healthz, /traces, /journal, /audit, and /alerts. The alert-rules
+// engine runs on a ticker over the replica's observer; -flight-dir arms
+// the post-mortem flight recorder, which also flushes a final bundle on
+// graceful shutdown (SIGINT/SIGTERM → drain, close the verify pool) and
+// on an event-goroutine panic.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -18,10 +27,12 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"flexitrust/internal/crypto"
 	"flexitrust/internal/engine"
 	"flexitrust/internal/harness"
+	"flexitrust/internal/obs"
 	"flexitrust/internal/runtime"
 	"flexitrust/internal/transport"
 	"flexitrust/internal/trusted"
@@ -36,6 +47,9 @@ func main() {
 	batch := flag.Int("batch", 100, "requests per consensus batch")
 	clients := flag.Int("clients", 1024, "client ids to provision keys for (1..clients)")
 	seed := flag.Int64("seed", 42, "shared key-derivation seed")
+	admin := flag.String("admin", "", "admin HTTP listen address for /metrics, /healthz, /traces, /journal, /audit, /alerts (e.g. 127.0.0.1:9100; empty disables)")
+	obsSample := flag.Float64("obs-sample", obs.DefaultSampleRate, "trace sampling rate in [0,1]")
+	flightDir := flag.String("flight-dir", "", "directory for post-mortem flight-record bundles (empty disables)")
 	verbose := flag.Bool("v", false, "verbose protocol logging")
 	flag.Parse()
 
@@ -69,9 +83,20 @@ func main() {
 	}
 	defer tp.Close()
 
+	// The operator surface: one observer per process, exported over the
+	// admin listener, watched by the rules engine, and dumped by the flight
+	// recorder on alerts, panics, and shutdown.
+	observer := obs.New(obs.Config{SampleRate: *obsSample})
+	exporter := &obs.Exporter{O: observer, Label: fmt.Sprintf("replica-%d", *id)}
+	flight := obs.NewFlightRecorder(exporter, *flightDir)
+	rules := obs.NewRules(observer, obs.RulesConfig{Flight: flight})
+	exporter.Rules = rules
+	rules.Start(obs.DefaultEvalEvery)
+
 	ecfg := engine.DefaultConfig(n, *f)
 	ecfg.BatchSize = *batch
 	ecfg.Parallel = spec.Parallel
+	ecfg.Observer = observer
 	node := runtime.NewNode(runtime.NodeConfig{
 		ID:             types.ReplicaID(*id),
 		Engine:         ecfg,
@@ -82,12 +107,51 @@ func main() {
 		TrustedProfile: trusted.ProfileSGXEnclave,
 		KeepLog:        spec.KeepLog,
 		Verbose:        *verbose,
+		OnPanic: func(r any) {
+			// Flush the evidence before the panic propagates.
+			rules.Evaluate()
+			if path, err := flight.Write("panic"); err == nil && path != "" {
+				fmt.Fprintf(os.Stderr, "replica %d: panic flight record: %s\n", *id, path)
+			}
+		},
 	})
+	exporter.Healthy = func() bool { return !node.Stopped() }
 	fmt.Printf("replica %d/%d (%s, f=%d) listening on %s\n", *id, n, spec.Name, *f, tp.Addr())
 
-	sig := make(chan os.Signal, 1)
+	var adminSrv interface {
+		Shutdown(context.Context) error
+	}
+	if *admin != "" {
+		srv, addr, err := exporter.Serve(*admin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		adminSrv = srv
+		fmt.Printf("replica %d admin endpoints on http://%s\n", *id, addr)
+	}
+
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
+	fmt.Printf("replica %d: draining\n", *id)
+	go func() { // a second signal skips the drain
+		<-sig
+		os.Exit(1)
+	}()
+
+	// Graceful shutdown: stop evaluating, close the admin listener, take a
+	// final look at the streams, persist the shutdown bundle, then stop the
+	// node (which drains and closes the verify pool).
+	rules.Stop()
+	if adminSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		adminSrv.Shutdown(ctx)
+		cancel()
+	}
+	rules.Evaluate()
+	if path, err := flight.Write("shutdown"); err == nil && path != "" {
+		fmt.Printf("replica %d: shutdown flight record: %s\n", *id, path)
+	}
 	node.Stop()
 }
 

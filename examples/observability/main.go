@@ -1,0 +1,175 @@
+// Command observability demonstrates the operator surface end to end and
+// asserts what it demonstrates (exiting nonzero on any failure):
+//
+//  1. Clean path: a two-shard Flexi-BFT deployment with the SLO rules
+//     engine and the flight recorder armed serves its admin endpoints —
+//     a Prometheus scrape of /metrics parses, /healthz answers ok, the
+//     versioned flexitrust-obs/v1 JSON export carries per-shard stats —
+//     and fires zero alerts under healthy traffic.
+//  2. Incident: shard 0's primary is fail-stopped with no further client
+//     traffic. The cluster's watch loop alone notices the shard degrade
+//     (healthy → view-changing → stalled), promotes the journaled
+//     transition to a "stall" alert, flips /healthz to 503, and persists
+//     a flexitrust-flight/v1 post-mortem bundle whose journal suffix
+//     orders the evidence causally: health transition first, alert after,
+//     one shared sequence across both streams.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"flexitrust"
+	"flexitrust/internal/obs"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	flightDir, err := os.MkdirTemp("", "flexitrust-flight-*")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer os.RemoveAll(flightDir)
+
+	fmt.Println("== booting 2-shard Flexi-BFT with rules engine + flight recorder ==")
+	cluster, err := flexitrust.NewShardedCluster(flexitrust.ShardOptions{
+		Shards:            2,
+		Protocol:          flexitrust.FlexiBFT,
+		F:                 1,
+		Clients:           []flexitrust.ClientID{1},
+		BatchSize:         4,
+		Records:           1000,
+		ViewChangeTimeout: 150 * time.Millisecond,
+		ClientRetry:       200 * time.Millisecond,
+		StallTimeout:      300 * time.Millisecond,
+		Observe: flexitrust.ObserveOptions{
+			Enabled:    true,
+			SampleRate: 1.0,
+			Rules: flexitrust.RulesOptions{
+				Enabled:   true,
+				EvalEvery: 10 * time.Millisecond,
+				FlightDir: flightDir,
+				OnAlert: func(a flexitrust.AlertRecord) {
+					fmt.Printf("  ALERT seq=%d rule=%s group=%d: %s\n",
+						a.Seq, a.Rule, a.Group, a.Message)
+				},
+			},
+		},
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer cluster.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	sess := cluster.Session(1)
+	for k := uint64(0); k < 16; k++ {
+		if err := sess.Put(ctx, k, []byte(fmt.Sprintf("v%d", k))); err != nil {
+			fatalf("put %d: %v", k, err)
+		}
+	}
+
+	// Serve the admin endpoints on a loopback listener and scrape them the
+	// way an operator's Prometheus would.
+	srv := &http.Server{Handler: cluster.ObserveHandler()}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("admin endpoints on %s\n", base)
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, metrics := get("/metrics")
+	if code != 200 || !strings.Contains(metrics, "flexitrust_obs_audit_alarms 0") {
+		fatalf("/metrics clean scrape: code %d\n%s", code, metrics)
+	}
+	fmt.Printf("scraped /metrics: %d lines, zero audit alarms\n",
+		strings.Count(metrics, "\n"))
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, `"ok"`) {
+		fatalf("/healthz clean: %d %s", code, body)
+	}
+	fmt.Println("/healthz: ok")
+
+	_, raw := get("/metrics?format=json")
+	var export flexitrust.ObsExport
+	if err := json.Unmarshal([]byte(raw), &export); err != nil {
+		fatalf("JSON export: %v", err)
+	}
+	fmt.Printf("JSON export %s: %d shards, %d audit accesses, %d alerts\n",
+		export.Schema, len(export.Shards), export.Audit.Accesses, export.Alerts.Total)
+	if len(cluster.Alerts()) != 0 {
+		fatalf("false alarms on the clean path: %+v", cluster.Alerts())
+	}
+
+	fmt.Println("\n== crashing shard 0's primary (no further traffic) ==")
+	cluster.StopReplica(0, 0)
+	deadline := time.Now().Add(30 * time.Second)
+	var stall *flexitrust.AlertRecord
+	for time.Now().Before(deadline) && stall == nil {
+		for _, a := range cluster.Alerts() {
+			if a.Rule == obs.RuleStall {
+				al := a
+				stall = &al
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if stall == nil {
+		fatalf("no stall alert; health: %+v", cluster.Health())
+	}
+
+	var bundles []string
+	for time.Now().Before(deadline) && len(bundles) == 0 {
+		bundles = cluster.FlightRecords()
+		time.Sleep(20 * time.Millisecond)
+	}
+	if len(bundles) == 0 {
+		fatalf("no flight record written")
+	}
+	data, err := os.ReadFile(bundles[0])
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var rec flexitrust.FlightRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		fatalf("bundle parse: %v", err)
+	}
+	if rec.Schema != obs.FlightSchema {
+		fatalf("bundle schema %q", rec.Schema)
+	}
+	fmt.Printf("flight record %s (%d bytes): reason=%s, %d journal events, %d metrics snapshots\n",
+		bundles[0], len(data), rec.Reason, len(rec.Export.Journal.Events), len(rec.MetricsHistory))
+	for _, ev := range rec.Export.Journal.Events {
+		if ev.Kind == obs.EventHealthTransition || ev.Kind == obs.EventAlert {
+			fmt.Printf("  journal seq=%d %v group=%d: %s\n", ev.Seq, ev.Kind, ev.Group, ev.Detail)
+		}
+	}
+	if code, _ := get("/healthz"); code != 503 {
+		fatalf("/healthz with a stalled shard: %d, want 503", code)
+	}
+	fmt.Println("/healthz: 503 (shard 0 stalled) — operator surface verified")
+}

@@ -237,9 +237,50 @@
 // audit never blocks the data path.
 //
 // Control-plane journal. View changes, health transitions, placement
-// epoch flips and evacuations (Observer.Journal().Events()), stamped from
-// the same sequence as the audit stream — an epoch flip is always ordered
-// after the attested decision that authorized it.
+// epoch flips, evacuations and fired alerts (Observer.Journal().Events()),
+// stamped from the same sequence as the audit stream — an epoch flip is
+// always ordered after the attested decision that authorized it, and an
+// alert after the evidence that triggered it.
+//
+// # Operations
+//
+// The operator surface turns the four streams into something a deployment
+// can scrape, page on, and debug from after the fact.
+//
+// Export. ShardedCluster.ObserveSnapshot renders the whole cluster as one
+// versioned document (schema flexitrust-obs/v1): every metric, the
+// retained traces, the audit stream, the journal, fired alerts and
+// per-shard consensus stats — each stream with retained/dropped/truncated
+// accounting, so a scrape never silently under-reports.
+// ShardedCluster.ObserveHandler serves the admin endpoints for any HTTP
+// listener: /metrics (Prometheus text exposition, names prefixed
+// flexitrust_, per-group series labeled {group="G"}; ?format=json for the
+// full document), /healthz (200 ok, or 503 when an audit alarm is
+// outstanding or a shard is Stalled), /traces, /journal, /audit and
+// /alerts. cmd/replica mounts the same surface on its -admin listener and
+// drains gracefully on SIGINT/SIGTERM; `benchrunner -obs-dump` writes one
+// export per shared-kernel simulation run.
+//
+// Alert rules. ObserveOptions.Rules arms an SLO engine (internal/obs
+// Rules) evaluated on the cluster's watch loop — or from virtual time in
+// the simulator, so alert tests are deterministic. The rules are named
+// and stable: "audit_alarm" (any audit-checker alarm, promoted), "stall"
+// (a health transition into Stalled — detected with zero client traffic),
+// "slo_error_burn" (degraded/unroutable error rate over budget),
+// "latency_p99" (windowed per-group p99 over threshold, off by default),
+// "health_flapping" and "verify_pool_saturation". Every alert draws a
+// number from the shared causal sequence and lands in the journal as an
+// EventAlert, so "the alert at seq 19 fired after the transition at seq
+// 18" is a statement the records themselves support. A healthy cluster
+// fires nothing: the defaults are chosen so the clean path is silent.
+//
+// Flight recorder. RulesOptions.FlightDir arms a post-mortem recorder: a
+// bounded ring of recent metrics snapshots plus, whenever an alert fires
+// — or the process panics, drains, or the cluster stops dirty — one
+// self-contained JSON bundle (schema flexitrust-flight/v1) with the full
+// export and the metrics trend leading up to the incident. A stalled
+// shard is diagnosable from the bundle alone after the process is gone.
+// See examples/observability for the end-to-end drill.
 //
 // # Hot-path performance
 //

@@ -77,11 +77,22 @@ func CollectBench(scale Scale) (*BenchBaseline, error) {
 	for _, proto := range benchProtocols {
 		for _, shards := range []int{1, 4} {
 			// The observer's audit stream counts every consensus-path
-			// attested access across the shared kernel.
+			// attested access across the shared kernel. The exporter and
+			// rules engine run alongside it so the baseline measures the
+			// full operator surface; a clean run must fire zero alerts.
 			o := obs.New(obs.Config{})
+			rules := obs.NewRules(o, obs.RulesConfig{})
 			res, err := ShardScalingPointObserved(proto, shards, scale, o)
 			if err != nil {
 				return nil, fmt.Errorf("bench shard %s/S=%d: %w", proto, shards, err)
+			}
+			rules.Evaluate()
+			if alerts := rules.Alerts(); len(alerts) != 0 {
+				return nil, fmt.Errorf("bench shard %s/S=%d: %d alerts on a clean baseline (first: %s)",
+					proto, shards, len(alerts), alerts[0].Message)
+			}
+			if ex := (&obs.Exporter{O: o, Rules: rules}).Snapshot(); ex.Schema != obs.ExportSchema {
+				return nil, fmt.Errorf("bench shard %s/S=%d: export schema %q", proto, shards, ex.Schema)
 			}
 			b.Entries = append(b.Entries, BenchEntry{
 				Experiment: "shard", Protocol: proto, Shards: shards,

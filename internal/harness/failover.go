@@ -98,7 +98,8 @@ func FigFailoverPoint(protocol string, shards int, scale Scale) (FailoverPoint, 
 		// so a dead primary is suspected within the window.
 		groups[g].Policy.RetryTimeout = failoverClientRetry
 	}
-	mc := sim.NewMultiCluster(sim.MultiConfig{Seed: master, Groups: groups})
+	dump := beginObsRun(fmt.Sprintf("failover %s S=%d", protocol, shards))
+	mc := sim.NewMultiCluster(sim.MultiConfig{Seed: master, Groups: groups, Obs: dump.observer()})
 	d := mc.AttachFailoverDriver(sim.FailoverDriverConfig{
 		Group:              0,
 		To:                 1,
@@ -109,6 +110,7 @@ func FigFailoverPoint(protocol string, shards int, scale Scale) (FailoverPoint, 
 		Seed:               sim.SubSeed(master, 1<<22),
 	})
 	per := mc.Run(opts.Warmup, opts.Measure)
+	dump.finish()
 	agg := shard.Aggregate(per)
 	p := FailoverPoint{
 		Protocol:        protocol,

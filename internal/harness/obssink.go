@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"sync"
+
+	"flexitrust/internal/obs"
+)
+
+// Obs-dump support for benchrunner's -obs-dump flag: when enabled, each
+// shared-kernel experiment run (shard, txn, rebalance, failover, qc)
+// attaches a fresh observer (with the rules engine evaluated once at the
+// end of the run) and contributes one flexitrust-obs/v1 Export to the
+// sink. A fresh observer per kernel matters: re-using one across runs
+// would raise false counter-regression alarms when the next kernel's
+// hosts restart from low counter values.
+var obsDumpSink struct {
+	mu      sync.Mutex
+	enabled bool
+	exports []obs.Export
+}
+
+// EnableObsDump arms the sink; subsequent shared-kernel experiment runs
+// record their observability exports.
+func EnableObsDump() {
+	obsDumpSink.mu.Lock()
+	obsDumpSink.enabled = true
+	obsDumpSink.mu.Unlock()
+}
+
+// TakeObsDumps returns and clears the accumulated exports.
+func TakeObsDumps() []obs.Export {
+	obsDumpSink.mu.Lock()
+	defer obsDumpSink.mu.Unlock()
+	out := obsDumpSink.exports
+	obsDumpSink.exports = nil
+	return out
+}
+
+// obsRun is one experiment run's dump handle. A nil *obsRun (sink
+// disabled) no-ops everywhere, so call sites stay unconditional.
+type obsRun struct {
+	label string
+	o     *obs.Observer
+	rules *obs.Rules
+}
+
+// beginObsRun hands out a fresh observer (plus rules engine) for one
+// kernel when the sink is armed, nil otherwise.
+func beginObsRun(label string) *obsRun {
+	obsDumpSink.mu.Lock()
+	on := obsDumpSink.enabled
+	obsDumpSink.mu.Unlock()
+	if !on {
+		return nil
+	}
+	o := obs.New(obs.Config{})
+	return &obsRun{label: label, o: o, rules: obs.NewRules(o, obs.RulesConfig{})}
+}
+
+// observer returns the run's observer (nil when the sink is disabled —
+// exactly what sim.MultiConfig.Obs expects for "unobserved").
+func (r *obsRun) observer() *obs.Observer {
+	if r == nil {
+		return nil
+	}
+	return r.o
+}
+
+// finish evaluates the rules over the whole run (virtual-time window) and
+// appends the export to the sink.
+func (r *obsRun) finish() {
+	if r == nil {
+		return
+	}
+	r.rules.Evaluate()
+	ex := (&obs.Exporter{O: r.o, Rules: r.rules, Label: r.label}).Snapshot()
+	obsDumpSink.mu.Lock()
+	obsDumpSink.exports = append(obsDumpSink.exports, ex)
+	obsDumpSink.mu.Unlock()
+}

@@ -80,7 +80,8 @@ func FigRebalancePoint(protocol string, shards int, scale Scale) (RebalancePoint
 		}
 		groups[g] = GroupConfig(spec, o)
 	}
-	mc := sim.NewMultiCluster(sim.MultiConfig{Seed: master, Groups: groups})
+	dump := beginObsRun(fmt.Sprintf("rebalance %s S=%d", protocol, shards))
+	mc := sim.NewMultiCluster(sim.MultiConfig{Seed: master, Groups: groups, Obs: dump.observer()})
 	d := mc.AttachRebalanceDriver(sim.RebalanceDriverConfig{
 		From:               0,
 		To:                 1,
@@ -90,6 +91,7 @@ func FigRebalancePoint(protocol string, shards int, scale Scale) (RebalancePoint
 		Seed:               sim.SubSeed(master, 1<<21),
 	})
 	per := mc.Run(opts.Warmup, opts.Measure)
+	dump.finish()
 	agg := shard.Aggregate(per)
 	return RebalancePoint{
 		Protocol:        protocol,

@@ -111,8 +111,17 @@ func shardScalingGroupsTweaked(protocol string, shards int, scale Scale,
 		}
 		groups[g] = GroupConfig(spec, o)
 	}
+	var dump *obsRun
+	if o == nil {
+		// -obs-dump runs get their own observer; explicit observers (the
+		// bench baseline's) keep theirs.
+		dump = beginObsRun(fmt.Sprintf("shard %s S=%d", protocol, shards))
+		o = dump.observer()
+	}
 	mc := sim.NewMultiCluster(sim.MultiConfig{Seed: master, Groups: groups, Obs: o})
-	return mc.Run(opts.Warmup, opts.Measure), nil
+	res := mc.Run(opts.Warmup, opts.Measure)
+	dump.finish()
+	return res, nil
 }
 
 // FigShardScaling sweeps the shard count for the FlexiTrust protocols

@@ -106,7 +106,8 @@ func TxnScalingPoint(protocol string, shards int, fraction float64, scale Scale)
 		}
 		groups[g] = GroupConfig(spec, o)
 	}
-	mc := sim.NewMultiCluster(sim.MultiConfig{Seed: master, Groups: groups})
+	dump := beginObsRun(fmt.Sprintf("txn %s S=%d mix=%.0f%%", protocol, shards, fraction*100))
+	mc := sim.NewMultiCluster(sim.MultiConfig{Seed: master, Groups: groups, Obs: dump.observer()})
 	d := mc.AttachTxnDriver(sim.TxnDriverConfig{
 		Coordinators:       txnScalingCoordinators,
 		MultiShardFraction: fraction,
@@ -114,6 +115,7 @@ func TxnScalingPoint(protocol string, shards int, fraction float64, scale Scale)
 		Seed:               sim.SubSeed(master, 1<<20),
 	})
 	per := mc.Run(opts.Warmup, opts.Measure)
+	dump.finish()
 	agg := shard.Aggregate(per)
 	return TxnPoint{
 		Protocol:        protocol,

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Post-mortem flight recorder: a bounded ring of recent metrics snapshots
+// plus, on demand, a full export of every observability stream serialized
+// to disk. The rules engine writes a bundle when an alert fires; the
+// runtime writes one when a replica panics or is stopped dirty. Each
+// bundle is self-contained — the journal suffix, audit records, retained
+// traces, and the metrics-history ring all land in one JSON document, so
+// a Stalled-group incident is diagnosable after the process is gone.
+
+// FlightSchema versions the bundle document.
+const FlightSchema = "flexitrust-flight/v1"
+
+// DefaultFlightHistory is the metrics-history ring capacity.
+const DefaultFlightHistory = 8
+
+// FlightRecord is one persisted post-mortem bundle.
+type FlightRecord struct {
+	Schema string `json:"schema"`
+	// Reason names the trigger: "alert-<rule>", "panic", "shutdown",
+	// "dirty-stop".
+	Reason string `json:"reason"`
+	AtNs   int64  `json:"at_ns"`
+	// Export is the full observability snapshot at write time.
+	Export Export `json:"export"`
+	// MetricsHistory holds the recent per-evaluation metrics snapshots,
+	// oldest first — the trend leading up to the incident.
+	MetricsHistory []MetricsSnapshot `json:"metrics_history,omitempty"`
+}
+
+// FlightRecorder accumulates history and writes bundles. Build with
+// NewFlightRecorder; a nil *FlightRecorder no-ops everywhere.
+type FlightRecorder struct {
+	ex  *Exporter
+	dir string
+
+	mu      sync.Mutex
+	history []MetricsSnapshot
+	histCap int
+	seq     int
+	written []string
+	lastErr error
+}
+
+// NewFlightRecorder builds a recorder writing bundles under dir via the
+// exporter's snapshots. Returns nil when dir is empty or ex is nil.
+func NewFlightRecorder(ex *Exporter, dir string) *FlightRecorder {
+	if ex == nil || dir == "" {
+		return nil
+	}
+	return &FlightRecorder{ex: ex, dir: dir, histCap: DefaultFlightHistory}
+}
+
+// NoteMetrics appends one metrics snapshot to the bounded history ring
+// (called by the rules engine on every evaluation).
+func (f *FlightRecorder) NoteMetrics(snap MetricsSnapshot) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.history = append(f.history, snap)
+	if len(f.history) > f.histCap {
+		f.history = f.history[len(f.history)-f.histCap:]
+	}
+}
+
+// Record builds (but does not persist) a bundle for the given reason.
+func (f *FlightRecorder) Record(reason string) FlightRecord {
+	if f == nil {
+		return FlightRecord{Schema: FlightSchema, Reason: reason}
+	}
+	ex := f.ex.Snapshot()
+	f.mu.Lock()
+	hist := append([]MetricsSnapshot(nil), f.history...)
+	f.mu.Unlock()
+	return FlightRecord{
+		Schema:         FlightSchema,
+		Reason:         reason,
+		AtNs:           ex.AtNs,
+		Export:         ex,
+		MetricsHistory: hist,
+	}
+}
+
+// Write persists a bundle and returns its path. Write failures are
+// remembered (LastErr) but never panic — the recorder runs on failure
+// paths where a second fault must not mask the first.
+func (f *FlightRecorder) Write(reason string) (string, error) {
+	if f == nil {
+		return "", nil
+	}
+	rec := f.Record(reason)
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err == nil {
+		err = os.MkdirAll(f.dir, 0o755)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seq++
+	path := filepath.Join(f.dir, fmt.Sprintf("flight-%04d-%s.json", f.seq, sanitizeReason(reason)))
+	if err == nil {
+		err = os.WriteFile(path, data, 0o644)
+	}
+	if err != nil {
+		f.lastErr = err
+		return "", err
+	}
+	f.written = append(f.written, path)
+	return path, nil
+}
+
+// Written returns the paths of bundles persisted so far.
+func (f *FlightRecorder) Written() []string {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.written...)
+}
+
+// LastErr returns the most recent write failure, if any.
+func (f *FlightRecorder) LastErr() error {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lastErr
+}
+
+// sanitizeReason maps a trigger reason onto a filename-safe slug.
+func sanitizeReason(reason string) string {
+	out := make([]byte, 0, len(reason))
+	for i := 0; i < len(reason) && len(out) < 40; i++ {
+		c := reason[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '-')
+		}
+	}
+	if len(out) == 0 {
+		return "bundle"
+	}
+	return string(out)
+}

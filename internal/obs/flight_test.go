@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFlightAlertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	now := new(time.Duration)
+	o := New(Config{SampleRate: 1, Clock: func() time.Duration { return *now }})
+	ex := &Exporter{O: o, Label: "flight-test"}
+	fr := NewFlightRecorder(ex, dir)
+	r := NewRules(o, RulesConfig{Flight: fr})
+	ex.Rules = r
+
+	// Evidence first (an attested access, then the stall transition), so
+	// the bundle's journal suffix is causally ordered before the alert.
+	o.Audit().Access(AccessRecord{Host: 1, Namespace: 3, Counter: 1, Epoch: 1, Value: 7})
+	*now = 5 * time.Millisecond
+	o.Journal().Record(EventHealthTransition, 1, "%s",
+		HealthTransitionDetail(fakeState("view-changing"), fakeState("stalled")))
+
+	*now = 10 * time.Millisecond
+	fired := r.Evaluate()
+	if len(fired) != 1 || fired[0].Rule != RuleStall {
+		t.Fatalf("fired %+v", fired)
+	}
+	written := fr.Written()
+	if len(written) != 1 {
+		t.Fatalf("written %v (lastErr %v)", written, fr.LastErr())
+	}
+	if base := filepath.Base(written[0]); base != "flight-0001-alert-stall.json" {
+		t.Fatalf("bundle name %q", base)
+	}
+
+	data, err := os.ReadFile(written[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec FlightRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("bundle does not parse: %v", err)
+	}
+	if rec.Schema != FlightSchema || rec.Reason != "alert-stall" {
+		t.Fatalf("schema %q reason %q", rec.Schema, rec.Reason)
+	}
+	if rec.Export.Schema != ExportSchema {
+		t.Fatalf("embedded export schema %q", rec.Export.Schema)
+	}
+	if rec.Export.Audit.Accesses != 1 {
+		t.Fatalf("audit evidence missing: %+v", rec.Export.Audit)
+	}
+	if len(rec.Export.Alerts.Records) != 1 || rec.Export.Alerts.Records[0].Rule != RuleStall {
+		t.Fatalf("alert missing from bundle: %+v", rec.Export.Alerts)
+	}
+	if len(rec.MetricsHistory) != 1 {
+		t.Fatalf("metrics history %d, want 1 evaluation", len(rec.MetricsHistory))
+	}
+	// The journal suffix tells the story in order: access seq < transition
+	// seq < alert seq, and the alert record carries the journal entry's seq.
+	evs := rec.Export.Journal.Events
+	var transition, alert *Event
+	for i := range evs {
+		switch evs[i].Kind {
+		case EventHealthTransition:
+			transition = &evs[i]
+		case EventAlert:
+			alert = &evs[i]
+		}
+	}
+	if transition == nil || alert == nil {
+		t.Fatalf("journal suffix incomplete: %+v", evs)
+	}
+	if !(rec.Export.Audit.Records[0].Seq < transition.Seq && transition.Seq < alert.Seq) {
+		t.Fatalf("causal order broken: access %d transition %d alert %d",
+			rec.Export.Audit.Records[0].Seq, transition.Seq, alert.Seq)
+	}
+	if alert.Seq != rec.Export.Alerts.Records[0].Seq {
+		t.Fatalf("journal/alert seq mismatch: %d vs %d", alert.Seq, rec.Export.Alerts.Records[0].Seq)
+	}
+	if !strings.HasSuffix(transition.Detail, stalledDetailSuffix) {
+		t.Fatalf("transition detail %q", transition.Detail)
+	}
+}
+
+func TestFlightHistoryBounded(t *testing.T) {
+	o := New(Config{})
+	fr := NewFlightRecorder(&Exporter{O: o}, t.TempDir())
+	for i := 0; i < DefaultFlightHistory+4; i++ {
+		fr.NoteMetrics(o.Metrics().Snapshot())
+	}
+	if got := len(fr.Record("probe").MetricsHistory); got != DefaultFlightHistory {
+		t.Fatalf("history %d, want %d", got, DefaultFlightHistory)
+	}
+}
+
+func TestFlightSequentialNames(t *testing.T) {
+	dir := t.TempDir()
+	o := New(Config{})
+	fr := NewFlightRecorder(&Exporter{O: o}, dir)
+	for _, reason := range []string{"panic", "shutdown", "weird reason/with:chars"} {
+		if _, err := fr.Write(reason); err != nil {
+			t.Fatal(err)
+		}
+	}
+	written := fr.Written()
+	if len(written) != 3 {
+		t.Fatalf("written %v", written)
+	}
+	want := []string{"flight-0001-panic.json", "flight-0002-shutdown.json",
+		"flight-0003-weird-reason-with-chars.json"}
+	for i, p := range written {
+		if filepath.Base(p) != want[i] {
+			t.Fatalf("bundle %d named %q, want %q", i, filepath.Base(p), want[i])
+		}
+	}
+}
+
+func TestFlightNil(t *testing.T) {
+	var fr *FlightRecorder
+	fr.NoteMetrics(MetricsSnapshot{})
+	if path, err := fr.Write("x"); path != "" || err != nil {
+		t.Fatalf("nil recorder wrote %q err %v", path, err)
+	}
+	if fr.Written() != nil || fr.LastErr() != nil {
+		t.Fatal("nil recorder leaked state")
+	}
+	if rec := fr.Record("x"); rec.Schema != FlightSchema {
+		t.Fatalf("nil recorder record %+v", rec)
+	}
+	if NewFlightRecorder(nil, "dir") != nil {
+		t.Fatal("nil exporter must disable the recorder")
+	}
+	if NewFlightRecorder(&Exporter{}, "") != nil {
+		t.Fatal("empty dir must disable the recorder")
+	}
+}

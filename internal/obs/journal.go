@@ -40,6 +40,10 @@ const (
 	// EventEvacuation is a failover orchestrator moving ranges off a
 	// degraded group.
 	EventEvacuation
+	// EventAlert is the rules engine firing an alert; the event's sequence
+	// number causally orders the alert against the evidence (audit records,
+	// health transitions) that triggered it.
+	EventAlert
 )
 
 func (k EventKind) String() string {
@@ -52,9 +56,24 @@ func (k EventKind) String() string {
 		return "epoch-flip"
 	case EventEvacuation:
 		return "evacuation"
+	case EventAlert:
+		return "alert"
 	}
 	return "unknown"
 }
+
+// HealthTransitionDetail formats a health-transition event's detail line.
+// The format is load-bearing: the rules engine's stall rule keys on the
+// "-> stalled" suffix, so the health monitor must journal transitions
+// through this helper rather than free-form text.
+func HealthTransitionDetail(from, to fmt.Stringer) string {
+	return fmt.Sprintf("health: %v -> %v", from, to)
+}
+
+// stalledDetailSuffix is what HealthTransitionDetail produces for a
+// transition into the stalled state (shard.Stalled stringifies as
+// "stalled").
+const stalledDetailSuffix = "-> stalled"
 
 // Event is one control-plane occurrence.
 type Event struct {
@@ -77,6 +96,21 @@ func (j *Journal) Record(kind EventKind, group int, format string, args ...any) 
 	defer j.mu.Unlock()
 	ev := Event{Seq: j.o.nextSeq(), At: j.o.Now(), Kind: kind, Group: group,
 		Detail: fmt.Sprintf(format, args...)}
+	j.appendLocked(ev)
+}
+
+// append appends a pre-stamped event — the rules engine draws the causal
+// sequence itself so the journal entry and the Alert record share one Seq.
+func (j *Journal) append(ev Event) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.appendLocked(ev)
+}
+
+func (j *Journal) appendLocked(ev Event) {
 	j.total++
 	if j.n < len(j.ring) {
 		j.ring[(j.head+j.n)%len(j.ring)] = ev

@@ -114,6 +114,16 @@ func (o *Observer) Now() time.Duration {
 // nextSeq returns the next value of the shared causal sequence.
 func (o *Observer) nextSeq() uint64 { return o.seq.Add(1) }
 
+// Seq returns the high-water mark of the shared causal sequence — the Seq
+// of the most recently stamped audit/journal record. Zero on a nil
+// Observer.
+func (o *Observer) Seq() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.seq.Load()
+}
+
 // Tracer returns the request-tracing surface (nil on a nil Observer; a
 // nil Tracer's methods are no-ops and StartTrace returns a nil Span).
 func (o *Observer) Tracer() *Tracer {

@@ -326,6 +326,7 @@ func (h *Histogram) Max() int64 {
 // HistogramStats is one histogram's exported summary.
 type HistogramStats struct {
 	Count uint64 `json:"count"`
+	Sum   int64  `json:"sum"`
 	Mean  int64  `json:"mean"`
 	Min   int64  `json:"min"`
 	Max   int64  `json:"max"`
@@ -360,7 +361,7 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 	for name, h := range r.histograms {
 		h.mu.Lock()
 		snap.Histograms[name] = HistogramStats{
-			Count: h.count, Mean: 0, Min: h.min, Max: h.max,
+			Count: h.count, Sum: h.sum, Mean: 0, Min: h.min, Max: h.max,
 			P50: h.quantileLocked(50), P99: h.quantileLocked(99),
 		}
 		if h.count > 0 {
@@ -371,6 +372,34 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 		h.mu.Unlock()
 	}
 	return snap
+}
+
+// bucketsSnapshot copies the histogram's raw bucket array and total count
+// so the rules engine can compute windowed quantiles from deltas between
+// two snapshots.
+func (h *Histogram) bucketsSnapshot() (buckets [histBuckets]uint64, count uint64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.buckets, h.count
+}
+
+// histogramNames returns the registered histogram names, sorted, so the
+// rules engine enumerates per-group instruments deterministically.
+func (r *Registry) histogramNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.histograms))
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // JSON renders the snapshot as JSON.

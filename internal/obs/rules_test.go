@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeState stands in for shard.GroupState (obs cannot import shard).
+type fakeState string
+
+func (s fakeState) String() string { return string(s) }
+
+// newTestRules builds a manual-clock observer + engine for one test.
+func newTestRules(cfg RulesConfig) (*Rules, *Observer, *time.Duration) {
+	now := new(time.Duration)
+	o := New(Config{
+		SampleRate: 1, JournalBuffer: 32, AuditBuffer: 32,
+		Clock: func() time.Duration { return *now },
+	})
+	return NewRules(o, cfg), o, now
+}
+
+func TestRulesStall(t *testing.T) {
+	r, o, now := newTestRules(RulesConfig{})
+	*now = 10 * time.Millisecond
+	o.Journal().Record(EventHealthTransition, 2, "%s",
+		HealthTransitionDetail(fakeState("view-changing"), fakeState("stalled")))
+
+	*now = 20 * time.Millisecond
+	fired := r.Evaluate()
+	if len(fired) != 1 || fired[0].Rule != RuleStall || fired[0].Group != 2 {
+		t.Fatalf("want one stall alert for group 2, got %+v", fired)
+	}
+	// The alert's journal entry shares its causal sequence number, and the
+	// journal suffix reads: health transition first, alert after.
+	events := o.Journal().Events()
+	var alertEv *Event
+	for i := range events {
+		if events[i].Kind == EventAlert {
+			alertEv = &events[i]
+		}
+	}
+	if alertEv == nil {
+		t.Fatal("alert not journaled")
+	}
+	if alertEv.Seq != fired[0].Seq {
+		t.Fatalf("journal seq %d != alert seq %d", alertEv.Seq, fired[0].Seq)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("journal seqs not increasing: %d then %d", events[i-1].Seq, events[i].Seq)
+		}
+	}
+	if events[len(events)-1].Kind != EventAlert {
+		t.Fatalf("alert must follow its evidence, got trailing %v", events[len(events)-1].Kind)
+	}
+
+	// A stall fires once per transition event, not once per evaluation.
+	*now = 30 * time.Millisecond
+	if again := r.Evaluate(); len(again) != 0 {
+		t.Fatalf("stall re-fired without a new transition: %+v", again)
+	}
+}
+
+func TestRulesErrorBurn(t *testing.T) {
+	r, o, now := newTestRules(RulesConfig{})
+	o.Metrics().Counter(MDegradedErrors).Add(3)
+	o.Metrics().Counter(MUnroutableErrors).Add(2)
+	*now = 1 * time.Second
+	fired := r.Evaluate()
+	if len(fired) != 1 || fired[0].Rule != RuleErrorBurn {
+		t.Fatalf("want one error-burn alert, got %+v", fired)
+	}
+	if fired[0].Value != 5 {
+		t.Fatalf("rate %v, want 5/s", fired[0].Value)
+	}
+	// Quiet window: no new errors, no alert.
+	*now = 2 * time.Second
+	if again := r.Evaluate(); len(again) != 0 {
+		t.Fatalf("error burn re-fired on a quiet window: %+v", again)
+	}
+
+	// A sub-budget trickle stays silent.
+	slow, o2, now2 := newTestRules(RulesConfig{ErrorRatePerSec: 10})
+	o2.Metrics().Counter(MDegradedErrors).Add(5)
+	*now2 = 1 * time.Second
+	if fired := slow.Evaluate(); len(fired) != 0 {
+		t.Fatalf("5/s under a 10/s budget must not alert: %+v", fired)
+	}
+
+	// Negative budget disables the rule outright.
+	off, o3, now3 := newTestRules(RulesConfig{ErrorRatePerSec: -1})
+	o3.Metrics().Counter(MUnroutableErrors).Add(1000)
+	*now3 = 1 * time.Second
+	if fired := off.Evaluate(); len(fired) != 0 {
+		t.Fatalf("disabled error-burn rule fired: %+v", fired)
+	}
+}
+
+func TestRulesLatencyP99(t *testing.T) {
+	r, o, now := newTestRules(RulesConfig{LatencyP99: time.Millisecond})
+	h := o.Metrics().Histogram(GroupLabel(MShardOpLatency, 1))
+	for i := 0; i < 100; i++ {
+		h.Observe((5 * time.Millisecond).Nanoseconds())
+	}
+	*now = 1 * time.Second
+	fired := r.Evaluate()
+	if len(fired) != 1 || fired[0].Rule != RuleLatencyP99 || fired[0].Group != 1 {
+		t.Fatalf("want one latency alert for group 1, got %+v", fired)
+	}
+	if time.Duration(fired[0].Value) < time.Millisecond {
+		t.Fatalf("measured p99 %v under the threshold it fired on", time.Duration(fired[0].Value))
+	}
+	// No new samples in the next window: the rule is windowed, not
+	// lifetime, so it must go quiet.
+	*now = 2 * time.Second
+	if again := r.Evaluate(); len(again) != 0 {
+		t.Fatalf("latency alert re-fired with zero window samples: %+v", again)
+	}
+	// A fast window after a slow one stays quiet too.
+	for i := 0; i < 100; i++ {
+		h.Observe((10 * time.Microsecond).Nanoseconds())
+	}
+	*now = 3 * time.Second
+	if again := r.Evaluate(); len(again) != 0 {
+		t.Fatalf("fast window alerted on stale slow samples: %+v", again)
+	}
+}
+
+func TestRulesFlapping(t *testing.T) {
+	r, o, now := newTestRules(RulesConfig{})
+	o.Metrics().Counter(GroupLabel(MHealthTransitions, 3)).Add(4)
+	*now = 1 * time.Second
+	fired := r.Evaluate()
+	if len(fired) != 1 || fired[0].Rule != RuleFlapping || fired[0].Group != 3 {
+		t.Fatalf("want one flapping alert for group 3, got %+v", fired)
+	}
+	// Three transitions in the next window: under the threshold.
+	o.Metrics().Counter(GroupLabel(MHealthTransitions, 3)).Add(3)
+	*now = 2 * time.Second
+	if again := r.Evaluate(); len(again) != 0 {
+		t.Fatalf("flapping fired under threshold: %+v", again)
+	}
+}
+
+func TestRulesVerifySaturation(t *testing.T) {
+	r, o, now := newTestRules(RulesConfig{})
+	o.Metrics().Gauge(MVerifyPoolDepth).Set(DefaultVerifyPoolDepth)
+	*now = 1 * time.Second
+	fired := r.Evaluate()
+	if len(fired) != 1 || fired[0].Rule != RuleVerifySaturation {
+		t.Fatalf("want one saturation alert, got %+v", fired)
+	}
+	o.Metrics().Gauge(MVerifyPoolDepth).Set(1)
+	*now = 2 * time.Second
+	if again := r.Evaluate(); len(again) != 0 {
+		t.Fatalf("saturation fired on a drained pool: %+v", again)
+	}
+}
+
+func TestRulesAlertRingEviction(t *testing.T) {
+	r, o, now := newTestRules(RulesConfig{AlertBuffer: 2})
+	for i := 0; i < 3; i++ {
+		*now += 10 * time.Millisecond
+		o.Journal().Record(EventHealthTransition, i, "%s",
+			HealthTransitionDetail(fakeState("healthy"), fakeState("stalled")))
+		if fired := r.Evaluate(); len(fired) != 1 {
+			t.Fatalf("round %d: %+v", i, fired)
+		}
+	}
+	alerts := r.Alerts()
+	if len(alerts) != 2 || r.Total() != 3 {
+		t.Fatalf("retained %d total %d, want 2/3", len(alerts), r.Total())
+	}
+	// Oldest evicted: the survivors are the group-1 and group-2 alerts.
+	if alerts[0].Group != 1 || alerts[1].Group != 2 {
+		t.Fatalf("wrong survivors: %+v", alerts)
+	}
+}
+
+func TestRulesOnAlertCallback(t *testing.T) {
+	var got []Alert
+	r, o, now := newTestRules(RulesConfig{OnAlert: func(a Alert) { got = append(got, a) }})
+	o.Journal().Record(EventHealthTransition, 0, "%s",
+		HealthTransitionDetail(fakeState("healthy"), fakeState("stalled")))
+	*now = 1 * time.Second
+	r.Evaluate()
+	if len(got) != 1 || got[0].Rule != RuleStall {
+		t.Fatalf("callback saw %+v", got)
+	}
+	if !strings.Contains(got[0].Message, "stalled") {
+		t.Fatalf("message %q", got[0].Message)
+	}
+}
+
+func TestRulesCleanPathSilent(t *testing.T) {
+	// A busy but healthy window — traffic, latency samples, benign health
+	// churn below the flap threshold — must produce zero alerts.
+	r, o, now := newTestRules(RulesConfig{})
+	m := o.Metrics()
+	for i := 0; i < 1000; i++ {
+		m.Histogram(GroupLabel(MShardOpLatency, 0)).Observe(int64(i) * 1000)
+	}
+	m.Counter(MRouteRetries).Add(50)
+	m.Counter(GroupLabel(MHealthTransitions, 0)).Add(2)
+	m.Gauge(MVerifyPoolDepth).Set(3)
+	o.Journal().Record(EventViewChange, 0, "view 1 -> 2")
+	o.Journal().Record(EventHealthTransition, 0, "%s",
+		HealthTransitionDetail(fakeState("view-changing"), fakeState("healthy")))
+	*now = 1 * time.Second
+	if fired := r.Evaluate(); len(fired) != 0 {
+		t.Fatalf("clean path fired %+v", fired)
+	}
+}
+
+func TestRulesNil(t *testing.T) {
+	var r *Rules
+	if r.Evaluate() != nil || r.Alerts() != nil || r.Total() != 0 {
+		t.Fatal("nil rules must no-op")
+	}
+	r.Start(time.Millisecond)
+	r.Stop()
+	if NewRules(nil, RulesConfig{}) != nil {
+		t.Fatal("NewRules(nil) must return the disabled engine")
+	}
+}
+
+func TestRulesStartStop(t *testing.T) {
+	o := New(Config{})
+	r := NewRules(o, RulesConfig{})
+	r.Start(time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	r.Stop()
+	r.Stop() // idempotent
+	if n := len(r.Alerts()); n != 0 {
+		t.Fatalf("idle ticker fired %d alerts", n)
+	}
+}

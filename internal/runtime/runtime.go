@@ -44,6 +44,10 @@ type NodeConfig struct {
 	Records int
 	// Verbose enables protocol logging.
 	Verbose bool
+	// OnPanic, when set, is called with the recovered value if the node's
+	// event goroutine panics, before the panic is re-raised — the hook for
+	// flushing a post-mortem flight record while the process still can.
+	OnPanic func(any)
 }
 
 // Node is a running replica.
@@ -112,6 +116,14 @@ func NewNode(cfg NodeConfig) *Node {
 // loop is the single event goroutine.
 func (n *Node) loop() {
 	defer n.wg.Done()
+	if n.cfg.OnPanic != nil {
+		defer func() {
+			if r := recover(); r != nil {
+				n.cfg.OnPanic(r)
+				panic(r)
+			}
+		}()
+	}
 	for {
 		select {
 		case fn := <-n.events:

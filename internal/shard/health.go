@@ -210,8 +210,10 @@ func (m *HealthMonitor) sample(force bool) []GroupHealth {
 	m.sampledAt = now
 	m.mu.Unlock()
 	for _, t := range transitions {
+		// The detail format is recognized by the rules engine's stall rule,
+		// so it goes through the obs helper rather than free-form text.
 		m.c.obs.Journal().Record(obs.EventHealthTransition, t.group,
-			"health: %v -> %v", t.from, t.to)
+			"%s", obs.HealthTransitionDetail(t.from, t.to))
 		m.c.obs.Metrics().Counter(obs.GroupLabel(obs.MHealthTransitions, t.group)).Inc()
 	}
 	return out

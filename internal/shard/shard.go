@@ -91,6 +91,21 @@ type Config struct {
 	// attested counter access on every replica and on the coordinator
 	// component, and control-plane journal events. Nil disables it.
 	Obs *obs.Observer
+	// RulesEnabled attaches the SLO alert-rules engine to Obs (requires
+	// Obs). The cluster then runs a watch loop every RulesEvery that
+	// samples group health and evaluates the rules, so stalls are detected
+	// even with no client traffic driving the monitor.
+	RulesEnabled bool
+	// Rules tunes the engine (zero values take obs defaults). OnAlert and
+	// Flight may be pre-set by the caller; the cluster fills Flight itself
+	// when FlightDir is set.
+	Rules obs.RulesConfig
+	// RulesEvery is the watch-loop period (default obs.DefaultEvalEvery).
+	RulesEvery time.Duration
+	// FlightDir, when set (with RulesEnabled), arms the post-mortem flight
+	// recorder: alert firings and dirty stops write a
+	// flexitrust-flight/v1 bundle into this directory.
+	FlightDir string
 }
 
 // Cluster is a running sharded deployment.
@@ -98,6 +113,17 @@ type Cluster struct {
 	groups []*Group
 	mon    *HealthMonitor
 	obs    *obs.Observer
+
+	// Operator surface: the exporter renders the observer (plus per-shard
+	// stats) for scrapes; the rules engine and flight recorder exist only
+	// when Config.RulesEnabled armed them. watchStop ends the health-sample
+	// + rules-evaluate loop; stopOnce makes Stop idempotent.
+	exporter  *obs.Exporter
+	rules     *obs.Rules
+	flight    *obs.FlightRecorder
+	watchStop chan struct{}
+	watchWG   sync.WaitGroup
+	stopOnce  sync.Once
 
 	// Placement state: the installed epoch-versioned ownership map plus
 	// the proposals in-flight handoffs registered (in-doubt resolution
@@ -177,7 +203,97 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.groups = append(c.groups, g)
 	}
 	c.mon = newHealthMonitor(c, cfg.Health, cfg.Group.Engine.ViewChangeTimeout)
+	c.exporter = &obs.Exporter{O: cfg.Obs, Shards: c.shardExports, Healthy: c.healthyNow}
+	if cfg.RulesEnabled && cfg.Obs != nil {
+		rc := cfg.Rules
+		if cfg.FlightDir != "" {
+			c.flight = obs.NewFlightRecorder(c.exporter, cfg.FlightDir)
+			rc.Flight = c.flight
+		}
+		c.rules = obs.NewRules(cfg.Obs, rc)
+		c.exporter.Rules = c.rules
+		every := cfg.RulesEvery
+		if every <= 0 {
+			every = obs.DefaultEvalEvery
+		}
+		c.watchStop = make(chan struct{})
+		c.watchWG.Add(1)
+		go c.watch(every)
+	}
 	return c, nil
+}
+
+// watch is the cluster's detection loop: each tick samples group health
+// (so a stalled group is journaled even when no client traffic consults
+// the monitor) and evaluates the alert rules over the new window.
+func (c *Cluster) watch(every time.Duration) {
+	defer c.watchWG.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.watchStop:
+			return
+		case <-t.C:
+			c.mon.sample(false)
+			c.rules.Evaluate()
+		}
+	}
+}
+
+// healthyNow reports whether no group is currently classified Stalled —
+// the exporter's /healthz liveness hook.
+func (c *Cluster) healthyNow() bool {
+	for _, h := range c.mon.sample(false) {
+		if h.State == GroupStalled {
+			return false
+		}
+	}
+	return true
+}
+
+// Exporter returns the cluster's export surface (serve its Handler for
+// the admin endpoints).
+func (c *Cluster) Exporter() *obs.Exporter { return c.exporter }
+
+// Rules returns the alert-rules engine (nil unless Config.RulesEnabled).
+func (c *Cluster) Rules() *obs.Rules { return c.rules }
+
+// Flight returns the flight recorder (nil unless Config.FlightDir armed it).
+func (c *Cluster) Flight() *obs.FlightRecorder { return c.flight }
+
+// ObserveSnapshot renders the whole cluster's observability state — the
+// observer's four streams, fired alerts, and per-shard consensus stats —
+// as one versioned flexitrust-obs/v1 document.
+func (c *Cluster) ObserveSnapshot() obs.Export { return c.exporter.Snapshot() }
+
+// shardExports adapts per-group stats (and the groups' metrics collectors'
+// truncation accounting) to the export schema.
+func (c *Cluster) shardExports() []obs.ShardExport {
+	health := c.mon.sample(false)
+	out := make([]obs.ShardExport, 0, len(c.groups))
+	for i, g := range c.groups {
+		st := g.Stats()
+		col := g.snapshotCollector()
+		se := obs.ShardExport{
+			Shard:          st.Shard,
+			Submitted:      st.Submitted,
+			Committed:      st.Committed,
+			Watermark:      uint64(st.Watermark),
+			MeanLatNs:      int64(st.MeanLat),
+			P99LatNs:       int64(st.P99Lat),
+			View:           uint64(st.View),
+			ViewChanges:    st.ViewChanges,
+			LatencySamples: col.SampledCount(),
+			DroppedSamples: col.Dropped(),
+			Truncated:      col.Truncated(),
+		}
+		if i < len(health) {
+			se.Health = health[i].State.String()
+		}
+		out = append(out, se)
+	}
+	return out
 }
 
 // Monitor returns the cluster's per-shard health monitor.
@@ -259,8 +375,23 @@ func (c *Cluster) Watermarks() ShardVector {
 	return v
 }
 
-// Stop halts every group.
+// Stop halts the watch loop and every group. If the run ends dirty —
+// alerts fired or audit alarms outstanding — an armed flight recorder
+// persists a final post-mortem bundle before the groups go down, while
+// their stats are still probeable. Idempotent.
 func (c *Cluster) Stop() {
+	c.stopOnce.Do(func() {
+		if c.watchStop != nil {
+			close(c.watchStop)
+			c.watchWG.Wait()
+		}
+		// One final evaluation catches anything that happened since the
+		// last tick (or everything, when no ticker ran).
+		c.rules.Evaluate()
+		if c.flight != nil && (c.rules.Total() > 0 || len(c.obs.Audit().Alarms()) > 0) {
+			c.flight.Write("dirty-stop")
+		}
+	})
 	for _, g := range c.groups {
 		if g != nil {
 			g.Stop()

@@ -1,0 +1,247 @@
+package flexitrust
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"flexitrust/internal/obs"
+)
+
+// TestOperatorSurface is the acceptance test for the operator surface: a
+// real sharded runtime with the rules engine and flight recorder armed
+// serves /metrics and /healthz cleanly under traffic with zero alerts and
+// zero audit alarms — then a primary crash drives a stall alert through
+// the watch loop with no client traffic at all, and the resulting
+// post-mortem bundle carries the causally-ordered evidence (audit
+// records, the health transition, the alert) in one document.
+func TestOperatorSurface(t *testing.T) {
+	flightDir := t.TempDir()
+	// The OnAlert callback runs on the cluster's watch-loop goroutine.
+	var alertMu sync.Mutex
+	var alerted []AlertRecord
+	alertCount := func() int {
+		alertMu.Lock()
+		defer alertMu.Unlock()
+		return len(alerted)
+	}
+	cluster, err := NewShardedCluster(ShardOptions{
+		Shards:            2,
+		Protocol:          FlexiBFT,
+		F:                 1,
+		Clients:           []ClientID{1},
+		BatchSize:         4,
+		Records:           1000,
+		ViewChangeTimeout: 150 * time.Millisecond,
+		ClientRetry:       200 * time.Millisecond,
+		StallTimeout:      300 * time.Millisecond,
+		Observe: ObserveOptions{
+			Enabled:    true,
+			SampleRate: 1.0,
+			Rules: RulesOptions{
+				Enabled:   true,
+				EvalEvery: 10 * time.Millisecond,
+				FlightDir: flightDir,
+				OnAlert: func(a AlertRecord) {
+					alertMu.Lock()
+					alerted = append(alerted, a)
+					alertMu.Unlock()
+				},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	sess := cluster.Session(1)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// Clean traffic across both shards, including one cross-shard
+	// transaction so the attested decision path is on the audit stream.
+	for k := uint64(0); k < 8; k++ {
+		if err := sess.Put(ctx, k, []byte(fmt.Sprintf("v%d", k))); err != nil {
+			t.Fatalf("put %d: %v", k, err)
+		}
+	}
+	txnKeys := map[int]uint64{}
+	for k := uint64(1000); len(txnKeys) < 2; k++ {
+		if _, ok := txnKeys[cluster.ShardFor(k)]; !ok {
+			txnKeys[cluster.ShardFor(k)] = k
+		}
+	}
+	if err := sess.MultiPut(ctx, map[uint64][]byte{
+		txnKeys[0]: []byte("txn-0"), txnKeys[1]: []byte("txn-1"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- Clean path: the admin surface under a live scrape. ---
+	srv := httptest.NewServer(cluster.ObserveHandler())
+	defer srv.Close()
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+
+	lineRE := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9]+(\.[0-9]+)?$`)
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("short exposition:\n%s", body)
+	}
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "# TYPE ") && !lineRE.MatchString(ln) {
+			t.Fatalf("malformed exposition line %q", ln)
+		}
+	}
+	if !strings.Contains(string(body), "flexitrust_obs_audit_alarms 0") {
+		t.Fatalf("clean run must expose zero alarms:\n%s", body)
+	}
+	if !strings.Contains(string(body), `flexitrust_shard_committed{shard="0"}`) ||
+		!strings.Contains(string(body), `flexitrust_shard_committed{shard="1"}`) {
+		t.Fatal("per-shard series missing from exposition")
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Fatalf("/healthz clean: %d %s", code, body)
+	}
+
+	code, body = get("/metrics?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics?format=json: %d", code)
+	}
+	var doc ObsExport
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("export does not parse: %v", err)
+	}
+	if doc.Schema != obs.ExportSchema {
+		t.Fatalf("schema %q", doc.Schema)
+	}
+	if len(doc.Shards) != 2 {
+		t.Fatalf("shards %+v", doc.Shards)
+	}
+	for _, sh := range doc.Shards {
+		if sh.Committed == 0 || sh.Health != "healthy" {
+			t.Fatalf("clean shard export %+v", sh)
+		}
+	}
+	if doc.Audit.Accesses == 0 || len(doc.Audit.Alarms) != 0 {
+		t.Fatalf("audit accounting %+v", doc.Audit)
+	}
+	// Exactly-one-attested-access invariants: the checker alarms on any
+	// violation, so zero alarms with decisions recorded is the proof.
+	if len(doc.Audit.Decisions) == 0 {
+		t.Fatal("cross-shard transaction minted no audit decision")
+	}
+	if len(cluster.Alerts()) != 0 || alertCount() != 0 {
+		t.Fatalf("false alarms on a clean run: %+v", cluster.Alerts())
+	}
+	if got := cluster.FlightRecords(); len(got) != 0 {
+		t.Fatalf("flight recorder fired on a clean run: %v", got)
+	}
+
+	// --- Induced incident: crash shard 0's primary and then send no
+	// traffic at all. The cluster watch loop alone must notice the group
+	// degrade to stalled, fire the alert and persist the bundle. ---
+	cluster.StopReplica(0, 0)
+
+	deadline := time.Now().Add(30 * time.Second)
+	var stall *AlertRecord
+	for time.Now().Before(deadline) && stall == nil {
+		for _, a := range cluster.Alerts() {
+			if a.Rule == obs.RuleStall && a.Group == 0 {
+				al := a
+				stall = &al
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if stall == nil {
+		t.Fatalf("no stall alert within deadline; alerts: %+v, health: %+v",
+			cluster.Alerts(), cluster.Health())
+	}
+
+	var bundles []string
+	for time.Now().Before(deadline) && len(bundles) == 0 {
+		bundles = cluster.FlightRecords()
+		time.Sleep(20 * time.Millisecond)
+	}
+	if len(bundles) == 0 {
+		t.Fatal("no flight record written after the stall alert")
+	}
+
+	data, err := os.ReadFile(bundles[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec FlightRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("bundle does not parse: %v", err)
+	}
+	if rec.Schema != obs.FlightSchema || !strings.HasPrefix(rec.Reason, "alert-") {
+		t.Fatalf("bundle schema %q reason %q", rec.Schema, rec.Reason)
+	}
+	if rec.Export.Audit.Accesses == 0 {
+		t.Fatal("bundle carries no audit evidence")
+	}
+	// The journal suffix must tell the story in causal order: a
+	// health transition into stalled, then the alert, with one shared
+	// sequence numbering both streams.
+	events := rec.Export.Journal.Events
+	transitionSeq, alertSeq := uint64(0), uint64(0)
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("journal seqs not increasing: %+v then %+v", events[i-1], events[i])
+		}
+	}
+	for _, ev := range events {
+		if ev.Kind == obs.EventHealthTransition && ev.Group == 0 &&
+			strings.HasSuffix(ev.Detail, "-> stalled") && transitionSeq == 0 {
+			transitionSeq = ev.Seq
+		}
+		if ev.Kind == obs.EventAlert && ev.Seq == stall.Seq {
+			alertSeq = ev.Seq
+		}
+	}
+	if transitionSeq == 0 || alertSeq == 0 || transitionSeq >= alertSeq {
+		t.Fatalf("causal evidence chain broken: transition seq %d, alert seq %d\n%+v",
+			transitionSeq, alertSeq, events)
+	}
+	found := false
+	for _, a := range rec.Export.Alerts.Records {
+		if a.Rule == obs.RuleStall && a.Group == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stall alert missing from bundle: %+v", rec.Export.Alerts)
+	}
+
+	// The degraded group flips /healthz to 503.
+	if code, body := get("/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz with a stalled shard: %d %s", code, body)
+	}
+	if alertCount() == 0 {
+		t.Fatal("OnAlert callback never fired")
+	}
+}

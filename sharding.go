@@ -176,7 +176,7 @@ func NewShardedCluster(opts ShardOptions) (*ShardedCluster, error) {
 			TraceBuffer: opts.Observe.TraceBuffer,
 		})
 	}
-	inner, err := shard.NewCluster(shard.Config{
+	scfg := shard.Config{
 		Shards: opts.Shards,
 		Group: runtime.ClusterConfig{
 			N: n, F: opts.F,
@@ -192,7 +192,18 @@ func NewShardedCluster(opts ShardOptions) (*ShardedCluster, error) {
 		},
 		Health: shard.HealthConfig{StallAfter: opts.StallTimeout},
 		Obs:    observer,
-	})
+	}
+	if opts.Observe.Enabled && opts.Observe.Rules.Enabled {
+		scfg.RulesEnabled = true
+		scfg.RulesEvery = opts.Observe.Rules.EvalEvery
+		scfg.FlightDir = opts.Observe.Rules.FlightDir
+		scfg.Rules = obs.RulesConfig{
+			ErrorRatePerSec: opts.Observe.Rules.ErrorRatePerSec,
+			LatencyP99:      opts.Observe.Rules.LatencyP99SLO,
+			OnAlert:         opts.Observe.Rules.OnAlert,
+		}
+	}
+	inner, err := shard.NewCluster(scfg)
 	if err != nil {
 		return nil, err
 	}
