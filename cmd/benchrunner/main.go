@@ -12,7 +12,7 @@
 //	benchrunner -list
 //
 // Experiments: fig1, fig5, fig6i, fig6ii, fig6iv, fig6vi, fig7, fig8, fig9,
-// shard, txn, rebalance, failover, qc.
+// shard, txn, rebalance, failover, qc, reads.
 //
 // Profiling: -cpuprofile / -memprofile write pprof data covering whatever
 // the invocation runs (experiments or the baseline matrix), e.g.
@@ -75,6 +75,8 @@ func experiments() []experiment {
 			func(s harness.Scale) string { return harness.FigFailover(shardCounts, s) }},
 		{"qc", "aggregated quorum certificates + off-thread verification A/B, QC on vs off at 1 and 4 shards",
 			func(s harness.Scale) string { return harness.FigQC(shardCounts, s).String() }},
+		{"reads", "leased linearizable reads A/B under a read-heavy mix, lease on vs off at 1 and 4 shards",
+			func(s harness.Scale) string { return harness.FigReadLease(shardCounts, s).String() }},
 	}
 }
 
@@ -99,7 +101,7 @@ func main() {
 	full := flag.Bool("full", false, "publication-scale windows (slower)")
 	scaleFlag := flag.Int("scale", 4, "window divisor for quick runs (ignored with -full; larger = shorter)")
 	mode := flag.String("mode", "shared", "shard-experiment simulation mode: 'shared' runs all groups in one kernel (the analytic 'merged' mode was removed)")
-	shards := flag.String("shards", "", "comma-separated shard counts for -exp shard / txn / rebalance / failover (defaults 1,2,4,8 / 4 / 4 / 4)")
+	shards := flag.String("shards", "", "comma-separated shard counts for -exp shard / txn / rebalance / failover / reads (defaults 1,2,4,8 / 4 / 4 / 4 / 1,4)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	benchOut := flag.String("bench-out", "", "run the BENCH baseline matrix at -scale and write flexitrust-bench/v1 JSON to this path ('-' = stdout)")
 	benchValidate := flag.String("bench-validate", "", "validate an existing flexitrust-bench/v1 baseline file and exit")

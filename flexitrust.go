@@ -282,6 +282,45 @@
 // shard is diagnosable from the bundle alone after the process is gone.
 // See examples/observability for the end-to-end drill.
 //
+// # Leased reads
+//
+// A linearizable single-key read normally costs a full consensus round.
+// With ShardOptions.ReadLease on (opt-in), each group's primary serves
+// them locally under a read lease — a committed operation, not a
+// side-channel. The grant rides the group's own consensus: OpLeaseGrant
+// bumps a replicated, monotone lease epoch in the store, and the executing
+// primary binds the grant to the group's trusted counter with one AppendF
+// access over H(namespace ‖ view ‖ epoch ‖ duration), whose attestation it
+// returns with every leased reply. A read carries a fence — the client's
+// observed commit watermark — and the primary answers from its committed
+// read view only at or above that fence. The client accepts a reply only
+// when it binds the exact lease it saw granted (replica, view, epoch, a
+// verified grant attestation — checked once per epoch, not per read) and
+// its watermark covers the fence; anything else falls back to a consensus
+// read of the same key, transparently.
+//
+// Revocation is deterministic, not clock-dependent: entering a view change
+// revokes locally on every replica; a committed OpLeaseRevoke or a
+// rebalance's range freeze deactivates the replicated lease state, which
+// every replica's execute loop enforces; and a placement epoch flip
+// invalidates the client-side binding. The expiry clock (LeaseDuration,
+// shortened client-side by LeaseSafetyMargin) only bounds how long a
+// partitioned primary can keep answering clients that have seen nothing
+// newer — any client whose watermark advanced past the stale primary's
+// frozen state fails the fence check on its next read. A deposed primary
+// that keeps serving anyway (the byzantine case, internal/byz) loses to
+// the same client-side checks: the binding names a lease the cluster no
+// longer holds.
+//
+// The speedup is measured, not asserted: `benchrunner -exp reads` runs a
+// 95/5 mix on the shared kernel with the lease on and off under identical
+// seeds (harness.FigReadLease). Leased reads cost the primary one fenced
+// lookup instead of a protocol round, so read throughput scales with what
+// the machines can serve rather than what consensus can order — while the
+// 5% writes still pay the full protocol, unchanged. Watch lease_reads_total,
+// lease_fallbacks_total, lease_revocations and the read_latency_lease_ns /
+// read_latency_consensus_ns split in the metrics registry.
+//
 // # Hot-path performance
 //
 // Two structural optimizations keep public-key cryptography off the

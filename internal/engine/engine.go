@@ -187,6 +187,29 @@ type Config struct {
 	// attested access) and records execution metrics. Nil disables
 	// observation at zero cost; see internal/obs.
 	Observer *obs.Observer
+
+	// ReadLease enables the leader read-lease fast path: a lease granted
+	// through consensus (kvstore.OpLeaseGrant, anchored to the group's
+	// trusted counter) lets the primary answer single-key reads locally
+	// from a watermark-consistent read view, skipping consensus entirely.
+	// Only non-speculative protocols may enable it — speculative execution
+	// mutates the store before commit, so a local read could observe
+	// uncommitted state. See LeaseTracker and the "Leased reads" section of
+	// the repository doc.
+	ReadLease bool
+	// LeaseDuration is how long one committed grant authorizes local
+	// serving, measured from the grant's execution on the serving replica's
+	// own clock.
+	LeaseDuration time.Duration
+	// LeaseSafetyMargin is subtracted from the serving deadline, so bounded
+	// clock rate error between the grant's executor and the rest of the
+	// group cannot stretch serving past what everyone else assumes expired.
+	LeaseSafetyMargin time.Duration
+	// Lease is this node's lease tracker, injected by the hosting substrate
+	// when ReadLease is on (one tracker per replica — never shared). The
+	// shared protocol base revokes it on view transitions; the substrate
+	// grants/serves through it.
+	Lease *LeaseTracker
 }
 
 // DefaultConfig returns the paper's standard setup for a given f: batch size
@@ -203,6 +226,8 @@ func DefaultConfig(n, f int) Config {
 		ViewChangeTimeout: 500 * time.Millisecond,
 		CaptureSnapshots:  true,
 		EnableQC:          true,
+		LeaseDuration:     100 * time.Millisecond,
+		LeaseSafetyMargin: 2 * time.Millisecond,
 	}
 }
 

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"encoding/binary"
+	"sync"
+	"time"
+
+	"flexitrust/internal/crypto"
+	"flexitrust/internal/types"
+)
+
+// LeaseCounterID is the trusted-counter id lease grants attest under
+// (within the group's namespace) — disjoint from the low ids the consensus
+// protocols use.
+const LeaseCounterID = 0x4C45 // "LE"
+
+// LeaseGrantDigest binds a lease grant's identity — the group's counter
+// namespace, the view granting it, the lease epoch and the duration — into
+// the digest the primary's one attested access at grant time commits to.
+// Clients verifying a served lease recompute it.
+func LeaseGrantDigest(ns uint16, view types.View, epoch uint64, dur time.Duration) types.Digest {
+	buf := make([]byte, 0, 2+8+8+8)
+	buf = binary.BigEndian.AppendUint16(buf, ns)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(view))
+	buf = binary.BigEndian.AppendUint64(buf, epoch)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(dur))
+	return crypto.HashBytes(buf)
+}
+
+// LeaseTracker holds one replica's clock-bound view of its group's read
+// lease: the (view, epoch, expiry) binding a committed kvstore.OpLeaseGrant
+// established, plus the replica's commit watermark. The deterministic half of
+// the lease (the monotone epoch, the active flag) lives in the replicated
+// store; the tracker holds the half that cannot — wall/virtual-clock expiry
+// and the attestation minted at grant time.
+//
+// The tracker is the one piece of lease state read off the replica's event
+// goroutine (the whole point of the fast path is answering reads without
+// entering it), so it is internally locked. Every node gets its OWN tracker
+// via Config.Lease; sharing one across replicas would let one node's grant
+// authorize another's serving.
+//
+// All methods are nil-receiver safe: substrates and protocol code call them
+// unconditionally, and a nil tracker simply never serves.
+type LeaseTracker struct {
+	mu     sync.Mutex
+	active bool
+	view   types.View
+	epoch  uint64
+	expiry time.Duration // Env.Now() instant serving must stop (margin applied)
+	exec   types.SeqNum  // commit watermark: highest executed sequence
+	attest *types.Attestation
+}
+
+// Grant installs a servable lease binding. expiry is the Env.Now() instant
+// serving must stop — the caller has already subtracted its safety margin. A
+// grant for an older epoch never overwrites a newer one (executions are
+// ordered, but a rolled-back speculative path could replay).
+func (t *LeaseTracker) Grant(view types.View, epoch uint64, expiry time.Duration, attest *types.Attestation) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if epoch < t.epoch {
+		return
+	}
+	t.active, t.view, t.epoch, t.expiry, t.attest = true, view, epoch, expiry, attest
+}
+
+// Revoke deactivates the lease immediately. Called on view change (entering
+// or even just voting for a new view), placement epoch flips, range freezes
+// and state rollbacks — any event after which local serving could be stale.
+func (t *LeaseTracker) Revoke() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.active = false
+	t.attest = nil
+}
+
+// NoteExec advances the commit watermark after a batch executes.
+func (t *LeaseTracker) NoteExec(seq types.SeqNum) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if seq > t.exec {
+		t.exec = seq
+	}
+}
+
+// Serving reports whether the lease is servable at instant now and, if so,
+// returns the binding and the commit watermark the serving read view must
+// have reached.
+func (t *LeaseTracker) Serving(now time.Duration) (view types.View, epoch uint64, wm types.SeqNum, attest *types.Attestation, ok bool) {
+	if t == nil {
+		return 0, 0, 0, nil, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.active || now >= t.expiry {
+		return 0, 0, 0, nil, false
+	}
+	return t.view, t.epoch, t.exec, t.attest, true
+}
+
+// Epoch returns the last granted epoch and whether the lease is currently
+// active (expiry not considered) — test and metrics surface.
+func (t *LeaseTracker) Epoch() (epoch uint64, active bool) {
+	if t == nil {
+		return 0, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.epoch, t.active
+}

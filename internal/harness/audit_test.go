@@ -14,6 +14,32 @@ import (
 // The trusted protocols must also actually feed the stream (nonzero
 // accesses); the untrusted baselines run with no trusted component, so for
 // them the test pins the stream at zero.
+// TestAuditSilentOnLeasedReads runs the read-lease fast path with the audit
+// stream and alert rules attached: the lease grant is one more attested
+// access on the group's counter, so a clean leased run must stay exactly as
+// silent as a consensus-only one while actually serving leased reads.
+func TestAuditSilentOnLeasedReads(t *testing.T) {
+	o := obs.New(obs.Config{})
+	rules := obs.NewRules(o, obs.RulesConfig{})
+	res, err := ReadLeasePointObserved("Flexi-BFT", 2, Scale(16), true, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeaseReads == 0 {
+		t.Fatal("lease on but the fast path served nothing")
+	}
+	rules.Evaluate()
+	if alerts := rules.Alerts(); len(alerts) != 0 {
+		t.Fatalf("%d alerts on a clean leased run (first: %s)", len(alerts), alerts[0].Message)
+	}
+	if alarms := o.Audit().Alarms(); len(alarms) != 0 {
+		t.Fatalf("audit raised %d alarms on a clean leased run: %v", len(alarms), alarms)
+	}
+	if o.Audit().TotalAccesses() == 0 {
+		t.Fatal("no attested accesses observed; the grant path was not audited")
+	}
+}
+
 func TestAuditSilentOnCleanRuns(t *testing.T) {
 	trustedProtos := map[string]bool{
 		"Flexi-BFT": true, "Flexi-ZZ": true, "MinBFT": true, "MinZZ": true,

@@ -8,8 +8,8 @@ import (
 )
 
 // BENCH trajectory: a small, fixed matrix of the repo's headline
-// experiments — shard scaling, cross-shard transactions, live rebalancing
-// and primary failover — run at pinned seeds and scales and emitted as a
+// experiments — shard scaling, cross-shard transactions, leased reads A/B,
+// live rebalancing and primary failover — run at pinned seeds and scales and emitted as a
 // machine-readable baseline (BENCH_baseline.json at the repo root,
 // regenerated with `benchrunner -bench-out`). The file records throughput,
 // p50/p99 latency and attested-access counts per configuration so a future
@@ -25,12 +25,18 @@ const BenchSchema = "flexitrust-bench/v1"
 // fields are nanoseconds; absolute numbers are machine-dependent, while the
 // attested-access fields are exact invariants.
 type BenchEntry struct {
-	// Experiment is "shard", "txn", "rebalance" or "failover".
+	// Experiment is "shard", "txn", "rebalance", "failover" or "reads".
 	Experiment string `json:"experiment"`
 	Protocol   string `json:"protocol"`
 	Shards     int    `json:"shards"`
 	// TxnFraction is the cross-shard transaction fraction (txn only).
 	TxnFraction float64 `json:"txn_fraction,omitempty"`
+	// Lease marks the lease-on arm of the reads A/B; LeaseReads counts the
+	// reads the fast path served inside the measurement window and
+	// LeaseReadP50Ns their median latency (reads only).
+	Lease          bool   `json:"lease,omitempty"`
+	LeaseReads     uint64 `json:"lease_reads,omitempty"`
+	LeaseReadP50Ns int64  `json:"lease_read_p50_ns,omitempty"`
 	// Throughput is committed operations (shard), attested transaction
 	// decisions (txn) or background writes (rebalance/failover) per second.
 	Throughput float64 `json:"throughput_per_s"`
@@ -135,6 +141,41 @@ func CollectBench(scale Scale) (*BenchBaseline, error) {
 		})
 	}
 
+	for _, proto := range benchProtocols {
+		const readsShards = 4
+		for _, lease := range []bool{false, true} {
+			// Same operator-surface discipline as the shard entries: the
+			// leased fast path must keep the audit stream and the alert
+			// rules silent — a lease grant is one more attested access, not
+			// a new alarm class.
+			o := obs.New(obs.Config{})
+			rules := obs.NewRules(o, obs.RulesConfig{})
+			res, err := ReadLeasePointObserved(proto, readsShards, scale, lease, o)
+			if err != nil {
+				return nil, fmt.Errorf("bench reads %s lease=%v: %w", proto, lease, err)
+			}
+			rules.Evaluate()
+			if alerts := rules.Alerts(); len(alerts) != 0 {
+				return nil, fmt.Errorf("bench reads %s lease=%v: %d alerts on a clean run (first: %s)",
+					proto, lease, len(alerts), alerts[0].Message)
+			}
+			if alarms := o.Audit().Alarms(); len(alarms) != 0 {
+				return nil, fmt.Errorf("bench reads %s lease=%v: %d audit alarms on a clean run",
+					proto, lease, len(alarms))
+			}
+			b.Entries = append(b.Entries, BenchEntry{
+				Experiment: "reads", Protocol: proto, Shards: readsShards, Lease: lease,
+				Throughput: res.Throughput,
+				P50Ns:      res.P50Lat.Nanoseconds(), P99Ns: res.P99Lat.Nanoseconds(),
+				Completed:        res.Completed,
+				AttestedAccesses: o.Audit().TotalAccesses(),
+				LeaseReads:       res.LeaseReads,
+				LeaseReadP50Ns:   res.LeaseReadP50.Nanoseconds(),
+				Truncated:        res.Truncated,
+			})
+		}
+	}
+
 	foScale := scale
 	if foScale > 8 {
 		foScale = 8
@@ -184,7 +225,7 @@ func ValidateBench(data []byte) (*BenchBaseline, error) {
 	for i, e := range b.Entries {
 		where := fmt.Sprintf("entry %d (%s/%s/S=%d)", i, e.Experiment, e.Protocol, e.Shards)
 		switch e.Experiment {
-		case "shard", "txn", "rebalance", "failover":
+		case "shard", "txn", "rebalance", "failover", "reads":
 		default:
 			return nil, fmt.Errorf("bench baseline: %s: unknown experiment", where)
 		}
@@ -211,6 +252,16 @@ func ValidateBench(data []byte) (*BenchBaseline, error) {
 			if e.AttestedAccesses != 1 {
 				return nil, fmt.Errorf("bench baseline: %s: placement change cost %d attested accesses, want exactly 1",
 					where, e.AttestedAccesses)
+			}
+		case "reads":
+			if e.Lease && e.LeaseReads == 0 {
+				return nil, fmt.Errorf("bench baseline: %s: lease on but zero leased reads", where)
+			}
+			if !e.Lease && e.LeaseReads != 0 {
+				return nil, fmt.Errorf("bench baseline: %s: lease off but %d leased reads", where, e.LeaseReads)
+			}
+			if e.AttestedAccesses == 0 {
+				return nil, fmt.Errorf("bench baseline: %s: zero attested accesses over a full run", where)
 			}
 		}
 	}

@@ -148,6 +148,10 @@ type Options struct {
 	Mutate func(c *sim.Cluster)
 	// EngineTweak adjusts the engine config after defaults are applied.
 	EngineTweak func(cfg *engine.Config)
+	// Workload overrides the paper's default YCSB-A mix when non-nil (the
+	// read-lease experiment runs read-heavy mixes). The run's seed still
+	// comes from Seed, not from the override.
+	Workload *workload.Config
 }
 
 // DefaultOptions is the paper's standard setup: f=8, 20k clients, batch 100,
@@ -188,6 +192,9 @@ func GroupConfig(spec Spec, opts Options) sim.Config {
 		cost = sim.DefaultCostModel()
 	}
 	wl := workload.DefaultConfig()
+	if opts.Workload != nil {
+		wl = *opts.Workload
+	}
 	wl.Seed = opts.Seed
 	return sim.Config{
 		N:              n,

@@ -87,6 +87,14 @@ func shardScalingGroupsObserved(protocol string, shards int, scale Scale, o *obs
 // EnableQC this way — without forking the deployment logic.
 func shardScalingGroupsTweaked(protocol string, shards int, scale Scale,
 	o *obs.Observer, tweak func(*engine.Config)) ([]sim.Results, error) {
+	return shardScalingGroupsOpts(protocol, shards, scale, o, tweak, nil)
+}
+
+// shardScalingGroupsOpts is the full-generality core: optsTweak, when
+// non-nil, adjusts the run options after the standard shard-scaling shape is
+// applied — the read-lease experiment swaps in its read-heavy workload here.
+func shardScalingGroupsOpts(protocol string, shards int, scale Scale,
+	o *obs.Observer, tweak func(*engine.Config), optsTweak func(*Options)) ([]sim.Results, error) {
 	spec, err := ByName(protocol)
 	if err != nil {
 		return nil, err
@@ -97,6 +105,9 @@ func shardScalingGroupsTweaked(protocol string, shards int, scale Scale,
 	opts.Cost = sim.DefaultCostModel()
 	opts.Cost.Workers = shardScalingWorkers
 	scale.apply(&opts)
+	if optsTweak != nil {
+		optsTweak(&opts)
+	}
 	master := opts.Seed
 	groups := make([]sim.Config, shards)
 	for g := 0; g < shards; g++ {

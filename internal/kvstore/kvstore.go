@@ -41,6 +41,14 @@ const (
 	OpRangeFreeze
 	OpRangeInstall
 	OpTxnCompact
+
+	// Read-lease operations (leader read leases; see readview.go and the
+	// "Leased reads" section of the repository doc). Grant allocates the
+	// next monotone lease epoch through consensus and marks it active;
+	// Revoke deactivates it. OpRangeFreeze also deactivates the lease —
+	// a range's ownership going into flight invalidates local serving.
+	OpLeaseGrant
+	OpLeaseRevoke
 )
 
 // Op is one key-value operation. Encode/Decode give it a compact canonical
@@ -134,6 +142,20 @@ type Store struct {
 	outbound map[uint64]HashRange
 	inbound  map[uint64]*rangeStage
 	released []HashRange
+
+	// Read-lease state (deterministic half; the clock-bound half lives in
+	// engine.LeaseTracker): the monotone epoch OpLeaseGrant allocates and
+	// whether the latest epoch is still active. Every replica agrees on
+	// both because they only change through consensus.
+	leaseEpoch  uint64
+	leaseActive bool
+
+	// Read-view maintenance (see readview.go): keys whose records changed
+	// since the last SyncView, and whether the next sync must rebuild the
+	// mirror wholesale (after Restore or a range settlement). viewTouched
+	// stays nil — and mutation tracking free — until the first SyncView.
+	viewTouched map[uint64]struct{}
+	viewFull    bool
 }
 
 // New creates a store whose initial state holds recordCount records with
@@ -222,6 +244,19 @@ func (s *Store) Apply(opBytes []byte) []byte {
 		return s.applyRangeInstall(op.Value)
 	case OpTxnCompact:
 		return s.applyTxnCompact(op.Value)
+	case OpLeaseGrant:
+		// The payload carries the lease duration (ns) for the hosting
+		// substrate; the store only allocates the epoch and answers with
+		// it, so the granting primary learns which epoch it now holds.
+		if len(op.Value) != 8 {
+			return []byte("ERR")
+		}
+		s.leaseEpoch++
+		s.leaseActive = true
+		return binary.BigEndian.AppendUint64(nil, s.leaseEpoch)
+	case OpLeaseRevoke:
+		s.leaseActive = false
+		return []byte("OK")
 	case OpRead:
 		if s.releasedKey(op.Key) {
 			return []byte(WrongShard)
@@ -241,12 +276,14 @@ func (s *Store) Apply(opBytes []byte) []byte {
 			return []byte("NOTFOUND")
 		}
 		s.records[op.Key] = append([]byte(nil), op.Value...)
+		s.touch(op.Key)
 		return []byte("OK")
 	case OpInsert:
 		if res, ok := s.writeRefused(op.Key); !ok {
 			return res
 		}
 		s.records[op.Key] = append([]byte(nil), op.Value...)
+		s.touch(op.Key)
 		return []byte("OK")
 	case OpScan:
 		// Ownership is checked on the start key only: scans are routed by
@@ -295,6 +332,7 @@ func (s *Store) Apply(opBytes []byte) []byte {
 			}
 		}
 		s.records[op.Key] = nv
+		s.touch(op.Key)
 		return []byte("OK")
 	default:
 		return []byte("ERR")
@@ -329,6 +367,8 @@ type Snapshot struct {
 	outbound    map[uint64]HashRange
 	inbound     map[uint64]*rangeStage
 	released    []HashRange
+	leaseEpoch  uint64
+	leaseActive bool
 }
 
 // Snapshot copies the current state, transactional intent and range-handoff
@@ -362,7 +402,8 @@ func (s *Store) Snapshot() *Snapshot {
 	}
 	return &Snapshot{recordCount: s.recordCount, records: cp, stateDigest: s.stateDigest,
 		applied: s.applied, intents: ins, txnKeys: tk, txnDecided: td, txnStable: s.txnStable,
-		outbound: ob, inbound: ib, released: append([]HashRange(nil), s.released...)}
+		outbound: ob, inbound: ib, released: append([]HashRange(nil), s.released...),
+		leaseEpoch: s.leaseEpoch, leaseActive: s.leaseActive}
 }
 
 // clone deep-copies a stage (staged values are copy-on-write once installed,
@@ -411,4 +452,20 @@ func (s *Store) Restore(snap *Snapshot) {
 		s.inbound[id] = st.clone()
 	}
 	s.released = append([]HashRange(nil), snap.released...)
+	s.leaseEpoch = snap.leaseEpoch
+	s.leaseActive = snap.leaseActive
+	// The read-view mirror may now be ahead of the store: rebuild it
+	// wholesale on the next sync.
+	s.viewFull = true
 }
+
+// touch records a written-key mutation for incremental read-view sync. A nil
+// map means no view is attached and tracking costs nothing.
+func (s *Store) touch(key uint64) {
+	if s.viewTouched != nil {
+		s.viewTouched[key] = struct{}{}
+	}
+}
+
+// LeaseEpoch returns the last granted lease epoch and whether it is active.
+func (s *Store) LeaseEpoch() (epoch uint64, active bool) { return s.leaseEpoch, s.leaseActive }

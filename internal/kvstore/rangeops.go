@@ -343,6 +343,9 @@ func (s *Store) applyRangeFreeze(payload []byte) []byte {
 		}
 	}
 	s.outbound[hid] = r
+	// A frozen range's ownership is in flight: deactivate the read lease so
+	// no replica keeps serving local reads over keys it may be giving away.
+	s.leaseActive = false
 	return s.exportRange(r)
 }
 
@@ -446,6 +449,7 @@ func (s *Store) settleRanges(txid uint64, commit bool) {
 				}
 			}
 			s.released = addRange(s.released, r)
+			s.viewFull = true // record set changed wholesale
 		}
 		delete(s.outbound, txid)
 	}
@@ -455,6 +459,7 @@ func (s *Store) settleRanges(txid uint64, commit bool) {
 				s.records[k] = v
 			}
 			s.released = subtractRange(s.released, st.r)
+			s.viewFull = true
 		}
 		delete(s.inbound, txid)
 	}

@@ -294,6 +294,7 @@ func (s *Store) applyDecision(txid uint64, commit bool) []byte {
 		}
 		if commit {
 			s.records[k] = in.value
+			s.touch(k)
 		}
 		delete(s.intents, k)
 	}

@@ -59,6 +59,21 @@ const (
 	// MQCSize (histogram, unitless): signer count of each assembled quorum
 	// certificate.
 	MQCSize = "qc_size"
+	// MLeaseReads (counter): single-key reads answered on the leased fast
+	// path, without consensus.
+	MLeaseReads = "lease_reads_total"
+	// MLeaseFallbacks (counter): leased-read attempts that fell back to the
+	// consensus path (lease absent/expired, reply refused, group degraded).
+	MLeaseFallbacks = "lease_fallbacks_total"
+	// MLeaseRevocations (counter): lease deactivations (view transitions,
+	// placement flips, range freezes, state rollbacks).
+	MLeaseRevocations = "lease_revocations"
+	// MLeaseReadLatency (histogram): end-to-end latency of reads answered on
+	// the leased fast path.
+	MLeaseReadLatency = "read_latency_lease_ns"
+	// MConsensusReadLatency (histogram): end-to-end latency of single-key
+	// reads that went through consensus (no lease, or after a fallback).
+	MConsensusReadLatency = "read_latency_consensus_ns"
 )
 
 // GroupLabel qualifies a metric name with a per-group (per-shard) label.

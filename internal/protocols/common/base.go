@@ -357,6 +357,10 @@ func (b *Base) StartViewChange(v types.View) {
 		return
 	}
 	b.InViewChange = true
+	// Abandoning the current primary invalidates any read lease it granted:
+	// stop local serving the moment this replica votes the view out, not
+	// only when the successor installs.
+	b.revokeLease()
 	vc := b.Hooks.BuildViewChange(v)
 	vc.Replica = b.Env.ID()
 	vc.NewView = v
@@ -462,6 +466,9 @@ func (b *Base) EnterView(v types.View) {
 	b.View = v
 	b.InViewChange = false
 	b.viewChanges++
+	// Deterministic lease revocation on view change: whatever lease the old
+	// view's primary held is dead in this view until a fresh grant commits.
+	b.revokeLease()
 	if v != 0 {
 		// Shard groups run in trusted namespace s+1; standalone clusters
 		// (namespace 0) journal as cluster-wide.
@@ -479,6 +486,18 @@ func (b *Base) EnterView(v types.View) {
 		}
 	}
 	b.Batcher.Kick()
+}
+
+// revokeLease deactivates this node's read-lease tracker (nil-safe) and
+// counts the revocation.
+func (b *Base) revokeLease() {
+	if b.Cfg.Lease == nil {
+		return
+	}
+	if _, active := b.Cfg.Lease.Epoch(); active {
+		b.Cfg.Observer.Metrics().Counter(obs.MLeaseRevocations).Inc()
+	}
+	b.Cfg.Lease.Revoke()
 }
 
 // HandleBaseTimer processes the timers the Base owns; it returns true when

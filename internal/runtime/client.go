@@ -36,6 +36,9 @@ type Client struct {
 	nextReq uint64
 	primary types.ReplicaID
 	pending map[uint64]*pendingReq
+	// Lease-read state: outstanding single-reply exchanges by ReadNo.
+	nextRead     uint64
+	leasePending map[uint64]chan *types.LeaseReadReply
 }
 
 // outcome is a resolved transaction: its result value, the consensus
@@ -62,9 +65,47 @@ func NewClient(cfg ClientConfig) *Client {
 	if cfg.RetryEvery <= 0 {
 		cfg.RetryEvery = time.Second
 	}
-	c := &Client{cfg: cfg, pending: make(map[uint64]*pendingReq)}
+	c := &Client{cfg: cfg, pending: make(map[uint64]*pendingReq),
+		leasePending: make(map[uint64]chan *types.LeaseReadReply)}
 	cfg.Transport.SetHandler(c.onEnvelope)
 	return c
+}
+
+// LeaseRead asks replica `to` (the believed lease-holding primary) to answer
+// a single-key read locally, without consensus. fence is the highest
+// committed sequence number the caller has observed for the group; the
+// primary must answer at or above it. The caller decides whether the reply
+// is usable (status, epoch, watermark checks) — a nil error only means a
+// reply arrived.
+func (c *Client) LeaseRead(ctx context.Context, to types.ReplicaID, key uint64, fence types.SeqNum) (*types.LeaseReadReply, error) {
+	c.mu.Lock()
+	c.nextRead++
+	readNo := c.nextRead
+	ch := make(chan *types.LeaseReadReply, 1)
+	c.leasePending[readNo] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.leasePending, readNo)
+		c.mu.Unlock()
+	}()
+	c.cfg.Transport.Send(transport.ReplicaAddr(int32(to)),
+		&wire.Envelope{Client: c.cfg.ID, IsClient: true,
+			Msg: &types.LeaseRead{Client: c.cfg.ID, ReadNo: readNo, Key: key, Fence: fence}})
+	select {
+	case r := <-ch:
+		return r, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("client %d lease read %d: %w", c.cfg.ID, readNo, ctx.Err())
+	}
+}
+
+// Primary returns the replica this client currently believes leads the
+// group (updated from every accepted reply quorum).
+func (c *Client) Primary() types.ReplicaID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.primary
 }
 
 // Submit executes op through the replicated service and returns its result.
@@ -136,6 +177,18 @@ func (c *Client) SubmitObserved(ctx context.Context, op []byte) ([]byte, types.S
 
 // onEnvelope tallies responses.
 func (c *Client) onEnvelope(env *wire.Envelope) {
+	if lrr, ok := env.Msg.(*types.LeaseReadReply); ok {
+		c.mu.Lock()
+		ch := c.leasePending[lrr.ReadNo]
+		c.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- lrr:
+			default:
+			}
+		}
+		return
+	}
 	resp, ok := env.Msg.(*types.Response)
 	if !ok {
 		return

@@ -60,6 +60,13 @@ type Node struct {
 	suite  *crypto.Suite
 	start  time.Time
 
+	// Read-lease fast path (nil unless Engine.ReadLease): this node's lease
+	// tracker and the watermark-consistent read view LeaseRead messages are
+	// answered from — on the transport delivery goroutine, never entering
+	// the event queue.
+	lease    *engine.LeaseTracker
+	readView *kvstore.ReadView
+
 	events   chan func()
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -102,6 +109,14 @@ func NewNode(cfg NodeConfig) *Node {
 	// audit records attribute each attested access to its namespace.
 	n.tcView = trusted.Namespaced(cfg.Engine.Observer.InstrumentTC(n.tc, "replica"),
 		cfg.Engine.TrustedNamespace)
+	if cfg.Engine.ReadLease {
+		// Each node gets its own tracker; cfg.Engine is this node's copy, so
+		// the protocol (and its embedded Base) sees the same instance.
+		n.lease = &engine.LeaseTracker{}
+		n.readView = kvstore.NewReadView()
+		cfg.Engine.Lease = n.lease
+		n.cfg.Engine.Lease = n.lease
+	}
 	n.proto = cfg.NewProtocol(cfg.Engine)
 	if cfg.Engine.EnableQC {
 		n.pool = crypto.NewVerifyPool(2, 0, n.enqueue)
@@ -144,6 +159,13 @@ func (n *Node) enqueue(fn func()) {
 
 // onEnvelope routes an inbound envelope into the protocol.
 func (n *Node) onEnvelope(env *wire.Envelope) {
+	if lr, ok := env.Msg.(*types.LeaseRead); ok {
+		// The leased fast path: answered right here on the transport
+		// delivery goroutine from the lease tracker and the read view —
+		// never queued behind consensus events. That is the entire point.
+		n.serveLeaseRead(lr)
+		return
+	}
 	n.enqueue(func() {
 		switch msg := env.Msg.(type) {
 		case *types.ClientRequest:
@@ -160,6 +182,39 @@ func (n *Node) onEnvelope(env *wire.Envelope) {
 			}
 		}
 	})
+}
+
+// serveLeaseRead answers a single-key read locally under the read lease.
+// Runs on the transport delivery goroutine: the tracker and the read view
+// are the only state it touches, and both are concurrency-safe. Any reply
+// other than OK/NotFound sends the client down the consensus fallback.
+func (n *Node) serveLeaseRead(lr *types.LeaseRead) {
+	if n.Stopped() {
+		return
+	}
+	reply := &types.LeaseReadReply{Replica: n.cfg.ID, ReadNo: lr.ReadNo, Key: lr.Key}
+	view, epoch, _, att, ok := n.lease.Serving(n.Now())
+	if !ok || n.readView == nil {
+		reply.Status = types.LeaseReadNoLease
+	} else {
+		reply.View, reply.Epoch, reply.Attest = view, epoch, att
+		val, seq, st := n.readView.Lookup(lr.Key, lr.Fence)
+		reply.Watermark = seq
+		switch st {
+		case kvstore.ReadOK:
+			reply.Status = types.LeaseReadOK
+			reply.Value = val
+		case kvstore.ReadNotFound:
+			reply.Status = types.LeaseReadNotFound
+		default:
+			reply.Status = types.LeaseReadRefused
+		}
+	}
+	if reply.Status == types.LeaseReadOK || reply.Status == types.LeaseReadNotFound {
+		n.metric(obs.MLeaseReads)
+	}
+	n.cfg.Transport.Send(transport.ClientAddr(uint64(lr.Client)),
+		&wire.Envelope{From: n.cfg.ID, Msg: reply})
 }
 
 // Stop halts the node (fail-stop; used by crash tests). It is idempotent.
@@ -382,14 +437,77 @@ func (n *Node) metric(name string) {
 func (n *Node) Crypto() crypto.Provider { return n.suite }
 
 // Execute implements engine.Env.
-func (n *Node) Execute(_ types.SeqNum, b *types.Batch) []types.Result {
+func (n *Node) Execute(seq types.SeqNum, b *types.Batch) []types.Result {
 	n.cfg.Engine.Observer.Metrics().Histogram(obs.MExecBatch).Observe(int64(len(b.Requests)))
-	return n.store.ApplyBatch(b)
+	results := n.store.ApplyBatch(b)
+	if n.lease != nil {
+		n.lease.NoteExec(seq)
+		n.scanLeaseGrants(b, results)
+		// A committed range freeze (or revoke op) deactivates the store's
+		// lease flag deterministically on every replica; the primary's
+		// clock-bound tracker must stop serving the same instant that batch
+		// executes, not at natural expiry.
+		if _, storeActive := n.store.LeaseEpoch(); !storeActive {
+			if _, wasActive := n.lease.Epoch(); wasActive {
+				n.metric(obs.MLeaseRevocations)
+			}
+			n.lease.Revoke()
+		}
+		n.store.SyncView(n.readView, seq)
+	}
+	return results
+}
+
+// scanLeaseGrants installs the lease binding for every OpLeaseGrant the
+// batch committed. Runs on the event goroutine inside Execute, so reading
+// the protocol's status here is as safe as any handler. Only the view's
+// primary arms its tracker — it is the one node allowed to serve — and it
+// anchors the grant to the group's trusted counter with one attested access.
+func (n *Node) scanLeaseGrants(b *types.Batch, results []types.Result) {
+	for i, r := range b.Requests {
+		if len(r.Op) == 0 || kvstore.OpCode(r.Op[0]) != kvstore.OpLeaseGrant || i >= len(results) {
+			continue
+		}
+		op, err := kvstore.DecodeOp(r.Op)
+		if err != nil {
+			continue
+		}
+		dur, ok := kvstore.LeaseGrantDuration(op)
+		if !ok || dur <= 0 {
+			continue
+		}
+		epoch, ok := kvstore.DecodeLeaseGrant(results[i].Value)
+		if !ok {
+			continue
+		}
+		sr, reports := n.proto.(engine.StatusReporter)
+		if !reports {
+			continue
+		}
+		st := sr.Status()
+		if st.Primary != n.cfg.ID || st.InViewChange {
+			continue
+		}
+		var att *types.Attestation
+		if a, err := n.Trusted().AppendF(engine.LeaseCounterID, engine.LeaseGrantDigest(
+			n.cfg.Engine.TrustedNamespace, st.View, epoch, dur)); err == nil {
+			att = a
+		}
+		expiry := n.Now() + dur - n.cfg.Engine.LeaseSafetyMargin
+		n.lease.Grant(st.View, epoch, expiry, att)
+	}
 }
 
 // Observe returns the node's observability layer (nil when disabled) —
 // the status/obs endpoint a supervisor reads alongside Status.
 func (n *Node) Observe() *obs.Observer { return n.cfg.Engine.Observer }
+
+// LeaseState reports the node's lease-tracker position (last granted epoch
+// and whether it is still active) — white-box surface for revocation tests.
+// Only a primary that executed a grant ever shows active; the tracker is
+// internally locked, so this is safe off the event goroutine (the store's
+// replicated lease state is not).
+func (n *Node) LeaseState() (epoch uint64, active bool) { return n.lease.Epoch() }
 
 // StateDigest implements engine.Env.
 func (n *Node) StateDigest() types.Digest { return n.store.StateDigest() }
@@ -397,8 +515,13 @@ func (n *Node) StateDigest() types.Digest { return n.store.StateDigest() }
 // SnapshotState implements engine.Env.
 func (n *Node) SnapshotState() any { return n.store.Snapshot() }
 
-// RestoreState implements engine.Env.
-func (n *Node) RestoreState(s any) { n.store.Restore(s.(*kvstore.Snapshot)) }
+// RestoreState implements engine.Env. A rollback may rewind the committed
+// lease state, so local serving stops until a fresh grant commits; the read
+// view resyncs wholesale on the next executed batch.
+func (n *Node) RestoreState(s any) {
+	n.store.Restore(s.(*kvstore.Snapshot))
+	n.lease.Revoke()
+}
 
 // Defer implements engine.Env.
 func (n *Node) Defer(fn func()) { n.enqueue(fn) }

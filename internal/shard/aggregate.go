@@ -45,16 +45,22 @@ func Aggregate(groups []sim.Results) sim.Results {
 	var agg sim.Results
 	var latWeight float64
 	var meanAcc, p50Acc float64
+	var leaseWeight, leaseP50Acc float64
 	for _, r := range groups {
 		agg.Throughput += r.Throughput
 		agg.Completed += r.Completed
 		agg.Events += r.Events
 		agg.Resends += r.Resends
 		agg.CertsSent += r.CertsSent
+		agg.LeaseReads += r.LeaseReads
+		agg.LeaseFallbacks += r.LeaseFallbacks
 		w := float64(r.Completed)
 		meanAcc += w * float64(r.MeanLat)
 		p50Acc += w * float64(r.P50Lat)
 		latWeight += w
+		lw := float64(r.LeaseReads)
+		leaseP50Acc += lw * float64(r.LeaseReadP50)
+		leaseWeight += lw
 		if r.P99Lat > agg.P99Lat {
 			agg.P99Lat = r.P99Lat
 		}
@@ -62,6 +68,9 @@ func Aggregate(groups []sim.Results) sim.Results {
 	if latWeight > 0 {
 		agg.MeanLat = time.Duration(meanAcc / latWeight)
 		agg.P50Lat = time.Duration(p50Acc / latWeight)
+	}
+	if leaseWeight > 0 {
+		agg.LeaseReadP50 = time.Duration(leaseP50Acc / leaseWeight)
 	}
 	return agg
 }

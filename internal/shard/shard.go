@@ -133,6 +133,13 @@ type Cluster struct {
 	placement *PlacementMap
 	proposals map[uint64]*PlacementMap
 
+	// Read-lease knobs mirrored from the group template (lease.go): sessions
+	// grant leases on demand with this duration and stop using them a safety
+	// margin before the primary does.
+	leaseOn     bool
+	leaseDur    time.Duration
+	leaseMargin time.Duration
+
 	// Transaction substrate (see txn.go): the coordinator-side attested
 	// counter with its own authority, the decision log, and the id
 	// allocator / stability tracker every session (and handoff) shares.
@@ -157,6 +164,13 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		placement: UniformPlacement(cfg.Shards),
 		proposals: make(map[uint64]*PlacementMap),
 		obs:       cfg.Obs,
+	}
+	c.leaseOn = cfg.Group.Engine.ReadLease
+	if c.leaseDur = cfg.Group.Engine.LeaseDuration; c.leaseDur <= 0 {
+		c.leaseDur = 100 * time.Millisecond
+	}
+	if c.leaseMargin = cfg.Group.Engine.LeaseSafetyMargin; c.leaseMargin < 0 || c.leaseMargin >= c.leaseDur {
+		c.leaseMargin = c.leaseDur / 10
 	}
 	seed := cfg.Group.Seed
 	if seed == 0 {
@@ -447,6 +461,10 @@ type Session struct {
 	clients []*runtime.Client
 	coord   *txn.Coordinator
 
+	// leases caches, per group, the read-lease binding this session granted
+	// (lease.go); single-key Gets ride it past consensus when it is live.
+	leases []*sessionLease
+
 	pmMu sync.Mutex
 	pm   *PlacementMap
 }
@@ -457,6 +475,7 @@ func (c *Cluster) Session(id types.ClientID) *Session {
 	s := &Session{c: c, id: id, pm: c.Placement()}
 	for _, g := range c.groups {
 		s.clients = append(s.clients, g.NewClient(id))
+		s.leases = append(s.leases, &sessionLease{})
 	}
 	s.coord = txn.NewCoordinator(txn.Config{
 		Arbiter:  c.arbiter,
@@ -618,10 +637,20 @@ func (s *Session) Do(ctx context.Context, op *kvstore.Op) ([]byte, error) {
 }
 
 // Get reads one key (read-committed; a key under a pending transaction
-// intent serves its committed fallback, like MultiGet). It uses the framed
-// intent-aware read internally so stored values can never alias the
-// routing-retry signals a raw OpRead result could.
+// intent serves its committed fallback, like MultiGet). When the owning
+// group holds a live read lease the value comes straight from its primary
+// without touching consensus (lease.go); every miss — lease absent, expired,
+// group degraded, fence or range refusal — falls back to the consensus read
+// transparently. It uses the framed intent-aware read internally so stored
+// values can never alias the routing-retry signals a raw OpRead result could.
 func (s *Session) Get(ctx context.Context, key uint64) ([]byte, error) {
+	if val, found, ok := s.leasedGet(ctx, key); ok {
+		if !found {
+			return []byte("NOTFOUND"), nil
+		}
+		return val, nil
+	}
+	start := time.Now()
 	res, err := s.Do(ctx, kvstore.EncodeTxnRead(key))
 	if err != nil {
 		return nil, err
@@ -630,6 +659,7 @@ func (s *Session) Get(ctx context.Context, key uint64) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.c.obs.Metrics().Histogram(obs.MConsensusReadLatency).ObserveDuration(time.Since(start))
 	if !rr.Found {
 		return []byte("NOTFOUND"), nil
 	}
@@ -695,14 +725,23 @@ func (s *Session) MultiGet(ctx context.Context, keys []uint64) (map[uint64]kvsto
 		seq   types.SeqNum
 		err   error
 	}
+	// Single-shard short-circuit: when every key maps to one healthy leased
+	// group, serve them through the leased fast path directly — none of the
+	// per-round partition maps, result channel, or reader goroutines below
+	// are allocated. Keys the fast path cannot serve re-enter the general
+	// machinery as the pending set.
+	pending := keys
+	leasedShort, leasedRest := s.multiGetLeased(ctx, span, keys, values, versions, touched)
+	if leasedShort {
+		pending = leasedRest
+	}
 	// A round reads every pending key through the session's current
 	// placement; keys answered WrongShard (their range moved under this
 	// call's feet) re-run in the next round through a refreshed epoch.
-	pending := keys
 	for attempt := 0; len(pending) > 0; attempt++ {
 		pm := s.placement()
 		parts := pm.Partition(pending)
-		if attempt == 0 {
+		if attempt == 0 && !leasedShort {
 			// Fan-out width: distinct shards the read set spans under the
 			// placement the call started with.
 			s.c.obs.Metrics().Histogram(obs.MMultiGetFanout).Observe(int64(len(parts)))

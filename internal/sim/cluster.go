@@ -71,6 +71,15 @@ type Results struct {
 	// Truncated reports that the collector dropped latency samples past its
 	// cap: MeanLat/P50Lat/P99Lat are estimates over the retained samples.
 	Truncated bool
+	// LeaseReads counts reads the leased fast path served inside the
+	// measurement window; LeaseFallbacks counts fast-path attempts over the
+	// whole run that fell back to consensus (lease missing, refused, stale
+	// binding, sweep) — a health signal, not a rate. LeaseReadP50 is the
+	// median latency over the leased reads alone (0 when none were served).
+	// All zero when Engine.ReadLease is off.
+	LeaseReads     uint64
+	LeaseFallbacks uint64
+	LeaseReadP50   time.Duration
 }
 
 // String renders a result row.
@@ -134,6 +143,20 @@ func (c *Cluster) Crash(r types.ReplicaID, at time.Duration) {
 // false to silently withhold a message. Node index cfg.N is the client pool.
 func (c *Cluster) SetSendFilter(r types.ReplicaID, filter func(to int, m types.Message) bool) {
 	c.g.replicas[r].sendFilter = filter
+}
+
+// SetStaleServe marks replica r byzantine for the read-lease fast path: it
+// keeps answering leased reads after revocation or expiry, from the last
+// binding it ever held and ignoring the client's fence. Client-side lease
+// checks are what must keep such a replica from serving a stale read.
+func (c *Cluster) SetStaleServe(r types.ReplicaID, on bool) {
+	c.g.replicas[r].staleServe = on
+}
+
+// LeaseState reports replica r's lease tracker position (last granted epoch
+// and whether it is still active) — white-box surface for revocation tests.
+func (c *Cluster) LeaseState(r types.ReplicaID) (epoch uint64, active bool) {
+	return c.g.replicas[r].lease.Epoch()
 }
 
 // At schedules fn at virtual time at (attack scripts, load changes).

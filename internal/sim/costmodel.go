@@ -61,6 +61,16 @@ type CostModel struct {
 	// VerifyMemoHit is the cost of answering a verification from the
 	// verified-statement memo (a map lookup).
 	VerifyMemoHit time.Duration
+	// LeaseReadPerReq is the primary-local cost of answering one leased
+	// single-key read (lease check, read-view lookup, fixed-size reply) on
+	// top of the MACVerify/MACSign authenticators. The fast path pays no
+	// BaseHandle pipeline dispatch and no batch SendOverhead — the
+	// implementation answers on the transport thread without enqueueing —
+	// and does no consensus work, signing, or trusted-component access. The
+	// leased path's speedup over a consensus read is emergent from this
+	// asymmetry; its reads still occupy the replica's workers, so read load
+	// and the consensus pipeline contend for CPU.
+	LeaseReadPerReq time.Duration
 }
 
 // DefaultCostModel returns the calibrated model described above.
@@ -81,6 +91,7 @@ func DefaultCostModel() CostModel {
 		VerifyQC:           40 * time.Microsecond,
 		VerifyBatchN:       15 * time.Microsecond,
 		VerifyMemoHit:      300 * time.Nanosecond,
+		LeaseReadPerReq:    1500 * time.Nanosecond,
 	}
 }
 

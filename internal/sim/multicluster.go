@@ -236,7 +236,16 @@ func newGroup(mc *MultiCluster, gi int, cfg Config) *group {
 		// isolates them inside the shared per-machine component.
 		rn.tcView = trusted.Namespaced(m.tc, cfg.Engine.TrustedNamespace)
 		rn.cryptoProv = &simCrypto{node: rn}
-		rn.proto = cfg.NewProtocol(id, cfg.Engine)
+		ecfg := cfg.Engine
+		if cfg.Engine.ReadLease {
+			// Per-replica tracker and read view, injected through this
+			// replica's own engine-config copy so the protocol's Base revokes
+			// exactly its host's lease on view changes.
+			rn.lease = &engine.LeaseTracker{}
+			rn.readView = kvstore.NewReadView()
+			ecfg.Lease = rn.lease
+		}
+		rn.proto = cfg.NewProtocol(id, ecfg)
 		g.replicas = append(g.replicas, rn)
 		g.nodes[i] = rn
 	}
@@ -299,6 +308,7 @@ func (mc *MultiCluster) Run(warmup, measure time.Duration) []Results {
 			g.pool.start(ramp)
 		}
 		g.pool.collector.SetWindow(warmup, warmup+measure)
+		g.pool.leaseCol.SetWindow(warmup, warmup+measure)
 	}
 	if mc.txnDriver != nil {
 		mc.txnDriver.start(ramp)
@@ -334,6 +344,10 @@ func (g *group) results(measure time.Duration) Results {
 		FinalView:   view,
 		ViewChanges: vcs,
 		Truncated:   col.Truncated(),
+
+		LeaseReads:     g.pool.leaseCol.Completed(),
+		LeaseFallbacks: g.pool.leaseFalls,
+		LeaseReadP50:   g.pool.leaseCol.Percentile(50),
 	}
 }
 

@@ -6,7 +6,11 @@ import (
 	"time"
 
 	"flexitrust/internal/crypto"
+	"flexitrust/internal/engine"
+	"flexitrust/internal/kvstore"
 	"flexitrust/internal/metrics"
+	"flexitrust/internal/obs"
+	"flexitrust/internal/trusted"
 	"flexitrust/internal/types"
 	"flexitrust/internal/workload"
 )
@@ -110,22 +114,74 @@ type clientPool struct {
 	pendingSends []*types.ClientRequest
 	resends      uint64
 	certsSent    uint64
+
+	// Read-lease client state (leaseOn mirrors Engine.ReadLease). The pool
+	// grants the group's lease through consensus as the reserved external
+	// client 0 and renews it on a deterministic virtual-time schedule; while
+	// the lease it believes in is live, OpRead operations go straight to the
+	// primary as LeaseRead exchanges instead of consensus submissions.
+	leaseOn       bool
+	leaseActive   bool
+	leaseView     types.View
+	leaseEpoch    uint64
+	leaseExpiry   time.Duration
+	leaseAttestOK bool // grant attestation verified (memoized per epoch)
+	leaseGrantIn  bool // a grant/renewal is in consensus right now
+	leaseSeq      uint64
+	nextLeaseRead uint64
+	leaseReadsOut map[uint64]*leaseRead
+	leaseCol      *metrics.Collector
+	watermark     types.SeqNum // highest committed seq observed (the fence)
+	leaseFalls    uint64       // whole-run fallback count (health signal)
 }
+
+// leaseRead tracks one outstanding leased fast-path read.
+type leaseRead struct {
+	ci    int
+	to    int // replica index the read was sent to
+	op    []byte
+	sent  time.Duration
+	fence types.SeqNum
+}
+
+// leaseClientID is the reserved client identity the pool's lease grant ops
+// run under (closed-loop clients are 1..numClients, transaction-driver
+// clients live above that; 0 is free).
+const leaseClientID types.ClientID = 0
 
 // newClientPool wires a pool for the group's cfg.Clients closed-loop
 // clients.
 func newClientPool(g *group) *clientPool {
 	return &clientPool{
-		g:          g,
-		policy:     g.cfg.Policy,
-		numClients: g.cfg.Clients,
-		gen:        workload.NewGenerator(g.cfg.Workload),
-		nextReq:    make([]uint64, g.cfg.Clients),
-		txns:       make(map[types.RequestKey]*poolTxn, g.cfg.Clients),
-		batches:    make(map[types.SeqNum]*batchState),
-		collector:  metrics.NewCollector(1 << 21),
-		timerGen:   make(map[types.TimerID]uint64),
+		g:             g,
+		policy:        g.cfg.Policy,
+		numClients:    g.cfg.Clients,
+		gen:           workload.NewGenerator(g.cfg.Workload),
+		nextReq:       make([]uint64, g.cfg.Clients),
+		txns:          make(map[types.RequestKey]*poolTxn, g.cfg.Clients),
+		batches:       make(map[types.SeqNum]*batchState),
+		collector:     metrics.NewCollector(1 << 21),
+		timerGen:      make(map[types.TimerID]uint64),
+		leaseOn:       g.cfg.Engine.ReadLease,
+		leaseReadsOut: make(map[uint64]*leaseRead),
+		leaseCol:      metrics.NewCollector(1 << 21),
 	}
+}
+
+// leaseDur / leaseMargin read the group's lease knobs with the engine's
+// defaults applied.
+func (p *clientPool) leaseDur() time.Duration {
+	if d := p.g.cfg.Engine.LeaseDuration; d > 0 {
+		return d
+	}
+	return 100 * time.Millisecond
+}
+
+func (p *clientPool) leaseMargin() time.Duration {
+	if m := p.g.cfg.Engine.LeaseSafetyMargin; m > 0 && m < p.leaseDur() {
+		return m
+	}
+	return p.leaseDur() / 10
 }
 
 // start ramps the initial window of requests in over rampOver to avoid an
@@ -156,6 +212,59 @@ func (p *clientPool) start(rampOver time.Duration) {
 	if p.policy.RetryTimeout > 0 {
 		p.armSweep()
 	}
+	// The first lease grant goes in with the ramp; renewals re-arm
+	// themselves on a deterministic virtual-time schedule.
+	if p.leaseOn {
+		p.g.scheduleFunc(0, func() {
+			p.renewLease()
+			p.flushSends()
+		})
+	}
+}
+
+// renewLease submits one OpLeaseGrant through consensus (as the reserved
+// lease client) and installs the resulting binding client-side when it
+// commits. Renewal re-arms at half the lease duration, so an unbroken
+// primary holds an unbroken lease; after a view change the stale binding
+// fails reply checks until the next renewal commits in the new view.
+func (p *clientPool) renewLease() {
+	if p.leaseGrantIn {
+		return
+	}
+	p.leaseGrantIn = true
+	p.leaseSeq++
+	req := &types.ClientRequest{
+		Client:    leaseClientID,
+		ReqNo:     p.leaseSeq,
+		Op:        kvstore.EncodeLeaseGrant(p.leaseDur()).Encode(),
+		Timestamp: int64(p.g.now()),
+	}
+	granted := p.g.now()
+	p.submitExternal(req, func(value []byte) {
+		p.leaseGrantIn = false
+		rearm := p.leaseDur() / 2
+		if epoch, ok := kvstore.DecodeLeaseGrant(value); ok {
+			p.leaseActive = true
+			// complete() has already folded the committing view in.
+			p.leaseView = p.view
+			p.leaseEpoch = epoch
+			p.leaseAttestOK = false
+			// Conservative client-side expiry: anchored at submission time
+			// (strictly before the primary's execute instant) with the full
+			// safety margin.
+			p.leaseExpiry = granted + p.leaseDur() - p.leaseMargin()
+		}
+		p.g.scheduleFunc(p.g.now()+rearm, func() {
+			p.renewLease()
+			p.flushSends()
+		})
+	})
+}
+
+// leaseUsable reports whether the pool currently routes reads down the
+// leased fast path.
+func (p *clientPool) leaseUsable() bool {
+	return p.leaseOn && p.leaseActive && p.g.now() < p.leaseExpiry
 }
 
 // armSweep schedules the retry sweep timer.
@@ -165,17 +274,49 @@ func (p *clientPool) armSweep() {
 	p.g.scheduleTimer(p.g.now()+p.policy.RetryTimeout/2, p.g.poolIdx(), id, p.timerGen[id])
 }
 
-// issue creates and queues the next request for client index ci.
+// issue creates and queues the next request for client index ci: single-key
+// reads ride the leased fast path when the lease is live, everything else
+// goes through consensus.
 func (p *clientPool) issue(ci int) {
+	op := p.gen.Next()
+	if p.leaseUsable() && len(op) > 0 && kvstore.OpCode(op[0]) == kvstore.OpRead {
+		p.issueLeased(ci, op, p.g.now())
+		return
+	}
+	p.issueOp(ci, op, p.g.now())
+}
+
+// issueOp queues op as a consensus submission for client ci; sent is the
+// latency baseline (the original issue instant, so a fallback from the
+// leased path keeps its true latency).
+func (p *clientPool) issueOp(ci int, op []byte, sent time.Duration) {
 	p.nextReq[ci]++
 	req := &types.ClientRequest{
 		Client:    types.ClientID(ci + 1),
 		ReqNo:     p.nextReq[ci],
-		Op:        p.gen.Next(),
+		Op:        op,
 		Timestamp: int64(p.g.now()),
 	}
-	p.txns[req.Key()] = &poolTxn{sent: p.g.now(), req: req}
+	p.txns[req.Key()] = &poolTxn{sent: sent, req: req}
 	p.pendingSends = append(p.pendingSends, req)
+}
+
+// issueLeased sends a single-key read straight to the believed primary under
+// the lease, fenced by the pool's observed commit watermark.
+func (p *clientPool) issueLeased(ci int, op []byte, sent time.Duration) {
+	kop, err := kvstore.DecodeOp(op)
+	if err != nil {
+		p.issueOp(ci, op, sent)
+		return
+	}
+	p.nextLeaseRead++
+	p.leaseReadsOut[p.nextLeaseRead] = &leaseRead{
+		ci: ci, to: p.primary, op: op, sent: sent, fence: p.watermark,
+	}
+	p.sendTo(p.primary, &types.LeaseRead{
+		Client: types.ClientID(ci + 1), ReadNo: p.nextLeaseRead,
+		Key: kop.Key, Fence: p.watermark,
+	})
 }
 
 // flushSends transmits accumulated requests to the current primary.
@@ -221,8 +362,75 @@ func (p *clientPool) handleMessage(from int, m types.Message) {
 		p.onResponse(from, msg)
 	case *types.LocalCommit:
 		p.onLocalCommit(from, msg)
+	case *types.LeaseReadReply:
+		p.onLeaseReadReply(msg)
 	}
 	p.flushSends()
+}
+
+// onLeaseReadReply resolves one leased read. The reply is accepted only when
+// it binds the exact lease the pool granted (replica, view, epoch), carries
+// a verified grant attestation, and was served at or above the fence the
+// read went out with — everything else falls back to a consensus read of
+// the same operation, with the original issue time as its latency baseline.
+func (p *clientPool) onLeaseReadReply(r *types.LeaseReadReply) {
+	lr := p.leaseReadsOut[r.ReadNo]
+	if lr == nil {
+		return
+	}
+	delete(p.leaseReadsOut, r.ReadNo)
+	served := r.Status == types.LeaseReadOK || r.Status == types.LeaseReadNotFound
+	bound := int(r.Replica) == lr.to && r.View == p.leaseView && r.Epoch == p.leaseEpoch &&
+		r.Watermark >= lr.fence
+	if served && bound && p.leaseAttestValid(r) {
+		now := p.g.now()
+		p.collector.Record(now, now-lr.sent)
+		p.leaseCol.Record(now, now-lr.sent)
+		p.issue(lr.ci)
+		return
+	}
+	p.leaseFalls++
+	p.metrics().Counter(obs.MLeaseFallbacks).Inc()
+	if r.Status == types.LeaseReadNoLease || (served && !bound) {
+		// The primary's lease is gone or no longer the one we granted: stop
+		// using it until a renewal commits.
+		p.leaseActive = false
+	}
+	p.issueOp(lr.ci, lr.op, lr.sent)
+}
+
+// leaseAttestValid verifies, once per lease epoch, the grant attestation a
+// serving primary presents: the digest must bind (namespace, view, epoch,
+// duration) and the proof must check under the machine-level authority.
+func (p *clientPool) leaseAttestValid(r *types.LeaseReadReply) bool {
+	if p.leaseAttestOK {
+		return true
+	}
+	a := r.Attest
+	if a == nil {
+		return false
+	}
+	ns := p.g.cfg.Engine.TrustedNamespace
+	if a.Digest != engine.LeaseGrantDigest(ns, r.View, r.Epoch, p.leaseDur()) {
+		return false
+	}
+	m := trusted.MapAttestation(a, ns)
+	if mi := p.g.machineOf(int(a.Replica)); mi != int(a.Replica) {
+		mm := *m
+		mm.Replica = types.ReplicaID(mi)
+		m = &mm
+	}
+	if !p.g.mc.auth.Verify(m) {
+		return false
+	}
+	p.leaseAttestOK = true
+	return true
+}
+
+// metrics returns the (nil-safe) metrics registry of the configured
+// observer.
+func (p *clientPool) metrics() *obs.Registry {
+	return p.g.cfg.Engine.Observer.Metrics()
 }
 
 // onResponse folds one replica's response into the batch tallies.
@@ -274,6 +482,9 @@ func (p *clientPool) onLocalCommit(from int, lc *types.LocalCommit) {
 // issues replacement requests (closed loop).
 func (p *clientPool) complete(seq types.SeqNum, bs *batchState, tally *respTally) {
 	bs.done = true
+	if seq > p.watermark {
+		p.watermark = seq // the fence future leased reads carry
+	}
 	if tally.view > p.view {
 		p.view = tally.view
 		p.primary = int(types.Primary(p.view, p.g.cfg.N))
@@ -386,6 +597,25 @@ func (p *clientPool) onSweep() {
 		for idx := range p.g.replicas {
 			p.sendTo(idx, resend)
 		}
+	}
+	// Leased reads that never got an answer (primary crashed or partitioned
+	// mid-lease) fall back to consensus: the lease is dropped and each due
+	// read re-enters as an ordinary submission, in ReadNo order for
+	// determinism.
+	var dueReads []uint64
+	for no, lr := range p.leaseReadsOut {
+		if lr.sent <= cutoff {
+			dueReads = append(dueReads, no)
+		}
+	}
+	sort.Slice(dueReads, func(i, j int) bool { return dueReads[i] < dueReads[j] })
+	for _, no := range dueReads {
+		lr := p.leaseReadsOut[no]
+		delete(p.leaseReadsOut, no)
+		p.leaseActive = false
+		p.leaseFalls++
+		p.metrics().Counter(obs.MLeaseFallbacks).Inc()
+		p.issueOp(lr.ci, lr.op, lr.sent)
 	}
 	p.armSweep()
 }

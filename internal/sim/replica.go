@@ -38,6 +38,20 @@ type replicaNode struct {
 	// transmitted (byzantine withholding). to == poolIdx targets clients.
 	sendFilter func(to int, m types.Message) bool
 
+	// lease / readView are the read-lease fast path state (nil unless
+	// Engine.ReadLease); each replica gets its own tracker, injected into its
+	// engine config copy so the protocol's Base revokes it on view changes.
+	lease    *engine.LeaseTracker
+	readView *kvstore.ReadView
+	// staleServe is the byzantine knob: the replica keeps answering leased
+	// reads after revocation or expiry, from the last binding it ever held
+	// and ignoring the client's fence — exactly the stale-serve attack the
+	// session-side view/epoch/watermark checks must defeat.
+	staleServe bool
+	staleView  types.View
+	staleEpoch uint64
+	staleAtt   *types.Attestation
+
 	// lastArrival enforces per-link FIFO delivery (TCP-like ordering).
 	lastArrival []time.Duration
 
@@ -134,6 +148,17 @@ func (r *replicaNode) handleMessage(from int, m types.Message) {
 	}
 	r.runHandler(func() {
 		cm := &r.g.cfg.Cost
+		if lr, ok := m.(*types.LeaseRead); ok {
+			// The leased fast path: answered for the cost of authenticating
+			// the request and one lookup — no pipeline dispatch and no batch
+			// serialization, matching the runtime, which answers these on
+			// the transport goroutine without enqueueing. The reads still
+			// occupy the machine's workers, so heavy read load and the
+			// consensus pipeline contend for the same CPU.
+			r.charge(cm.MACVerify + cm.LeaseReadPerReq)
+			r.serveLeaseRead(lr)
+			return
+		}
 		r.charge(cm.BaseHandle + cm.MACVerify)
 		switch msg := m.(type) {
 		case *types.RequestBatch:
@@ -154,6 +179,43 @@ func (r *replicaNode) handleMessage(from int, m types.Message) {
 			}
 		}
 	})
+}
+
+// serveLeaseRead answers a single-key read locally under the read lease —
+// the simulator twin of the runtime's transport-goroutine fast path. An
+// honest replica serves only while its tracker says the lease is live; a
+// staleServe byzantine one keeps serving from its last binding with the
+// client's fence ignored, which the client-side checks must catch.
+func (r *replicaNode) serveLeaseRead(lr *types.LeaseRead) {
+	cm := &r.g.cfg.Cost
+	reply := &types.LeaseReadReply{Replica: r.id, ReadNo: lr.ReadNo, Key: lr.Key}
+	view, epoch, _, att, ok := r.lease.Serving(r.g.now())
+	fence := lr.Fence
+	if !ok && r.staleServe && r.staleEpoch != 0 {
+		view, epoch, att, ok = r.staleView, r.staleEpoch, r.staleAtt, true
+		fence = 0
+	}
+	if !ok || r.readView == nil {
+		reply.Status = types.LeaseReadNoLease
+	} else {
+		reply.View, reply.Epoch, reply.Attest = view, epoch, att
+		val, seq, st := r.readView.Lookup(lr.Key, fence)
+		reply.Watermark = seq
+		switch st {
+		case kvstore.ReadOK:
+			reply.Status = types.LeaseReadOK
+			reply.Value = val
+		case kvstore.ReadNotFound:
+			reply.Status = types.LeaseReadNotFound
+		default:
+			reply.Status = types.LeaseReadRefused
+		}
+	}
+	if reply.Status == types.LeaseReadOK || reply.Status == types.LeaseReadNotFound {
+		r.metrics().Counter(obs.MLeaseReads).Inc()
+	}
+	r.charge(cm.MACSign)
+	r.outbox = append(r.outbox, simOut{to: r.g.poolIdx(), m: reply, depart: r.busyPoint()})
 }
 
 // handleTimer implements node.
@@ -321,9 +383,68 @@ func (r *replicaNode) metrics() *obs.Registry {
 func (r *replicaNode) Crypto() crypto.Provider { return r.cryptoProv }
 
 // Execute implements engine.Env.
-func (r *replicaNode) Execute(_ types.SeqNum, b *types.Batch) []types.Result {
+func (r *replicaNode) Execute(seq types.SeqNum, b *types.Batch) []types.Result {
 	r.charge(time.Duration(b.Len()) * r.g.cfg.Cost.ExecPerReq)
-	return r.store.ApplyBatch(b)
+	results := r.store.ApplyBatch(b)
+	if r.lease != nil {
+		r.lease.NoteExec(seq)
+		r.scanLeaseGrants(b, results)
+		// A committed range freeze (or revoke op) cleared the store's lease
+		// flag deterministically; the clock-bound tracker stops the same
+		// virtual instant the batch executes.
+		if _, storeActive := r.store.LeaseEpoch(); !storeActive {
+			if _, wasActive := r.lease.Epoch(); wasActive {
+				r.metrics().Counter(obs.MLeaseRevocations).Inc()
+			}
+			r.lease.Revoke()
+		}
+		r.store.SyncView(r.readView, seq)
+	}
+	return results
+}
+
+// scanLeaseGrants installs the lease binding for every OpLeaseGrant the
+// batch committed — the simulator twin of the runtime node's grant scan.
+// Only the view's primary arms its tracker, anchoring the grant to the
+// group's trusted counter with one attested access (charged on the
+// machine's TC timeline like any other).
+func (r *replicaNode) scanLeaseGrants(b *types.Batch, results []types.Result) {
+	for i, req := range b.Requests {
+		if len(req.Op) == 0 || kvstore.OpCode(req.Op[0]) != kvstore.OpLeaseGrant || i >= len(results) {
+			continue
+		}
+		op, err := kvstore.DecodeOp(req.Op)
+		if err != nil {
+			continue
+		}
+		dur, ok := kvstore.LeaseGrantDuration(op)
+		if !ok || dur <= 0 {
+			continue
+		}
+		epoch, ok := kvstore.DecodeLeaseGrant(results[i].Value)
+		if !ok {
+			continue
+		}
+		sr, reports := r.proto.(engine.StatusReporter)
+		if !reports {
+			continue
+		}
+		st := sr.Status()
+		if st.Primary != r.id || st.InViewChange {
+			continue
+		}
+		var att *types.Attestation
+		if a, err := r.Trusted().AppendF(engine.LeaseCounterID, engine.LeaseGrantDigest(
+			r.g.cfg.Engine.TrustedNamespace, st.View, epoch, dur)); err == nil {
+			att = a
+		}
+		expiry := r.g.now() + dur - r.g.cfg.Engine.LeaseSafetyMargin
+		r.lease.Grant(st.View, epoch, expiry, att)
+		// Remember the binding outside the tracker: the staleServe byzantine
+		// model keeps serving from it after an honest tracker would have
+		// revoked.
+		r.staleView, r.staleEpoch, r.staleAtt = st.View, epoch, att
+	}
 }
 
 // StateDigest implements engine.Env.
@@ -332,8 +453,12 @@ func (r *replicaNode) StateDigest() types.Digest { return r.store.StateDigest() 
 // SnapshotState implements engine.Env.
 func (r *replicaNode) SnapshotState() any { return r.store.Snapshot() }
 
-// RestoreState implements engine.Env.
-func (r *replicaNode) RestoreState(snap any) { r.store.Restore(snap.(*kvstore.Snapshot)) }
+// RestoreState implements engine.Env. A rollback may rewind the committed
+// lease state, so local serving stops until a fresh grant commits.
+func (r *replicaNode) RestoreState(snap any) {
+	r.store.Restore(snap.(*kvstore.Snapshot))
+	r.lease.Revoke()
+}
 
 // Defer implements engine.Env: the callback becomes its own worker event.
 func (r *replicaNode) Defer(fn func()) {

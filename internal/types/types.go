@@ -109,24 +109,28 @@ const (
 	MsgClientResend
 	MsgForward
 	MsgHello
+	MsgLeaseRead
+	MsgLeaseReadReply
 )
 
 var msgTypeNames = [...]string{
-	MsgInvalid:       "Invalid",
-	MsgClientRequest: "ClientRequest",
-	MsgRequestBatch:  "RequestBatch",
-	MsgPreprepare:    "Preprepare",
-	MsgPrepare:       "Prepare",
-	MsgCommit:        "Commit",
-	MsgResponse:      "Response",
-	MsgCheckpoint:    "Checkpoint",
-	MsgViewChange:    "ViewChange",
-	MsgNewView:       "NewView",
-	MsgCommitCert:    "CommitCert",
-	MsgLocalCommit:   "LocalCommit",
-	MsgClientResend:  "ClientResend",
-	MsgForward:       "Forward",
-	MsgHello:         "Hello",
+	MsgInvalid:        "Invalid",
+	MsgClientRequest:  "ClientRequest",
+	MsgRequestBatch:   "RequestBatch",
+	MsgPreprepare:     "Preprepare",
+	MsgPrepare:        "Prepare",
+	MsgCommit:         "Commit",
+	MsgResponse:       "Response",
+	MsgCheckpoint:     "Checkpoint",
+	MsgViewChange:     "ViewChange",
+	MsgNewView:        "NewView",
+	MsgCommitCert:     "CommitCert",
+	MsgLocalCommit:    "LocalCommit",
+	MsgClientResend:   "ClientResend",
+	MsgForward:        "Forward",
+	MsgHello:          "Hello",
+	MsgLeaseRead:      "LeaseRead",
+	MsgLeaseReadReply: "LeaseReadReply",
 }
 
 // String implements fmt.Stringer.
@@ -388,6 +392,68 @@ type Hello struct {
 
 // Type implements Message.
 func (*Hello) Type() MsgType { return MsgHello }
+
+// LeaseRead asks a lease-holding primary to answer a single-key read
+// locally, without consensus (leader read leases; see internal/engine's
+// LeaseTracker and the kvstore read view). The reply is valid only while the
+// reader can independently confirm the lease epoch is current.
+type LeaseRead struct {
+	Client ClientID
+	// ReadNo is the client-local lease-read sequence; (Client, ReadNo)
+	// matches the reply to the request.
+	ReadNo uint64
+	Key    uint64
+	// Fence is the highest committed sequence number the reader has observed
+	// for this group. The primary must answer from a read view at or above
+	// it — this is what makes the leased read linearizable with respect to
+	// every write that completed before the read started.
+	Fence SeqNum
+}
+
+// Type implements Message.
+func (*LeaseRead) Type() MsgType { return MsgLeaseRead }
+
+// LeaseReadStatus is the outcome of a lease-read attempt at the primary.
+type LeaseReadStatus uint8
+
+// Lease-read outcomes. Anything but OK/NotFound sends the reader down the
+// consensus fallback path.
+const (
+	LeaseReadOK LeaseReadStatus = iota
+	LeaseReadNotFound
+	// LeaseReadNoLease: the replica holds no servable lease (never granted,
+	// expired, or revoked by a view change / placement event).
+	LeaseReadNoLease
+	// LeaseReadRefused: the lease is live but this read cannot be answered
+	// safely — the read view is behind the fence, the key's range is not
+	// owned (released or mid-migration), or the key is under a transactional
+	// intent.
+	LeaseReadRefused
+)
+
+// LeaseReadReply is the primary's local answer to a LeaseRead.
+type LeaseReadReply struct {
+	Replica ReplicaID
+	ReadNo  uint64
+	Key     uint64
+	// View and Epoch identify the lease the answer was served under; the
+	// reader rejects the reply if its own view of the group has moved past
+	// them.
+	View  View
+	Epoch uint64
+	// Watermark is the committed sequence number of the read view the value
+	// came from (>= the request's Fence whenever Status is OK or NotFound).
+	Watermark SeqNum
+	Status    LeaseReadStatus
+	Value     []byte
+	// Attest is the trusted-counter attestation minted when the lease epoch
+	// was granted, letting the reader verify the grant is anchored to the
+	// group's counter without a round trip (verified once per epoch).
+	Attest *Attestation
+}
+
+// Type implements Message.
+func (*LeaseReadReply) Type() MsgType { return MsgLeaseReadReply }
 
 // TimerKind enumerates protocol timers.
 type TimerKind uint8

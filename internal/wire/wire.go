@@ -47,6 +47,8 @@ func init() {
 	gob.Register(&types.ClientResend{})
 	gob.Register(&types.Forward{})
 	gob.Register(&types.Hello{})
+	gob.Register(&types.LeaseRead{})
+	gob.Register(&types.LeaseReadReply{})
 }
 
 // Envelope is the unit of transmission: an authenticated sender plus the

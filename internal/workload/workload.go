@@ -52,6 +52,21 @@ func DefaultConfig() Config {
 	}
 }
 
+// ReadHeavy returns the default workload with the read fraction raised to
+// frac (the remainder updates): the operating point where the leased-read
+// fast path pays off. frac is clamped to [0, 1].
+func ReadHeavy(frac float64) Config {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	cfg := DefaultConfig()
+	cfg.Mix = Mix{ReadFraction: frac, UpdateFraction: 1 - frac}
+	return cfg
+}
+
 // Generator produces operations. Not safe for concurrent use; give each
 // client pool its own generator.
 type Generator struct {

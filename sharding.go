@@ -50,6 +50,16 @@ type ShardOptions struct {
 	// Stalled — sessions fail fast against it and Failover may evacuate
 	// its ranges. Default: 4× ViewChangeTimeout.
 	StallTimeout time.Duration
+	// ReadLease enables the leader read-lease fast path: each group grants
+	// its primary a consensus-committed, counter-attested lease, and
+	// sessions serve fenced single-key Gets (and one-shard MultiGets) from
+	// that primary without a consensus round — falling back transparently
+	// whenever the lease binding fails (see the package docs' "Leased
+	// reads" section). Off by default.
+	ReadLease bool
+	// LeaseDuration bounds how long one committed grant authorizes local
+	// serving before the primary must re-grant (default 100ms).
+	LeaseDuration time.Duration
 	// Observe enables cluster-wide observability: request tracing, the
 	// metrics registry, the attested-access audit stream and the
 	// control-plane event journal (see ShardedCluster.Observe).
@@ -168,6 +178,10 @@ func NewShardedCluster(opts ShardOptions) (*ShardedCluster, error) {
 	}
 	if opts.ViewChangeTimeout > 0 {
 		ecfg.ViewChangeTimeout = opts.ViewChangeTimeout
+	}
+	ecfg.ReadLease = opts.ReadLease
+	if opts.LeaseDuration > 0 {
+		ecfg.LeaseDuration = opts.LeaseDuration
 	}
 	var observer *obs.Observer
 	if opts.Observe.Enabled {
