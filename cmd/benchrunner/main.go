@@ -12,7 +12,7 @@
 //	benchrunner -list
 //
 // Experiments: fig1, fig5, fig6i, fig6ii, fig6iv, fig6vi, fig7, fig8, fig9,
-// shard, txn, rebalance, failover, qc, reads.
+// shard, txn, rebalance, failover, qc, reads, window.
 //
 // Profiling: -cpuprofile / -memprofile write pprof data covering whatever
 // the invocation runs (experiments or the baseline matrix), e.g.
@@ -77,6 +77,8 @@ func experiments() []experiment {
 			func(s harness.Scale) string { return harness.FigQC(shardCounts, s).String() }},
 		{"reads", "leased linearizable reads A/B under a read-heavy mix, lease on vs off at 1 and 4 shards",
 			func(s harness.Scale) string { return harness.FigReadLease(shardCounts, s).String() }},
+		{"window", "windowed amortized attestation A/B: one counter access per pipeline window vs per batch, Flexi-BFT and Flexi-ZZ",
+			func(s harness.Scale) string { return harness.FigAttestWindow(shardCounts, s).String() }},
 	}
 }
 

@@ -350,9 +350,41 @@
 // (crypto.RequestDigest), so admission, batching, proposal and execution
 // share one SHA-256 evaluation.
 //
+// Windowed amortized attestation. The remaining per-instance cost on the
+// FlexiTrust hot path is the executing primary's trusted-counter access —
+// one AppendF per batch. With engine.Config.AttestWindow > 1 (opt-in,
+// Flexi-BFT and Flexi-ZZ only; the MinBFT/MinZZ USIG stream IS the
+// sequencing mechanism and cannot be amortized) the primary assigns
+// sequence numbers locally, folds each batch digest into a running chain
+// (d_i = H(d_{i-1} ‖ batchDigest_i ‖ seq_i), anchored at a per-view
+// genesis) and spends ONE AppendF on the chain tip per window of up to
+// AttestWindow batches — flushing when the window fills, when BatchTimeout
+// elapses on a partial window, and unconditionally before abandoning a
+// view. The resulting crypto.WindowCert broadcasts as a WindowAttest;
+// backups hold their votes (or speculative execution) for a slot until the
+// covering certificate verifies. Safety reduces to AppendF monotonicity:
+// the primary mints at most one attestation per (epoch, value), and a
+// replica accepts a window only if it carries the next counter value,
+// starts right above its covered prefix, and chains from the previously
+// attested tip — so at each chain position exactly one window can ever be
+// accepted, making every slot→digest binding unique per view. Reordering
+// or substituting a batch inside a window changes the fold and fails the
+// chain check (or the slot→digest match); equivocating across windows
+// would need a second attestation for an already-spent counter value,
+// which the trusted component cannot produce (internal/byz mounts both and
+// shows every honest replica rejecting). View changes carry the covering
+// certificate in PreparedProofs, and the new primary re-proposes the
+// surviving prefix under one fresh window bound to its CounterInit. The
+// amortization is measured, not asserted: `benchrunner -exp window` A/Bs
+// window 1 against window 16 under identical seeds and reports attested
+// accesses per committed request from the audit stream.
+//
 // The attested-access discipline is untouched: verification is read-only,
-// so each decision still binds to exactly one trusted-counter access and
-// the audit checker stays alarm-free. Watch sig_verifies_total,
+// so each decision still binds to exactly one trusted-counter access — or,
+// windowed, each flushed window binds to exactly one access covering a
+// gap-free, non-overlapping sequence range, the relaxed invariant the
+// audit checker enforces per window record — and the checker stays
+// alarm-free on honest runs. Watch sig_verifies_total,
 // sig_verify_cache_hits, verify_pool_depth and the qc_size histogram in the
 // metrics registry; profile with `benchrunner -cpuprofile/-memprofile`.
 //

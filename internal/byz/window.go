@@ -1,0 +1,116 @@
+// Windowed-attestation attacks: a byzantine primary trying to reorder or
+// forge batches inside a single amortized attestation window
+// (engine.Config.AttestWindow > 1; see internal/protocols/common/window.go).
+package byz
+
+import (
+	"flexitrust/internal/crypto"
+	"flexitrust/internal/engine"
+	"flexitrust/internal/obs"
+	"flexitrust/internal/types"
+)
+
+// WindowReorderPrimary is a byzantine primary attacking windowed amortized
+// attestation: it preprepares batch A at sequence 1 and batch B at sequence 2
+// — the order it shows every replica — but spends its single trusted-counter
+// access on the chain fold of the SWAPPED order [B@1, A@2] and publishes the
+// covering WindowCert for that forged chain.
+//
+// The certificate itself verifies: its fold matches the genuinely attested
+// tip, and the attestation is a real mint. What fails is the slot→digest
+// binding — honest replicas admit the certificate, find that neither
+// delivered preprepare carries the digest the chain certifies for its slot,
+// and withhold every vote. Nothing commits, nothing executes, and because
+// AppendF already spent counter value 1 on the forged fold, no second
+// certificate for the same chain position can ever exist.
+//
+// With ForgeCert set the attacker instead attests the honest order but lies
+// in the certificate's digest list; then the fold no longer matches the
+// attested tip and VerifyWC rejects the certificate outright — the stashed
+// preprepares never release.
+type WindowReorderPrimary struct {
+	OpA, OpB []byte
+	// ForgeCert publishes a certificate whose digest list contradicts the
+	// attested tip (fails the chain check) instead of an honestly-attested
+	// forged order (fails slot→digest matching).
+	ForgeCert bool
+	// LieToAudit additionally self-reports a window record claiming the
+	// honest chain tip. The access it actually spent attested the swapped
+	// fold, so the audit's forged-range rule must flag the mismatch.
+	LieToAudit bool
+	// Cfg carries the engine config (Observer, TrustedNamespace) for
+	// LieToAudit; set it from the cluster's protocol constructor.
+	Cfg engine.Config
+
+	env   engine.Env
+	fired bool
+	// CertSent records that the attack ran to completion.
+	CertSent bool
+}
+
+// Init implements engine.Protocol.
+func (r *WindowReorderPrimary) Init(env engine.Env) { r.env = env }
+
+// OnRequest implements engine.Protocol: the first client request triggers
+// the scripted attack.
+func (r *WindowReorderPrimary) OnRequest(req *types.ClientRequest) {
+	if r.fired {
+		return
+	}
+	r.fired = true
+
+	reqA := &types.ClientRequest{Client: req.Client, ReqNo: req.ReqNo, Op: r.OpA}
+	batchA := &types.Batch{Requests: []*types.ClientRequest{reqA}}
+	batchA.Digest = crypto.BatchDigest(batchA.Requests)
+	reqB := &types.ClientRequest{Client: req.Client, ReqNo: req.ReqNo + 1000, Op: r.OpB}
+	batchB := &types.Batch{Requests: []*types.ClientRequest{reqB}}
+	batchB.Digest = crypto.BatchDigest(batchB.Requests)
+
+	// Preprepare the honest order to everyone. Windowed proposals carry no
+	// per-batch attestation: replicas stash them and hold their votes for
+	// the covering certificate.
+	r.env.Broadcast(&types.Preprepare{View: 0, Seq: 1, Batch: batchA})
+	r.env.Broadcast(&types.Preprepare{View: 0, Seq: 2, Batch: batchB})
+
+	genesis := crypto.WindowGenesis(0)
+	honestTip := crypto.ChainDigest(crypto.ChainDigest(genesis, batchA.Digest, 1), batchB.Digest, 2)
+	forgedTip := crypto.ChainDigest(crypto.ChainDigest(genesis, batchB.Digest, 1), batchA.Digest, 2)
+
+	attested := forgedTip
+	if r.ForgeCert {
+		attested = honestTip
+	}
+	att, err := r.env.Trusted().AppendF(0, attested)
+	if err != nil {
+		panic("byz: window AppendF failed: " + err.Error())
+	}
+	wc := &crypto.WindowCert{
+		View:    0,
+		Start:   1,
+		Prev:    genesis,
+		Digests: []types.Digest{batchB.Digest, batchA.Digest}, // the swap
+		Att:     att,
+	}
+	r.env.Broadcast(&types.WindowAttest{Replica: r.env.ID(), Cert: wc.Encode()})
+	r.CertSent = true
+
+	if r.LieToAudit {
+		// Claim in telemetry that the window attested the honest order.
+		r.Cfg.Observer.Audit().Window(obs.WindowRecord{
+			Host:      r.env.ID(),
+			Namespace: r.Cfg.TrustedNamespace,
+			Counter:   0,
+			Epoch:     att.Epoch,
+			Value:     att.Value,
+			Start:     1,
+			End:       2,
+			Digest:    honestTip,
+		})
+	}
+}
+
+// OnMessage implements engine.Protocol: the attacker ignores the protocol.
+func (r *WindowReorderPrimary) OnMessage(types.ReplicaID, types.Message) {}
+
+// OnTimer implements engine.Protocol.
+func (r *WindowReorderPrimary) OnTimer(types.TimerID) {}

@@ -1,0 +1,251 @@
+// Tests mounting the windowed-attestation attacks: a byzantine primary that
+// reorders batches inside an attested window is rejected by every honest
+// replica (the chain, not the preprepare stream, is authoritative), liveness
+// recovers by view change, and the audit stream flags a window record whose
+// claimed tip does not match the attested access.
+package byz
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"flexitrust/internal/engine"
+	"flexitrust/internal/obs"
+	"flexitrust/internal/protocols/flexibft"
+	"flexitrust/internal/protocols/flexizz"
+	"flexitrust/internal/sim"
+	"flexitrust/internal/trusted"
+	"flexitrust/internal/types"
+	"flexitrust/internal/workload"
+)
+
+// windowedEngine is smallEngine with windowed amortized attestation on.
+func windowedEngine(n, f, window int) engine.Config {
+	cfg := smallEngine(n, f)
+	cfg.AttestWindow = window
+	return cfg
+}
+
+// buildWindowedCluster assembles a sim cluster whose engine has an attest
+// window configured; o may be nil (no audit stream).
+func buildWindowedCluster(t *testing.T, n, f, window int,
+	mk func(id types.ReplicaID, cfg engine.Config) engine.Protocol,
+	policy sim.ReplyPolicy, o *obs.Observer) *sim.Cluster {
+	t.Helper()
+	wl := workload.DefaultConfig()
+	wl.Records = 1000
+	return sim.NewCluster(sim.Config{
+		N: n, F: f,
+		Engine:         windowedEngine(n, f, window),
+		NewProtocol:    mk,
+		Policy:         policy,
+		Topo:           sim.LANTopology(n),
+		TrustedProfile: trusted.ProfileSGXEnclave,
+		Clients:        1,
+		Workload:       wl,
+		Seed:           7,
+		Obs:            o,
+	})
+}
+
+// TestWindowReorderRejectedByFlexiBFT mounts the in-window equivocation: the
+// byzantine primary preprepares [A@1, B@2] but attests (and certifies) the
+// swapped order [B@1, A@2]. The certificate is genuine — its chain fold
+// matches the attested tip — yet every honest replica refuses to vote,
+// because neither delivered preprepare carries the digest the chain
+// certifies for its slot. The run stays short of the view-change timeout so
+// the rejection is observed in isolation.
+func TestWindowReorderRejectedByFlexiBFT(t *testing.T) {
+	const n, f = 4, 1
+	opA, opB := rollbackOps()
+	attacker := &WindowReorderPrimary{OpA: opA, OpB: opB}
+	policy := sim.ReplyPolicy{Fast: f + 1, RetryTimeout: time.Second}
+	c := buildWindowedCluster(t, n, f, 4,
+		func(id types.ReplicaID, cfg engine.Config) engine.Protocol {
+			if id == 0 {
+				return attacker
+			}
+			return flexibft.New(cfg)
+		}, policy, nil)
+
+	res := c.Run(0, 250*time.Millisecond)
+
+	if !attacker.CertSent {
+		t.Fatal("attack never fired; no client request reached the primary")
+	}
+	if res.Completed != 0 {
+		t.Fatalf("client completed %d transactions against a reordered window", res.Completed)
+	}
+	for r := 1; r < n; r++ {
+		if !c.StateDigestOf(types.ReplicaID(r)).IsZero() {
+			t.Fatalf("replica %d executed a slot from a reordered window", r)
+		}
+	}
+}
+
+// TestWindowForgedCertRejectedByFlexiBFT mounts the cruder forgery: the
+// primary attests the honest order but publishes a certificate listing the
+// swapped digests. The fold no longer matches the attested tip, VerifyWC
+// rejects the certificate outright, and the stashed preprepares never
+// release a vote.
+func TestWindowForgedCertRejectedByFlexiBFT(t *testing.T) {
+	const n, f = 4, 1
+	opA, opB := rollbackOps()
+	attacker := &WindowReorderPrimary{OpA: opA, OpB: opB, ForgeCert: true}
+	policy := sim.ReplyPolicy{Fast: f + 1, RetryTimeout: time.Second}
+	c := buildWindowedCluster(t, n, f, 4,
+		func(id types.ReplicaID, cfg engine.Config) engine.Protocol {
+			if id == 0 {
+				return attacker
+			}
+			return flexibft.New(cfg)
+		}, policy, nil)
+
+	res := c.Run(0, 250*time.Millisecond)
+
+	if !attacker.CertSent {
+		t.Fatal("attack never fired")
+	}
+	if res.Completed != 0 {
+		t.Fatalf("client completed %d transactions against a forged certificate", res.Completed)
+	}
+	for r := 1; r < n; r++ {
+		if !c.StateDigestOf(types.ReplicaID(r)).IsZero() {
+			t.Fatalf("replica %d executed a slot from a forged certificate", r)
+		}
+	}
+}
+
+// TestWindowReorderRejectedByFlexiZZ repeats the in-window equivocation
+// against the speculative protocol: windowed backups hold speculative
+// execution until the covering certificate verifies the slot, so the
+// reordered window executes nowhere.
+func TestWindowReorderRejectedByFlexiZZ(t *testing.T) {
+	const n, f = 4, 1
+	opA, opB := rollbackOps()
+	attacker := &WindowReorderPrimary{OpA: opA, OpB: opB}
+	policy := sim.ReplyPolicy{Fast: f + 1, RetryTimeout: time.Second}
+	c := buildWindowedCluster(t, n, f, 4,
+		func(id types.ReplicaID, cfg engine.Config) engine.Protocol {
+			if id == 0 {
+				return attacker
+			}
+			return flexizz.New(cfg)
+		}, policy, nil)
+
+	res := c.Run(0, 250*time.Millisecond)
+
+	if !attacker.CertSent {
+		t.Fatal("attack never fired")
+	}
+	if res.Completed != 0 {
+		t.Fatalf("client completed %d transactions against a reordered window", res.Completed)
+	}
+	for r := 1; r < n; r++ {
+		if !c.StateDigestOf(types.ReplicaID(r)).IsZero() {
+			t.Fatalf("replica %d speculatively executed a slot from a reordered window", r)
+		}
+	}
+}
+
+// TestWindowReorderLivenessRecovers runs the reorder attack past the
+// view-change timeout: the stalled backups depose the byzantine primary,
+// the new (windowed) primary re-proposes nothing — no reordered slot was
+// ever prepared — and the real workload commits in the new view with all
+// honest replicas agreeing on state.
+func TestWindowReorderLivenessRecovers(t *testing.T) {
+	const n, f = 4, 1
+	opA, opB := rollbackOps()
+	attacker := &WindowReorderPrimary{OpA: opA, OpB: opB}
+	policy := sim.ReplyPolicy{Fast: f + 1, RetryTimeout: 500 * time.Millisecond}
+	c := buildWindowedCluster(t, n, f, 4,
+		func(id types.ReplicaID, cfg engine.Config) engine.Protocol {
+			if id == 0 {
+				return attacker
+			}
+			return flexibft.New(cfg)
+		}, policy, nil)
+
+	res := c.Run(0, 2500*time.Millisecond)
+
+	if !attacker.CertSent {
+		t.Fatal("attack never fired")
+	}
+	if res.Completed == 0 {
+		t.Fatal("client never completed; view change should restore liveness")
+	}
+	d1 := c.StateDigestOf(1)
+	if d1.IsZero() {
+		t.Fatal("replica 1 executed nothing after the view change")
+	}
+	for r := 2; r < n; r++ {
+		if d := c.StateDigestOf(types.ReplicaID(r)); d != d1 {
+			t.Fatalf("replica %d diverged after the view change (d=%v, d1=%v)", r, d, d1)
+		}
+	}
+}
+
+// TestAuditFlagsForgedWindowRecord attaches the audit stream and has the
+// attacker lie in telemetry: its window record claims the honest chain tip
+// while the access it spent attested the swapped fold. The forged-range rule
+// must flag the mismatch; the protocol-level rejection is unchanged.
+func TestAuditFlagsForgedWindowRecord(t *testing.T) {
+	const n, f = 4, 1
+	opA, opB := rollbackOps()
+	attacker := &WindowReorderPrimary{OpA: opA, OpB: opB, LieToAudit: true}
+	policy := sim.ReplyPolicy{Fast: f + 1, RetryTimeout: time.Second}
+	o := obs.New(obs.Config{})
+	c := buildWindowedCluster(t, n, f, 4,
+		func(id types.ReplicaID, cfg engine.Config) engine.Protocol {
+			if id == 0 {
+				attacker.Cfg = cfg
+				return attacker
+			}
+			return flexibft.New(cfg)
+		}, policy, o)
+
+	c.Run(0, 250*time.Millisecond)
+
+	if !attacker.CertSent {
+		t.Fatal("attack never fired")
+	}
+	found := false
+	for _, a := range o.Audit().Alarms() {
+		found = found || strings.Contains(a.Message, "forged range")
+	}
+	if !found {
+		t.Fatalf("audit raised no forged-range alarm for the lying window record; alarms: %v",
+			o.Audit().Alarms())
+	}
+	for r := 1; r < n; r++ {
+		if !c.StateDigestOf(types.ReplicaID(r)).IsZero() {
+			t.Fatalf("replica %d executed a slot from a reordered window", r)
+		}
+	}
+}
+
+// TestAuditSilentOnHonestWindowedRun is the control: an all-honest windowed
+// Flexi-BFT cluster working through real load flushes windows, completes
+// client transactions, and raises no audit alarm.
+func TestAuditSilentOnHonestWindowedRun(t *testing.T) {
+	const n, f = 4, 1
+	policy := sim.ReplyPolicy{Fast: f + 1, RetryTimeout: time.Second}
+	o := obs.New(obs.Config{})
+	c := buildWindowedCluster(t, n, f, 4,
+		func(_ types.ReplicaID, cfg engine.Config) engine.Protocol {
+			return flexibft.New(cfg)
+		}, policy, o)
+
+	res := c.Run(100*time.Millisecond, time.Second)
+
+	if res.Completed == 0 {
+		t.Fatal("honest windowed cluster made no progress")
+	}
+	if alarms := o.Audit().Alarms(); len(alarms) != 0 {
+		t.Fatalf("honest windowed run raised %d alarms: %v", len(alarms), alarms)
+	}
+	if len(o.Audit().Windows()) == 0 {
+		t.Fatal("no window records: amortized attestation never engaged")
+	}
+}

@@ -98,6 +98,12 @@ type Provider interface {
 	// given vote quorum: structural checks (bitmap width, signer count)
 	// plus batch verification of any carried signatures.
 	VerifyQC(qc *QuorumCert, quorum int) bool
+	// VerifyWC validates a windowed attestation certificate: structural
+	// checks plus recomputation of the digest chain fold against the
+	// attested tip. The embedded attestation's proof is verified
+	// separately through engine.Env.VerifyAttestation, which holds the
+	// counter authority's key.
+	VerifyWC(wc *WindowCert) bool
 }
 
 // Keyring holds the long-term keys of every replica and client in a cluster.
@@ -253,4 +259,12 @@ func (s *Suite) VerifyQC(qc *QuorumCert, quorum int) bool {
 		}
 	}
 	return true
+}
+
+// VerifyWC implements Provider: structural validity plus the chain fold
+// matching the attested digest (both inside WindowCert.Check). The
+// attestation proof itself is checked by the caller's counter authority,
+// exactly as quorum-certificate trust rests on the attested proposal.
+func (s *Suite) VerifyWC(wc *WindowCert) bool {
+	return wc != nil && wc.Check() == nil
 }

@@ -1,0 +1,199 @@
+package crypto
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"flexitrust/internal/types"
+)
+
+// WindowCert: one trusted-counter access certifying an ordered window of
+// batches.
+//
+// A windowed FlexiTrust primary chains batch digests with
+// ChainDigest (d_i = H(d_{i-1} ‖ batchDigest_i ‖ seq_i), genesis
+// WindowGenesis(view)) and spends a single AppendF on the chain tip.
+// The certificate is self-contained: it carries the window's view, the first
+// covered sequence number, the chain value preceding the window, the ordered
+// batch digests, and the attestation minted over the tip — so a verifier can
+// recompute the fold and check slot membership without any sibling messages.
+// Swapping, dropping or substituting a batch inside the window changes the
+// recomputed tip and the certificate no longer matches its attestation.
+//
+// Like QuorumCert, the wire form is a canonical hand-rolled encoding with
+// explicit bounds, so decoding is total and deterministic.
+
+// wcVersion is the supported wire-format version.
+const wcVersion = 1
+
+// wcMaxBatches bounds the digests a certificate may carry. View-change
+// re-proposals cover up to the pipeline window plus a checkpoint interval in
+// one certificate (~228 slots at the defaults); 4096 leaves generous room
+// while still rejecting absurd allocations.
+const wcMaxBatches = 4096
+
+// wcMaxProof bounds the embedded attestation proof (HMAC-SHA256 is 32
+// bytes; wide margin for richer authorities).
+const wcMaxProof = 512
+
+// wcFixedLen is the encoded size before the digest list: version, view,
+// start, prev digest, digest count.
+const wcFixedLen = 1 + 8 + 8 + 32 + 2
+
+// wcAttFixedLen is the encoded attestation size before the proof: replica,
+// counter, epoch, value, digest, proof length.
+const wcAttFixedLen = 4 + 4 + 4 + 8 + 32 + 2
+
+// WindowCert binds a trusted-counter value to an ordered range of batch
+// digests. Seq Start+i carries Digests[i]; Att attests the chain tip
+// obtained by folding Digests over Prev.
+type WindowCert struct {
+	// View the window was proposed in; the chain genesis is view-specific.
+	View types.View
+	// Start is the first sequence number the window covers.
+	Start types.SeqNum
+	// Prev is the chain value before the window's first link: the previous
+	// window's attested tip, or WindowGenesis(View) for the view's
+	// first window.
+	Prev types.Digest
+	// Digests are the covered batch digests in sequence order.
+	Digests []types.Digest
+	// Att is the counter attestation over the chain tip.
+	Att *types.Attestation
+}
+
+// End is the last sequence number the window covers.
+func (wc *WindowCert) End() types.SeqNum {
+	return wc.Start + types.SeqNum(len(wc.Digests)) - 1
+}
+
+// Covers reports whether the certificate binds digest d to sequence seq.
+func (wc *WindowCert) Covers(seq types.SeqNum, d types.Digest) bool {
+	if seq < wc.Start || seq > wc.End() {
+		return false
+	}
+	return wc.Digests[seq-wc.Start] == d
+}
+
+// Tip recomputes the chain fold over the carried digests. A certificate is
+// chain-consistent iff Tip() == Att.Digest.
+func (wc *WindowCert) Tip() types.Digest {
+	d := wc.Prev
+	for i, bd := range wc.Digests {
+		d = ChainDigest(d, bd, wc.Start+types.SeqNum(i))
+	}
+	return d
+}
+
+// Check validates structure: a nonzero in-bounds digest range, a present
+// attestation, and a chain fold that matches the attested digest. It does
+// NOT verify the attestation proof — that needs the counter authority's key
+// and runs through engine.Env.VerifyAttestation, mirroring how QuorumCert
+// leaves signature checks to the Provider.
+func (wc *WindowCert) Check() error {
+	if len(wc.Digests) == 0 {
+		return fmt.Errorf("windowcert: empty window")
+	}
+	if len(wc.Digests) > wcMaxBatches {
+		return fmt.Errorf("windowcert: %d batches exceeds bound %d", len(wc.Digests), wcMaxBatches)
+	}
+	if wc.Start == 0 {
+		return fmt.Errorf("windowcert: window starts at sequence 0")
+	}
+	if wc.Att == nil {
+		return fmt.Errorf("windowcert: missing attestation")
+	}
+	if len(wc.Att.Proof) > wcMaxProof {
+		return fmt.Errorf("windowcert: %d-byte proof exceeds bound %d", len(wc.Att.Proof), wcMaxProof)
+	}
+	if wc.Tip() != wc.Att.Digest {
+		return fmt.Errorf("windowcert: chain fold does not match attested digest")
+	}
+	return nil
+}
+
+// Encode renders the canonical wire form:
+//
+//	version(1) ‖ view(8) ‖ start(8) ‖ prev(32) ‖ count(2) ‖ digests(32 each)
+//	‖ replica(4) ‖ counter(4) ‖ epoch(4) ‖ value(8) ‖ attDigest(32)
+//	‖ proofLen(2) ‖ proof
+func (wc *WindowCert) Encode() []byte {
+	a := wc.Att
+	out := make([]byte, 0, wcFixedLen+len(wc.Digests)*32+wcAttFixedLen+len(a.Proof))
+	out = append(out, wcVersion)
+	out = binary.BigEndian.AppendUint64(out, uint64(wc.View))
+	out = binary.BigEndian.AppendUint64(out, uint64(wc.Start))
+	out = append(out, wc.Prev[:]...)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(wc.Digests)))
+	for _, d := range wc.Digests {
+		out = append(out, d[:]...)
+	}
+	out = binary.BigEndian.AppendUint32(out, uint32(a.Replica))
+	out = binary.BigEndian.AppendUint32(out, a.Counter)
+	out = binary.BigEndian.AppendUint32(out, a.Epoch)
+	out = binary.BigEndian.AppendUint64(out, a.Value)
+	out = append(out, a.Digest[:]...)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(a.Proof)))
+	out = append(out, a.Proof...)
+	return out
+}
+
+// DecodeWindowCert parses the canonical wire form, rejecting unknown
+// versions, out-of-bounds counts, truncation and trailing bytes.
+func DecodeWindowCert(data []byte) (*WindowCert, error) {
+	if len(data) < wcFixedLen {
+		return nil, fmt.Errorf("windowcert: %d bytes, want at least %d", len(data), wcFixedLen)
+	}
+	if data[0] != wcVersion {
+		return nil, fmt.Errorf("windowcert: unknown version %d", data[0])
+	}
+	wc := &WindowCert{
+		View:  types.View(binary.BigEndian.Uint64(data[1:9])),
+		Start: types.SeqNum(binary.BigEndian.Uint64(data[9:17])),
+	}
+	copy(wc.Prev[:], data[17:17+32])
+	off := 17 + 32
+	count := int(binary.BigEndian.Uint16(data[off : off+2]))
+	off += 2
+	if count == 0 {
+		return nil, fmt.Errorf("windowcert: empty window")
+	}
+	if count > wcMaxBatches {
+		return nil, fmt.Errorf("windowcert: %d batches exceeds bound %d", count, wcMaxBatches)
+	}
+	if len(data) < off+count*32+wcAttFixedLen {
+		return nil, fmt.Errorf("windowcert: truncated digest list")
+	}
+	wc.Digests = make([]types.Digest, count)
+	for i := range wc.Digests {
+		copy(wc.Digests[i][:], data[off:off+32])
+		off += 32
+	}
+	a := &types.Attestation{
+		Replica: types.ReplicaID(int32(binary.BigEndian.Uint32(data[off : off+4]))),
+		Counter: binary.BigEndian.Uint32(data[off+4 : off+8]),
+		Epoch:   binary.BigEndian.Uint32(data[off+8 : off+12]),
+		Value:   binary.BigEndian.Uint64(data[off+12 : off+20]),
+	}
+	off += 20
+	copy(a.Digest[:], data[off:off+32])
+	off += 32
+	proofLen := int(binary.BigEndian.Uint16(data[off : off+2]))
+	off += 2
+	if proofLen == 0 {
+		return nil, fmt.Errorf("windowcert: zero-length proof")
+	}
+	if proofLen > wcMaxProof {
+		return nil, fmt.Errorf("windowcert: %d-byte proof exceeds bound %d", proofLen, wcMaxProof)
+	}
+	if len(data) < off+proofLen {
+		return nil, fmt.Errorf("windowcert: truncated proof")
+	}
+	a.Proof = append([]byte(nil), data[off:off+proofLen]...)
+	off += proofLen
+	if off != len(data) {
+		return nil, fmt.Errorf("windowcert: %d trailing bytes", len(data)-off)
+	}
+	wc.Att = a
+	return wc, nil
+}

@@ -1,0 +1,198 @@
+package crypto
+
+import (
+	"bytes"
+	"encoding/hex"
+	"strings"
+	"testing"
+
+	"flexitrust/internal/types"
+)
+
+// goldenWC is the reference certificate for the wire-format tests: view 3,
+// a two-batch window starting at seq 7, recognizable digest prefixes, a
+// 4-byte proof. Its chain fold is deliberately NOT consistent — the golden
+// test pins the byte layout; chain semantics are tested separately.
+func goldenWC() *WindowCert {
+	var prev, d1, d2, ad types.Digest
+	copy(prev[:], []byte{0xDE, 0xAD, 0xBE, 0xEF})
+	d1[0], d2[0] = 0x11, 0x22
+	copy(ad[:], []byte{0xCA, 0xFE, 0xBA, 0xBE})
+	return &WindowCert{
+		View:    3,
+		Start:   7,
+		Prev:    prev,
+		Digests: []types.Digest{d1, d2},
+		Att: &types.Attestation{
+			Replica: 2, Counter: 5, Epoch: 1, Value: 9,
+			Digest: ad, Proof: []byte{1, 2, 3, 4},
+		},
+	}
+}
+
+// goldenWCHex is the canonical encoding of goldenWC, written out byte for
+// byte. If this test breaks, the wire format changed: bump wcVersion.
+const goldenWCHex = "01" + // version
+	"0000000000000003" + // view
+	"0000000000000007" + // start
+	"deadbeef" + "00000000000000000000000000000000000000000000000000000000" + // prev
+	"0002" + // digest count
+	"1100000000000000000000000000000000000000000000000000000000000000" + // digest seq 7
+	"2200000000000000000000000000000000000000000000000000000000000000" + // digest seq 8
+	"00000002" + // replica
+	"00000005" + // counter
+	"00000001" + // epoch
+	"0000000000000009" + // value
+	"cafebabe" + "00000000000000000000000000000000000000000000000000000000" + // attested digest
+	"0004" + // proof length
+	"01020304" // proof
+
+func TestWindowCertGoldenEncoding(t *testing.T) {
+	want, err := hex.DecodeString(goldenWCHex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := goldenWC().Encode()
+	if !bytes.Equal(got, want) {
+		t.Fatalf("encoding drifted from golden vector:\n  got  %x\n  want %x", got, want)
+	}
+	wc, err := DecodeWindowCert(want)
+	if err != nil {
+		t.Fatalf("golden vector does not decode: %v", err)
+	}
+	if wc.View != 3 || wc.Start != 7 || wc.End() != 8 || len(wc.Digests) != 2 {
+		t.Fatalf("golden decode mismatch: %+v", wc)
+	}
+	a := wc.Att
+	if a.Replica != 2 || a.Counter != 5 || a.Epoch != 1 || a.Value != 9 ||
+		!bytes.Equal(a.Proof, []byte{1, 2, 3, 4}) {
+		t.Fatalf("golden attestation mismatch: %+v", a)
+	}
+	// Round trip is the identity.
+	if !bytes.Equal(wc.Encode(), want) {
+		t.Fatal("re-encoding the decoded certificate drifted")
+	}
+}
+
+func TestWindowCertDecodeRejectsMalformed(t *testing.T) {
+	golden, _ := hex.DecodeString(goldenWCHex)
+	// Offsets into the golden layout (see Encode): digest count at 49,
+	// proof length at 167.
+	mut := func(f func(b []byte) []byte) []byte {
+		return f(append([]byte(nil), golden...))
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"truncated header", golden[:40]},
+		{"unknown version", mut(func(b []byte) []byte { b[0] = 2; return b })},
+		{"zero digest count", mut(func(b []byte) []byte { b[49], b[50] = 0, 0; return b })},
+		{"oversized digest count", mut(func(b []byte) []byte { b[49], b[50] = 0xFF, 0xFF; return b })},
+		{"truncated digest list", golden[:100]},
+		{"truncated attestation", golden[:130]},
+		{"zero-length proof", mut(func(b []byte) []byte { b[167], b[168] = 0, 0; return b })},
+		{"oversized proof length", mut(func(b []byte) []byte { b[167], b[168] = 0xFF, 0xFF; return b })},
+		{"truncated proof", golden[:len(golden)-2]},
+		{"trailing bytes", append(append([]byte(nil), golden...), 0x00)},
+	}
+	for _, tc := range cases {
+		if wc, err := DecodeWindowCert(tc.data); err == nil {
+			t.Errorf("%s: accepted as %+v", tc.name, wc)
+		}
+	}
+}
+
+// chainWC builds a chain-consistent certificate over the given digests.
+func chainWC(v types.View, start types.SeqNum, digests []types.Digest) *WindowCert {
+	wc := &WindowCert{View: v, Start: start, Prev: WindowGenesis(v), Digests: digests}
+	wc.Att = &types.Attestation{Replica: 0, Counter: 0, Epoch: 0, Value: 1,
+		Digest: wc.Tip(), Proof: []byte{0xAB}}
+	return wc
+}
+
+func TestWindowCertChainConsistency(t *testing.T) {
+	var dA, dB, dC types.Digest
+	dA[0], dB[0], dC[0] = 'a', 'b', 'c'
+	wc := chainWC(2, 10, []types.Digest{dA, dB, dC})
+	if err := wc.Check(); err != nil {
+		t.Fatalf("chain-consistent certificate rejected: %v", err)
+	}
+	if !wc.Covers(10, dA) || !wc.Covers(11, dB) || !wc.Covers(12, dC) {
+		t.Fatal("certificate does not cover its own slots")
+	}
+	if wc.Covers(9, dA) || wc.Covers(13, dC) || wc.Covers(10, dB) {
+		t.Fatal("certificate covers a slot/digest it should not")
+	}
+
+	// Any within-window reordering or substitution breaks the fold.
+	swapped := chainWC(2, 10, []types.Digest{dA, dB, dC})
+	swapped.Att = wc.Att
+	swapped.Digests = []types.Digest{dB, dA, dC}
+	if err := swapped.Check(); err == nil {
+		t.Fatal("reordered window passed the chain check")
+	}
+	subst := chainWC(2, 10, []types.Digest{dA, dB, dC})
+	subst.Att = wc.Att
+	subst.Digests[1][0] ^= 0xFF
+	if err := subst.Check(); err == nil {
+		t.Fatal("substituted batch passed the chain check")
+	}
+	// A shifted window re-binds slots, which changes every link.
+	shifted := chainWC(2, 10, []types.Digest{dA, dB, dC})
+	shifted.Att = wc.Att
+	shifted.Start = 11
+	if err := shifted.Check(); err == nil {
+		t.Fatal("slot-shifted window passed the chain check")
+	}
+	// A certificate minted in another view anchors at a different genesis.
+	otherView := chainWC(3, 10, []types.Digest{dA, dB, dC})
+	otherView.Att = wc.Att
+	if err := otherView.Check(); err == nil {
+		t.Fatal("cross-view window passed the chain check")
+	}
+}
+
+func TestWindowCertCheckRejects(t *testing.T) {
+	var d types.Digest
+	d[0] = 1
+	cases := []struct {
+		name string
+		wc   *WindowCert
+		want string
+	}{
+		{"empty window", &WindowCert{Start: 1, Att: &types.Attestation{}}, "empty"},
+		{"start zero", chainWC(0, 0, []types.Digest{d}), "sequence 0"},
+		{"missing attestation", &WindowCert{Start: 1, Digests: []types.Digest{d}}, "missing attestation"},
+	}
+	for _, tc := range cases {
+		err := tc.wc.Check()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+	over := chainWC(0, 1, []types.Digest{d})
+	over.Att.Proof = make([]byte, wcMaxProof+1)
+	if err := over.Check(); err == nil {
+		t.Error("oversized proof passed")
+	}
+}
+
+func TestSuiteVerifyWC(t *testing.T) {
+	ring := testKeyring(t)
+	verifier := NewSuite(ring, 2)
+	var d types.Digest
+	d[0] = 1
+	wc := chainWC(0, 1, []types.Digest{d})
+	if !verifier.VerifyWC(wc) {
+		t.Fatal("chain-consistent certificate rejected")
+	}
+	wc.Digests[0][0] ^= 0xFF
+	if verifier.VerifyWC(wc) {
+		t.Fatal("chain-breaking certificate accepted")
+	}
+	if verifier.VerifyWC(nil) {
+		t.Fatal("nil certificate accepted")
+	}
+}

@@ -1,0 +1,57 @@
+package crypto
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"flexitrust/internal/types"
+)
+
+// Windowed attestation chaining.
+//
+// A FlexiTrust primary normally spends one AppendF per batch. Windowed
+// attestation amortizes that cost: the primary folds each proposed batch
+// digest into a running chain digest
+//
+//	d_i = H(d_{i-1} ‖ batchDigest_i ‖ seq_i)
+//
+// anchored at a per-view genesis value, and spends ONE AppendF on the chain
+// tip for a whole window of batches. The chain links make the attested tip
+// bind the *ordered* digest range: swapping, dropping or substituting any
+// batch inside the window changes every subsequent link and therefore the
+// tip, so the single attestation certifies each batch's slot. These two
+// helpers are the range-binding digest primitive; crypto.WindowCert carries
+// the attested range on the wire.
+
+// windowGenesisTag domain-separates the per-view chain genesis from every
+// other digest in the system.
+const windowGenesisTag = "flexitrust/window-genesis/v1"
+
+// ChainDigest extends a window chain: the digest of prev ‖ batch ‖ seq with
+// seq encoded as 8 big-endian bytes. Including the sequence number in each
+// link pins every batch to its slot, not just to its position in the list.
+func ChainDigest(prev, batch types.Digest, seq types.SeqNum) types.Digest {
+	h := sha256.New()
+	h.Write(prev[:])
+	h.Write(batch[:])
+	var s [8]byte
+	binary.BigEndian.PutUint64(s[:], uint64(seq))
+	h.Write(s[:])
+	var d types.Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// WindowGenesis is the chain anchor for view v. Making genesis view-specific
+// means a chain (and hence a WindowCert) minted in one view can never verify
+// against another view's chain position.
+func WindowGenesis(v types.View) types.Digest {
+	h := sha256.New()
+	h.Write([]byte(windowGenesisTag))
+	var s [8]byte
+	binary.BigEndian.PutUint64(s[:], uint64(v))
+	h.Write(s[:])
+	var d types.Digest
+	h.Sum(d[:0])
+	return d
+}

@@ -1,0 +1,39 @@
+package crypto
+
+import (
+	"testing"
+
+	"flexitrust/internal/types"
+)
+
+func TestChainDigestBindsOrderAndSlot(t *testing.T) {
+	g := WindowGenesis(0)
+	a := types.Digest{1}
+	b := types.Digest{2}
+
+	ab := ChainDigest(ChainDigest(g, a, 1), b, 2)
+	ba := ChainDigest(ChainDigest(g, b, 1), a, 2)
+	if ab == ba {
+		t.Fatal("swapped batch order produced the same chain tip")
+	}
+	shifted := ChainDigest(ChainDigest(g, a, 2), b, 3)
+	if ab == shifted {
+		t.Fatal("shifted sequence numbers produced the same chain tip")
+	}
+	again := ChainDigest(ChainDigest(g, a, 1), b, 2)
+	if ab != again {
+		t.Fatal("chain digest not deterministic")
+	}
+}
+
+func TestWindowGenesisPerView(t *testing.T) {
+	if WindowGenesis(0) == WindowGenesis(1) {
+		t.Fatal("views 0 and 1 share a chain genesis")
+	}
+	if WindowGenesis(3) != WindowGenesis(3) {
+		t.Fatal("genesis not deterministic")
+	}
+	if WindowGenesis(0) == types.ZeroDigest {
+		t.Fatal("genesis equals the zero digest")
+	}
+}

@@ -181,6 +181,16 @@ type Config struct {
 	// `benchrunner -exp qc` experiment uses as its control arm.
 	EnableQC bool
 
+	// AttestWindow enables windowed amortized attestation on FlexiTrust
+	// protocols (AppendF-based primaries): the primary chains batch
+	// digests and spends one trusted-counter access per window of up to
+	// AttestWindow batches, publishing a crypto.WindowCert that binds the
+	// counter value to the ordered digest range. Values ≤ 1 preserve the
+	// per-batch attestation behavior exactly. Host-sequenced protocols
+	// (MinBFT-class Append streams) ignore it: their counter accesses are
+	// the sequence numbers themselves and cannot be amortized.
+	AttestWindow int
+
 	// Observer, when non-nil, enables the cluster-wide observability
 	// layer for this instance: the hosting environment instruments the
 	// replica's raw trusted component with it (audit records for every

@@ -257,7 +257,9 @@ func (c *CheckpointTracker) Add(m *types.Checkpoint) {
 // answer ClientResend messages without re-executing (at-most-once
 // semantics).
 type ResponseCache struct {
-	byClient map[types.ClientID]*cachedResponse
+	// Entries are stored by value: Put runs once per result per committed
+	// batch, and a pointer map would heap-allocate an entry each time.
+	byClient map[types.ClientID]cachedResponse
 }
 
 // cachedResponse stores the latest response covering a client's request.
@@ -268,23 +270,23 @@ type cachedResponse struct {
 
 // NewResponseCache creates an empty cache.
 func NewResponseCache() *ResponseCache {
-	return &ResponseCache{byClient: make(map[types.ClientID]*cachedResponse)}
+	return &ResponseCache{byClient: make(map[types.ClientID]cachedResponse)}
 }
 
 // Put records resp as the reply to each covered client's request.
 func (rc *ResponseCache) Put(resp *types.Response) {
 	for _, res := range resp.Results {
-		cur := rc.byClient[res.Client]
-		if cur == nil || res.ReqNo >= cur.reqNo {
-			rc.byClient[res.Client] = &cachedResponse{reqNo: res.ReqNo, resp: resp}
+		cur, ok := rc.byClient[res.Client]
+		if !ok || res.ReqNo >= cur.reqNo {
+			rc.byClient[res.Client] = cachedResponse{reqNo: res.ReqNo, resp: resp}
 		}
 	}
 }
 
 // Get returns the cached response for (client, reqNo), or nil.
 func (rc *ResponseCache) Get(client types.ClientID, reqNo uint64) *types.Response {
-	cur := rc.byClient[client]
-	if cur == nil || cur.reqNo != reqNo {
+	cur, ok := rc.byClient[client]
+	if !ok || cur.reqNo != reqNo {
 		return nil
 	}
 	return cur.resp
@@ -293,6 +295,6 @@ func (rc *ResponseCache) Get(client types.ClientID, reqNo uint64) *types.Respons
 // Executed reports whether the client's request reqNo (or a later one) has
 // already been executed here.
 func (rc *ResponseCache) Executed(client types.ClientID, reqNo uint64) bool {
-	cur := rc.byClient[client]
-	return cur != nil && cur.reqNo >= reqNo
+	cur, ok := rc.byClient[client]
+	return ok && cur.reqNo >= reqNo
 }

@@ -25,10 +25,14 @@ const BenchSchema = "flexitrust-bench/v1"
 // fields are nanoseconds; absolute numbers are machine-dependent, while the
 // attested-access fields are exact invariants.
 type BenchEntry struct {
-	// Experiment is "shard", "txn", "rebalance", "failover" or "reads".
+	// Experiment is "shard", "txn", "rebalance", "failover", "reads" or
+	// "window".
 	Experiment string `json:"experiment"`
 	Protocol   string `json:"protocol"`
 	Shards     int    `json:"shards"`
+	// AttestWindow is the windowed-attestation window size (window only):
+	// 1 is the per-batch baseline arm, >1 the amortized arm.
+	AttestWindow int `json:"attest_window,omitempty"`
 	// TxnFraction is the cross-shard transaction fraction (txn only).
 	TxnFraction float64 `json:"txn_fraction,omitempty"`
 	// Lease marks the lease-on arm of the reads A/B; LeaseReads counts the
@@ -176,6 +180,25 @@ func CollectBench(scale Scale) (*BenchBaseline, error) {
 		}
 	}
 
+	for _, proto := range windowExpProtocols {
+		for _, w := range windowExpWindows {
+			// WindowPoint already fails on audit alarms, so a recorded
+			// entry is alarm-free by construction.
+			res, accesses, err := WindowPoint(proto, 1, scale, w)
+			if err != nil {
+				return nil, fmt.Errorf("bench window %s/W=%d: %w", proto, w, err)
+			}
+			b.Entries = append(b.Entries, BenchEntry{
+				Experiment: "window", Protocol: proto, Shards: 1, AttestWindow: w,
+				Throughput: res.Throughput,
+				P50Ns:      res.P50Lat.Nanoseconds(), P99Ns: res.P99Lat.Nanoseconds(),
+				Completed:        res.Completed,
+				AttestedAccesses: accesses,
+				Truncated:        res.Truncated,
+			})
+		}
+	}
+
 	foScale := scale
 	if foScale > 8 {
 		foScale = 8
@@ -225,7 +248,7 @@ func ValidateBench(data []byte) (*BenchBaseline, error) {
 	for i, e := range b.Entries {
 		where := fmt.Sprintf("entry %d (%s/%s/S=%d)", i, e.Experiment, e.Protocol, e.Shards)
 		switch e.Experiment {
-		case "shard", "txn", "rebalance", "failover", "reads":
+		case "shard", "txn", "rebalance", "failover", "reads", "window":
 		default:
 			return nil, fmt.Errorf("bench baseline: %s: unknown experiment", where)
 		}
@@ -263,7 +286,53 @@ func ValidateBench(data []byte) (*BenchBaseline, error) {
 			if e.AttestedAccesses == 0 {
 				return nil, fmt.Errorf("bench baseline: %s: zero attested accesses over a full run", where)
 			}
+		case "window":
+			if e.AttestWindow < 1 {
+				return nil, fmt.Errorf("bench baseline: %s: attest window %d", where, e.AttestWindow)
+			}
+			if e.AttestedAccesses == 0 || e.Completed == 0 {
+				return nil, fmt.Errorf("bench baseline: %s: empty window run", where)
+			}
 		}
 	}
+	if err := validateWindowPairs(b.Entries); err != nil {
+		return nil, err
+	}
 	return &b, nil
+}
+
+// validateWindowPairs enforces the windowed-attestation amortization
+// invariant across entries: for each (protocol, shards) with both a
+// per-batch arm (window 1) and an amortized arm (window W>1), the amortized
+// arm must spend at least W/2-fold fewer attested accesses per committed
+// request. The ratio is a property of the protocol's counter discipline
+// under the pinned seed, not of machine speed, so it belongs with the other
+// machine-independent invariants.
+func validateWindowPairs(entries []BenchEntry) error {
+	type key struct {
+		proto  string
+		shards int
+	}
+	perBatch := make(map[key]float64)
+	for _, e := range entries {
+		if e.Experiment == "window" && e.AttestWindow == 1 {
+			perBatch[key{e.Protocol, e.Shards}] = float64(e.AttestedAccesses) / float64(e.Completed)
+		}
+	}
+	for _, e := range entries {
+		if e.Experiment != "window" || e.AttestWindow <= 1 {
+			continue
+		}
+		base, ok := perBatch[key{e.Protocol, e.Shards}]
+		if !ok {
+			continue // no baseline arm recorded for this configuration
+		}
+		perOp := float64(e.AttestedAccesses) / float64(e.Completed)
+		want := float64(e.AttestWindow) / 2
+		if perOp <= 0 || base/perOp < want {
+			return fmt.Errorf("bench baseline: window %s/S=%d/W=%d amortizes %.1fx, want >= %.1fx",
+				e.Protocol, e.Shards, e.AttestWindow, base/perOp, want)
+		}
+	}
+	return nil
 }

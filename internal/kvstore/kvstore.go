@@ -71,23 +71,34 @@ func (o *Op) Encode() []byte {
 	return buf
 }
 
-// DecodeOp parses an operation, returning an error on malformed input; a
-// byzantine client must not be able to crash a replica.
-func DecodeOp(b []byte) (*Op, error) {
+// Decode parses an operation into o, returning an error on malformed input;
+// a byzantine client must not be able to crash a replica. The decoded Value
+// aliases b. Decoding into a caller-owned Op keeps the state machine's
+// per-operation hot path allocation-free (Apply runs once per request on
+// every replica).
+func (o *Op) Decode(b []byte) error {
 	if len(b) < 13 {
-		return nil, fmt.Errorf("kvstore: op too short (%d bytes)", len(b))
-	}
-	o := &Op{
-		Code:  OpCode(b[0]),
-		Key:   binary.BigEndian.Uint64(b[1:9]),
-		Count: binary.BigEndian.Uint16(b[9:11]),
+		return fmt.Errorf("kvstore: op too short (%d bytes)", len(b))
 	}
 	vlen := int(binary.BigEndian.Uint16(b[11:13]))
 	if len(b) != 13+vlen {
-		return nil, fmt.Errorf("kvstore: op length mismatch: have %d want %d", len(b), 13+vlen)
+		return fmt.Errorf("kvstore: op length mismatch: have %d want %d", len(b), 13+vlen)
 	}
+	o.Code = OpCode(b[0])
+	o.Key = binary.BigEndian.Uint64(b[1:9])
+	o.Count = binary.BigEndian.Uint16(b[9:11])
+	o.Value = nil
 	if vlen > 0 {
 		o.Value = b[13 : 13+vlen]
+	}
+	return nil
+}
+
+// DecodeOp parses an operation, returning an error on malformed input.
+func DecodeOp(b []byte) (*Op, error) {
+	o := new(Op)
+	if err := o.Decode(b); err != nil {
+		return nil, err
 	}
 	return o, nil
 }
@@ -229,15 +240,15 @@ func (s *Store) WrittenKeys() int { return len(s.records) }
 // all replicas must produce the same answer for any input.
 func (s *Store) Apply(opBytes []byte) []byte {
 	s.applied++
-	op, err := DecodeOp(opBytes)
-	if err != nil {
+	var op Op // stack-decoded: Apply is the per-request hot path
+	if err := op.Decode(opBytes); err != nil {
 		return []byte("ERR")
 	}
 	switch op.Code {
 	case OpNoop:
 		return nil
 	case OpTxnPrepare, OpTxnCommit, OpTxnAbort, OpTxnRead:
-		return s.applyTxnOp(op)
+		return s.applyTxnOp(&op)
 	case OpRangeFreeze:
 		return s.applyRangeFreeze(op.Value)
 	case OpRangeInstall:

@@ -44,6 +44,13 @@ type Audit struct {
 	decisionNS map[uint16]bool
 	digests    map[types.Digest]int
 	decided    map[decisionKey]types.Digest
+
+	// Windowed-attestation accounting (see window.go).
+	windows    []WindowRecord
+	windowNS   map[uint16]bool
+	winState   map[counterKey]windowState
+	winAccess  map[windowAccessKey]types.Digest
+	winClaimed map[windowAccessKey]bool
 }
 
 func newAudit(o *Observer, buffer int) *Audit {
@@ -54,6 +61,10 @@ func newAudit(o *Observer, buffer int) *Audit {
 		decisionNS: make(map[uint16]bool),
 		digests:    make(map[types.Digest]int),
 		decided:    make(map[decisionKey]types.Digest),
+		windowNS:   make(map[uint16]bool),
+		winState:   make(map[counterKey]windowState),
+		winAccess:  make(map[windowAccessKey]types.Digest),
+		winClaimed: make(map[windowAccessKey]bool),
 	}
 }
 
@@ -201,6 +212,10 @@ func (a *Audit) Access(rec AccessRecord) {
 			rec.Host, rec.Namespace, rec.Counter, rec.Value, st.value)
 	default:
 		a.counters[key] = counterState{epoch: rec.Epoch, value: rec.Value}
+	}
+
+	if a.windowNS[rec.Namespace] && rec.Kind == AccessAppendF {
+		a.winAccess[windowAccessKey{q: key.q, epoch: rec.Epoch, value: rec.Value}] = rec.Digest
 	}
 
 	if a.decisionNS[rec.Namespace] {

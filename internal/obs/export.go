@@ -61,6 +61,9 @@ type AuditExport struct {
 	Decisions []DecisionRecord `json:"decisions,omitempty"`
 	Alarms    []Alarm          `json:"alarms,omitempty"`
 	Records   []AccessRecord   `json:"records,omitempty"`
+	// Windows carries the windowed-attestation records (windowed
+	// FlexiTrust deployments only; empty otherwise).
+	Windows []WindowRecord `json:"windows,omitempty"`
 }
 
 // JournalExport is the control-plane journal's export.
@@ -147,6 +150,7 @@ func (e *Exporter) Snapshot() Export {
 	ex.Audit.Dropped = ex.Audit.Accesses - uint64(ex.Audit.Retained)
 	ex.Audit.Decisions = a.Decisions()
 	ex.Audit.Alarms = a.Alarms()
+	ex.Audit.Windows = a.Windows()
 
 	j := o.Journal()
 	ex.Journal.Total = j.Total()

@@ -1,0 +1,143 @@
+package obs
+
+import "flexitrust/internal/types"
+
+// Windowed-attestation audit accounting. With engine.Config.AttestWindow
+// enabled, one trusted-counter access certifies an ordered *range* of
+// consensus decisions instead of a single batch, so the per-batch
+// "exactly one access per decision" bookkeeping no longer applies on the
+// consensus path. The relaxed invariants the checker enforces instead:
+//
+//   - window values stay strictly monotone per (host, namespace, counter)
+//     within an epoch — the same rollback/double-mint defense as loose
+//     accesses;
+//   - consecutive windows tile the sequence space exactly: each window
+//     starts at the previous window's end + 1 (alarm on overlap or gap),
+//     with range tracking reset across epochs because a new view's
+//     re-proposal window legitimately re-covers old sequence numbers;
+//   - exactly one attested access per window: each window record must
+//     match a recorded AppendF access (same namespace/counter/epoch/value,
+//     same chain-tip digest) that no other window has claimed.
+//
+// Only namespaces registered with RegisterWindowNamespace retain their
+// AppendF accesses for matching, keeping the table bounded by window
+// traffic.
+
+// WindowRecord is one flushed attestation window: a single counter access
+// (Epoch, Value, Digest — the attested chain tip) covering consensus
+// sequence numbers Start..End in order.
+type WindowRecord struct {
+	// Seq orders the record in the shared causal sequence.
+	Seq  uint64          `json:"seq"`
+	Host types.ReplicaID `json:"host"`
+	// Namespace and Counter identify the counter as in AccessRecord.
+	Namespace uint16 `json:"namespace"`
+	Counter   uint32 `json:"counter"`
+	Epoch     uint32 `json:"epoch"`
+	Value     uint64 `json:"value"`
+	// Start and End are the covered consensus sequence range (inclusive).
+	Start uint64 `json:"start"`
+	End   uint64 `json:"end"`
+	// Digest is the attested chain tip binding the ordered range.
+	Digest types.Digest `json:"digest"`
+}
+
+// windowState tracks window progression for one (host, counter) pair.
+type windowState struct {
+	epoch uint32
+	value uint64
+	end   uint64
+}
+
+// windowAccessKey identifies the unique counter access a window claims.
+// Hosts are deliberately absent: two hosts minting the same
+// (namespace, counter, epoch, value) is itself an equivocation the claim
+// check should surface, not tolerate.
+type windowAccessKey struct {
+	q     uint32 // namespace << 16 | local counter
+	epoch uint32
+	value uint64
+}
+
+// RegisterWindowNamespace marks a counter namespace as windowed: its
+// AppendF accesses are retained so each window record can be matched to
+// the single access that minted it.
+func (a *Audit) RegisterWindowNamespace(ns uint16) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.windowNS[ns] = true
+}
+
+// Window records one flushed attestation window and checks the relaxed
+// invariants described above. Callers fill everything but Seq.
+func (a *Audit) Window(rec WindowRecord) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rec.Seq = a.o.nextSeq()
+	a.windows = append(a.windows, rec)
+
+	if rec.End < rec.Start {
+		a.alarmLocked("window on host %d ns %d q %d covers inverted range [%d,%d]",
+			rec.Host, rec.Namespace, rec.Counter, rec.Start, rec.End)
+		return
+	}
+
+	key := counterKey{host: rec.Host, q: uint32(rec.Namespace)<<16 | (rec.Counter & 0xFFFF)}
+	st, known := a.winState[key]
+	switch {
+	case !known || rec.Epoch > st.epoch:
+		// First window, or a new epoch: range tracking restarts because
+		// view-change re-proposals legitimately re-cover old sequence
+		// numbers under the fresh counter.
+		a.winState[key] = windowState{epoch: rec.Epoch, value: rec.Value, end: rec.End}
+	case rec.Epoch < st.epoch:
+		a.alarmLocked("window epoch regression on host %d ns %d q %d: epoch %d after %d",
+			rec.Host, rec.Namespace, rec.Counter, rec.Epoch, st.epoch)
+	case rec.Value <= st.value:
+		a.alarmLocked("window value regression on host %d ns %d q %d: value %d after %d — rollback or double-mint",
+			rec.Host, rec.Namespace, rec.Counter, rec.Value, st.value)
+	case rec.Start != st.end+1:
+		if rec.Start <= st.end {
+			a.alarmLocked("window overlap on host %d ns %d q %d: [%d,%d] after end %d — a sequence number is covered twice",
+				rec.Host, rec.Namespace, rec.Counter, rec.Start, rec.End, st.end)
+		} else {
+			a.alarmLocked("window gap on host %d ns %d q %d: [%d,%d] after end %d — uncovered sequence numbers",
+				rec.Host, rec.Namespace, rec.Counter, rec.Start, rec.End, st.end)
+		}
+	default:
+		a.winState[key] = windowState{epoch: rec.Epoch, value: rec.Value, end: rec.End}
+	}
+
+	// Exactly one attested access per window.
+	ak := windowAccessKey{q: key.q, epoch: rec.Epoch, value: rec.Value}
+	d, seen := a.winAccess[ak]
+	switch {
+	case !seen:
+		a.alarmLocked("window on host %d ns %d q %d value %d has no recorded attested access",
+			rec.Host, rec.Namespace, rec.Counter, rec.Value)
+	case d != rec.Digest:
+		a.alarmLocked("window on host %d ns %d q %d value %d does not match its attested digest — forged range",
+			rec.Host, rec.Namespace, rec.Counter, rec.Value)
+	case a.winClaimed[ak]:
+		a.alarmLocked("two windows claim the attested access ns %d q %d value %d",
+			rec.Namespace, rec.Counter, rec.Value)
+	default:
+		a.winClaimed[ak] = true
+	}
+}
+
+// Windows copies the recorded attestation windows.
+func (a *Audit) Windows() []WindowRecord {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]WindowRecord(nil), a.windows...)
+}

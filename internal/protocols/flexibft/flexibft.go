@@ -57,6 +57,11 @@ type Protocol struct {
 	// committed (EnableQC); carried in view-change prepared proofs and
 	// GC'd at stable checkpoints.
 	qcs map[types.SeqNum][]byte
+	// win is the windowed-attestation state (Cfg.AttestWindow > 1): one
+	// AppendF certifies a chained window of batches instead of one per
+	// batch. Disabled, every path below falls through to the per-batch
+	// behavior unchanged.
+	win *common.WindowState
 }
 
 // New constructs a Flexi-BFT replica for cfg.
@@ -66,6 +71,7 @@ func New(cfg engine.Config) *Protocol {
 		prepares:    engine.NewQuorumSet(),
 		committed:   make(map[types.SeqNum]bool),
 		qcs:         make(map[types.SeqNum][]byte),
+		win:         common.NewWindowState(cfg.AttestWindow),
 	}
 	p.Cfg = cfg
 	p.VCQuorum = cfg.VoteQuorum2f1()
@@ -76,6 +82,12 @@ func New(cfg engine.Config) *Protocol {
 // Init implements engine.Protocol.
 func (p *Protocol) Init(env engine.Env) {
 	p.InitBase(env, p.Cfg, p, p.respond)
+	if p.win.Enabled() {
+		// View 0 genesis: nothing covered, the counter's first AppendF
+		// mints value 1.
+		p.win.Reset(0, 0, 1)
+		common.RegisterWindowAudit(&p.Cfg)
+	}
 }
 
 // OnRequest implements engine.Protocol.
@@ -94,6 +106,8 @@ func (p *Protocol) OnMessage(from types.ReplicaID, m types.Message) {
 		p.HandleViewChange(msg)
 	case *types.NewView:
 		p.HandleNewView(from, msg)
+	case *types.WindowAttest:
+		p.onWindowAttest(from, msg)
 	case *types.Forward:
 		p.HandleForward(msg)
 	case *types.ClientResend:
@@ -102,11 +116,23 @@ func (p *Protocol) OnMessage(from types.ReplicaID, m types.Message) {
 }
 
 // OnTimer implements engine.Protocol.
-func (p *Protocol) OnTimer(id types.TimerID) { p.HandleBaseTimer(id) }
+func (p *Protocol) OnTimer(id types.TimerID) {
+	if id.Kind == types.TimerWindowFlush {
+		if p.win.Enabled() && p.IsPrimary() && !p.InViewChange {
+			p.flushWindow()
+		}
+		return
+	}
+	p.HandleBaseTimer(id)
+}
 
 // ProposeBatch implements common.Hooks: the single trusted-component access
 // of the instance binds the batch digest to the next counter value.
 func (p *Protocol) ProposeBatch(b *types.Batch) {
+	if p.win.Enabled() {
+		p.proposeWindowed(b)
+		return
+	}
 	att, err := p.Env.Trusted().AppendF(counterID, b.Digest)
 	if err != nil {
 		p.Env.Logf("flexibft: AppendF failed: %v", err)
@@ -119,6 +145,75 @@ func (p *Protocol) ProposeBatch(b *types.Batch) {
 	p.Env.Broadcast(pp)
 	// The primary's Preprepare doubles as its Prepare vote.
 	p.addPrepare(&types.Prepare{View: p.View, Seq: seq, Digest: b.Digest, Replica: p.Env.ID()})
+}
+
+// proposeWindowed is ProposeBatch under windowed attestation: the sequence
+// number is assigned locally, the batch digest joins the running chain, and
+// the counter is touched only when the window flushes. The primary votes
+// for its own slot immediately; backups vote once the covering certificate
+// arrives.
+func (p *Protocol) proposeWindowed(b *types.Batch) {
+	seq := p.LastProposed + 1
+	p.LastProposed = seq
+	pp := &types.Preprepare{View: p.View, Seq: seq, Batch: b}
+	p.accept(pp)
+	p.Env.Broadcast(pp)
+	p.addPrepare(&types.Prepare{View: p.View, Seq: seq, Digest: b.Digest, Replica: p.Env.ID()})
+	if p.win.Append(seq, b.Digest) {
+		p.flushWindow()
+	} else if p.win.Len() == 1 {
+		// First batch of a fresh window: bound how long a partial window
+		// may sit unattested. Re-arming the same timer id on each new
+		// window invalidates the previous window's (now-stale) deadline.
+		p.Env.SetTimer(types.TimerID{Kind: types.TimerWindowFlush, View: p.View}, p.Cfg.BatchTimeout)
+	}
+}
+
+// flushWindow spends the window's single counter access and publishes the
+// covering certificate.
+func (p *Protocol) flushWindow() {
+	if enc := p.win.Flush(p.Env, &p.Cfg, counterID); enc != nil {
+		p.Env.Broadcast(&types.WindowAttest{Replica: p.Env.ID(), Cert: enc})
+	}
+}
+
+// onWindowAttest verifies and admits a covering certificate at a backup,
+// then votes for every stashed preprepare it certifies.
+func (p *Protocol) onWindowAttest(from types.ReplicaID, m *types.WindowAttest) {
+	if !p.win.Enabled() || p.InViewChange || from != p.PrimaryID() || m.Replica != from {
+		return
+	}
+	wc, err := crypto.DecodeWindowCert(m.Cert)
+	if err != nil {
+		return
+	}
+	a := wc.Att
+	if a.Replica != from || a.Counter != counterID || a.Epoch != p.curEpoch ||
+		wc.View != p.View || !p.Env.Crypto().VerifyWC(wc) {
+		return
+	}
+	if p.Cfg.EnableQC {
+		p.Env.VerifyAttestationAsync(a, func(ok bool) {
+			if ok && !p.InViewChange && wc.View == p.View && a.Epoch == p.curEpoch {
+				p.admitWindow(wc, m.Cert)
+			}
+		})
+		return
+	}
+	if !p.Env.VerifyAttestation(a) {
+		return
+	}
+	p.admitWindow(wc, m.Cert)
+}
+
+// admitWindow folds an attestation-verified certificate into the chain and
+// votes for the slots it unblocks.
+func (p *Protocol) admitWindow(wc *crypto.WindowCert, enc []byte) {
+	for _, pp := range p.win.Admit(wc, enc) {
+		if p.preprepareGuards(p.PrimaryID(), pp) {
+			p.acceptAndVote(p.PrimaryID(), pp)
+		}
+	}
 }
 
 // validAttest checks a Preprepare's attestation binding.
@@ -142,6 +237,23 @@ func (p *Protocol) attestShape(from types.ReplicaID, pp *types.Preprepare) bool 
 // batched verifier amortizes across. The continuation re-runs every guard —
 // commits, checkpoints, or a view change may have landed in between.
 func (p *Protocol) onPreprepare(from types.ReplicaID, pp *types.Preprepare) {
+	if p.win.Enabled() {
+		// Windowed proposals carry no per-batch attestation; the vote waits
+		// for the covering WindowAttest. A certificate that arrived first
+		// releases the vote immediately — but only if the digests agree,
+		// since the chain, not the preprepare, is authoritative.
+		if !p.preprepareGuards(from, pp) || pp.Attest != nil {
+			return
+		}
+		if d, ok := p.win.CoveredDigest(pp.Seq); ok {
+			if d == pp.Batch.Digest {
+				p.acceptAndVote(from, pp)
+			}
+			return
+		}
+		p.win.Stash(pp)
+		return
+	}
 	if !p.preprepareGuards(from, pp) || !p.attestShape(from, pp) {
 		return
 	}
@@ -237,11 +349,28 @@ func (p *Protocol) respond(seq types.SeqNum, batch *types.Batch, results []types
 // merely prepared; committed slots survive because f+1 honest replicas hold
 // their Preprepare).
 func (p *Protocol) BuildViewChange(v types.View) *types.ViewChange {
+	if p.win.Enabled() && p.IsPrimary() && p.win.Open() {
+		// An honest deposed primary binds its open window before abandoning
+		// the view, so every batch it proposed remains provable.
+		p.flushWindow()
+	}
 	vc := &types.ViewChange{StableSeq: p.Ckpt.StableSeq()}
 	for seq, pp := range p.preprepares {
-		if seq > vc.StableSeq {
-			vc.Prepared = append(vc.Prepared, &types.PreparedProof{Preprepare: pp, QC: p.qcs[seq]})
+		if seq <= vc.StableSeq {
+			continue
 		}
+		if p.win.Enabled() {
+			// A slot is provable only through its covering certificate;
+			// slots whose certificate never arrived were never voted for
+			// here and are dropped.
+			enc, ok := p.win.Cert(seq)
+			if !ok {
+				continue
+			}
+			vc.Prepared = append(vc.Prepared, &types.PreparedProof{Preprepare: pp, QC: p.qcs[seq], WC: enc})
+			continue
+		}
+		vc.Prepared = append(vc.Prepared, &types.PreparedProof{Preprepare: pp, QC: p.qcs[seq]})
 	}
 	return vc
 }
@@ -253,7 +382,11 @@ func (p *Protocol) BuildViewChange(v types.View) *types.ViewChange {
 func (p *Protocol) ValidateViewChange(vc *types.ViewChange) bool {
 	for _, pr := range vc.Prepared {
 		pp := pr.Preprepare
-		if pp == nil || pp.Attest == nil || !p.Env.VerifyAttestation(pp.Attest) {
+		if p.win.Enabled() {
+			if !common.ValidWindowProof(p.Env, counterID, pp, pr.WC) {
+				return false
+			}
+		} else if pp == nil || pp.Attest == nil || !p.Env.VerifyAttestation(pp.Attest) {
 			return false
 		}
 		if len(pr.QC) != 0 {
@@ -285,6 +418,26 @@ func (p *Protocol) BuildNewView(v types.View, vcs []*types.ViewChange) *types.Ne
 	}
 	p.curEpoch = createAtt.Epoch
 	nv := &types.NewView{View: v, ViewChanges: vcs, CounterInit: createAtt}
+	if p.win.Enabled() {
+		// One certificate covers the entire re-proposal range: the chain is
+		// re-anchored at the new view's genesis and a single AppendF (value
+		// stable+1 under the fresh incarnation) binds every slot.
+		p.win.Reset(v, stable, createAtt.Value+1)
+		for seq := stable + 1; seq <= maxSeq; seq++ {
+			batch := common.NoopBatch()
+			if pp, ok := slots[seq]; ok {
+				batch = pp.Batch
+			}
+			nv.Proposals = append(nv.Proposals, &types.Preprepare{View: v, Seq: seq, Batch: batch})
+			p.win.Append(seq, batch.Digest)
+		}
+		if p.win.Open() {
+			nv.WindowCert = p.win.Flush(p.Env, &p.Cfg, counterID)
+		}
+		p.LastProposed = maxSeq
+		p.installProposals(nv)
+		return nv
+	}
 	for seq := stable + 1; seq <= maxSeq; seq++ {
 		batch := common.NoopBatch()
 		if pp, ok := slots[seq]; ok {
@@ -328,6 +481,28 @@ func (p *Protocol) ProcessNewView(nv *types.NewView) bool {
 		return false
 	}
 	primary := types.Primary(nv.View, p.Cfg.N)
+	if p.win.Enabled() {
+		wc, ok := common.ValidateNewViewWindow(p.Env, counterID, nv, primary)
+		if !ok {
+			return false
+		}
+		p.curEpoch = nv.CounterInit.Epoch
+		p.win.Reset(nv.View, types.SeqNum(nv.CounterInit.Value), nv.CounterInit.Value+1)
+		if wc != nil {
+			p.win.Admit(wc, nv.WindowCert)
+		}
+		p.installProposals(nv)
+		for _, pp := range nv.Proposals {
+			if pp.Seq <= p.Exec.LastExecuted() {
+				continue
+			}
+			p.addPrepare(&types.Prepare{View: nv.View, Seq: pp.Seq, Digest: pp.Batch.Digest, Replica: primary})
+			prep := &types.Prepare{View: nv.View, Seq: pp.Seq, Digest: pp.Batch.Digest, Replica: p.Env.ID()}
+			p.Env.Broadcast(prep)
+			p.addPrepare(prep)
+		}
+		return true
+	}
 	p.curEpoch = nv.CounterInit.Epoch
 	for _, pp := range nv.Proposals {
 		a := pp.Attest
@@ -361,6 +536,9 @@ func (p *Protocol) installProposals(nv *types.NewView) {
 
 // OnStableCheckpoint implements common.Hooks.
 func (p *Protocol) OnStableCheckpoint(seq types.SeqNum) {
+	if p.win.Enabled() {
+		p.win.GC(seq)
+	}
 	p.prepares.GC(seq)
 	for s := range p.preprepares {
 		if s <= seq {

@@ -1,0 +1,194 @@
+package flexibft
+
+import (
+	"testing"
+
+	"flexitrust/internal/crypto"
+	"flexitrust/internal/engine"
+	"flexitrust/internal/protocols/ptest"
+	"flexitrust/internal/types"
+)
+
+// windowedCfg enables windowed attestation over the n=4 base config.
+func windowedCfg(window int) engine.Config {
+	c := cfg4()
+	c.AttestWindow = window
+	return c
+}
+
+func TestWindowedSingleAccessPerWindow(t *testing.T) {
+	c := ptest.NewCluster(t, windowedCfg(4), func(cfg engine.Config) engine.Protocol { return New(cfg) })
+	for i := uint64(1); i <= 4; i++ {
+		c.SubmitTo(0, request(i))
+	}
+	// Four slots committed everywhere, in order.
+	for r := types.ReplicaID(0); r < 4; r++ {
+		if got := c.Envs[r].Executed; len(got) != 4 {
+			t.Fatalf("replica %d executed %v, want 4 slots", r, got)
+		}
+		for i, seq := range c.Envs[r].Executed {
+			if seq != types.SeqNum(i+1) {
+				t.Fatalf("replica %d executed out of order: %v", r, c.Envs[r].Executed)
+			}
+		}
+	}
+	// The window amortized the trusted-component cost: ONE access for the
+	// whole window, still primary-only.
+	if got := c.Envs[0].TC.Accesses(); got != 1 {
+		t.Fatalf("primary TC accesses = %d, want 1 for a full window", got)
+	}
+	for r := 1; r < 4; r++ {
+		if got := c.Envs[r].TC.Accesses(); got != 0 {
+			t.Fatalf("backup %d TC accesses = %d, want 0", r, got)
+		}
+	}
+}
+
+func TestWindowedVotesWaitForCertificate(t *testing.T) {
+	// Window of 8, two batches: the window stays open, so no replica may
+	// commit until the primary's flush timer fires.
+	c := ptest.NewCluster(t, windowedCfg(8), func(cfg engine.Config) engine.Protocol { return New(cfg) })
+	c.SubmitTo(0, request(1))
+	c.SubmitTo(0, request(2))
+	for r := types.ReplicaID(0); r < 4; r++ {
+		if got := len(c.Envs[r].Executed); got != 0 {
+			t.Fatalf("replica %d executed %d slots before the window was attested", r, got)
+		}
+	}
+	if got := c.Envs[0].TC.Accesses(); got != 0 {
+		t.Fatalf("primary spent %d TC accesses with the window still open", got)
+	}
+	// The primary armed the partial-window deadline; firing it flushes.
+	if _, ok := c.Envs[0].Timers[types.TimerID{Kind: types.TimerWindowFlush, View: 0}]; !ok {
+		t.Fatal("primary did not arm the window-flush timer")
+	}
+	c.Protos[0].OnTimer(types.TimerID{Kind: types.TimerWindowFlush, View: 0})
+	for r := types.ReplicaID(0); r < 4; r++ {
+		if got := len(c.Envs[r].Executed); got != 2 {
+			t.Fatalf("replica %d executed %d slots after flush, want 2", r, got)
+		}
+	}
+	if got := c.Envs[0].TC.Accesses(); got != 1 {
+		t.Fatalf("primary TC accesses = %d, want 1 for the partial window", got)
+	}
+}
+
+func TestWindowedChainBreakRejected(t *testing.T) {
+	// A primary that reorders batches inside the window cannot produce a
+	// certificate for the order it proposed: the chain fold over the
+	// swapped digest list no longer matches the attested tip.
+	cfg := windowedCfg(4)
+	env := ptest.NewEnv(t, 1, cfg)
+	p := New(cfg)
+	p.Init(env)
+	primaryTC := ptest.NewSiblingTC(env, 0)
+
+	reqA, reqB := request(1), request(2)
+	batchA := &types.Batch{Requests: []*types.ClientRequest{reqA}, Digest: crypto.BatchDigest([]*types.ClientRequest{reqA})}
+	batchB := &types.Batch{Requests: []*types.ClientRequest{reqB}, Digest: crypto.BatchDigest([]*types.ClientRequest{reqB})}
+	p.OnMessage(0, &types.Preprepare{View: 0, Seq: 1, Batch: batchA})
+	p.OnMessage(0, &types.Preprepare{View: 0, Seq: 2, Batch: batchB})
+	if got := len(env.SentOfType(types.MsgPrepare)); got != 0 {
+		t.Fatalf("voted %d times before any covering certificate", got)
+	}
+
+	// The counter attested the honest order A@1, B@2...
+	g := crypto.WindowGenesis(0)
+	tip := crypto.ChainDigest(crypto.ChainDigest(g, batchA.Digest, 1), batchB.Digest, 2)
+	att, err := primaryTC.AppendF(0, tip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...but the certificate claims the swapped order B@1, A@2. The fold
+	// over the forged list cannot reach the attested tip.
+	forged := &crypto.WindowCert{
+		View: 0, Start: 1, Prev: g,
+		Digests: []types.Digest{batchB.Digest, batchA.Digest},
+		Att:     att,
+	}
+	p.OnMessage(0, &types.WindowAttest{Replica: 0, Cert: forged.Encode()})
+	if got := len(env.SentOfType(types.MsgPrepare)); got != 0 {
+		t.Fatalf("voted %d times on a chain-breaking certificate", got)
+	}
+
+	// The genuine certificate for the attested order releases both votes.
+	good := &crypto.WindowCert{
+		View: 0, Start: 1, Prev: g,
+		Digests: []types.Digest{batchA.Digest, batchB.Digest},
+		Att:     att,
+	}
+	p.OnMessage(0, &types.WindowAttest{Replica: 0, Cert: good.Encode()})
+	if got := len(env.SentOfType(types.MsgPrepare)); got != 2 {
+		t.Fatalf("sent %d votes after the genuine certificate, want 2", got)
+	}
+}
+
+func TestWindowedCertificateBeforePreprepare(t *testing.T) {
+	// Delivery may reorder the WindowAttest ahead of the preprepares it
+	// covers; the certified digests release votes as proposals arrive.
+	cfg := windowedCfg(2)
+	env := ptest.NewEnv(t, 1, cfg)
+	p := New(cfg)
+	p.Init(env)
+	primaryTC := ptest.NewSiblingTC(env, 0)
+
+	reqA, reqB := request(1), request(2)
+	batchA := &types.Batch{Requests: []*types.ClientRequest{reqA}, Digest: crypto.BatchDigest([]*types.ClientRequest{reqA})}
+	batchB := &types.Batch{Requests: []*types.ClientRequest{reqB}, Digest: crypto.BatchDigest([]*types.ClientRequest{reqB})}
+	g := crypto.WindowGenesis(0)
+	tip := crypto.ChainDigest(crypto.ChainDigest(g, batchA.Digest, 1), batchB.Digest, 2)
+	att, err := primaryTC.AppendF(0, tip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := &crypto.WindowCert{
+		View: 0, Start: 1, Prev: g,
+		Digests: []types.Digest{batchA.Digest, batchB.Digest},
+		Att:     att,
+	}
+	p.OnMessage(0, &types.WindowAttest{Replica: 0, Cert: wc.Encode()})
+	p.OnMessage(0, &types.Preprepare{View: 0, Seq: 1, Batch: batchA})
+	p.OnMessage(0, &types.Preprepare{View: 0, Seq: 2, Batch: batchB})
+	if got := len(env.SentOfType(types.MsgPrepare)); got != 2 {
+		t.Fatalf("sent %d votes, want 2 (certificate arrived first)", got)
+	}
+	// A preprepare whose digest contradicts the certified chain gets no vote.
+	p.OnMessage(0, &types.Preprepare{View: 0, Seq: 1, Batch: batchB})
+	if got := len(env.SentOfType(types.MsgPrepare)); got != 2 {
+		t.Fatal("voted for a preprepare contradicting the certified chain")
+	}
+}
+
+func TestWindowedViewChangeCarriesCertificates(t *testing.T) {
+	cfg := windowedCfg(2)
+	cfg.ViewChangeTimeout = 0
+	c := ptest.NewCluster(t, cfg, func(cfg engine.Config) engine.Protocol { return New(cfg) })
+	// Fill one window so slot 1 and 2 commit under a certificate.
+	c.SubmitTo(0, request(1))
+	c.SubmitTo(0, request(2))
+	d := c.Envs[2].Store.StateDigest()
+
+	for _, r := range []int{3, 2} {
+		c.Protos[r].(*Protocol).SuspectPrimary()
+	}
+	p1 := c.Protos[1].(*Protocol)
+	if p1.View != 1 {
+		t.Fatalf("replica 1 view = %d, want 1", p1.View)
+	}
+	// Committed state survived the windowed view change.
+	for _, r := range []int{1, 2, 3} {
+		if c.Envs[r].Store.StateDigest() != d {
+			t.Fatalf("replica %d lost committed state across the view change", r)
+		}
+	}
+	// Windowed progress continues in the new view: the re-propose window
+	// plus one fresh window in view 1.
+	c.SubmitTo(1, request(3))
+	c.SubmitTo(1, request(4))
+	for _, r := range []int{1, 2, 3} {
+		got := c.Envs[r].Executed
+		if len(got) == 0 || got[len(got)-1] != 4 {
+			t.Fatalf("replica %d executed %v, want progress through seq 4 in view 1", r, got)
+		}
+	}
+}

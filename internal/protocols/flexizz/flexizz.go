@@ -69,6 +69,11 @@ type Protocol struct {
 	// qcs holds encoded quorum certificates assembled from the sequential
 	// ablation's 2f+1 acknowledgement quorums (2f acks plus the primary).
 	qcs map[types.SeqNum][]byte
+
+	// win holds windowed-attestation state (Cfg.AttestWindow > 1): one
+	// AppendF certifies a chained window of batches instead of one per
+	// batch; speculative execution waits for the covering certificate.
+	win *common.WindowState
 }
 
 // New constructs a Flexi-ZZ replica for cfg.
@@ -78,6 +83,7 @@ func New(cfg engine.Config) *Protocol {
 		pendingForward: make(map[types.RequestKey]bool),
 		acks:           engine.NewQuorumSet(),
 		qcs:            make(map[types.SeqNum][]byte),
+		win:            common.NewWindowState(cfg.AttestWindow),
 	}
 	p.Cfg = cfg
 	p.VCQuorum = cfg.VoteQuorum2f1()
@@ -91,7 +97,13 @@ func New(cfg engine.Config) *Protocol {
 }
 
 // Init implements engine.Protocol.
-func (p *Protocol) Init(env engine.Env) { p.InitBase(env, p.Cfg, p, p.respond) }
+func (p *Protocol) Init(env engine.Env) {
+	p.InitBase(env, p.Cfg, p, p.respond)
+	if p.win.Enabled() {
+		p.win.Reset(0, 0, 1)
+		common.RegisterWindowAudit(&p.Cfg)
+	}
+}
 
 // OnRequest implements engine.Protocol.
 func (p *Protocol) OnRequest(req *types.ClientRequest) { p.HandleRequest(req) }
@@ -103,6 +115,8 @@ func (p *Protocol) OnMessage(from types.ReplicaID, m types.Message) {
 		p.onPreprepare(from, msg)
 	case *types.Prepare:
 		p.onAck(from, msg)
+	case *types.WindowAttest:
+		p.onWindowAttest(from, msg)
 	case *types.Checkpoint:
 		p.HandleCheckpoint(msg)
 	case *types.ViewChange:
@@ -117,11 +131,23 @@ func (p *Protocol) OnMessage(from types.ReplicaID, m types.Message) {
 }
 
 // OnTimer implements engine.Protocol.
-func (p *Protocol) OnTimer(id types.TimerID) { p.HandleBaseTimer(id) }
+func (p *Protocol) OnTimer(id types.TimerID) {
+	if id.Kind == types.TimerWindowFlush {
+		if p.win.Enabled() && p.IsPrimary() && !p.InViewChange {
+			p.flushWindow()
+		}
+		return
+	}
+	p.HandleBaseTimer(id)
+}
 
 // ProposeBatch implements common.Hooks: one AppendF binds the batch to the
 // next slot; the primary executes speculatively like everyone else.
 func (p *Protocol) ProposeBatch(b *types.Batch) {
+	if p.win.Enabled() {
+		p.proposeWindowed(b)
+		return
+	}
 	att, err := p.Env.Trusted().AppendF(counterID, b.Digest)
 	if err != nil {
 		p.Env.Logf("flexizz: AppendF failed: %v", err)
@@ -137,12 +163,93 @@ func (p *Protocol) ProposeBatch(b *types.Batch) {
 	p.Env.Defer(func() { p.Exec.Commit(seq, b) })
 }
 
+// proposeWindowed assigns the next slot locally, folds the batch into the
+// open window's chain, and defers the counter access to the window flush.
+// The primary still executes speculatively right away — it produced the
+// chain, so it already trusts the ordering it will attest.
+func (p *Protocol) proposeWindowed(b *types.Batch) {
+	seq := p.LastProposed + 1
+	p.LastProposed = seq
+	pp := &types.Preprepare{View: p.View, Seq: seq, Batch: b}
+	p.preprepares[seq] = pp
+	p.Env.Broadcast(pp)
+	p.Env.Defer(func() { p.Exec.Commit(seq, b) })
+	if p.win.Append(seq, b.Digest) {
+		p.flushWindow()
+	} else if p.win.Len() == 1 {
+		p.Env.SetTimer(types.TimerID{Kind: types.TimerWindowFlush, View: p.View},
+			p.Cfg.BatchTimeout)
+	}
+}
+
+// flushWindow spends the window's one AppendF and broadcasts the covering
+// certificate so backups can release their held slots.
+func (p *Protocol) flushWindow() {
+	if enc := p.win.Flush(p.Env, &p.Cfg, counterID); enc != nil {
+		p.Env.Broadcast(&types.WindowAttest{Replica: p.Env.ID(), Cert: enc})
+	}
+}
+
+// onWindowAttest verifies a covering certificate from the primary and
+// releases the speculative execution of every slot it certifies.
+func (p *Protocol) onWindowAttest(from types.ReplicaID, m *types.WindowAttest) {
+	if !p.win.Enabled() || p.InViewChange || from != p.PrimaryID() || m.Replica != from {
+		return
+	}
+	wc, err := crypto.DecodeWindowCert(m.Cert)
+	if err != nil {
+		return
+	}
+	a := wc.Att
+	if a.Replica != from || a.Counter != counterID || a.Epoch != p.curEpoch ||
+		wc.View != p.View || !p.Env.Crypto().VerifyWC(wc) {
+		return
+	}
+	if p.Cfg.EnableQC {
+		p.Env.VerifyAttestationAsync(a, func(ok bool) {
+			if ok && !p.InViewChange && wc.View == p.View && a.Epoch == p.curEpoch {
+				p.admitWindow(wc, m.Cert)
+			}
+		})
+		return
+	}
+	if !p.Env.VerifyAttestation(a) {
+		return
+	}
+	p.admitWindow(wc, m.Cert)
+}
+
+// admitWindow installs a verified certificate and speculatively executes
+// the stashed preprepares it (and any unblocked successors) certify.
+func (p *Protocol) admitWindow(wc *crypto.WindowCert, enc []byte) {
+	for _, pp := range p.win.Admit(wc, enc) {
+		if p.preprepareGuards(p.PrimaryID(), pp) {
+			p.accept(pp)
+		}
+	}
+}
+
 // onPreprepare speculatively executes the primary's proposal. With QCs
 // enabled the attestation check runs off the event goroutine (batched,
 // amortized); the continuation re-validates the guards because the protocol
 // may have moved on (view change, checkpoint) while the check was in flight.
 func (p *Protocol) onPreprepare(from types.ReplicaID, pp *types.Preprepare) {
 	if !p.preprepareGuards(from, pp) {
+		return
+	}
+	if p.win.Enabled() {
+		// Windowed mode: proposals carry no per-batch attestation; hold
+		// speculative execution until the covering certificate lands.
+		if pp.Attest != nil {
+			return
+		}
+		if d, ok := p.win.CoveredDigest(pp.Seq); ok {
+			if d == pp.Batch.Digest {
+				p.accept(pp)
+			}
+			return
+		}
+		p.win.Stash(pp)
 		return
 	}
 	a := pp.Attest
@@ -233,9 +340,30 @@ func (p *Protocol) respond(seq types.SeqNum, batch *types.Batch, results []types
 // --- common.Hooks ---
 
 // BuildViewChange implements common.Hooks: carry all received Preprepares
-// (each self-certifying through its attestation).
+// (each self-certifying through its attestation). In windowed mode a
+// preprepare is not self-certifying — slots travel as PreparedProofs
+// bundling the covering WindowCert, and uncovered slots are dropped (no
+// replica executed them against an attested chain).
 func (p *Protocol) BuildViewChange(v types.View) *types.ViewChange {
 	vc := &types.ViewChange{StableSeq: p.Ckpt.StableSeq()}
+	if p.win.Enabled() {
+		if p.IsPrimary() && p.win.Open() {
+			// Honest deposed primary: attest the in-flight suffix so its
+			// slots survive into the proof set.
+			p.flushWindow()
+		}
+		for seq, pp := range p.preprepares {
+			if seq <= vc.StableSeq {
+				continue
+			}
+			enc, ok := p.win.Cert(seq)
+			if !ok {
+				continue
+			}
+			vc.Prepared = append(vc.Prepared, &types.PreparedProof{Preprepare: pp, WC: enc})
+		}
+		return vc
+	}
 	for seq, pp := range p.preprepares {
 		if seq > vc.StableSeq {
 			vc.Preprepares = append(vc.Preprepares, pp)
@@ -246,6 +374,14 @@ func (p *Protocol) BuildViewChange(v types.View) *types.ViewChange {
 
 // ValidateViewChange implements common.Hooks.
 func (p *Protocol) ValidateViewChange(vc *types.ViewChange) bool {
+	if p.win.Enabled() {
+		for _, pr := range vc.Prepared {
+			if pr == nil || !common.ValidWindowProof(p.Env, counterID, pr.Preprepare, pr.WC) {
+				return false
+			}
+		}
+		return len(vc.Preprepares) == 0
+	}
 	for _, pp := range vc.Preprepares {
 		if pp == nil || pp.Attest == nil || !p.Env.VerifyAttestation(pp.Attest) {
 			return false
@@ -265,6 +401,11 @@ func (p *Protocol) BuildNewView(v types.View, vcs []*types.ViewChange) *types.Ne
 		for _, pp := range vc.Preprepares {
 			slots[pp.Seq] = pp
 		}
+		for _, pr := range vc.Prepared {
+			if pr != nil && pr.Preprepare != nil {
+				slots[pr.Preprepare.Seq] = pr.Preprepare
+			}
+		}
 	}
 	maxSeq := stable
 	for seq := range slots {
@@ -279,6 +420,27 @@ func (p *Protocol) BuildNewView(v types.View, vcs []*types.ViewChange) *types.Ne
 	}
 	p.curEpoch = createAtt.Epoch
 	nv := &types.NewView{View: v, ViewChanges: vcs, CounterInit: createAtt}
+	if p.win.Enabled() {
+		// Windowed re-proposal: the whole range lands in one certificate
+		// chained from the new view's genesis (the window cap is ignored
+		// here — the range is bounded by the checkpoint interval).
+		p.win.Reset(v, stable, createAtt.Value+1)
+		for seq := stable + 1; seq <= maxSeq; seq++ {
+			batch := common.NoopBatch()
+			if pp, ok := slots[seq]; ok {
+				batch = pp.Batch
+			}
+			nv.Proposals = append(nv.Proposals, &types.Preprepare{View: v, Seq: seq, Batch: batch})
+			p.win.Append(seq, batch.Digest)
+		}
+		if p.win.Open() {
+			nv.WindowCert = p.win.Flush(p.Env, &p.Cfg, counterID)
+		}
+		p.LastProposed = maxSeq
+		p.lastAcked = maxSeq
+		p.adoptNewView(nv, stable)
+		return nv
+	}
 	for seq := stable + 1; seq <= maxSeq; seq++ {
 		batch := common.NoopBatch()
 		if pp, ok := slots[seq]; ok {
@@ -308,6 +470,19 @@ func (p *Protocol) ProcessNewView(nv *types.NewView) bool {
 	}
 	primary := types.Primary(nv.View, p.Cfg.N)
 	stable := types.SeqNum(nv.CounterInit.Value)
+	if p.win.Enabled() {
+		wc, ok := common.ValidateNewViewWindow(p.Env, counterID, nv, primary)
+		if !ok {
+			return false
+		}
+		p.curEpoch = nv.CounterInit.Epoch
+		p.win.Reset(nv.View, stable, nv.CounterInit.Value+1)
+		if wc != nil {
+			p.win.Admit(wc, nv.WindowCert)
+		}
+		p.adoptNewView(nv, stable)
+		return true
+	}
 	for _, pp := range nv.Proposals {
 		a := pp.Attest
 		if a == nil || a.Replica != primary || a.Epoch != nv.CounterInit.Epoch ||
@@ -370,6 +545,9 @@ func (p *Protocol) mustRollback(nv *types.NewView, stable types.SeqNum) bool {
 
 // OnStableCheckpoint implements common.Hooks.
 func (p *Protocol) OnStableCheckpoint(seq types.SeqNum) {
+	if p.win.Enabled() {
+		p.win.GC(seq)
+	}
 	for s := range p.preprepares {
 		if s <= seq {
 			delete(p.preprepares, s)

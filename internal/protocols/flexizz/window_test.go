@@ -1,0 +1,110 @@
+package flexizz
+
+import (
+	"testing"
+
+	"flexitrust/internal/engine"
+	"flexitrust/internal/protocols/ptest"
+	"flexitrust/internal/types"
+)
+
+// windowedCfg enables windowed attestation over the n=4 base config. The
+// checkpoint interval is widened back out: ptest's synchronous fan-out can
+// stabilize a tiny checkpoint at the last replica before the covering
+// certificate reaches it (the real runtime state-transfers in that case),
+// and these tests target window mechanics, not checkpoint catch-up.
+func windowedCfg(window int) engine.Config {
+	c := cfg4()
+	c.AttestWindow = window
+	c.CheckpointEvery = 100
+	return c
+}
+
+func TestWindowedAmortizesSpeculativePath(t *testing.T) {
+	c := ptest.NewCluster(t, windowedCfg(4), func(cfg engine.Config) engine.Protocol { return New(cfg) })
+	for i := uint64(1); i <= 4; i++ {
+		c.SubmitTo(0, request(i))
+	}
+	// Everyone speculatively executed all four slots in order...
+	for r := types.ReplicaID(0); r < 4; r++ {
+		got := c.Envs[r].Executed
+		if len(got) != 4 {
+			t.Fatalf("replica %d executed %v, want 4 slots", r, got)
+		}
+		for i, seq := range got {
+			if seq != types.SeqNum(i+1) {
+				t.Fatalf("replica %d executed out of order: %v", r, got)
+			}
+		}
+	}
+	// ...for a single trusted access, still primary-only.
+	if got := c.Envs[0].TC.Accesses(); got != 1 {
+		t.Fatalf("primary TC accesses = %d, want 1 for a full window", got)
+	}
+	for r := 1; r < 4; r++ {
+		if got := c.Envs[r].TC.Accesses(); got != 0 {
+			t.Fatalf("backup %d TC accesses = %d, want 0", r, got)
+		}
+	}
+}
+
+func TestWindowedBackupsHoldSpeculationUntilFlush(t *testing.T) {
+	c := ptest.NewCluster(t, windowedCfg(8), func(cfg engine.Config) engine.Protocol { return New(cfg) })
+	c.SubmitTo(0, request(1))
+	c.SubmitTo(0, request(2))
+	// The primary built the chain, so it executes right away; backups hold
+	// speculation until the covering certificate lands.
+	if got := len(c.Envs[0].Executed); got != 2 {
+		t.Fatalf("primary executed %d slots, want 2 (speculative)", got)
+	}
+	for r := types.ReplicaID(1); r < 4; r++ {
+		if got := len(c.Envs[r].Executed); got != 0 {
+			t.Fatalf("backup %d executed %d slots before the window was attested", r, got)
+		}
+	}
+	if got := c.Envs[0].TC.Accesses(); got != 0 {
+		t.Fatalf("primary spent %d TC accesses with the window still open", got)
+	}
+	c.Protos[0].OnTimer(types.TimerID{Kind: types.TimerWindowFlush, View: 0})
+	for r := types.ReplicaID(1); r < 4; r++ {
+		if got := len(c.Envs[r].Executed); got != 2 {
+			t.Fatalf("backup %d executed %d slots after flush, want 2", r, got)
+		}
+	}
+	if got := c.Envs[0].TC.Accesses(); got != 1 {
+		t.Fatalf("primary TC accesses = %d, want 1 for the partial window", got)
+	}
+}
+
+func TestWindowedViewChangeReproposesCoveredSlots(t *testing.T) {
+	cfg := windowedCfg(2)
+	cfg.ViewChangeTimeout = 0
+	c := ptest.NewCluster(t, cfg, func(cfg engine.Config) engine.Protocol { return New(cfg) })
+	// Fill one window so both slots are covered by a certificate.
+	c.SubmitTo(0, request(1))
+	c.SubmitTo(0, request(2))
+	d := c.Envs[2].Store.StateDigest()
+
+	for _, r := range []int{3, 2} {
+		c.Protos[r].(*Protocol).SuspectPrimary()
+	}
+	p1 := c.Protos[1].(*Protocol)
+	if p1.View != 1 {
+		t.Fatalf("replica 1 view = %d, want 1", p1.View)
+	}
+	// Covered slots survived into the new view.
+	for _, r := range []int{1, 2, 3} {
+		if c.Envs[r].Store.StateDigest() != d {
+			t.Fatalf("replica %d lost covered state across the view change", r)
+		}
+	}
+	// Windowed progress continues under the fresh counter incarnation.
+	c.SubmitTo(1, request(3))
+	c.SubmitTo(1, request(4))
+	for _, r := range []int{1, 2, 3} {
+		got := c.Envs[r].Executed
+		if len(got) == 0 || got[len(got)-1] != 4 {
+			t.Fatalf("replica %d executed %v, want progress through seq 4 in view 1", r, got)
+		}
+	}
+}

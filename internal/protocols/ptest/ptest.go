@@ -272,3 +272,7 @@ func (trustingCrypto) VerifyClient(_ types.ClientID, _, _ []byte) bool { return 
 func (trustingCrypto) MAC(_ types.ReplicaID, _ []byte) []byte          { return []byte("mac") }
 func (trustingCrypto) CheckMAC(_ types.ReplicaID, _, _ []byte) bool    { return true }
 func (trustingCrypto) VerifyQC(qc *crypto.QuorumCert, _ int) bool      { return qc != nil }
+
+// VerifyWC runs the real structural/chain check: window-attestation tests
+// exercise chain-break rejection, which is protocol logic, not key math.
+func (trustingCrypto) VerifyWC(wc *crypto.WindowCert) bool { return wc != nil && wc.Check() == nil }

@@ -61,6 +61,13 @@ type CostModel struct {
 	// VerifyMemoHit is the cost of answering a verification from the
 	// verified-statement memo (a map lookup).
 	VerifyMemoHit time.Duration
+	// TCAccessWindow is the per-covered-batch cost of validating a windowed
+	// attestation certificate: one SHA-256 chain link recomputed per batch
+	// in the window. It replaces a full trusted-component access
+	// (Profile.AccessCost + TCSign, tens of microseconds inside the
+	// enclave) with an untrusted-host hash — the asymmetry windowed
+	// attestation's amortization rests on.
+	TCAccessWindow time.Duration
 	// LeaseReadPerReq is the primary-local cost of answering one leased
 	// single-key read (lease check, read-view lookup, fixed-size reply) on
 	// top of the MACVerify/MACSign authenticators. The fast path pays no
@@ -91,6 +98,7 @@ func DefaultCostModel() CostModel {
 		VerifyQC:           40 * time.Microsecond,
 		VerifyBatchN:       15 * time.Microsecond,
 		VerifyMemoHit:      300 * time.Nanosecond,
+		TCAccessWindow:     500 * time.Nanosecond,
 		LeaseReadPerReq:    1500 * time.Nanosecond,
 	}
 }

@@ -598,3 +598,16 @@ func (s *simCrypto) VerifyQC(qc *crypto.QuorumCert, quorum int) bool {
 	s.node.charge(time.Duration(len(qc.Sigs)) * s.node.g.cfg.Cost.VerifyBatchN)
 	return qc.Check(s.node.g.cfg.Engine.N, quorum) == nil
 }
+
+// VerifyWC implements crypto.Provider: the chain fold costs one hash per
+// covered batch (TCAccessWindow each) — orders of magnitude below the
+// trusted-counter access it replaces, which is where windowed attestation's
+// speedup comes from. The structural and chain checks run for real so a
+// forged window is rejected even in the accounting-only provider.
+func (s *simCrypto) VerifyWC(wc *crypto.WindowCert) bool {
+	if wc == nil {
+		return false
+	}
+	s.node.charge(time.Duration(len(wc.Digests)) * s.node.g.cfg.Cost.TCAccessWindow)
+	return wc.Check() == nil
+}

@@ -111,6 +111,7 @@ const (
 	MsgHello
 	MsgLeaseRead
 	MsgLeaseReadReply
+	MsgWindowCert
 )
 
 var msgTypeNames = [...]string{
@@ -131,6 +132,7 @@ var msgTypeNames = [...]string{
 	MsgHello:          "Hello",
 	MsgLeaseRead:      "LeaseRead",
 	MsgLeaseReadReply: "LeaseReadReply",
+	MsgWindowCert:     "WindowCert",
 }
 
 // String implements fmt.Stringer.
@@ -301,6 +303,11 @@ func (*Checkpoint) Type() MsgType { return MsgCheckpoint }
 type PreparedProof struct {
 	Preprepare *Preprepare
 	Prepares   []*Prepare // 2f+1 (or f+1 for trust-bft) matching prepares
+	// WC, when non-empty, is a canonically encoded crypto.WindowCert: the
+	// windowed attestation covering the preprepare's slot (windowed
+	// FlexiTrust deployments, where preprepares carry no per-batch
+	// attestation). Pre-encoded for the same reason as QC.
+	WC []byte
 	// QC, when non-empty, is a canonically encoded crypto.QuorumCert
 	// aggregating the vote set: one compact certificate checked once in
 	// place of the loose Prepares (which may then be omitted). types cannot
@@ -330,7 +337,12 @@ type NewView struct {
 	ViewChanges []*ViewChange
 	Proposals   []*Preprepare // sorted by sequence number; no-ops fill gaps
 	CounterInit *Attestation  // FlexiTrust: Create() attestation for the fresh counter
-	Sig         []byte
+	// WindowCert, when non-empty, is a canonically encoded crypto.WindowCert
+	// covering every re-proposed slot with a single attestation (windowed
+	// FlexiTrust deployments; the Proposals then carry no per-batch
+	// attestations). Empty when nothing is re-proposed.
+	WindowCert []byte
+	Sig        []byte
 }
 
 // Type implements Message.
@@ -455,6 +467,19 @@ type LeaseReadReply struct {
 // Type implements Message.
 func (*LeaseReadReply) Type() MsgType { return MsgLeaseReadReply }
 
+// WindowAttest publishes a windowed attestation certificate: the primary's
+// single trusted-counter access covering an ordered window of batches it has
+// preprepared. Replicas hold their votes (or speculative execution) for a
+// slot until the covering certificate arrives and verifies. Cert is a
+// canonically encoded crypto.WindowCert (types cannot import crypto).
+type WindowAttest struct {
+	Replica ReplicaID
+	Cert    []byte
+}
+
+// Type implements Message.
+func (*WindowAttest) Type() MsgType { return MsgWindowCert }
+
 // TimerKind enumerates protocol timers.
 type TimerKind uint8
 
@@ -473,6 +498,9 @@ const (
 	// TimerRequestForwarded fires when a forwarded request has not been
 	// pre-prepared in time (Flexi-ZZ view-change trigger).
 	TimerRequestForwarded
+	// TimerWindowFlush fires to attest a partially filled window at the
+	// primary (windowed amortized attestation).
+	TimerWindowFlush
 )
 
 var timerKindNames = [...]string{
@@ -482,6 +510,7 @@ var timerKindNames = [...]string{
 	TimerCheckpoint:       "Checkpoint",
 	TimerClientRetry:      "ClientRetry",
 	TimerRequestForwarded: "RequestForwarded",
+	TimerWindowFlush:      "WindowFlush",
 }
 
 // String implements fmt.Stringer.

@@ -49,6 +49,7 @@ func init() {
 	gob.Register(&types.Hello{})
 	gob.Register(&types.LeaseRead{})
 	gob.Register(&types.LeaseReadReply{})
+	gob.Register(&types.WindowAttest{})
 }
 
 // Envelope is the unit of transmission: an authenticated sender plus the
