@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"flexitrust/internal/engine"
+	"flexitrust/internal/kvstore"
 	"flexitrust/internal/obs"
 	"flexitrust/internal/protocols/flexibft"
 	"flexitrust/internal/protocols/flexizz"
@@ -222,6 +223,149 @@ func TestAuditFlagsForgedWindowRecord(t *testing.T) {
 		if !c.StateDigestOf(types.ReplicaID(r)).IsZero() {
 			t.Fatalf("replica %d executed a slot from a reordered window", r)
 		}
+	}
+}
+
+// forgeCheckTarget is the third conflicting op for the view-change forgery:
+// the attacker binds slot 1 to this payload in its forged certificate.
+func forgeOp() []byte {
+	return (&kvstore.Op{Code: kvstore.OpUpdate, Key: 1, Value: []byte("XXXXXXXX")}).Encode()
+}
+
+// buildForgerCluster is buildWindowedCluster with the checkpoint interval
+// widened so slot 1 is still inspectable when the run ends (a stable
+// checkpoint would GC the binding under test).
+func buildForgerCluster(t *testing.T, n, f, window int,
+	mk func(id types.ReplicaID, cfg engine.Config) engine.Protocol,
+	policy sim.ReplyPolicy) *sim.Cluster {
+	t.Helper()
+	cfg := windowedEngine(n, f, window)
+	cfg.CheckpointEvery = 100000
+	wl := workload.DefaultConfig()
+	wl.Records = 1000
+	return sim.NewCluster(sim.Config{
+		N: n, F: f,
+		Engine:         cfg,
+		NewProtocol:    mk,
+		Policy:         policy,
+		Topo:           sim.LANTopology(n),
+		TrustedProfile: trusted.ProfileSGXEnclave,
+		Clients:        1,
+		Workload:       wl,
+		Seed:           7,
+	})
+}
+
+// TestWindowViewChangeForgeryRejectedByFlexiBFT mounts the view-change
+// forgery the per-certificate check cannot catch: the byzantine primary
+// commits slots 1 and 2 under an honest window, then spends a SECOND counter
+// access on a chain re-anchored at genesis binding slot 1 to a different
+// batch, and presents it as genuinely-signed view-change evidence before
+// going silent. Every individual proof verifies; only the counter-value
+// ordering distinguishes the canonical chain (value 1) from the forgery
+// (value 2). The new view must keep slot 1 bound to the committed batch on
+// every honest replica, with liveness restored.
+func TestWindowViewChangeForgeryRejectedByFlexiBFT(t *testing.T) {
+	const n, f = 4, 1
+	opA, opB := rollbackOps()
+	attacker := &WindowViewChangeForger{OpA: opA, OpB: opB, OpX: forgeOp()}
+	policy := sim.ReplyPolicy{Fast: f + 1, RetryTimeout: 500 * time.Millisecond}
+	c := buildForgerCluster(t, n, f, 2,
+		func(id types.ReplicaID, cfg engine.Config) engine.Protocol {
+			if id == 0 {
+				return attacker
+			}
+			return flexibft.New(cfg)
+		}, policy)
+
+	res := c.Run(0, 2500*time.Millisecond)
+
+	if !attacker.CertSent || !attacker.ForgedVCSent {
+		t.Fatal("attack never fired")
+	}
+	if res.Completed == 0 {
+		t.Fatal("client never completed; view change should restore liveness")
+	}
+	for r := types.ReplicaID(1); r < n; r++ {
+		_, proto := c.Replica(r)
+		p := proto.(*flexibft.Protocol)
+		if p.View == 0 {
+			t.Fatalf("replica %d never deposed the silent primary; the forged evidence was never adjudicated", r)
+		}
+		d, ok := p.SlotDigest(1)
+		if !ok {
+			t.Fatalf("replica %d lost its slot 1 binding", r)
+		}
+		if d == attacker.BatchX {
+			t.Fatalf("replica %d adopted the forged binding for committed slot 1", r)
+		}
+		if d != attacker.BatchA {
+			t.Fatalf("replica %d rebound committed slot 1 away from the attested batch", r)
+		}
+	}
+	d1 := c.StateDigestOf(1)
+	for r := types.ReplicaID(2); r < n; r++ {
+		if d := c.StateDigestOf(r); d != d1 {
+			t.Fatalf("replica %d diverged after the forged view change (d=%v, d1=%v)", r, d, d1)
+		}
+	}
+}
+
+// TestWindowViewChangeForgeryRejectedByFlexiZZ repeats the view-change
+// forgery against the speculative protocol: backups speculatively executed
+// slot 1 under the honest certificate, so adopting the forged binding would
+// force a rollback of committed work. Lowest-counter-value resolution keeps
+// the executed binding instead.
+func TestWindowViewChangeForgeryRejectedByFlexiZZ(t *testing.T) {
+	const n, f = 4, 1
+	opA, opB := rollbackOps()
+	attacker := &WindowViewChangeForger{OpA: opA, OpB: opB, OpX: forgeOp()}
+	policy := sim.ReplyPolicy{Fast: f + 1, RetryTimeout: 500 * time.Millisecond}
+	c := buildForgerCluster(t, n, f, 2,
+		func(id types.ReplicaID, cfg engine.Config) engine.Protocol {
+			if id == 0 {
+				return attacker
+			}
+			return flexizz.New(cfg)
+		}, policy)
+
+	res := c.Run(0, 2500*time.Millisecond)
+
+	if !attacker.CertSent || !attacker.ForgedVCSent {
+		t.Fatal("attack never fired")
+	}
+	if res.Completed == 0 {
+		t.Fatal("client never completed; view change should restore liveness")
+	}
+	for r := types.ReplicaID(1); r < n; r++ {
+		_, proto := c.Replica(r)
+		p := proto.(*flexizz.Protocol)
+		if p.View == 0 {
+			t.Fatalf("replica %d never deposed the silent primary; the forged evidence was never adjudicated", r)
+		}
+		d, ok := p.SlotDigest(1)
+		if !ok {
+			t.Fatalf("replica %d lost its slot 1 binding", r)
+		}
+		if d == attacker.BatchX {
+			t.Fatalf("replica %d adopted the forged binding for committed slot 1", r)
+		}
+		if d != attacker.BatchA {
+			t.Fatalf("replica %d rebound committed slot 1 away from the attested batch", r)
+		}
+	}
+	// Speculative execution means honest replicas may legitimately trail each
+	// other by an in-flight suffix when the run is cut off; agreement requires
+	// that replicas at the SAME execution point hold the same state.
+	byExec := make(map[types.SeqNum]types.Digest)
+	for r := types.ReplicaID(1); r < n; r++ {
+		_, proto := c.Replica(r)
+		last := proto.(*flexizz.Protocol).Exec.LastExecuted()
+		d := c.StateDigestOf(r)
+		if prev, ok := byExec[last]; ok && prev != d {
+			t.Fatalf("replicas at execution point %d diverged after the forged view change (%v vs %v)", last, prev, d)
+		}
+		byExec[last] = d
 	}
 }
 

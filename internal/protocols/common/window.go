@@ -1,6 +1,9 @@
 package common
 
 import (
+	"bytes"
+	"sort"
+
 	"flexitrust/internal/crypto"
 	"flexitrust/internal/engine"
 	"flexitrust/internal/obs"
@@ -285,24 +288,161 @@ func ValidateNewViewWindow(env engine.Env, counterID uint32, nv *types.NewView,
 	return wc, true
 }
 
-// ValidWindowProof checks a view-change PreparedProof's covering
-// certificate: decodable, for the preprepare's view and slot/digest, chain
-// fold intact, and attestation genuine. It is the windowed replacement for
-// the per-preprepare attestation check, shared by both FlexiTrust
-// protocols' ValidateViewChange hooks.
-func ValidWindowProof(env engine.Env, counterID uint32, pp *types.Preprepare, enc []byte) bool {
-	if pp == nil || pp.Batch == nil || len(enc) == 0 {
+// windowBinding is one slot's proven binding extracted from a view-change's
+// PreparedProofs: the preprepare plus the covering certificate's counter
+// value, which orders competing bindings across a quorum.
+type windowBinding struct {
+	pp    *types.Preprepare
+	value uint64
+}
+
+// validWindowProofSet checks a view-change's windowed PreparedProofs as ONE
+// chained set, not proof by proof. Per certificate it enforces what a single
+// certificate can prove: minted by the trusted component of the primary of
+// `view` (any other replica can AppendF arbitrary chains on its own counter),
+// under the counter incarnation `epoch` this replica recorded for that view,
+// with an intact chain fold and a genuine attestation covering each proof's
+// slot/digest. Across certificates it enforces the progression Admit enforces
+// on the live path: strictly consecutive counter values, contiguous sequence
+// ranges, and prev-links matching the preceding attested tip — so a set can
+// present at most one chain segment, never a re-anchored fork alongside the
+// real chain. (The segment cannot be anchored at WindowGenesis here: a
+// checkpoint may have GC'd the earlier windows.)
+//
+// Proofs are only accepted for the validator's current view: honest replicas
+// never carry certificates from another view (Reset clears them), and the
+// epoch of any other view's counter incarnation is unknowable here.
+func validWindowProofSet(env engine.Env, cfg *engine.Config, counterID uint32,
+	view types.View, epoch uint32, prepared []*types.PreparedProof) ([]windowBinding, bool) {
+	if len(prepared) == 0 {
+		return nil, true
+	}
+	primary := types.Primary(view, cfg.N)
+	certs := make(map[string]*crypto.WindowCert)
+	bindings := make([]windowBinding, 0, len(prepared))
+	for _, pr := range prepared {
+		if pr == nil || pr.Preprepare == nil || pr.Preprepare.Batch == nil || len(pr.WC) == 0 {
+			return nil, false
+		}
+		pp := pr.Preprepare
+		if pp.View != view || pp.Attest != nil {
+			return nil, false
+		}
+		wc, seen := certs[string(pr.WC)]
+		if !seen {
+			dec, err := crypto.DecodeWindowCert(pr.WC)
+			if err != nil {
+				return nil, false
+			}
+			a := dec.Att
+			if dec.View != view || a.Replica != primary || a.Counter != counterID || a.Epoch != epoch {
+				return nil, false
+			}
+			if !env.Crypto().VerifyWC(dec) || !env.VerifyAttestation(a) {
+				return nil, false
+			}
+			certs[string(pr.WC)] = dec
+			wc = dec
+		}
+		if !wc.Covers(pp.Seq, pp.Batch.Digest) {
+			return nil, false
+		}
+		bindings = append(bindings, windowBinding{pp: pp, value: wc.Att.Value})
+	}
+	ordered := make([]*crypto.WindowCert, 0, len(certs))
+	for _, wc := range certs {
+		ordered = append(ordered, wc)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Att.Value < ordered[j].Att.Value })
+	for i := 1; i < len(ordered); i++ {
+		prev, next := ordered[i-1], ordered[i]
+		if next.Att.Value != prev.Att.Value+1 || next.Start != prev.End()+1 ||
+			next.Prev != prev.Att.Digest {
+			return nil, false
+		}
+	}
+	return bindings, true
+}
+
+// ValidWindowProofs is the windowed replacement for the per-preprepare
+// attestation check in ValidateViewChange, shared by both FlexiTrust
+// protocols: the view-change's PreparedProofs must form one valid chained
+// set for the validator's current view and counter epoch.
+func ValidWindowProofs(env engine.Env, cfg *engine.Config, counterID uint32,
+	view types.View, epoch uint32, prepared []*types.PreparedProof) bool {
+	_, ok := validWindowProofSet(env, cfg, counterID, view, epoch, prepared)
+	return ok
+}
+
+// CollectWindowSlots merges the windowed slot reports across a view-change
+// quorum into the slot→preprepare map the new primary re-proposes from.
+// Each ViewChange's proofs are (re-)validated as a chained set — an invalid
+// set contributes nothing — and per-slot conflicts are resolved toward the
+// LOWEST covering counter value, never last-writer-wins. That choice is
+// safe: a slot only commits (or speculatively executes) through Admit's
+// exact value progression, so the certificates behind committed slots form
+// the unique value-contiguous prefix of the view's chain, and any
+// genuinely-attested conflicting certificate a Byzantine primary can still
+// mint must burn a LATER counter value. Equal values with different digests
+// would need two attestations for one (epoch, value) — impossible for a
+// correct trusted component — but are tie-broken on digest bytes so every
+// replica resolves identically regardless.
+func CollectWindowSlots(env engine.Env, cfg *engine.Config, counterID uint32,
+	view types.View, epoch uint32, vcs []*types.ViewChange) (types.SeqNum, map[types.SeqNum]*types.Preprepare) {
+	var stable types.SeqNum
+	best := make(map[types.SeqNum]windowBinding)
+	for _, vc := range vcs {
+		if vc.StableSeq > stable {
+			stable = vc.StableSeq
+		}
+		bindings, ok := validWindowProofSet(env, cfg, counterID, view, epoch, vc.Prepared)
+		if !ok {
+			continue
+		}
+		for _, b := range bindings {
+			cur, seen := best[b.pp.Seq]
+			if !seen || b.value < cur.value ||
+				(b.value == cur.value &&
+					bytes.Compare(b.pp.Batch.Digest[:], cur.pp.Batch.Digest[:]) < 0) {
+				best[b.pp.Seq] = b
+			}
+		}
+	}
+	slots := make(map[types.SeqNum]*types.Preprepare, len(best))
+	for seq, b := range best {
+		slots[seq] = b.pp
+	}
+	return stable, slots
+}
+
+// CheckNewViewProposals cross-checks a windowed NewView at a backup: every
+// slot binding resolvable from the embedded view-change quorum (under the
+// same chained-set rules and lowest-value resolution the primary must apply)
+// has to reappear in the re-proposals with the same digest. A primary —
+// honest but fed a forged proof, or itself Byzantine — that re-binds a
+// reported slot is rejected. Unresolvable slots (e.g. proofs from a view
+// this replica never installed) constrain nothing, so a lagging backup
+// accepts what it cannot check rather than stalling the view change.
+func CheckNewViewProposals(env engine.Env, cfg *engine.Config, counterID uint32,
+	view types.View, epoch uint32, nv *types.NewView) bool {
+	if nv.CounterInit == nil {
 		return false
 	}
-	wc, err := crypto.DecodeWindowCert(enc)
-	if err != nil {
-		return false
+	stable := types.SeqNum(nv.CounterInit.Value)
+	_, slots := CollectWindowSlots(env, cfg, counterID, view, epoch, nv.ViewChanges)
+	assigned := make(map[types.SeqNum]types.Digest, len(nv.Proposals))
+	for _, pp := range nv.Proposals {
+		if pp.Batch != nil {
+			assigned[pp.Seq] = pp.Batch.Digest
+		}
 	}
-	if wc.View != pp.View || wc.Att.Counter != counterID {
-		return false
+	for seq, pp := range slots {
+		if seq <= stable {
+			continue
+		}
+		if d, ok := assigned[seq]; !ok || d != pp.Batch.Digest {
+			return false
+		}
 	}
-	if !wc.Covers(pp.Seq, pp.Batch.Digest) {
-		return false
-	}
-	return env.Crypto().VerifyWC(wc) && env.VerifyAttestation(wc.Att)
+	return true
 }

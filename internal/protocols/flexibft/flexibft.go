@@ -118,7 +118,9 @@ func (p *Protocol) OnMessage(from types.ReplicaID, m types.Message) {
 // OnTimer implements engine.Protocol.
 func (p *Protocol) OnTimer(id types.TimerID) {
 	if id.Kind == types.TimerWindowFlush {
-		if p.win.Enabled() && p.IsPrimary() && !p.InViewChange {
+		// A stale deadline from an earlier primaryship carries that view's id
+		// and must not flush the current partial window early.
+		if p.win.Enabled() && p.IsPrimary() && !p.InViewChange && id.View == p.View {
 			p.flushWindow()
 		}
 		return
@@ -170,10 +172,15 @@ func (p *Protocol) proposeWindowed(b *types.Batch) {
 }
 
 // flushWindow spends the window's single counter access and publishes the
-// covering certificate.
+// covering certificate. If the window is still open afterwards — AppendF
+// failed and left the batches unattested — the flush deadline is re-armed so
+// already-broadcast proposals do not sit voteless until a view change.
 func (p *Protocol) flushWindow() {
 	if enc := p.win.Flush(p.Env, &p.Cfg, counterID); enc != nil {
 		p.Env.Broadcast(&types.WindowAttest{Replica: p.Env.ID(), Cert: enc})
+	}
+	if p.win.Open() {
+		p.Env.SetTimer(types.TimerID{Kind: types.TimerWindowFlush, View: p.View}, p.Cfg.BatchTimeout)
 	}
 }
 
@@ -376,18 +383,22 @@ func (p *Protocol) BuildViewChange(v types.View) *types.ViewChange {
 }
 
 // ValidateViewChange implements common.Hooks. Attestation re-checks hit the
-// verification memo for every slot this replica already processed; attached
-// quorum certificates must decode and pass one VerifyQC against the 2f+1
-// vote quorum.
+// verification memo for every slot this replica already processed; windowed
+// proofs are validated as one chained set (attestor, epoch, and chain
+// progression pinned — see common.ValidWindowProofs); attached quorum
+// certificates must decode and pass one VerifyQC against the 2f+1 vote
+// quorum.
 func (p *Protocol) ValidateViewChange(vc *types.ViewChange) bool {
+	if p.win.Enabled() &&
+		!common.ValidWindowProofs(p.Env, &p.Cfg, counterID, p.View, p.curEpoch, vc.Prepared) {
+		return false
+	}
 	for _, pr := range vc.Prepared {
 		pp := pr.Preprepare
-		if p.win.Enabled() {
-			if !common.ValidWindowProof(p.Env, counterID, pp, pr.WC) {
+		if !p.win.Enabled() {
+			if pp == nil || pp.Attest == nil || !p.Env.VerifyAttestation(pp.Attest) {
 				return false
 			}
-		} else if pp == nil || pp.Attest == nil || !p.Env.VerifyAttestation(pp.Attest) {
-			return false
 		}
 		if len(pr.QC) != 0 {
 			qc, err := crypto.DecodeQuorumCert(pr.QC)
@@ -404,7 +415,16 @@ func (p *Protocol) ValidateViewChange(vc *types.ViewChange) bool {
 // counter incarnation seeded below the first slot to re-propose, then
 // re-proposes every attested slot it learned (no-ops fill gaps).
 func (p *Protocol) BuildNewView(v types.View, vcs []*types.ViewChange) *types.NewView {
-	stable, slots := collectSlots(vcs)
+	var stable types.SeqNum
+	var slots map[types.SeqNum]*types.Preprepare
+	if p.win.Enabled() {
+		// Windowed proofs are re-validated as chained sets and per-slot
+		// conflicts resolved toward the lowest counter value; backups repeat
+		// this exact computation in ProcessNewView to check the proposals.
+		stable, slots = common.CollectWindowSlots(p.Env, &p.Cfg, counterID, p.View, p.curEpoch, vcs)
+	} else {
+		stable, slots = collectSlots(vcs)
+	}
 	maxSeq := stable
 	for seq := range slots {
 		if seq > maxSeq {
@@ -457,9 +477,12 @@ func (p *Protocol) BuildNewView(v types.View, vcs []*types.ViewChange) *types.Ne
 	return nv
 }
 
-// collectSlots merges the slots reported across a view-change quorum.
-// Attested counters make conflicting reports for one slot impossible within
-// an epoch, so any valid Preprepare is authoritative for its slot.
+// collectSlots merges the slots reported across a view-change quorum for the
+// per-batch path, where each Preprepare carries its own attestation with
+// value == seq: one attestation per (epoch, value) makes conflicting reports
+// for a slot impossible, so any valid Preprepare is authoritative. The
+// windowed path does NOT have that per-slot guarantee and resolves conflicts
+// in common.CollectWindowSlots instead.
 func collectSlots(vcs []*types.ViewChange) (stable types.SeqNum, slots map[types.SeqNum]*types.Preprepare) {
 	slots = make(map[types.SeqNum]*types.Preprepare)
 	for _, vc := range vcs {
@@ -484,6 +507,12 @@ func (p *Protocol) ProcessNewView(nv *types.NewView) bool {
 	if p.win.Enabled() {
 		wc, ok := common.ValidateNewViewWindow(p.Env, counterID, nv, primary)
 		if !ok {
+			return false
+		}
+		// Cross-check the re-proposals against the slots resolvable from the
+		// embedded quorum (under the CURRENT epoch — before adopting the new
+		// incarnation): a new primary re-binding a reported slot is rejected.
+		if !common.CheckNewViewProposals(p.Env, &p.Cfg, counterID, p.View, p.curEpoch, nv) {
 			return false
 		}
 		p.curEpoch = nv.CounterInit.Epoch
@@ -560,3 +589,13 @@ func (p *Protocol) OnStableCheckpoint(seq types.SeqNum) {
 // CheckpointAttestation implements common.Hooks: FlexiTrust checkpoints need
 // no trusted-component access.
 func (p *Protocol) CheckpointAttestation(types.SeqNum, types.Digest) *types.Attestation { return nil }
+
+// SlotDigest reports the batch digest this replica holds for a sequence
+// number, for tests asserting slot bindings survive view changes.
+func (p *Protocol) SlotDigest(seq types.SeqNum) (types.Digest, bool) {
+	pp, ok := p.preprepares[seq]
+	if !ok || pp.Batch == nil {
+		return types.ZeroDigest, false
+	}
+	return pp.Batch.Digest, true
+}

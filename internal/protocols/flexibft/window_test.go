@@ -159,6 +159,202 @@ func TestWindowedCertificateBeforePreprepare(t *testing.T) {
 	}
 }
 
+func TestWindowProofRequiresPrimaryAttestor(t *testing.T) {
+	// A view-change proof whose certificate was minted by a NON-primary's
+	// trusted component must be rejected: any byzantine replica can AppendF
+	// an arbitrary chain on its own counter, so only the view primary's
+	// attestor proves anything about proposal order.
+	cfg := windowedCfg(2)
+	env := ptest.NewEnv(t, 1, cfg)
+	p := New(cfg)
+	p.Init(env)
+	rogueTC := ptest.NewSiblingTC(env, 2) // replica 2 is not the view-0 primary
+
+	reqA := request(1)
+	batchA := &types.Batch{Requests: []*types.ClientRequest{reqA}, Digest: crypto.BatchDigest([]*types.ClientRequest{reqA})}
+	g := crypto.WindowGenesis(0)
+	att, err := rogueTC.AppendF(0, crypto.ChainDigest(g, batchA.Digest, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := &crypto.WindowCert{View: 0, Start: 1, Prev: g, Digests: []types.Digest{batchA.Digest}, Att: att}
+	vc := &types.ViewChange{
+		Replica: 2, NewView: 1,
+		Prepared: []*types.PreparedProof{{
+			Preprepare: &types.Preprepare{View: 0, Seq: 1, Batch: batchA},
+			WC:         wc.Encode(),
+		}},
+	}
+	if p.ValidateViewChange(vc) {
+		t.Fatal("accepted a window proof attested by a non-primary's counter")
+	}
+}
+
+func TestWindowProofRejectsEpochMismatch(t *testing.T) {
+	// A genuinely-attested chain from a STALE counter incarnation must be
+	// rejected: counter values restart at each Create, so only certificates
+	// under the epoch this replica recorded for the view are comparable.
+	cfg := windowedCfg(2)
+	env := ptest.NewEnv(t, 1, cfg)
+	p := New(cfg)
+	p.Init(env)
+	primaryTC := ptest.NewSiblingTC(env, 0)
+	if _, err := primaryTC.Create(0, 0); err != nil { // bump to epoch 1
+		t.Fatal(err)
+	}
+
+	reqA := request(1)
+	batchA := &types.Batch{Requests: []*types.ClientRequest{reqA}, Digest: crypto.BatchDigest([]*types.ClientRequest{reqA})}
+	g := crypto.WindowGenesis(0)
+	att, err := primaryTC.AppendF(0, crypto.ChainDigest(g, batchA.Digest, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.Epoch == 0 {
+		t.Fatal("Create did not advance the epoch; the test is vacuous")
+	}
+	wc := &crypto.WindowCert{View: 0, Start: 1, Prev: g, Digests: []types.Digest{batchA.Digest}, Att: att}
+	vc := &types.ViewChange{
+		Replica: 2, NewView: 1,
+		Prepared: []*types.PreparedProof{{
+			Preprepare: &types.Preprepare{View: 0, Seq: 1, Batch: batchA},
+			WC:         wc.Encode(),
+		}},
+	}
+	if p.ValidateViewChange(vc) {
+		t.Fatal("accepted a window proof from a stale counter incarnation")
+	}
+}
+
+func TestWindowProofSetRejectsForkedChain(t *testing.T) {
+	// One ViewChange presenting certificates from TWO chains — the canonical
+	// one and a re-anchored fork binding the same slot to a different digest
+	// — must be rejected as a set: the fork breaks the Start/Prev/value
+	// progression even though each certificate verifies in isolation.
+	cfg := windowedCfg(2)
+	env := ptest.NewEnv(t, 1, cfg)
+	p := New(cfg)
+	p.Init(env)
+	primaryTC := ptest.NewSiblingTC(env, 0)
+
+	reqA, reqX := request(1), request(99)
+	batchA := &types.Batch{Requests: []*types.ClientRequest{reqA}, Digest: crypto.BatchDigest([]*types.ClientRequest{reqA})}
+	batchX := &types.Batch{Requests: []*types.ClientRequest{reqX}, Digest: crypto.BatchDigest([]*types.ClientRequest{reqX})}
+	g := crypto.WindowGenesis(0)
+	attA, err := primaryTC.AppendF(0, crypto.ChainDigest(g, batchA.Digest, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	attX, err := primaryTC.AppendF(0, crypto.ChainDigest(g, batchX.Digest, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	certA := &crypto.WindowCert{View: 0, Start: 1, Prev: g, Digests: []types.Digest{batchA.Digest}, Att: attA}
+	certX := &crypto.WindowCert{View: 0, Start: 1, Prev: g, Digests: []types.Digest{batchX.Digest}, Att: attX}
+	vc := &types.ViewChange{
+		Replica: 2, NewView: 1,
+		Prepared: []*types.PreparedProof{
+			{Preprepare: &types.Preprepare{View: 0, Seq: 1, Batch: batchA}, WC: certA.Encode()},
+			{Preprepare: &types.Preprepare{View: 0, Seq: 1, Batch: batchX}, WC: certX.Encode()},
+		},
+	}
+	if p.ValidateViewChange(vc) {
+		t.Fatal("accepted a proof set spanning a forked chain")
+	}
+	// The canonical half alone is a valid set.
+	vc.Prepared = vc.Prepared[:1]
+	if !p.ValidateViewChange(vc) {
+		t.Fatal("rejected the canonical chain segment on its own")
+	}
+}
+
+func TestWindowFlushTimerIgnoresStaleView(t *testing.T) {
+	// A flush deadline armed during an earlier primaryship must not flush
+	// the current view's partial window.
+	c := ptest.NewCluster(t, windowedCfg(8), func(cfg engine.Config) engine.Protocol { return New(cfg) })
+	c.SubmitTo(0, request(1))
+	if got := c.Envs[0].TC.Accesses(); got != 0 {
+		t.Fatalf("primary spent %d TC accesses with the window still open", got)
+	}
+	c.Protos[0].OnTimer(types.TimerID{Kind: types.TimerWindowFlush, View: 1})
+	if got := c.Envs[0].TC.Accesses(); got != 0 {
+		t.Fatalf("stale-view flush timer spent %d TC accesses", got)
+	}
+	c.Protos[0].OnTimer(types.TimerID{Kind: types.TimerWindowFlush, View: 0})
+	if got := c.Envs[0].TC.Accesses(); got != 1 {
+		t.Fatalf("current-view flush timer spent %d TC accesses, want 1", got)
+	}
+}
+
+func TestWindowedViewChangeForgedCertLosesToCommitted(t *testing.T) {
+	// Cross-VC conflict: slots 1 and 2 commit under the canonical window
+	// certificate (counter value 1), then the deposed primary's forged
+	// re-anchored certificate (value 2, slot 1 → X) arrives as view-change
+	// evidence from replica 0. Per-slot resolution takes the LOWEST covering
+	// counter value, so the committed binding survives into view 1.
+	cfg := windowedCfg(2)
+	cfg.ViewChangeTimeout = 0
+	c := ptest.NewCluster(t, cfg, func(cfg engine.Config) engine.Protocol { return New(cfg) })
+	c.SubmitTo(0, request(1))
+	c.SubmitTo(0, request(2))
+	ppA := c.Protos[1].(*Protocol)
+	digestA, ok := ppA.SlotDigest(1)
+	if !ok {
+		t.Fatal("slot 1 never committed")
+	}
+	d := c.Envs[2].Store.StateDigest()
+
+	// Forge: the real primary's counter, next value, re-anchored at genesis.
+	reqX := request(99)
+	batchX := &types.Batch{Requests: []*types.ClientRequest{reqX}, Digest: crypto.BatchDigest([]*types.ClientRequest{reqX})}
+	g := crypto.WindowGenesis(0)
+	att, err := c.Envs[0].TC.AppendF(0, crypto.ChainDigest(g, batchX.Digest, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := &crypto.WindowCert{View: 0, Start: 1, Prev: g, Digests: []types.Digest{batchX.Digest}, Att: att}
+	vc := &types.ViewChange{
+		Replica: 0, NewView: 1, Sig: []byte("sig"),
+		Prepared: []*types.PreparedProof{{
+			Preprepare: &types.Preprepare{View: 0, Seq: 1, Batch: batchX},
+			WC:         forged.Encode(),
+		}},
+	}
+	c.Protos[1].OnMessage(0, vc)
+
+	// One honest suspicion suffices: the forged vote already counts toward
+	// the quorum, replica 1 joins at f+1 and installs view 1 for everyone.
+	c.Protos[3].(*Protocol).SuspectPrimary()
+	p1 := c.Protos[1].(*Protocol)
+	if p1.View != 1 {
+		t.Fatalf("replica 1 view = %d, want 1", p1.View)
+	}
+	for _, r := range []int{1, 2, 3} {
+		got, ok := c.Protos[r].(*Protocol).SlotDigest(1)
+		if !ok {
+			t.Fatalf("replica %d lost its slot 1 binding", r)
+		}
+		if got == batchX.Digest {
+			t.Fatalf("replica %d adopted the forged binding for committed slot 1", r)
+		}
+		if got != digestA {
+			t.Fatalf("replica %d rebound committed slot 1", r)
+		}
+		if c.Envs[r].Store.StateDigest() != d {
+			t.Fatalf("replica %d lost committed state across the forged view change", r)
+		}
+	}
+	// Progress continues in view 1.
+	c.SubmitTo(1, request(3))
+	c.SubmitTo(1, request(4))
+	for _, r := range []int{1, 2, 3} {
+		got := c.Envs[r].Executed
+		if len(got) == 0 || got[len(got)-1] != 4 {
+			t.Fatalf("replica %d executed %v, want progress through seq 4 in view 1", r, got)
+		}
+	}
+}
+
 func TestWindowedViewChangeCarriesCertificates(t *testing.T) {
 	cfg := windowedCfg(2)
 	cfg.ViewChangeTimeout = 0

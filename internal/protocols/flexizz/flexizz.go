@@ -133,7 +133,9 @@ func (p *Protocol) OnMessage(from types.ReplicaID, m types.Message) {
 // OnTimer implements engine.Protocol.
 func (p *Protocol) OnTimer(id types.TimerID) {
 	if id.Kind == types.TimerWindowFlush {
-		if p.win.Enabled() && p.IsPrimary() && !p.InViewChange {
+		// A stale deadline from an earlier primaryship carries that view's id
+		// and must not flush the current partial window early.
+		if p.win.Enabled() && p.IsPrimary() && !p.InViewChange && id.View == p.View {
 			p.flushWindow()
 		}
 		return
@@ -183,10 +185,16 @@ func (p *Protocol) proposeWindowed(b *types.Batch) {
 }
 
 // flushWindow spends the window's one AppendF and broadcasts the covering
-// certificate so backups can release their held slots.
+// certificate so backups can release their held slots. If the window stays
+// open — AppendF failed — the deadline is re-armed so the broadcast batches
+// do not sit unattested until a view change.
 func (p *Protocol) flushWindow() {
 	if enc := p.win.Flush(p.Env, &p.Cfg, counterID); enc != nil {
 		p.Env.Broadcast(&types.WindowAttest{Replica: p.Env.ID(), Cert: enc})
+	}
+	if p.win.Open() {
+		p.Env.SetTimer(types.TimerID{Kind: types.TimerWindowFlush, View: p.View},
+			p.Cfg.BatchTimeout)
 	}
 }
 
@@ -372,15 +380,17 @@ func (p *Protocol) BuildViewChange(v types.View) *types.ViewChange {
 	return vc
 }
 
-// ValidateViewChange implements common.Hooks.
+// ValidateViewChange implements common.Hooks. Windowed proofs are checked as
+// one chained set (attestor, epoch, and progression pinned); the per-batch
+// path carries bare Preprepares only, so a Prepared list there is rejected
+// rather than silently merged unvalidated.
 func (p *Protocol) ValidateViewChange(vc *types.ViewChange) bool {
 	if p.win.Enabled() {
-		for _, pr := range vc.Prepared {
-			if pr == nil || !common.ValidWindowProof(p.Env, counterID, pr.Preprepare, pr.WC) {
-				return false
-			}
-		}
-		return len(vc.Preprepares) == 0
+		return len(vc.Preprepares) == 0 &&
+			common.ValidWindowProofs(p.Env, &p.Cfg, counterID, p.View, p.curEpoch, vc.Prepared)
+	}
+	if len(vc.Prepared) != 0 {
+		return false
 	}
 	for _, pp := range vc.Preprepares {
 		if pp == nil || pp.Attest == nil || !p.Env.VerifyAttestation(pp.Attest) {
@@ -390,20 +400,23 @@ func (p *Protocol) ValidateViewChange(vc *types.ViewChange) bool {
 	return true
 }
 
-// BuildNewView implements common.Hooks.
+// BuildNewView implements common.Hooks. Windowed slot reports are merged by
+// common.CollectWindowSlots (chained-set validation, lowest-counter-value
+// conflict resolution); the per-batch path merges the self-certifying
+// Preprepares, where the attested value==seq binding makes conflicting
+// reports for one slot impossible within an epoch.
 func (p *Protocol) BuildNewView(v types.View, vcs []*types.ViewChange) *types.NewView {
 	stable := types.SeqNum(0)
 	slots := make(map[types.SeqNum]*types.Preprepare)
-	for _, vc := range vcs {
-		if vc.StableSeq > stable {
-			stable = vc.StableSeq
-		}
-		for _, pp := range vc.Preprepares {
-			slots[pp.Seq] = pp
-		}
-		for _, pr := range vc.Prepared {
-			if pr != nil && pr.Preprepare != nil {
-				slots[pr.Preprepare.Seq] = pr.Preprepare
+	if p.win.Enabled() {
+		stable, slots = common.CollectWindowSlots(p.Env, &p.Cfg, counterID, p.View, p.curEpoch, vcs)
+	} else {
+		for _, vc := range vcs {
+			if vc.StableSeq > stable {
+				stable = vc.StableSeq
+			}
+			for _, pp := range vc.Preprepares {
+				slots[pp.Seq] = pp
 			}
 		}
 	}
@@ -473,6 +486,12 @@ func (p *Protocol) ProcessNewView(nv *types.NewView) bool {
 	if p.win.Enabled() {
 		wc, ok := common.ValidateNewViewWindow(p.Env, counterID, nv, primary)
 		if !ok {
+			return false
+		}
+		// Cross-check the re-proposals against the slots resolvable from the
+		// embedded quorum (under the CURRENT epoch — before adopting the new
+		// incarnation): a new primary re-binding a reported slot is rejected.
+		if !common.CheckNewViewProposals(p.Env, &p.Cfg, counterID, p.View, p.curEpoch, nv) {
 			return false
 		}
 		p.curEpoch = nv.CounterInit.Epoch
@@ -562,3 +581,13 @@ func (p *Protocol) OnStableCheckpoint(seq types.SeqNum) {
 
 // CheckpointAttestation implements common.Hooks.
 func (p *Protocol) CheckpointAttestation(types.SeqNum, types.Digest) *types.Attestation { return nil }
+
+// SlotDigest reports the batch digest this replica holds for a sequence
+// number, for tests asserting slot bindings survive view changes.
+func (p *Protocol) SlotDigest(seq types.SeqNum) (types.Digest, bool) {
+	pp, ok := p.preprepares[seq]
+	if !ok || pp.Batch == nil {
+		return types.ZeroDigest, false
+	}
+	return pp.Batch.Digest, true
+}
